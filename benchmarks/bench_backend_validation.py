@@ -1,0 +1,49 @@
+"""Substrate cross-validation: DES vs analytic backend.
+
+Not a paper table, but the evaluation-integrity check behind every other
+bench: the analytic model used for the 200-iteration sweeps must agree with
+the request-level simulation on throughput and utilizations.
+"""
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import STANDARD_MIXES
+from repro.util.tables import Table
+
+
+def _validate():
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    cfg = cluster.default_configuration()
+    des = SimulationBackend(time_scale=0.1)
+    ana = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    table = Table(
+        "Backend cross-validation (default config, N=600)",
+        ["Mix", "DES WIPS", "Analytic WIPS", "Ratio",
+         "DES proxy disk util", "Analytic proxy disk util"],
+    )
+    ratios = []
+    for name, mix in STANDARD_MIXES.items():
+        sc = Scenario(cluster=cluster, mix=mix, population=600)
+        m_des = des.measure(sc, cfg, seed=11)
+        m_ana = ana.measure(sc, cfg, seed=11)
+        ratio = m_des.wips / m_ana.wips
+        ratios.append(ratio)
+        table.add_row(
+            name,
+            f"{m_des.wips:.1f}",
+            f"{m_ana.wips:.1f}",
+            f"{ratio:.3f}",
+            f"{m_des.utilization['proxy0'].disk:.2f}",
+            f"{m_ana.utilization['proxy0'].disk:.2f}",
+        )
+    return table, ratios
+
+
+def test_backend_cross_validation(benchmark, report):
+    table, ratios = benchmark.pedantic(_validate, rounds=1, iterations=1)
+    for ratio in ratios:
+        assert 0.88 <= ratio <= 1.12
+    report("backend_validation", table)

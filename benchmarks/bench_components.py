@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the core components (classic pytest-benchmark runs).
+
+These time the hot paths that bound how long a full experiment takes: one
+analytic solve, one simplex ask/tell step, one Erlang M/M/c/K evaluation,
+one cache-model evaluation, and one (short) DES iteration.
+"""
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.harmony.parameter import IntParameter, ParameterSpace
+from repro.harmony.simplex import NelderMeadSimplex
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.mva import Station, solve_mva
+from repro.model.noise import NoiseModel
+from repro.model.pools import mmck
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import SHOPPING_MIX
+from repro.util.units import MB
+
+
+def test_analytic_measure_single_tier(benchmark):
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    backend = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=750)
+    cfg = cluster.default_configuration()
+    backend.measure(sc, cfg, seed=0)  # warm context cache
+    result = benchmark(lambda: backend.measure(sc, cfg, seed=0))
+    assert result.wips > 0
+
+
+def test_analytic_measure_eight_nodes(benchmark):
+    cluster = ClusterSpec.three_tier(4, 2, 2)
+    backend = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=2000)
+    cfg = cluster.default_configuration()
+    backend.measure(sc, cfg, seed=0)
+    result = benchmark(lambda: backend.measure(sc, cfg, seed=0))
+    assert result.wips > 0
+
+
+def test_mva_solve(benchmark):
+    stations = [Station(f"s{i}", 0.01 * (i + 1), 1 + i % 3) for i in range(12)]
+    result = benchmark(lambda: solve_mva(stations, 1000, 7.0))
+    assert result.throughput > 0
+
+
+def test_mmck_large_pool(benchmark):
+    result = benchmark(lambda: mmck(80.0, 0.5, 512, 1024))
+    assert 0.0 <= result.blocking <= 1.0
+
+
+def test_simplex_step(benchmark):
+    space = ParameterSpace(
+        [IntParameter(f"x{i}", 50, 0, 100) for i in range(23)]
+    )
+    simplex = NelderMeadSimplex(space, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+
+    def step():
+        cfg = simplex.ask()
+        simplex.tell(cfg, float(rng.normal()))
+
+    benchmark(step)
+
+
+def test_catalog_hit_fraction(benchmark):
+    catalog = Catalog()
+    result = benchmark(lambda: catalog.hit_fraction(32 * MB, 0.0, 64 * 1024.0))
+    assert 0.0 <= result <= 1.0
+
+
+def test_des_iteration_short(benchmark):
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    backend = SimulationBackend(time_scale=0.02)
+    sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=200)
+    cfg = cluster.default_configuration()
+    result = benchmark.pedantic(
+        lambda: backend.measure(sc, cfg, seed=0), rounds=3, iterations=1
+    )
+    assert result.wips > 0

@@ -1,0 +1,9 @@
+"""Table 1: regenerate the TPC-W workload-mix table."""
+
+from repro.experiments import table1
+
+
+def test_table1_mixes(benchmark, report):
+    result = benchmark.pedantic(table1.run, rounds=3, iterations=1)
+    assert result.browse_split["browsing"] == 0.95
+    report("table1_mixes", result.to_table())

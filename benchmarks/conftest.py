@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file reproduces one of the paper's tables or figures at
+the full 200-iteration protocol, prints the reproduced table(s) to the
+terminal (bypassing pytest's capture) and writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print renderables to the real terminal and persist them to a file."""
+
+    def _report(name: str, *renderables) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(str(r) for r in renderables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Adapting to a changing workload (the paper's Figure 5 scenario).
+
+The store starts under the browsing mix; after 60 iterations the traffic
+turns into the ordering mix (a sale day), and later back.  The adaptive
+session detects each shift from the WIPS level change and restarts its
+search from the best configuration it knows, re-adapting within a few
+iterations — the behaviour the paper demonstrates in Figure 5.
+
+Run:  python examples/adaptive_workload.py
+"""
+
+from repro import (
+    AnalyticBackend,
+    AdaptiveTuningSession,
+    BROWSING_MIX,
+    ClusterSpec,
+    ClusterTuningSession,
+    ORDERING_MIX,
+    Scenario,
+    make_scheme,
+)
+
+SEGMENT = 60
+SCHEDULE = [("browsing", BROWSING_MIX), ("ordering", ORDERING_MIX),
+            ("browsing", BROWSING_MIX)]
+
+
+def sparkline(values, width=50, lo=None, hi=None) -> str:
+    blocks = " .:-=+*#%@"
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = max(hi - lo, 1e-9)
+    step = max(1, len(values) // width)
+    out = []
+    for i in range(0, len(values), step):
+        v = values[i]
+        out.append(blocks[min(9, int((v - lo) / span * 9.99))])
+    return "".join(out)
+
+
+def main() -> None:
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=750)
+    inner = ClusterTuningSession(
+        AnalyticBackend(), scenario,
+        scheme=make_scheme(scenario, "default"), seed=7,
+    )
+    session = AdaptiveTuningSession(inner)
+
+    for name, mix in SCHEDULE:
+        session.set_mix(mix)
+        print(f"--- workload: {name} ({SEGMENT} iterations)")
+        for _ in range(SEGMENT):
+            session.step()
+        recent = session.history.window_stats(
+            len(session.history) - 20
+        )
+        print(f"    settled at {recent.mean:6.1f} WIPS (sd {recent.stddev:.1f})")
+
+    wips = list(session.history.performances())
+    print("\nWIPS over the whole run (one char ≈ "
+          f"{max(1, len(wips) // 50)} iterations):")
+    print("  " + sparkline(wips))
+    print(f"search restarts triggered at iterations: {session.restarts}")
+
+
+if __name__ == "__main__":
+    main()

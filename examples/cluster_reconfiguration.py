@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Automatic cluster reconfiguration (the paper's §IV / Figure 7 scenario).
+
+A six-node front cluster (4 proxies + 2 application servers, plus two
+databases) tuned with the duplication scheme serves a browsing workload
+that turns into ordering traffic.  The application tier saturates; the §IV
+algorithm spots an over-loaded app node (CPU above the high threshold) and
+an idle proxy (every resource below the low thresholds), checks the cost
+model, and re-roles the proxy into the application tier without stopping
+the system.
+
+Run:  python examples/cluster_reconfiguration.py
+"""
+
+from repro import (
+    AnalyticBackend,
+    BROWSING_MIX,
+    ClusterSpec,
+    ClusterTuningSession,
+    ORDERING_MIX,
+    Reconfigurator,
+    Scenario,
+    make_scheme,
+)
+
+SWITCH_AT = 40
+RECONFIG_AT = 50
+TOTAL = 100
+
+
+def tier_report(measurement, cluster) -> str:
+    parts = []
+    for node_id, util in measurement.utilization.items():
+        parts.append(f"{node_id}:{util.max_utilization():.2f}")
+    return " ".join(parts)
+
+
+def main() -> None:
+    cluster = ClusterSpec.three_tier(n_proxy=4, n_app=2, n_db=2)
+    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=2000)
+    session = ClusterTuningSession(
+        AnalyticBackend(), scenario,
+        scheme=make_scheme(scenario, "duplication"), seed=11,
+    )
+    reconfigurator = Reconfigurator()
+
+    for i in range(TOTAL):
+        if i == SWITCH_AT:
+            print(f"[{i:3d}] workload switches browsing -> ordering")
+            session.set_mix(ORDERING_MIX)
+        measurement = session.step()
+        if i % 10 == 0:
+            print(f"[{i:3d}] {measurement.wips:7.1f} WIPS   "
+                  f"busiest-resource per node: "
+                  f"{tier_report(measurement, session.scenario.cluster)}")
+        if i == RECONFIG_AT:
+            decision = reconfigurator.decide(
+                session.scenario.cluster, measurement
+            )
+            if decision is None:
+                print(f"[{i:3d}] reconfiguration check: no move warranted")
+            else:
+                print(
+                    f"[{i:3d}] reconfiguration: move {decision.node_id} "
+                    f"{decision.from_role.value} -> {decision.to_role.value} "
+                    f"(relieves {decision.relieves}, eq(1) cost "
+                    f"{decision.cost:.2f}, "
+                    f"{'immediate' if decision.immediate else 'after drain'})"
+                )
+                session.set_cluster(
+                    reconfigurator.apply(session.scenario.cluster, decision)
+                )
+
+    wips = session.history.performances()
+    before = wips[SWITCH_AT + 5 : RECONFIG_AT + 1].mean()
+    after = wips[RECONFIG_AT + 5 :].mean()
+    print(f"\nordering WIPS before reconfiguration: {before:7.1f}")
+    print(f"ordering WIPS after reconfiguration:  {after:7.1f} "
+          f"({(after / before - 1) * 100:+.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: tune a three-tier TPC-W cluster with Active Harmony.
+
+Builds the paper's basic setup — one proxy (Squid model), one application
+server (Tomcat model), one database (MySQL model), 750 emulated browsers on
+the shopping mix — and runs 100 tuning iterations of the integer-adapted
+Nelder–Mead simplex over all 23 Table-3 parameters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticBackend,
+    ClusterSpec,
+    ClusterTuningSession,
+    Scenario,
+    SHOPPING_MIX,
+    make_scheme,
+)
+
+ITERATIONS = 100
+
+
+def main() -> None:
+    cluster = ClusterSpec.three_tier(n_proxy=1, n_app=1, n_db=1)
+    scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=750)
+    backend = AnalyticBackend()
+
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "default"),  # one server, all params
+        seed=42,
+    )
+
+    baseline = session.measure_baseline(iterations=10).window_stats(0)
+    print(f"default configuration: {baseline.mean:6.1f} WIPS "
+          f"(sd {baseline.stddev:.1f})")
+
+    print(f"tuning for {ITERATIONS} iterations ...")
+    for i in range(ITERATIONS):
+        measurement = session.step()
+        if (i + 1) % 20 == 0:
+            window = session.history.window_stats(max(0, i - 19), i + 1)
+            print(f"  iteration {i + 1:3d}: recent mean {window.mean:6.1f} WIPS")
+
+    best = session.best_configuration()
+    best_wips = session.history.best().performance
+    print(f"\nbest measured: {best_wips:.1f} WIPS "
+          f"({(best_wips / baseline.mean - 1) * 100:+.1f}% vs default)")
+    print("\nmost-moved parameters (vs default):")
+    default = cluster.default_configuration()
+    moves = sorted(
+        ((name, default[name], best[name]) for name in default),
+        key=lambda t: abs(t[2] - t[1]) / max(abs(t[1]), 1),
+        reverse=True,
+    )
+    for name, before, after in moves[:8]:
+        print(f"  {name:42s} {before:>10,} -> {after:>10,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Tuning over the network: the original Active Harmony deployment shape.
+
+The real Active Harmony Adaptation Controller ran as a daemon; the tunable
+servers of the cluster connected to it over TCP.  This example starts a
+Harmony TCP server in-process, then connects two independent *remote*
+clients — standing in for a Squid box and a MySQL box on other machines —
+each registering its own parameters and tuning against its own synthetic
+performance surface, concurrently.
+
+Run:  python examples/remote_tuning.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import HarmonyServer, IntParameter
+from repro.harmony.net import HarmonyTCPServer, RemoteHarmonyClient
+
+SQUID_PARAMS = [
+    IntParameter("cache_mem", default=8, low=4, high=256),
+    IntParameter("store_objects_per_bucket", default=20, low=5, high=200, step=5),
+]
+MYSQL_PARAMS = [
+    IntParameter("table_cache", default=64, low=16, high=1024, step=16),
+    IntParameter("thread_cache", default=10, low=1, high=128),
+]
+
+
+def squid_hit_rate(cfg, rng):
+    """Synthetic proxy metric: hit rate grows with cache, lookup cost bites."""
+    hits = 1.0 - np.exp(-cfg["cache_mem"] / 64.0)
+    lookup_penalty = 0.0006 * cfg["store_objects_per_bucket"]
+    return float((hits - lookup_penalty) * 100 * np.exp(rng.normal(0, 0.01)))
+
+
+def mysql_qps(cfg, rng):
+    """Synthetic database metric: open-table misses dominate."""
+    miss = np.exp(-cfg["table_cache"] / 260.0)
+    churn = 0.3 * np.exp(-cfg["thread_cache"] / 20.0)
+    qps = 1000.0 / (1.0 + 2.0 * miss + churn)
+    return float(qps * np.exp(rng.normal(0, 0.01)))
+
+
+def tune_remotely(address, name, params, metric, iterations, out):
+    rng = np.random.default_rng(hash(name) % 2**32)
+    with RemoteHarmonyClient(*address, name) as client:
+        client.register(params)
+        default = metric({p.name: p.default for p in params}, rng)
+        for _ in range(iterations):
+            cfg = client.fetch()
+            client.report(metric(cfg, rng))
+        best = client.unregister()
+        out[name] = (default, metric(best, rng), dict(best))
+
+
+def main() -> None:
+    server = HarmonyTCPServer(HarmonyServer(seed=2024))
+    results: dict = {}
+    with server.running() as address:
+        print(f"harmony server listening on {address[0]}:{address[1]}")
+        workers = [
+            threading.Thread(
+                target=tune_remotely,
+                args=(address, "squid-box", SQUID_PARAMS, squid_hit_rate, 80, results),
+            ),
+            threading.Thread(
+                target=tune_remotely,
+                args=(address, "mysql-box", MYSQL_PARAMS, mysql_qps, 80, results),
+            ),
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+    for name, (default, tuned, best) in sorted(results.items()):
+        print(f"\n{name}: {default:8.1f} -> {tuned:8.1f} "
+              f"({tuned / default - 1:+.1%})")
+        for key, value in sorted(best.items()):
+            print(f"   {key:26s} = {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim: lets ``pip install -e .`` work without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy (``--no-use-pep517``) editable-install path in offline environments
+where build isolation cannot fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — reproduction of "Automated Cluster-Based Web Service Performance
+Tuning" (Chung & Hollingsworth, HPDC 2004).
+
+The package provides, from scratch:
+
+* **Active Harmony** (:mod:`repro.harmony`) — the automated tuning
+  infrastructure: integer-adapted Nelder–Mead simplex, tuning
+  server/clients, and the §III.B scaling schemes (parameter duplication
+  and parameter partitioning),
+* **TPC-W** (:mod:`repro.tpcw`) — the benchmark workload: Table 1 mixes,
+  emulated browsers, item catalog, WIPS metrics,
+* **the cluster substrate** (:mod:`repro.cluster`) — parametric
+  performance models of the Squid / Tomcat / MySQL three-tier stack with
+  the paper's 23 tunable parameters,
+* **two measurement backends** — analytic queueing model
+  (:mod:`repro.model`) and request-level discrete-event simulation
+  (:mod:`repro.des`),
+* **the tuning layer** (:mod:`repro.tuning`) — iteration protocol,
+  cluster tuning sessions, workload-shift adaptation, and the §IV
+  automatic reconfiguration algorithm,
+* **experiment drivers** (:mod:`repro.experiments`) — one per table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (AnalyticBackend, ClusterSpec, ClusterTuningSession,
+                       Scenario, SHOPPING_MIX, make_scheme)
+
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=750)
+    session = ClusterTuningSession(AnalyticBackend(), scenario,
+                                   scheme=make_scheme(scenario, "default"))
+    session.run(200)
+    print(session.best_configuration())
+"""
+
+from repro.cluster.node import NodeSpec, Role
+from repro.cluster.pricing import PricingModel
+from repro.cluster.topology import ClusterSpec, NodePlacement
+from repro.harmony.client import HarmonyClient
+from repro.harmony.net import HarmonyTCPServer, RemoteHarmonyClient
+from repro.harmony.constraints import ConstraintSet, OrderingConstraint
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.harmony.scaling import DuplicationScheme, PartitionScheme, identity_scheme
+from repro.harmony.search import (
+    CoordinateDescent,
+    RandomSearch,
+    SearchStrategy,
+    SimplexStrategy,
+)
+from repro.harmony.server import HarmonyServer
+from repro.harmony.simplex import NelderMeadSimplex, SimplexOptions
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Measurement, PerformanceBackend, Scenario
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    STANDARD_MIXES,
+    WorkloadMix,
+)
+from repro.tuning.adaptive import AdaptiveTuningSession
+from repro.tuning.reconfig import ReconfigPolicy, Reconfigurator
+from repro.tuning.reconfig_loop import ReconfigurationLoop
+from repro.tuning.session import ClusterTuningSession, make_scheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # harmony
+    "IntParameter",
+    "ConstraintSet",
+    "OrderingConstraint",
+    "ParameterSpace",
+    "Configuration",
+    "NelderMeadSimplex",
+    "SimplexOptions",
+    "SearchStrategy",
+    "SimplexStrategy",
+    "RandomSearch",
+    "CoordinateDescent",
+    "HarmonyServer",
+    "HarmonyClient",
+    "HarmonyTCPServer",
+    "RemoteHarmonyClient",
+    "DuplicationScheme",
+    "PartitionScheme",
+    "identity_scheme",
+    # cluster
+    "Role",
+    "NodeSpec",
+    "NodePlacement",
+    "ClusterSpec",
+    "PricingModel",
+    # tpcw
+    "Interaction",
+    "WorkloadMix",
+    "BROWSING_MIX",
+    "SHOPPING_MIX",
+    "ORDERING_MIX",
+    "STANDARD_MIXES",
+    # backends
+    "PerformanceBackend",
+    "AnalyticBackend",
+    "Scenario",
+    "Measurement",
+    # tuning
+    "ClusterTuningSession",
+    "AdaptiveTuningSession",
+    "make_scheme",
+    "Reconfigurator",
+    "ReconfigPolicy",
+    "ReconfigurationLoop",
+]

@@ -1,0 +1,108 @@
+"""Post-hoc parameter importance mined from a tuning history.
+
+Given only the (configuration, WIPS) pairs a tuning run recorded, estimate
+which parameters drove performance.  Two complementary signals per
+parameter:
+
+* ``correlation`` — the absolute Pearson correlation between the
+  (normalized) parameter value and the measured WIPS across the run.  High
+  correlation means the search's performance visibly tracked this knob.
+* ``movement`` — how far the best configuration moved the parameter from
+  its starting value, as a fraction of its span.  The tuner only moves (and
+  keeps) parameters that pay.
+
+Both are normalized to [0, 1]; the combined score is their maximum, since
+either signal alone is evidence of influence (a parameter can be decisive
+yet end near its start, or drift far on a flat direction — which is why
+the report shows both columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration, ParameterSpace
+from repro.util.tables import Table
+
+__all__ = ["ParameterImportance", "history_importance"]
+
+
+@dataclass(frozen=True)
+class ParameterImportance:
+    """Importance estimates for one parameter."""
+
+    name: str
+    correlation: float
+    movement: float
+    start_value: int
+    best_value: int
+
+    @property
+    def score(self) -> float:
+        """Combined importance in [0, 1]."""
+        return max(self.correlation, self.movement)
+
+
+def history_importance(
+    history: TuningHistory,
+    space: ParameterSpace,
+    start: Optional[Configuration] = None,
+) -> list[ParameterImportance]:
+    """Rank the space's parameters by their influence over the run.
+
+    ``start`` defaults to the first recorded configuration (the run's
+    starting point).  Returns importances sorted by decreasing score.
+    """
+    if len(history) < 3:
+        raise ValueError("need at least 3 recorded iterations")
+    start_cfg = start or history[0].configuration
+    best_cfg = history.best_configuration()
+    perf = history.performances()
+    perf_std = float(np.std(perf))
+
+    out: list[ParameterImportance] = []
+    for param in space.parameters:
+        values = np.array(
+            [float(r.configuration[param.name]) for r in history.records]
+        )
+        if perf_std > 0 and float(np.std(values)) > 0:
+            corr = abs(float(np.corrcoef(values, perf)[0, 1]))
+        else:
+            corr = 0.0
+        span = max(param.span, 1)
+        movement = abs(best_cfg[param.name] - start_cfg[param.name]) / span
+        out.append(
+            ParameterImportance(
+                name=param.name,
+                correlation=corr,
+                movement=min(movement, 1.0),
+                start_value=start_cfg[param.name],
+                best_value=best_cfg[param.name],
+            )
+        )
+    out.sort(key=lambda p: p.score, reverse=True)
+    return out
+
+
+def importance_table(
+    importances: list[ParameterImportance], top: Optional[int] = None
+) -> Table:
+    """Render an importance ranking as a table."""
+    table = Table(
+        "Parameter importance (mined from the tuning history)",
+        ["Parameter", "Score", "|corr(value, WIPS)|", "Movement", "Start", "Best"],
+    )
+    for imp in importances[: top or len(importances)]:
+        table.add_row(
+            imp.name,
+            f"{imp.score:.2f}",
+            f"{imp.correlation:.2f}",
+            f"{imp.movement:.2f}",
+            imp.start_value,
+            imp.best_value,
+        )
+    return table

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``baseline``
+    Measure the default configuration of a cluster/workload.
+``tune``
+    Run an Active Harmony tuning session; optionally persist the best
+    configuration (JSON) and the full history (JSON Lines).
+``sensitivity``
+    One-at-a-time parameter sweeps on a scenario.
+``experiment``
+    Run one of the paper's experiment drivers and print its table(s).
+``validate``
+    Cross-check the analytic backend against the discrete-event backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.tpcw.interactions import STANDARD_MIXES
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "table1", "fig4", "fig5", "table4", "fig7", "sensitivity",
+    "drift", "price",
+)
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mix", choices=sorted(STANDARD_MIXES), default="shopping",
+        help="TPC-W workload mix (default: shopping)",
+    )
+    parser.add_argument("--proxies", type=int, default=1, help="proxy-tier nodes")
+    parser.add_argument("--apps", type=int, default=1, help="app-tier nodes")
+    parser.add_argument("--dbs", type=int, default=1, help="database-tier nodes")
+    parser.add_argument(
+        "--population", type=int, default=750, help="emulated browsers"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    cluster = ClusterSpec.three_tier(args.proxies, args.apps, args.dbs)
+    return Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[args.mix],
+        population=args.population,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro`` (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Automated Cluster-Based Web Service "
+            "Performance Tuning' (HPDC 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("baseline", help="measure the default configuration")
+    _add_scenario_arguments(p)
+    p.add_argument("--repeats", type=int, default=10, help="noise repeats")
+
+    p = sub.add_parser("tune", help="run a tuning session")
+    _add_scenario_arguments(p)
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument(
+        "--method", choices=("default", "duplication", "partitioning"),
+        default="default",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("simplex", "simplex-damped", "random", "coordinate"),
+        default="simplex",
+    )
+    p.add_argument("--save-best", metavar="FILE", help="write best config JSON")
+    p.add_argument(
+        "--save-history", metavar="FILE", help="write history JSON Lines"
+    )
+
+    p = sub.add_parser("sensitivity", help="one-at-a-time parameter sweeps")
+    _add_scenario_arguments(p)
+    p.add_argument(
+        "--params", help="comma-separated full parameter names (default: all)"
+    )
+    p.add_argument("--points", type=int, default=4)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--top", type=int, default=None, help="show only top N")
+
+    p = sub.add_parser("experiment", help="run a paper experiment driver")
+    p.add_argument("name", choices=EXPERIMENTS)
+    p.add_argument(
+        "--iterations", type=int, default=200,
+        help="tuning iterations (paper protocol: 200)",
+    )
+    p.add_argument("--seed", type=int, default=17)
+
+    p = sub.add_parser(
+        "validate", help="cross-check the analytic and DES backends"
+    )
+    _add_scenario_arguments(p)
+    p.add_argument(
+        "--time-scale", type=float, default=0.06,
+        help="DES iteration scale (1.0 = the paper's 1200 s cycle)",
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.tuning.session import ClusterTuningSession
+
+    scenario = _scenario(args)
+    session = ClusterTuningSession(AnalyticBackend(), scenario, seed=args.seed)
+    stats = session.measure_baseline(iterations=args.repeats).window_stats(0)
+    print(
+        f"{args.mix} mix, {scenario.cluster!r}, N={args.population}: "
+        f"{stats.mean:.1f} WIPS (sd {stats.stddev:.2f}, {args.repeats} repeats)"
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuning.session import ClusterTuningSession, make_scheme
+    from repro.util.serialization import save_configuration, save_history
+
+    scenario = _scenario(args)
+    session = ClusterTuningSession(
+        AnalyticBackend(),
+        scenario,
+        scheme=make_scheme(scenario, args.method),
+        strategy=args.strategy,
+        seed=args.seed,
+    )
+    baseline = session.measure_baseline().window_stats(0)
+    print(f"baseline: {baseline.mean:.1f} WIPS")
+    session.run(args.iterations)
+    best = session.history.best()
+    print(
+        f"best after {args.iterations} iterations: "
+        f"{best.performance:.1f} WIPS at iteration {best.iteration} "
+        f"({best.performance / baseline.mean - 1:+.1%})"
+    )
+    if args.save_best:
+        save_configuration(session.best_configuration(), args.save_best)
+        print(f"best configuration written to {args.save_best}")
+    if args.save_history:
+        save_history(session.history, args.save_history)
+        print(f"history written to {args.save_history}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import sensitivity_report
+
+    scenario = _scenario(args)
+    names = args.params.split(",") if args.params else None
+    report = sensitivity_report(
+        AnalyticBackend(), scenario, names=names,
+        points=args.points, repeats=args.repeats, seed=args.seed,
+    )
+    print(report.to_table(top=args.top))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig
+
+    cfg = ExperimentConfig(iterations=args.iterations, seed=args.seed)
+    if args.name == "table1":
+        from repro.experiments import table1
+
+        print(table1.run().to_table())
+    elif args.name == "fig4":
+        from repro.experiments import fig4, table3
+
+        result = fig4.run(cfg)
+        print(result.to_matrix_table())
+        print()
+        print(result.to_improvement_table())
+        print()
+        print(table3.render(result))
+    elif args.name == "fig5":
+        from repro.experiments import fig5
+
+        result = fig5.run(cfg)
+        print(result.to_table())
+    elif args.name == "table4":
+        from repro.experiments import table4
+
+        print(table4.run(cfg).to_table())
+    elif args.name == "fig7":
+        from repro.experiments import fig7
+
+        a, b = fig7.run(cfg)
+        print(a.to_table())
+        print()
+        print(b.to_table())
+    elif args.name == "sensitivity":
+        from repro.experiments import sensitivity
+
+        print(sensitivity.run(cfg).to_table())
+    elif args.name == "drift":
+        from repro.experiments import drift
+
+        result = drift.run(cfg)
+        print(result.to_table())
+        print()
+        print(result.chart())
+    elif args.name == "price":
+        from repro.experiments import price_performance
+
+        for mix in ("browsing", "ordering"):
+            print(price_performance.run(cfg, mix_name=mix).to_table())
+            print()
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.name)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.des.backend import SimulationBackend
+    from repro.model.noise import NoiseModel
+
+    scenario = _scenario(args)
+    cfg = scenario.cluster.default_configuration()
+    analytic = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    des = SimulationBackend(time_scale=args.time_scale)
+    m_ana = analytic.measure(scenario, cfg, seed=args.seed)
+    m_des = des.measure(scenario, cfg, seed=args.seed)
+    ratio = m_des.wips / m_ana.wips
+    print(
+        f"{args.mix} mix, N={args.population}: "
+        f"DES {m_des.wips:.1f} WIPS vs analytic {m_ana.wips:.1f} WIPS "
+        f"(ratio {ratio:.3f})"
+    )
+    ok = 0.85 <= ratio <= 1.15
+    print("backends agree within 15%" if ok else "DISAGREEMENT beyond 15%")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "baseline": _cmd_baseline,
+    "tune": _cmd_tune,
+    "sensitivity": _cmd_sensitivity,
+    "experiment": _cmd_experiment,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

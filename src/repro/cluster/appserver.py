@@ -1,0 +1,163 @@
+"""Tomcat-like application-server performance model (tier 2).
+
+The application server runs two connector thread pools — the HTTP connector
+(``minProcessors`` / ``maxProcessors`` / ``acceptCount`` / ``bufferSize``)
+which fronts every request reaching the tier, and the AJP connector
+(``AJPminProcessors`` / ``AJPmaxProcessors`` / ``AJPacceptCount``) which
+executes the servlets for dynamic pages — plus static-file service for
+proxy cache misses.
+
+Parameter → mechanism map:
+
+``maxProcessors`` / ``AJPmaxProcessors``
+    Concurrency caps.  A thread is held for a request's *whole* residence in
+    the tier and below it (servlet CPU plus database round trips), so the
+    ordering mix — whose transactions park threads on long database
+    operations — needs far larger pools than browsing, exactly the paper's
+    Table 3 outcome.  Each configured thread costs resident memory.
+``minProcessors``
+    Pre-spawned threads.  When offered concurrency exceeds the warm pool,
+    new threads must be spawned; the expected spawn cost scales with the
+    workload's burstiness (browsing churns, ordering doesn't).
+``acceptCount`` / ``AJPacceptCount``
+    Backlog sizes.  Requests arriving when all threads are busy and the
+    backlog is full are rejected (TPC-W counts them as failed interactions).
+``bufferSize``
+    Response write-buffer: a response of *b* bytes costs
+    ``ceil(b / bufferSize)`` write syscalls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.context import WorkloadContext
+from repro.cluster.node import NodeSpec
+from repro.util.units import KB, MB
+
+__all__ = ["AppServerEvaluation", "AppServerModel"]
+
+
+@dataclass(frozen=True)
+class AppServerEvaluation:
+    """Per-interaction demands an application node generates.
+
+    Demands are normalized per *interaction entering the whole system*;
+    the caller scales by the fraction of traffic routed to this node.
+    ``dynamic_pages`` / ``static_requests`` echo the per-interaction visit
+    counts this evaluation assumed (set by the proxy tier's forwarding).
+    """
+
+    cpu_demand: float
+    disk_demand: float
+    nic_bytes: float
+    memory_bytes: float
+    dynamic_pages: float
+    static_requests: float
+    #: HTTP pool: (threads, backlog).
+    http_pool: tuple[int, int]
+    #: AJP pool: (threads, backlog).
+    ajp_pool: tuple[int, int]
+    #: Expected thread-spawn events per interaction (diagnostic).
+    spawn_rate: float
+
+
+class AppServerModel:
+    """Translate a Tomcat configuration into resource demands."""
+
+    PARSE_CPU = 0.30e-3  # HTTP parse + dispatch
+    STATIC_SERVE_CPU = 0.35e-3  # static file from OS page cache
+    STATIC_DISK_ACCESS_PROB = 0.03  # page-cache miss probability
+    AJP_RELAY_CPU = 0.20e-3  # HTTP->AJP handoff per dynamic page
+    WRITE_SYSCALL_CPU = 0.018e-3  # one response write() call
+    SPAWN_CPU = 1.6e-3  # create + warm a connector thread
+    CONTEXT_SWITCH_COEF = 0.0012  # service inflation per runnable thread > cores
+    FILE_COPY_RATE = 500 * MB
+
+    JVM_BASE_MEMORY = 190 * MB
+    HTTP_THREAD_MEMORY = 384 * KB  # stack + connection state, resident
+    AJP_THREAD_MEMORY = 320 * KB
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+
+    def evaluate(
+        self,
+        cfg: Mapping[str, int],
+        ctx: WorkloadContext,
+        dynamic_pages: float,
+        static_requests: float,
+        concurrency: float = 8.0,
+    ) -> AppServerEvaluation:
+        """Demands per interaction for the given per-interaction visits.
+
+        ``dynamic_pages`` and ``static_requests`` come from the proxy tier's
+        forwarding fractions; ``concurrency`` is the solver's estimate of
+        simultaneous in-flight requests at this node.
+        """
+        if dynamic_pages < 0 or static_requests < 0:
+            raise ValueError("visit counts must be non-negative")
+        profile = ctx.profile
+        mean_obj = ctx.catalog.mean_object_bytes()
+        requests = dynamic_pages + static_requests
+
+        # --- thread churn (minProcessors) ---------------------------------
+        warm = float(cfg["minProcessors"])
+        needed = max(concurrency, 1.0)
+        spawn_prob = ctx.burstiness * max(0.0, needed - warm) / needed
+        spawn_rate = spawn_prob * requests * 0.25  # threads linger; not every
+        # request spawns — churn is a fraction of arrivals during bursts.
+
+        # --- CPU -------------------------------------------------------------
+        # ``profile.app_cpu`` is already the unconditional per-interaction
+        # expectation (see :func:`repro.tpcw.mix.expected_profile`); the
+        # visit-count terms use the explicit per-interaction visits.
+        syscalls_per_page = math.ceil(profile.response_bytes / cfg["bufferSize"])
+        cpu = requests * self.PARSE_CPU
+        cpu += static_requests * (
+            self.STATIC_SERVE_CPU + mean_obj / self.FILE_COPY_RATE
+        )
+        cpu += profile.app_cpu
+        cpu += dynamic_pages * (
+            self.AJP_RELAY_CPU + syscalls_per_page * self.WRITE_SYSCALL_CPU
+        )
+        cpu += spawn_rate * self.SPAWN_CPU
+        # Context switching once runnable threads exceed the cores.
+        runnable = min(needed, float(cfg["maxProcessors"]))
+        cs_factor = 1.0 + self.CONTEXT_SWITCH_COEF * max(
+            0.0, runnable - self.node.cpu_cores
+        )
+        cpu *= cs_factor
+        cpu = self.node.cpu_seconds(cpu)
+
+        # --- disk -------------------------------------------------------------
+        disk = static_requests * self.STATIC_DISK_ACCESS_PROB * self.node.disk_seconds(
+            mean_obj, accesses=1.0
+        )
+
+        # --- NIC ---------------------------------------------------------------
+        out_bytes = dynamic_pages * profile.response_bytes + static_requests * mean_obj
+        nic = out_bytes + profile.db_result_bytes + requests * 600.0
+
+        # --- memory ---------------------------------------------------------------
+        http_threads = max(cfg["maxProcessors"], cfg["minProcessors"])
+        ajp_threads = max(cfg["AJPmaxProcessors"], cfg["AJPminProcessors"])
+        memory = (
+            self.JVM_BASE_MEMORY
+            + http_threads * (self.HTTP_THREAD_MEMORY + cfg["bufferSize"])
+            + ajp_threads * self.AJP_THREAD_MEMORY
+        )
+
+        return AppServerEvaluation(
+            cpu_demand=cpu,
+            disk_demand=disk,
+            nic_bytes=nic,
+            memory_bytes=memory,
+            dynamic_pages=dynamic_pages,
+            static_requests=static_requests,
+            http_pool=(int(cfg["maxProcessors"]), int(cfg["acceptCount"])),
+            ajp_pool=(int(cfg["AJPmaxProcessors"]), int(cfg["AJPacceptCount"])),
+            spawn_rate=spawn_rate,
+        )

@@ -1,0 +1,70 @@
+"""Workload context shared by the per-server performance models.
+
+The server models translate a configuration into resource demands *given a
+workload*.  :class:`WorkloadContext` packages what they need: the mix's
+average interaction profile, the static-content catalog, and the mix's
+*burstiness* — the coefficient of variation of back-end work across
+interactions, which drives thread-churn costs (the paper attributes the
+browsing mix's tuning difficulty to its "dramatically changing" request
+characteristics, §III.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import Interaction, WorkloadMix
+from repro.tpcw.mix import expected_profile
+from repro.tpcw.profiles import PROFILES, InteractionProfile
+
+__all__ = ["WorkloadContext", "mix_burstiness"]
+
+
+def mix_burstiness(mix: WorkloadMix) -> float:
+    """Coefficient of variation of per-interaction back-end demand.
+
+    "Back-end demand" is servlet CPU plus database work; a mix that blends
+    pure-static page views with heavy transactions (browsing: CV ≈ high) has
+    far more variable instantaneous concurrency than a mix of uniformly
+    heavy interactions (ordering), which is what makes thread-pool sizing
+    hard.  The value is normalized to [0, 1] by an empirical ceiling.
+    """
+    weights = np.array([mix.weight(i) for i in Interaction])
+    demand = np.array(
+        [
+            PROFILES[i].app_cpu
+            + 1.5e-3 * PROFILES[i].db_queries
+            + 10e-3 * PROFILES[i].db_heavy_queries
+            + 3e-3 * PROFILES[i].db_writes
+            for i in Interaction
+        ]
+    )
+    mean = float(np.dot(weights, demand))
+    if mean <= 0:
+        return 0.0
+    var = float(np.dot(weights, (demand - mean) ** 2))
+    cv = np.sqrt(var) / mean
+    return float(min(1.0, cv / 2.5))
+
+
+@dataclass(frozen=True)
+class WorkloadContext:
+    """Everything a server model needs to know about the offered workload."""
+
+    mix: WorkloadMix
+    catalog: Catalog
+    profile: InteractionProfile
+    burstiness: float
+
+    @classmethod
+    def for_mix(cls, mix: WorkloadMix, catalog: Catalog) -> "WorkloadContext":
+        """Build the context for a standard mix."""
+        return cls(
+            mix=mix,
+            catalog=catalog,
+            profile=expected_profile(mix),
+            burstiness=mix_burstiness(mix),
+        )

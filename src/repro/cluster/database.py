@@ -1,0 +1,211 @@
+"""MySQL-like database-server performance model (tier 3).
+
+Models a MySQL 3.23-era (MyISAM + binlog) server.  Parameter → mechanism:
+
+``max_connections``
+    Concurrency cap; each connection costs resident memory (thread stack,
+    net buffer, lazily a join buffer).
+``thread_con`` (``thread_cache_size``)
+    Cached server threads.  Connection churn that misses the cache pays a
+    thread-creation cost; the hit probability grows with the cache size
+    relative to the concurrent-connection level.
+``table_cache``
+    Open-table descriptor cache.  A miss re-opens the table: CPU plus a
+    chance of a disk access.  The working set (tables × connections touching
+    them) is several hundred entries — the paper's tuner lands 761–905.
+``net_buffer_length``
+    Result-set transfer buffer: ``ceil(result / buffer)`` write syscalls.
+``join_buffer_size``
+    Joins that don't fit re-scan (extra passes).  The default 8 MB is far
+    more than the TPC-W joins need, but it is *allocated per active join*,
+    so with hundreds of connections it is pure memory waste — reproducing
+    the paper's finding that "reducing the join buffer size does not impact
+    performance" (and frees memory).
+``binlog_cache_size``
+    Transactions whose binlog records overflow the cache spill to a temp
+    file on disk before commit.
+``delayed_insert_limit`` / ``delayed_queue_size``
+    The delayed-insert path batches inserts; a bigger queue amortizes disk
+    writes over larger batches, and a very small handler limit starves
+    readers slightly.
+``thread_stack``
+    Per-connection stack.  Below ~96 KB deep queries run degraded (the
+    model charges a penalty on heavy queries); above, only memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.context import WorkloadContext
+from repro.cluster.node import NodeSpec
+from repro.util.units import KB, MB
+
+__all__ = ["DatabaseEvaluation", "DatabaseModel"]
+
+
+@dataclass(frozen=True)
+class DatabaseEvaluation:
+    """Per-interaction demands a database node generates."""
+
+    cpu_demand: float
+    disk_demand: float
+    nic_bytes: float
+    memory_bytes: float
+    #: Connection-pool capacity (``max_connections``).
+    connection_limit: int
+    #: Expected table-cache miss fraction (diagnostic).
+    table_miss: float
+    #: Expected binlog spill probability per write transaction (diagnostic).
+    binlog_spill: float
+
+
+class DatabaseModel:
+    """Translate a MySQL configuration into resource demands."""
+
+    QUERY_CPU = 2.0e-3  # simple indexed read
+    HEAVY_QUERY_CPU = 12.0e-3  # join / aggregation (Best Sellers, Search)
+    WRITE_CPU = 4.0e-3  # update transaction bookkeeping
+    INSERT_CPU = 1.2e-3
+    TABLE_OPEN_CPU = 1.0e-3
+    TABLE_OPEN_DISK_PROB = 0.12
+    CONN_SETUP_CPU = 2.2e-3  # thread create + auth on cache miss
+    CONN_CHURN_PER_PAGE = 0.30  # fraction of dynamic pages opening a conn
+    WRITE_SYSCALL_CPU = 0.015e-3
+    TABLE_WORKING_SET = 260.0  # effective open-table entries needed
+    JOIN_BUFFER_NEEDED = 384 * KB
+    JOIN_REFILL_COEF = 0.22  # extra passes per halving below the need
+    JOIN_EAGER_FRACTION = 0.08  # share of each connection's join buffer
+    # that ends up resident (MySQL 3.23 allocates per-thread buffers
+    # eagerly enough that hundreds of connections with the default 8 MB
+    # join buffer visibly eat memory — the reason the paper's tuner cut it)
+    BINLOG_RECORD_MEAN = 24 * KB  # mean binlog bytes per write transaction
+    READ_MISS_PROB = 0.12  # buffer-pool miss per simple read
+    READ_MISS_BYTES = 8 * KB
+    HEAVY_SCAN_BYTES = 192 * KB
+    WRITE_LOG_ACCESSES = 0.3  # group commit amortization
+    INSERT_DISK_ACCESS = 0.4
+    THREAD_STACK_RESIDENT = 0.2  # fraction of stack actually resident
+    THREAD_STACK_SAFE = 96 * KB
+    CONN_MISC_MEMORY = 24 * KB
+    BASE_MEMORY = 90 * MB
+    KEY_BUFFER = 64 * MB
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+
+    def evaluate(
+        self,
+        cfg: Mapping[str, int],
+        ctx: WorkloadContext,
+        dynamic_pages: float,
+        concurrency: float = 8.0,
+    ) -> DatabaseEvaluation:
+        """Demands per interaction given ``dynamic_pages`` visits/interaction.
+
+        ``concurrency`` is the solver's estimate of simultaneously open
+        connections (drives churn and lazy-allocation sizing).
+        """
+        if dynamic_pages < 0:
+            raise ValueError("dynamic_pages must be non-negative")
+        profile = ctx.profile
+        # ``profile.db_*`` are unconditional per-interaction expectations
+        # (see :func:`repro.tpcw.mix.expected_profile`); ``dynamic_pages``
+        # drives only the per-visit overheads (connection churn, result
+        # transfer syscalls).
+        reads = profile.db_queries
+        heavy = profile.db_heavy_queries
+        writes = profile.db_writes
+        inserts = profile.db_inserts
+        queries = reads + heavy + writes
+
+        # --- table cache -----------------------------------------------------
+        table_miss = math.exp(-cfg["table_cache"] / self.TABLE_WORKING_SET)
+
+        # --- connection churn --------------------------------------------------
+        conn_level = max(concurrency, 1.0)
+        cache_hit = min(1.0, cfg["thread_con"] / conn_level)
+        churn = self.CONN_CHURN_PER_PAGE * dynamic_pages * (1.0 - cache_hit)
+
+        # --- join buffer ---------------------------------------------------------
+        jb = float(cfg["join_buffer_size"])
+        if jb >= self.JOIN_BUFFER_NEEDED:
+            join_factor = 1.0
+        else:
+            join_factor = 1.0 + self.JOIN_REFILL_COEF * math.log2(
+                self.JOIN_BUFFER_NEEDED / jb
+            )
+
+        # --- thread stack safety ---------------------------------------------------
+        ts = float(cfg["thread_stack"])
+        if ts >= self.THREAD_STACK_SAFE:
+            stack_factor = 1.0
+        else:
+            stack_factor = 1.0 + 0.4 * (self.THREAD_STACK_SAFE - ts) / self.THREAD_STACK_SAFE
+
+        # --- delayed inserts ----------------------------------------------------------
+        batch = min(16.0, max(1.0, cfg["delayed_queue_size"] / 500.0))
+        # A tiny handler limit makes the insert handler yield constantly,
+        # delaying readers a little.
+        reader_factor = 1.0 + 0.06 * math.exp(-cfg["delayed_insert_limit"] / 120.0) * min(
+            inserts, 1.0
+        )
+
+        # --- binlog -------------------------------------------------------------------
+        binlog_spill = math.exp(-cfg["binlog_cache_size"] / self.BINLOG_RECORD_MEAN)
+
+        # --- CPU ----------------------------------------------------------------------
+        # Result-transfer syscalls per interaction: the whole result volume
+        # pushed through net_buffer_length-sized writes.
+        syscalls = math.ceil(max(profile.db_result_bytes, 1.0) / cfg["net_buffer_length"])
+        cpu = (
+            reads * self.QUERY_CPU * reader_factor
+            + heavy * self.HEAVY_QUERY_CPU * join_factor * stack_factor
+            + writes * self.WRITE_CPU
+            + inserts * self.INSERT_CPU
+            + queries * table_miss * self.TABLE_OPEN_CPU
+            + churn * self.CONN_SETUP_CPU
+            + syscalls * self.WRITE_SYSCALL_CPU
+        )
+        cpu = self.node.cpu_seconds(cpu)
+
+        # --- disk ----------------------------------------------------------------------
+        disk = reads * self.READ_MISS_PROB * self.node.disk_seconds(
+            self.READ_MISS_BYTES, accesses=1.0
+        )
+        disk += heavy * self.node.disk_seconds(self.HEAVY_SCAN_BYTES, accesses=0.6)
+        disk += writes * self.node.disk_seconds(4 * KB, accesses=self.WRITE_LOG_ACCESSES)
+        disk += writes * binlog_spill * self.node.disk_seconds(
+            self.BINLOG_RECORD_MEAN, accesses=1.0
+        )
+        disk += (inserts / batch) * self.node.disk_seconds(
+            4 * KB, accesses=self.INSERT_DISK_ACCESS
+        )
+        disk += queries * table_miss * self.TABLE_OPEN_DISK_PROB * self.node.disk_seconds(
+            4 * KB, accesses=1.0
+        )
+
+        # --- NIC -------------------------------------------------------------------------
+        nic = profile.db_result_bytes + queries * 400.0
+
+        # --- memory -----------------------------------------------------------------------
+        conns = float(cfg["max_connections"])
+        per_conn = (
+            ts * self.THREAD_STACK_RESIDENT
+            + cfg["net_buffer_length"]
+            + self.CONN_MISC_MEMORY
+        )
+        join_memory = conns * self.JOIN_EAGER_FRACTION * jb
+        memory = self.BASE_MEMORY + self.KEY_BUFFER + conns * per_conn + join_memory
+
+        return DatabaseEvaluation(
+            cpu_demand=cpu,
+            disk_demand=disk,
+            nic_bytes=nic,
+            memory_bytes=memory,
+            connection_limit=int(cfg["max_connections"]),
+            table_miss=table_miss,
+            binlog_spill=binlog_spill,
+        )

@@ -1,0 +1,64 @@
+"""Memory accounting and the swap-pressure penalty.
+
+The paper observed that "the system often performs poorly when using a
+configuration with parameters with extreme values" (§III.A).  The physical
+mechanism on a 1 GB machine is memory: caches, thread stacks and per-
+connection buffers are all tunable upward, and once their resident sum
+approaches physical memory the OS starts paging and every service time
+inflates sharply.  :class:`MemoryModel` captures that: below a pressure
+threshold the penalty factor is exactly 1.0; above it the factor grows
+quadratically, and past physical memory it keeps growing steeply.
+
+This single mechanism is what gives the tuning problem its structure — more
+cache / more threads / bigger buffers always help *locally*, so without the
+memory ceiling the optimizer would pin every parameter at its maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Swap-pressure penalty for one node.
+
+    Parameters
+    ----------
+    pressure_threshold:
+        Fraction of physical memory that can be used penalty-free (the OS
+        needs the rest for the page cache and kernel structures).
+    swap_slope:
+        Penalty factor reached when resident memory equals physical memory;
+        the factor is ``1 + (swap_slope - 1) * x**2`` where ``x`` is how far
+        into the pressure band usage has grown (x=1 at physical memory), and
+        continues quadratically beyond.
+    """
+
+    pressure_threshold: float = 0.85
+    swap_slope: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pressure_threshold < 1.0:
+            raise ValueError("pressure_threshold must be in (0, 1)")
+        if self.swap_slope <= 1.0:
+            raise ValueError("swap_slope must exceed 1")
+
+    def penalty(self, used_bytes: float, capacity_bytes: float) -> float:
+        """Service-time inflation factor for a node at this memory usage."""
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if used_bytes < 0:
+            raise ValueError("usage must be non-negative")
+        free_band = (1.0 - self.pressure_threshold) * capacity_bytes
+        over = used_bytes - self.pressure_threshold * capacity_bytes
+        if over <= 0.0:
+            return 1.0
+        x = over / free_band  # x = 1 exactly at physical memory
+        return 1.0 + (self.swap_slope - 1.0) * x * x
+
+    def headroom(self, used_bytes: float, capacity_bytes: float) -> float:
+        """Bytes left before the penalty starts (negative when inside it)."""
+        return self.pressure_threshold * capacity_bytes - used_bytes

@@ -1,0 +1,76 @@
+"""Node hardware and server roles.
+
+One :class:`NodeSpec` mirrors the paper's Table 2 machine: dual AMD Athlon
+1.67 GHz, 1 GB memory, 100 Mbps Ethernet, one commodity disk.  All nodes in
+the paper's cluster are homogeneous; heterogeneous specs are supported but
+the duplication tuning scheme requires homogeneity within a tier (its
+stated assumption).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import GB, MB
+
+__all__ = ["Role", "NodeSpec", "DEFAULT_NODE"]
+
+
+class Role(enum.Enum):
+    """Which tier a node serves: proxy (tier 1), app (tier 2), db (tier 3)."""
+
+    PROXY = "proxy"
+    APP = "app"
+    DB = "db"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware capacities of one cluster machine."""
+
+    #: Number of CPU cores (the paper's machines are dual-processor).
+    cpu_cores: int = 2
+    #: Relative per-core speed (1.0 = the paper's 1.67 GHz Athlon).
+    cpu_speed: float = 1.0
+    #: Physical memory, bytes.
+    memory_bytes: float = 1 * GB
+    #: Average disk access (seek + rotational) time, seconds.
+    disk_access_time: float = 6e-3
+    #: Sequential disk transfer rate, bytes/second.
+    disk_transfer_rate: float = 40 * MB
+    #: NIC line rate, bytes/second (100 Mbps full duplex).
+    nic_rate: float = 100e6 / 8.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        for field_name in (
+            "cpu_speed",
+            "memory_bytes",
+            "disk_access_time",
+            "disk_transfer_rate",
+            "nic_rate",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def cpu_seconds(self, reference_seconds: float) -> float:
+        """Scale a reference-machine CPU time to this node's core speed."""
+        return reference_seconds / self.cpu_speed
+
+    def disk_seconds(self, transfer_bytes: float, accesses: float = 1.0) -> float:
+        """Time for ``accesses`` random accesses transferring ``transfer_bytes``."""
+        if transfer_bytes < 0 or accesses < 0:
+            raise ValueError("disk work must be non-negative")
+        return accesses * self.disk_access_time + transfer_bytes / self.disk_transfer_rate
+
+    def nic_seconds(self, transfer_bytes: float) -> float:
+        """Wire time for ``transfer_bytes`` through the NIC."""
+        if transfer_bytes < 0:
+            raise ValueError("transfer_bytes must be non-negative")
+        return transfer_bytes / self.nic_rate
+
+
+#: The paper's Table 2 machine.
+DEFAULT_NODE = NodeSpec()

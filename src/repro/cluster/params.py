@@ -1,0 +1,144 @@
+"""The tunable parameters of Table 3, with defaults and tuning ranges.
+
+Defaults are the paper's "Default config." column verbatim.  Ranges are
+chosen wide enough to contain every tuned value the paper reports (its
+"Best configuration after 200 iterations" columns) with head-room, since the
+paper notes it had to raise several hard limits to give Harmony room to move
+(§V).  Units follow the original software: Squid's ``cache_mem`` is MB and
+its object sizes KB; Tomcat's ``bufferSize`` and all MySQL sizes are bytes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Role
+from repro.harmony.constraints import ConstraintSet, OrderingConstraint
+from repro.harmony.parameter import IntParameter, ParameterSpace
+
+__all__ = [
+    "PROXY_PARAMS",
+    "APP_PARAMS",
+    "DB_PARAMS",
+    "params_for_role",
+    "space_for_role",
+    "constraints_for_role",
+    "PAPER_TUNED",
+]
+
+#: Squid proxy-server parameters (Table 3, "Proxy Server" block).
+PROXY_PARAMS: tuple[IntParameter, ...] = (
+    IntParameter("cache_mem", default=8, low=4, high=256, step=1),  # MB
+    IntParameter("cache_swap_low", default=90, low=70, high=94, step=1),  # %
+    IntParameter("cache_swap_high", default=95, low=75, high=98, step=1),  # %
+    IntParameter("maximum_object_size", default=4096, low=256, high=16384, step=64),  # KB
+    IntParameter("minimum_object_size", default=0, low=0, high=512, step=2),  # KB
+    IntParameter("maximum_object_size_in_memory", default=8, low=2, high=4096, step=2),  # KB
+    IntParameter("store_objects_per_bucket", default=20, low=5, high=200, step=5),
+)
+
+#: Tomcat web/application-server parameters (Table 3, "Web Server" block).
+APP_PARAMS: tuple[IntParameter, ...] = (
+    IntParameter("minProcessors", default=5, low=1, high=256, step=1),
+    IntParameter("maxProcessors", default=20, low=5, high=512, step=1),
+    IntParameter("acceptCount", default=10, low=5, high=1024, step=1),
+    IntParameter("bufferSize", default=2048, low=512, high=16384, step=128),  # bytes
+    IntParameter("AJPminProcessors", default=5, low=1, high=256, step=1),
+    IntParameter("AJPmaxProcessors", default=20, low=5, high=512, step=1),
+    IntParameter("AJPacceptCount", default=10, low=5, high=1024, step=1),
+)
+
+#: MySQL database-server parameters (Table 3, "Database Server" block).
+DB_PARAMS: tuple[IntParameter, ...] = (
+    IntParameter("binlog_cache_size", default=32768, low=4096, high=1048576, step=4096),
+    IntParameter("delayed_insert_limit", default=100, low=10, high=1000, step=10),
+    IntParameter("max_connections", default=100, low=10, high=1000, step=10),
+    IntParameter("delayed_queue_size", default=1000, low=100, high=10000, step=100),
+    IntParameter("join_buffer_size", default=8388608, low=131072, high=16777216, step=65536),
+    IntParameter("net_buffer_length", default=16384, low=1024, high=65536, step=1024),
+    IntParameter("table_cache", default=64, low=16, high=1024, step=16),
+    IntParameter("thread_con", default=10, low=1, high=128, step=1),
+    IntParameter("thread_stack", default=65536, low=32768, high=1048576, step=4096),
+)
+# Note: Table 3 prints the join_buffer_size default as 8,388,600 and the
+# thread_stack default as 65,535 — MySQL 3.23's actual defaults are the
+# power-of-two values 8,388,608 and 65,536 (the table rounds); we use the
+# real values so they sit on the tuning grid.
+
+_BY_ROLE: dict[Role, tuple[IntParameter, ...]] = {
+    Role.PROXY: PROXY_PARAMS,
+    Role.APP: APP_PARAMS,
+    Role.DB: DB_PARAMS,
+}
+
+
+def params_for_role(role: Role) -> tuple[IntParameter, ...]:
+    """The tunable parameters of one server role."""
+    return _BY_ROLE[role]
+
+
+def space_for_role(role: Role) -> ParameterSpace:
+    """The parameter space of one server role."""
+    return ParameterSpace(list(_BY_ROLE[role]))
+
+
+#: Joint feasibility constraints per role: the real servers refuse (or
+#: misbehave under) inverted orderings, so the tuner must respect them.
+_ROLE_CONSTRAINTS: dict[Role, ConstraintSet] = {
+    Role.PROXY: ConstraintSet(
+        [OrderingConstraint("cache_swap_low", "cache_swap_high", min_gap=1)]
+    ),
+    Role.APP: ConstraintSet(
+        [
+            OrderingConstraint("minProcessors", "maxProcessors"),
+            OrderingConstraint("AJPminProcessors", "AJPmaxProcessors"),
+        ]
+    ),
+    Role.DB: ConstraintSet(),
+}
+
+
+def constraints_for_role(role: Role) -> ConstraintSet:
+    """The joint feasibility constraints of one server role."""
+    return _ROLE_CONSTRAINTS[role]
+
+
+#: The paper's Table 3 "Best configuration after 200 iterations" columns,
+#: kept for reference and for the EXPERIMENTS.md comparison (we do not use
+#: these to seed tuning — our search must find its own optima).
+PAPER_TUNED: dict[str, dict[str, int]] = {
+    "browsing": {
+        "cache_mem": 13, "cache_swap_low": 91, "cache_swap_high": 96,
+        "maximum_object_size": 4096, "minimum_object_size": 0,
+        "maximum_object_size_in_memory": 6, "store_objects_per_bucket": 15,
+        "minProcessors": 1, "maxProcessors": 11, "acceptCount": 6,
+        "bufferSize": 2049, "AJPminProcessors": 6, "AJPmaxProcessors": 86,
+        "AJPacceptCount": 76,
+        "binlog_cache_size": 63488, "delayed_insert_limit": 200,
+        "max_connections": 201, "delayed_queue_size": 2600,
+        "join_buffer_size": 407552, "net_buffer_length": 31744,
+        "table_cache": 873, "thread_con": 81, "thread_stack": 102400,
+    },
+    "shopping": {
+        "cache_mem": 17, "cache_swap_low": 86, "cache_swap_high": 96,
+        "maximum_object_size": 4096, "minimum_object_size": 50,
+        "maximum_object_size_in_memory": 256, "store_objects_per_bucket": 25,
+        "minProcessors": 16, "maxProcessors": 16, "acceptCount": 21,
+        "bufferSize": 3585, "AJPminProcessors": 26, "AJPmaxProcessors": 296,
+        "AJPacceptCount": 306,
+        "binlog_cache_size": 153600, "delayed_insert_limit": 400,
+        "max_connections": 451, "delayed_queue_size": 9100,
+        "join_buffer_size": 407552, "net_buffer_length": 38912,
+        "table_cache": 905, "thread_con": 91, "thread_stack": 1018880,
+    },
+    "ordering": {
+        "cache_mem": 21, "cache_swap_low": 91, "cache_swap_high": 96,
+        "maximum_object_size": 5888, "minimum_object_size": 306,
+        "maximum_object_size_in_memory": 2560, "store_objects_per_bucket": 105,
+        "minProcessors": 102, "maxProcessors": 131, "acceptCount": 136,
+        "bufferSize": 6657, "AJPminProcessors": 136, "AJPmaxProcessors": 161,
+        "AJPacceptCount": 671,
+        "binlog_cache_size": 284672, "delayed_insert_limit": 700,
+        "max_connections": 701, "delayed_queue_size": 7100,
+        "join_buffer_size": 407552, "net_buffer_length": 34816,
+        "table_cache": 761, "thread_con": 76, "thread_stack": 773120,
+    },
+}

@@ -1,0 +1,79 @@
+"""Dollars/WIPS — TPC-W's price-performance metric.
+
+"The two primary performance metrics of the TPC-W benchmark are the number
+of Web Interaction Per Second (WIPS), and a price performance metric
+defined as Dollars/WIPS" (§II.C), and the paper's introduction lists
+cost-effectiveness among the requirements a cluster-based design serves.
+
+:class:`PricingModel` prices a cluster from era-appropriate commodity costs
+(the paper's testbed is all open-source software on commodity dual-Athlon
+boxes, so hardware dominates) and computes $/WIPS for a measured
+throughput.  The :mod:`repro.experiments.price_performance` driver uses it
+to ask the capacity-planning question the metric exists for: which tier
+layout serves a workload at the lowest cost per interaction?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import ClusterSpec
+from repro.util.units import GB
+
+__all__ = ["PricingModel"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Cluster cost model (2003-era commodity prices, US dollars).
+
+    ``base_node_cost`` covers chassis, board and one CPU; additional cores
+    and memory are priced separately so heterogeneous
+    :class:`~repro.cluster.node.NodeSpec` values price correctly.
+    ``network_port_cost`` covers the switch share per machine, and
+    ``maintenance_factor`` folds the TPC-style 3-year maintenance contract
+    into the sticker price.  All the paper's software is open source —
+    software cost is zero, one of the paper's selling points.
+    """
+
+    base_node_cost: float = 1400.0
+    per_core_cost: float = 350.0
+    per_gb_memory_cost: float = 400.0
+    disk_cost: float = 200.0
+    network_port_cost: float = 150.0
+    maintenance_factor: float = 1.15
+
+    def __post_init__(self) -> None:
+        for name in (
+            "base_node_cost",
+            "per_core_cost",
+            "per_gb_memory_cost",
+            "disk_cost",
+            "network_port_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.maintenance_factor < 1.0:
+            raise ValueError("maintenance_factor must be >= 1")
+
+    def node_cost(self, spec: NodeSpec) -> float:
+        """Price of one machine with the given hardware."""
+        hardware = (
+            self.base_node_cost
+            + spec.cpu_cores * self.per_core_cost * spec.cpu_speed
+            + (spec.memory_bytes / GB) * self.per_gb_memory_cost
+            + self.disk_cost
+            + self.network_port_cost
+        )
+        return hardware * self.maintenance_factor
+
+    def cluster_cost(self, cluster: ClusterSpec) -> float:
+        """Total price of every machine in the cluster."""
+        return sum(self.node_cost(p.spec) for p in cluster.placements)
+
+    def dollars_per_wips(self, cluster: ClusterSpec, wips: float) -> float:
+        """TPC-W's price-performance metric for a measured throughput."""
+        if wips <= 0:
+            raise ValueError(f"wips must be positive, got {wips}")
+        return self.cluster_cost(cluster) / wips

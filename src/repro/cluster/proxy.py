@@ -1,0 +1,199 @@
+"""Squid-like proxy-server performance model (tier 1).
+
+The proxy serves static objects from a two-level cache (memory, then disk)
+and relays everything else to the application tier.  The Table 3 parameters
+map to mechanisms as follows:
+
+``cache_mem``
+    Memory-cache capacity (MB).  More memory means a larger fraction of
+    static requests served without disk access — the dominant win for the
+    browsing mix.
+``maximum_object_size_in_memory`` / ``minimum_object_size`` /
+``maximum_object_size``
+    Admission bounds (KB) for the memory and disk caches; objects outside
+    the bounds bypass the cache and are fetched from the application tier.
+``store_objects_per_bucket``
+    Average hash-chain length of the store index.  Longer chains mean more
+    comparisons per lookup (CPU) but a smaller bucket table (memory).
+``cache_swap_low`` / ``cache_swap_high``
+    Disk-cache eviction watermarks.  As the paper found empirically, these
+    "do not impact the overall system performance"; the model charges only
+    a tiny eviction-churn disk cost when the hysteresis band is very narrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.context import WorkloadContext
+from repro.cluster.node import NodeSpec
+from repro.util.units import GB, KB, MB
+
+__all__ = ["ProxyEvaluation", "ProxyModel"]
+
+
+@dataclass(frozen=True)
+class ProxyEvaluation:
+    """Per-interaction demands a proxy node generates under a workload."""
+
+    #: CPU seconds per interaction on this node.
+    cpu_demand: float
+    #: Disk seconds per interaction on this node.
+    disk_demand: float
+    #: Bytes through this node's NIC per interaction (in + out).
+    nic_bytes: float
+    #: Resident memory, bytes.
+    memory_bytes: float
+    #: Expected *page* requests forwarded to the application tier, per
+    #: interaction (dynamic pages plus cacheable-page misses).
+    forward_pages: float
+    #: Of those, pages that are truly dynamic (reach the servlet + database).
+    forward_dynamic: float
+    #: Expected static sub-requests forwarded to the application tier
+    #: (cache-miss objects; cacheable-page misses are folded in here too
+    #: since the app serves both from files without database work).
+    forward_static: float
+    #: Memory-cache hit fraction over static requests (diagnostic).
+    mem_hit: float
+    #: Disk-cache hit fraction over static requests (diagnostic).
+    disk_hit: float
+
+
+class ProxyModel:
+    """Translate a Squid configuration into resource demands."""
+
+    # Reference-machine costs (seconds / bytes); see module docstring.
+    PARSE_CPU = 0.25e-3  # HTTP parse + ACL check per request
+    SCAN_CPU_PER_OBJECT = 0.8e-6  # one hash-chain comparison
+    LOOKUP_BASE_CPU = 0.02e-3
+    MEM_COPY_RATE = 800 * MB  # memory-to-socket copy bandwidth
+    DISK_HIT_CPU = 0.10e-3
+    FORWARD_CPU = 0.40e-3  # relay a request/response to the app tier
+    BASE_MEMORY = 36 * MB
+    DISK_CACHE_BYTES = 10 * GB
+    INDEX_ENTRY_BYTES = 76  # StoreEntry + hash link
+    BUCKET_BYTES = 64
+    CONNECTION_BUFFER = 32 * KB
+    #: Fraction of static requests that target a tiny always-hot set of
+    #: shared page furniture (logos, buttons, style sheets) which fits in
+    #: any memory cache; the rest follow the item-catalog popularity curve.
+    ALWAYS_HOT_FRACTION = 0.35
+    #: Probability a disk-cache hit causes physical I/O (the OS page cache
+    #: absorbs the rest of the re-reads of recently-touched spool files).
+    DISK_HIT_IO_PROB = 0.55
+    EVICTION_CHURN_DISK = 0.01e-3  # extra disk s/req when watermarks touch
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+
+    def evaluate(
+        self,
+        cfg: Mapping[str, int],
+        ctx: WorkloadContext,
+        concurrency: float = 8.0,
+    ) -> ProxyEvaluation:
+        """Demands per interaction under configuration ``cfg``.
+
+        ``concurrency`` is the solver's estimate of simultaneous in-flight
+        requests at this node (sizes the connection buffers).
+        """
+        profile = ctx.profile
+        cache_mem_bytes = cfg["cache_mem"] * MB
+        min_obj = cfg["minimum_object_size"] * KB
+        max_obj_disk = cfg["maximum_object_size"] * KB
+        max_obj_mem = min(cfg["maximum_object_size_in_memory"] * KB, max_obj_disk)
+
+        # --- hit fractions over static requests --------------------------
+        # ``minimum_object_size`` gates only the *disk* cache (as in Squid):
+        # tiny objects still live in the memory cache, which is why the
+        # paper could raise the minimum without hurting performance.
+        catalog_mem_hit = ctx.catalog.hit_fraction(cache_mem_bytes, 0.0, max_obj_mem)
+        catalog_disk_hit = ctx.catalog.hit_fraction(
+            self.DISK_CACHE_BYTES, min_obj, max_obj_disk
+        )
+        hot = self.ALWAYS_HOT_FRACTION
+        # The two cache levels each retain the most popular objects of their
+        # admissible sets, so the combined coverage is the larger of the two
+        # (the memory set is essentially a subset of the much larger disk
+        # set whenever both admit an object).
+        catalog_union = max(catalog_mem_hit, catalog_disk_hit)
+        mem_hit = hot + (1.0 - hot) * catalog_mem_hit
+        total_hit = hot + (1.0 - hot) * catalog_union
+        disk_hit = max(0.0, total_hit - mem_hit)
+        miss = max(0.0, 1.0 - mem_hit - disk_hit)
+
+        # --- request counts per interaction ------------------------------
+        statics = profile.static_objects
+        # Cacheable pages behave like popular static objects; dynamic pages
+        # always forward and reach the servlet (and possibly the database).
+        page_hit = profile.page_cacheable * (mem_hit + disk_hit)
+        forward_dynamic = 1.0 - profile.page_cacheable
+        forward_static_pages = profile.page_cacheable - page_hit
+        forward_pages = forward_dynamic + forward_static_pages
+        forward_static = statics * miss
+        mean_obj = ctx.catalog.mean_object_bytes()
+
+        # --- CPU ----------------------------------------------------------
+        requests = statics + 1.0
+        lookup_cpu = (
+            self.LOOKUP_BASE_CPU
+            + self.SCAN_CPU_PER_OBJECT * cfg["store_objects_per_bucket"] / 2.0
+        )
+        cpu = requests * (self.PARSE_CPU + lookup_cpu)
+        served_bytes = (
+            statics * (mem_hit + disk_hit) * mean_obj + page_hit * profile.response_bytes
+        )
+        cpu += served_bytes / self.MEM_COPY_RATE
+        cpu += statics * disk_hit * self.DISK_HIT_CPU
+        cpu += (forward_pages + forward_static) * self.FORWARD_CPU
+        # Relayed responses are copied through the proxy too.
+        relayed_bytes = forward_pages * profile.response_bytes + forward_static * mean_obj
+        cpu += relayed_bytes / self.MEM_COPY_RATE
+        cpu = self.node.cpu_seconds(cpu)
+
+        # --- disk -----------------------------------------------------------
+        disk = (
+            statics
+            * disk_hit
+            * self.DISK_HIT_IO_PROB
+            * self.node.disk_seconds(mean_obj, accesses=1.0)
+        )
+        # Cache fills: misses for admissible objects are written to disk.
+        admissible_miss = max(0.0, catalog_disk_hit - catalog_mem_hit) * 0.05
+        disk += statics * admissible_miss * self.node.disk_seconds(mean_obj, accesses=0.5)
+        low, high = cfg["cache_swap_low"], cfg["cache_swap_high"]
+        if high - low < 2:  # watermarks touching: continuous eviction churn
+            disk += requests * self.EVICTION_CHURN_DISK
+        disk = disk  # disk_seconds already absolute
+
+        # --- NIC -----------------------------------------------------------
+        response_total = statics * mean_obj + profile.response_bytes
+        request_overhead = requests * 600.0  # headers in
+        nic = response_total + request_overhead + relayed_bytes  # in from app + out
+
+        # --- memory ----------------------------------------------------------
+        cached_objects = min(
+            ctx.catalog.num_objects,
+            self.DISK_CACHE_BYTES / max(mean_obj, 1.0),
+        )
+        buckets = cached_objects / max(cfg["store_objects_per_bucket"], 1)
+        memory = (
+            self.BASE_MEMORY
+            + cache_mem_bytes
+            + cached_objects * self.INDEX_ENTRY_BYTES
+            + buckets * self.BUCKET_BYTES
+            + concurrency * self.CONNECTION_BUFFER
+        )
+
+        return ProxyEvaluation(
+            cpu_demand=cpu,
+            disk_demand=disk,
+            nic_bytes=nic,
+            memory_bytes=memory,
+            forward_pages=forward_pages,
+            forward_dynamic=forward_dynamic,
+            forward_static=forward_static + forward_static_pages,
+            mem_hit=mem_hit,
+            disk_hit=disk_hit,
+        )

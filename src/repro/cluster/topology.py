@@ -1,0 +1,203 @@
+"""Cluster topology: tiers, the cluster-wide parameter space, reconfiguration.
+
+A :class:`ClusterSpec` is an immutable assignment of nodes to tiers.  Its
+full parameter space namespaces each node's role parameters as
+``"<node_id>.<param>"`` — the format the scaling schemes of
+:mod:`repro.harmony.scaling` expect.  §IV's reconfiguration operation —
+"reconfigure node B to run the same server process as node A" — is
+:meth:`ClusterSpec.move_node`, which returns a new spec with the node
+re-rolled (node ids are stable labels and survive moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.node import DEFAULT_NODE, NodeSpec, Role
+from repro.cluster.params import constraints_for_role, params_for_role
+from repro.harmony.constraints import ConstraintSet
+from repro.harmony.parameter import Configuration, ParameterSpace
+
+__all__ = ["NodePlacement", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """One node: a stable id, its current tier role, and its hardware."""
+
+    node_id: str
+    role: Role
+    spec: NodeSpec = DEFAULT_NODE
+
+    def __post_init__(self) -> None:
+        if not self.node_id or "." in self.node_id:
+            raise ValueError(
+                f"node_id must be non-empty and contain no '.', got {self.node_id!r}"
+            )
+
+
+class ClusterSpec:
+    """An immutable cluster layout (who serves which tier)."""
+
+    def __init__(self, placements: Sequence[NodePlacement], name: str = "cluster") -> None:
+        ids = [p.node_id for p in placements]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate node ids: {dupes}")
+        for role in Role:
+            if not any(p.role is role for p in placements):
+                raise ValueError(f"cluster needs at least one {role.value} node")
+        self.name = name
+        self._placements: tuple[NodePlacement, ...] = tuple(placements)
+        self._by_id = {p.node_id: p for p in self._placements}
+
+    @classmethod
+    def three_tier(
+        cls,
+        n_proxy: int = 1,
+        n_app: int = 1,
+        n_db: int = 1,
+        spec: NodeSpec = DEFAULT_NODE,
+        name: str = "cluster",
+    ) -> "ClusterSpec":
+        """A homogeneous cluster with the given tier sizes."""
+        placements = (
+            [NodePlacement(f"proxy{i}", Role.PROXY, spec) for i in range(n_proxy)]
+            + [NodePlacement(f"app{i}", Role.APP, spec) for i in range(n_app)]
+            + [NodePlacement(f"db{i}", Role.DB, spec) for i in range(n_db)]
+        )
+        return cls(placements, name=name)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def placements(self) -> tuple[NodePlacement, ...]:
+        """All node placements."""
+        return self._placements
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All node ids, in placement order."""
+        return [p.node_id for p in self._placements]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count."""
+        return len(self._placements)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._by_id
+
+    def placement(self, node_id: str) -> NodePlacement:
+        """The placement of one node."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def role_of(self, node_id: str) -> Role:
+        """The tier a node currently serves (the paper's ``Tier(i)``)."""
+        return self.placement(node_id).role
+
+    def nodes_in(self, role: Role) -> list[str]:
+        """Node ids serving ``role``, in placement order."""
+        return [p.node_id for p in self._placements if p.role is role]
+
+    def tier_size(self, role: Role) -> int:
+        """The paper's ``M(t)``: number of nodes in tier ``t``."""
+        return len(self.nodes_in(role))
+
+    def tiers(self) -> dict[str, list[str]]:
+        """Role-name → node ids (the shape the scaling schemes take)."""
+        return {role.value: self.nodes_in(role) for role in Role}
+
+    # -- parameter space -------------------------------------------------------
+    def full_space(self) -> ParameterSpace:
+        """Every node's role parameters, namespaced ``"<node>.<param>"``."""
+        space: ParameterSpace | None = None
+        for p in self._placements:
+            node_space = ParameterSpace(list(params_for_role(p.role))).prefixed(
+                f"{p.node_id}."
+            )
+            space = node_space if space is None else space.union(node_space)
+        assert space is not None
+        return space
+
+    def default_configuration(self) -> Configuration:
+        """The paper's "Default config." across all nodes."""
+        return self.full_space().default_configuration()
+
+    def full_constraints(self) -> ConstraintSet:
+        """Every node's role constraints, namespaced like the full space."""
+        merged = ConstraintSet()
+        for p in self._placements:
+            merged = merged.merge(
+                constraints_for_role(p.role).prefixed(f"{p.node_id}.")
+            )
+        return merged
+
+    def node_config(
+        self, full_config: Mapping[str, int], node_id: str
+    ) -> dict[str, int]:
+        """Extract one node's un-namespaced parameter values."""
+        if node_id not in self._by_id:
+            raise KeyError(f"unknown node {node_id!r}")
+        prefix = f"{node_id}."
+        out = {
+            name[len(prefix):]: value
+            for name, value in full_config.items()
+            if name.startswith(prefix)
+        }
+        expected = {p.name for p in params_for_role(self.role_of(node_id))}
+        missing = expected - set(out)
+        if missing:
+            raise ValueError(
+                f"configuration missing parameters for {node_id!r}: {sorted(missing)}"
+            )
+        return out
+
+    # -- reconfiguration ---------------------------------------------------------
+    def move_node(self, node_id: str, new_role: Role) -> "ClusterSpec":
+        """Re-role a node (the §IV reconfiguration step 5).
+
+        The vacated tier must keep at least one node — the algorithm's
+        constraint (b) ``M(Tier(k)) > 1``.
+        """
+        placement = self.placement(node_id)
+        if placement.role is new_role:
+            raise ValueError(f"{node_id!r} already serves {new_role.value}")
+        if self.tier_size(placement.role) <= 1:
+            raise ValueError(
+                f"cannot move {node_id!r}: it is the last {placement.role.value} node"
+            )
+        new_placements = [
+            NodePlacement(p.node_id, new_role, p.spec) if p.node_id == node_id else p
+            for p in self._placements
+        ]
+        return ClusterSpec(new_placements, name=self.name)
+
+    def work_lines(self, count: int) -> dict[str, list[str]]:
+        """Partition nodes into ``count`` work lines (§III.B).
+
+        Each line gets at least one node from every tier (the scheme's
+        validity condition); nodes are dealt round-robin within each tier.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        for role in Role:
+            if self.tier_size(role) < count:
+                raise ValueError(
+                    f"cannot form {count} work lines: only "
+                    f"{self.tier_size(role)} {role.value} node(s)"
+                )
+        lines: dict[str, list[str]] = {f"line{i}": [] for i in range(count)}
+        for role in Role:
+            for i, node_id in enumerate(self.nodes_in(role)):
+                lines[f"line{i % count}"].append(node_id)
+        return lines
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{role.value}={self.tier_size(role)}" for role in Role
+        )
+        return f"ClusterSpec({self.name!r}, {parts})"

@@ -1,0 +1,347 @@
+"""The discrete-event measurement backend.
+
+One :meth:`SimulationBackend.measure` call builds the cluster's server
+processes, spawns the emulated-browser population, runs warm-up /
+measurement / cool-down over simulated time (the §III.A iteration), and
+returns the same :class:`~repro.model.base.Measurement` the analytic
+backend produces — WIPS, error rate, response times and per-node resource
+utilizations.
+
+Simulated durations default to a scaled-down iteration (the paper's
+100/1000/100 s cycle × ``time_scale``) so a measurement stays cheap enough
+for tests while collecting thousands of interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.appserver import AppServerModel
+from repro.cluster.context import WorkloadContext
+from repro.cluster.database import DatabaseModel
+from repro.cluster.memory import MemoryModel
+from repro.cluster.node import Role
+from repro.cluster.proxy import ProxyModel
+from repro.cluster.topology import ClusterSpec
+from repro.des.servers import AppServerSim, DbServerSim, NodeSim, ProxyServerSim
+from repro.harmony.parameter import Configuration
+from repro.model.base import (
+    Measurement,
+    PerformanceBackend,
+    ResourceUtilization,
+    Scenario,
+)
+from repro.sim.core import Environment
+from repro.sim.resources import QueueFullError
+from repro.tpcw.interactions import InteractionCategory
+from repro.tpcw.metrics import WipsMeter
+from repro.tpcw.mix import MixSampler
+from repro.tpcw.navigation import NavigationModel
+from repro.tpcw.wirt import WirtTracker
+from repro.tpcw.profiles import PROFILES
+from repro.tuning.iteration import IterationSpec
+from repro.util.rng import RngFactory
+from repro.util.stats import RunningStats, percentile
+
+__all__ = ["SimulationBackend"]
+
+#: Per-interaction network round trips (matches the analytic backend).
+NETWORK_RTT = 5e-3
+
+
+class _InteractionError(Exception):
+    """A page request was rejected somewhere along the pipeline."""
+
+
+class _SimCluster:
+    """The wired-up simulated cluster for one measurement."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: ClusterSpec,
+        configuration: Mapping[str, int],
+        ctx: WorkloadContext,
+        memory: MemoryModel,
+        work_lines: Optional[Mapping[str, tuple[str, ...]]] = None,
+    ) -> None:
+        self.env = env
+        self.ctx = ctx
+        self.nodes: dict[str, NodeSim] = {}
+        by_role: dict[Role, list[NodeSim]] = {r: [] for r in Role}
+        for placement in cluster.placements:
+            cfg = cluster.node_config(configuration, placement.node_id)
+            role = placement.role
+            if role is Role.PROXY:
+                model_eval = ProxyModel(placement.spec).evaluate(cfg, ctx)
+                sim: NodeSim = ProxyServerSim(
+                    env, placement.node_id, placement.spec, cfg, ctx,
+                    memory.penalty(model_eval.memory_bytes, placement.spec.memory_bytes),
+                    model_eval.memory_bytes,
+                )
+            elif role is Role.APP:
+                app_eval = AppServerModel(placement.spec).evaluate(
+                    cfg, ctx, dynamic_pages=1.0, static_requests=1.0
+                )
+                sim = AppServerSim(
+                    env, placement.node_id, placement.spec, cfg, ctx,
+                    memory.penalty(app_eval.memory_bytes, placement.spec.memory_bytes),
+                    app_eval.memory_bytes,
+                )
+            else:
+                db_eval = DatabaseModel(placement.spec).evaluate(
+                    cfg, ctx, dynamic_pages=1.0
+                )
+                sim = DbServerSim(
+                    env, placement.node_id, placement.spec, cfg, ctx,
+                    memory.penalty(db_eval.memory_bytes, placement.spec.memory_bytes),
+                    db_eval.memory_bytes,
+                )
+            self.nodes[placement.node_id] = sim
+            by_role[role].append(sim)
+        self._by_role = by_role
+        # Work lines restrict routing; otherwise one global line.
+        if work_lines:
+            self.lines = {
+                line: {
+                    role: [self.nodes[n] for n in node_ids
+                           if cluster.role_of(n) is role]
+                    for role in Role
+                }
+                for line, node_ids in work_lines.items()
+            }
+        else:
+            self.lines = {"all": by_role}
+
+    def pick(self, line: str, role: Role, rng: np.random.Generator) -> NodeSim:
+        """Random uniform node of ``role`` within ``line`` (load balancer)."""
+        nodes = self.lines[line][role]
+        if len(nodes) == 1:
+            return nodes[0]
+        return nodes[int(rng.integers(len(nodes)))]
+
+
+class SimulationBackend(PerformanceBackend):
+    """Request-level DES implementation of the backend interface."""
+
+    def __init__(
+        self,
+        iteration_spec: Optional[IterationSpec] = None,
+        time_scale: float = 0.15,
+        memory: Optional[MemoryModel] = None,
+        navigation: bool = False,
+    ) -> None:
+        """``navigation=True`` makes each emulated browser follow the TPC-W
+        navigation graph (correlated sessions) instead of sampling
+        interactions i.i.d.; the long-run mix — and therefore WIPS — is
+        identical (same stationary distribution)."""
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        base = iteration_spec or IterationSpec()
+        self.spec = base.scaled(time_scale)
+        self.memory = memory or MemoryModel()
+        self.navigation = navigation
+        self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
+        self._nav_cache: dict[str, NavigationModel] = {}
+        #: The WIRT tracker of the most recent measure() call (per-type
+        #: response-time percentiles for compliance reports).
+        self.last_wirt: Optional[WirtTracker] = None
+
+    def _context(self, scenario: Scenario) -> WorkloadContext:
+        key = (id(scenario.catalog), scenario.mix.name)
+        ctx = self._context_cache.get(key)
+        if ctx is None:
+            ctx = WorkloadContext.for_mix(scenario.mix, scenario.catalog)
+            self._context_cache[key] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # request flows
+    # ------------------------------------------------------------------
+    def _static_flow(self, sim: _SimCluster, line: str,
+                     proxy: ProxyServerSim, rng: np.random.Generator):
+        size = sim.ctx.catalog.object_size(sim.ctx.catalog.sample_object(rng))
+        outcome = yield from proxy.serve_static(rng, size)
+        if outcome == "miss":
+            app: AppServerSim = sim.pick(line, Role.APP, rng)  # type: ignore[assignment]
+            yield from app.serve_static(rng, size)
+            yield from proxy.relay(rng, size)
+
+    def _interaction_flow(self, sim: _SimCluster, line: str, interaction,
+                          rng: np.random.Generator):
+        profile = PROFILES[interaction]
+        proxy: ProxyServerSim = sim.pick(line, Role.PROXY, rng)  # type: ignore[assignment]
+        yield sim.env.timeout(NETWORK_RTT)
+        cacheable = rng.random() < profile.page_cacheable
+        try:
+            served = yield from proxy.accept_page(rng, cacheable)
+            if not served:
+                app: AppServerSim = sim.pick(line, Role.APP, rng)  # type: ignore[assignment]
+                if cacheable:
+                    yield from app.serve_static(rng, profile.response_bytes)
+                else:
+                    db: DbServerSim = sim.pick(line, Role.DB, rng)  # type: ignore[assignment]
+                    yield from app.serve_page(
+                        rng, profile, lambda: db.run_queries(rng, profile)
+                    )
+                yield from proxy.relay(rng, profile.response_bytes)
+        except QueueFullError as err:
+            raise _InteractionError(str(err)) from err
+        # Embedded static objects, fetched concurrently.
+        n = int(profile.static_objects)
+        if rng.random() < profile.static_objects - n:
+            n += 1
+        if n:
+            procs = [
+                sim.env.process(self._static_flow(sim, line, proxy, rng))
+                for _ in range(n)
+            ]
+            for proc in procs:
+                try:
+                    yield proc
+                except QueueFullError:
+                    pass  # a lost image degrades but does not fail the page
+
+    def _navigation(self, scenario: Scenario) -> NavigationModel:
+        nav = self._nav_cache.get(scenario.mix.name)
+        if nav is None:
+            nav = NavigationModel(scenario.mix)
+            self._nav_cache[scenario.mix.name] = nav
+        return nav
+
+    def _browser(self, sim: _SimCluster, line: str, scenario: Scenario,
+                 sampler: MixSampler, rng: np.random.Generator,
+                 meter: WipsMeter, latency: RunningStats,
+                 latency_samples: list, wirt: WirtTracker):
+        env = sim.env
+        behavior = scenario.behavior
+        nav = self._navigation(scenario) if self.navigation else None
+        interaction = sampler.sample(rng)
+        while True:
+            yield env.timeout(behavior.next_think_time(rng))
+            if nav is not None:
+                interaction = nav.next_interaction(interaction, rng)
+            else:
+                interaction = sampler.sample(rng)
+            start = env.now
+            try:
+                yield env.process(
+                    self._interaction_flow(sim, line, interaction, rng)
+                )
+            except _InteractionError:
+                meter.record_error()
+                continue
+            if meter.window_open:
+                latency.add(env.now - start)
+                latency_samples.append(env.now - start)
+                wirt.record(interaction, env.now - start)
+            meter.record_completion(interaction)
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int = 0,
+    ) -> Measurement:
+        """Simulate one measurement iteration (see the class docstring)."""
+        ctx = self._context(scenario)
+        env = Environment()
+        sim = _SimCluster(
+            env,
+            scenario.cluster,
+            configuration,
+            ctx,
+            self.memory,
+            scenario.work_lines,
+        )
+        rngs = RngFactory(seed).child("des")
+        sampler = MixSampler(scenario.mix)
+
+        lines = sorted(sim.lines)
+        meters = {line: WipsMeter() for line in lines}
+        latency = RunningStats()
+        latency_samples: list[float] = []
+        wirt = WirtTracker()
+        share = scenario.population // len(lines)
+        remainder = scenario.population - share * len(lines)
+        for li, line in enumerate(lines):
+            count = share + (1 if li < remainder else 0)
+            for b in range(count):
+                env.process(
+                    self._browser(
+                        sim, line, scenario, sampler,
+                        rngs.get("browser", line, b),
+                        meters[line], latency, latency_samples, wirt,
+                    )
+                )
+
+        env.run(until=self.spec.warmup)
+        for node in sim.nodes.values():
+            node.reset_stats()
+        for meter in meters.values():
+            meter.open_window(env.now)
+        measure_end = self.spec.warmup + self.spec.measure
+        env.run(until=measure_end)
+        for meter in meters.values():
+            meter.close_window(env.now)
+        duration = self.spec.measure
+
+        utilization: dict[str, ResourceUtilization] = {}
+        diagnostics: dict[str, float] = {}
+        for node_id, node in sim.nodes.items():
+            utilization[node_id] = ResourceUtilization(
+                cpu=node.cpu.utilization(measure_end),
+                disk=node.disk.utilization(measure_end),
+                network=min(
+                    node.nic_bytes / duration / node.spec.nic_rate, 1.0
+                ),
+                memory=node.memory_bytes / node.spec.memory_bytes,
+            )
+            diagnostics[f"{node_id}.jobs"] = (
+                node.cpu.busy_stats.mean(measure_end)
+                + node.cpu.queue_stats.mean(measure_end)
+            )
+            diagnostics[f"{node_id}.memory_penalty"] = node.memory_penalty
+        for node in sim.nodes.values():
+            if isinstance(node, AppServerSim):
+                diagnostics[f"{node.node_id}.http.rejected"] = float(
+                    node.http_pool.rejected
+                )
+            if isinstance(node, DbServerSim):
+                diagnostics[f"{node.node_id}.dbconn.rejected"] = float(
+                    node.conn_pool.rejected
+                )
+
+        total_completed = sum(m.completed for m in meters.values())
+        total_errors = sum(m.errors for m in meters.values())
+        wips = total_completed / duration
+        # Secondary TPC-W metrics: per-category throughput (WIPSb-/WIPSo-
+        # style) and response-time percentiles.
+        for category in InteractionCategory:
+            rate = sum(m.category_rate(category) for m in meters.values())
+            diagnostics[f"wips_{category.value}"] = rate
+        if latency_samples:
+            diagnostics["rt_p50"] = percentile(latency_samples, 50)
+            diagnostics["rt_p95"] = percentile(latency_samples, 95)
+        # TPC-W WIRT compliance (clause 5.2): a valid WIPS number requires
+        # every interaction type's p90 under its limit.
+        diagnostics["wirt_compliant"] = 1.0 if wirt.compliant() else 0.0
+        self.last_wirt = wirt
+        attempted = total_completed + total_errors
+        per_line = (
+            {line: m.completed / duration for line, m in meters.items()}
+            if scenario.work_lines
+            else {}
+        )
+        return Measurement(
+            wips=wips,
+            raw_wips=wips,
+            error_rate=total_errors / attempted if attempted else 0.0,
+            response_time=latency.mean,
+            utilization=utilization,
+            diagnostics=diagnostics,
+            per_line_wips=per_line,
+        )

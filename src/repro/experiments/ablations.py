@@ -1,0 +1,233 @@
+"""Ablations beyond the paper's tables.
+
+Motivated directly by the paper's discussion:
+
+* **Search strategies** — §II.B argues for the simplex kernel; we compare
+  it against random search and coordinate descent (the "tune each knob
+  separately" approach §V argues is insufficient) on the same scenario.
+* **Extreme-value damping** — §III.A proposes (as future work) modifying
+  the kernel so it "will avoid jumping to extreme values, but instead
+  slowly approach them"; ``simplex-damped`` implements that and this
+  ablation measures its effect on tuning stability.
+* **Hybrid cluster tuning** — §III.B's stated future work: "using the
+  parameter duplication method first, and then using separate tuning
+  server for each group for fine-granularity tuning".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.harmony.history import TuningHistory
+from repro.model.base import PerformanceBackend, Scenario
+from repro.tpcw.interactions import STANDARD_MIXES
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+__all__ = [
+    "StrategyAblation",
+    "run_strategy_ablation",
+    "run_damping_ablation",
+    "run_hybrid_tuning",
+    "HybridResult",
+]
+
+
+@dataclass(frozen=True)
+class StrategyAblation:
+    """Comparison of tuning kernels on one scenario."""
+
+    baseline: float
+    #: strategy name → (re-measured best WIPS, second-window stddev).
+    results: Mapping[str, tuple[float, float]]
+    histories: Mapping[str, TuningHistory]
+
+    def to_table(self) -> Table:
+        """Render the result as a paper-style table."""
+        table = Table(
+            "Ablation: search strategy (same scenario, same budget)",
+            ["Strategy", "Best WIPS (re-measured)", "Improvement", "2nd-window stddev"],
+        )
+        table.add_row("none (default config)", f"{self.baseline:.1f}", "-", "-")
+        for name, (wips, sd) in self.results.items():
+            table.add_row(
+                name, f"{wips:.1f}", f"{(wips / self.baseline - 1) * 100:+.1f}%", f"{sd:.1f}"
+            )
+        return table
+
+
+def _tuning_run(
+    backend: PerformanceBackend,
+    scenario: Scenario,
+    strategy: str,
+    iterations: int,
+    seed: int,
+) -> ClusterTuningSession:
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "default"),
+        strategy=strategy,
+        seed=seed,
+    )
+    session.run(iterations)
+    return session
+
+
+def run_strategy_ablation(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+    mix_name: str = "browsing",
+    strategies: tuple[str, ...] = ("simplex", "random", "coordinate"),
+) -> StrategyAblation:
+    """Simplex vs baselines on the single-node-per-tier scenario."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    scenario = Scenario(
+        cluster=ClusterSpec.three_tier(1, 1, 1),
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.population,
+    )
+    probe = ClusterTuningSession(
+        backend, scenario, seed=derive_seed(cfg.seed, "ablation-baseline")
+    )
+    baseline = probe.measure_baseline(iterations=cfg.baseline_iterations)
+    results: dict[str, tuple[float, float]] = {}
+    histories: dict[str, TuningHistory] = {}
+    for strategy in strategies:
+        session = _tuning_run(
+            backend,
+            scenario,
+            strategy,
+            cfg.iterations,
+            derive_seed(cfg.seed, "ablation-strategy", strategy),
+        )
+        best = session.history.best_configuration()
+        stats = remeasure(
+            backend,
+            scenario,
+            best,
+            seed=derive_seed(cfg.seed, "ablation-remeasure", strategy),
+            iterations=cfg.baseline_iterations,
+        )
+        window = session.history.window_stats(cfg.window_start())
+        results[strategy] = (stats.mean, window.stddev)
+        histories[strategy] = session.history
+    return StrategyAblation(
+        baseline=baseline.window_stats(0).mean,
+        results=results,
+        histories=histories,
+    )
+
+
+def run_damping_ablation(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+    mix_name: str = "browsing",
+) -> StrategyAblation:
+    """Plain simplex vs extreme-value-damped simplex (paper's future work)."""
+    return run_strategy_ablation(
+        config, backend, mix_name, strategies=("simplex", "simplex-damped")
+    )
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Hybrid cluster tuning: duplication first, partitioning after."""
+
+    baseline: float
+    duplication_best: float
+    hybrid_best: float
+    history_phase1: TuningHistory
+    history_phase2: TuningHistory
+
+    def to_table(self) -> Table:
+        """Render the result as a paper-style table."""
+        table = Table(
+            "Ablation: hybrid cluster tuning (duplication -> partitioning)",
+            ["Stage", "Best WIPS (re-measured)", "Improvement vs no tuning"],
+        )
+        table.add_row("none (default config)", f"{self.baseline:.1f}", "-")
+        table.add_row(
+            "phase 1: duplication",
+            f"{self.duplication_best:.1f}",
+            f"{(self.duplication_best / self.baseline - 1) * 100:+.1f}%",
+        )
+        table.add_row(
+            "phase 2: + partitioning",
+            f"{self.hybrid_best:.1f}",
+            f"{(self.hybrid_best / self.baseline - 1) * 100:+.1f}%",
+        )
+        return table
+
+
+def run_hybrid_tuning(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+    mix_name: str = "shopping",
+    work_lines: int = 2,
+) -> HybridResult:
+    """§III.B future work: coarse duplication pass, then per-line polish."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    cluster = ClusterSpec.three_tier(2, 2, 2)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.cluster_population,
+    )
+    probe = ClusterTuningSession(
+        backend, scenario, seed=derive_seed(cfg.seed, "hybrid-baseline")
+    )
+    baseline = probe.measure_baseline(iterations=cfg.baseline_iterations)
+
+    # Phase 1: duplication.
+    phase1 = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "duplication"),
+        seed=derive_seed(cfg.seed, "hybrid-p1"),
+    )
+    phase1.run(cfg.iterations // 2)
+    coarse = phase1.history.best_configuration()
+    coarse_stats = remeasure(
+        backend, scenario, coarse,
+        seed=derive_seed(cfg.seed, "hybrid-p1-best"),
+        iterations=cfg.baseline_iterations,
+    )
+
+    # Phase 2: partitioning, each line's search seeded from the coarse best.
+    scheme2 = make_scheme(scenario, "partitioning", work_lines=work_lines)
+    phase2 = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=scheme2,
+        seed=derive_seed(cfg.seed, "hybrid-p2"),
+    )
+    for group in scheme2.groups:
+        phase2.server.unregister(group.group_id)
+        phase2.server.register(
+            group.group_id,
+            group.space,
+            strategy="simplex",
+            start=coarse.subset(group.space.names),
+        )
+    phase2.run(cfg.iterations // 2)
+    fine = phase2.history.best_configuration()
+    fine_stats = remeasure(
+        backend, phase2.scenario, fine,
+        seed=derive_seed(cfg.seed, "hybrid-p2-best"),
+        iterations=cfg.baseline_iterations,
+    )
+
+    return HybridResult(
+        baseline=baseline.window_stats(0).mean,
+        duplication_best=coarse_stats.mean,
+        hybrid_best=max(fine_stats.mean, coarse_stats.mean),
+        history_phase1=phase1.history,
+        history_phase2=phase2.history,
+    )

@@ -1,0 +1,145 @@
+"""Gradual workload drift — an extension of the Figure 5 experiment.
+
+Figure 5 switches workloads instantaneously; real traffic *drifts* (a sale
+shifts browsing toward ordering over hours).  This driver ramps the mix
+from browsing to ordering through blended intermediate mixes
+(:meth:`~repro.tpcw.interactions.WorkloadMix.blend`) while an adaptive
+tuning session runs, and compares against the untouched default
+configuration experiencing the same drift.  The claim under test is the
+paper's conclusion that a tuning mechanism is *necessary* because no static
+configuration fits all workloads: the tuned system should dominate the
+static default across the whole drift, not just at the endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.runner import ExperimentConfig, make_backend
+from repro.model.base import PerformanceBackend, Scenario
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX, WorkloadMix
+from repro.tuning.adaptive import AdaptiveTuningSession
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.plot import line_chart
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+__all__ = ["DriftResult", "run"]
+
+
+@dataclass(frozen=True)
+class DriftResult:
+    """Tuned vs static-default WIPS over one browsing→ordering drift."""
+
+    blend: tuple[float, ...]
+    tuned_wips: tuple[float, ...]
+    default_wips: tuple[float, ...]
+    restarts: tuple[int, ...]
+
+    @property
+    def mean_advantage(self) -> float:
+        """Mean relative WIPS advantage of tuning over the static default."""
+        tuned = np.asarray(self.tuned_wips)
+        default = np.asarray(self.default_wips)
+        return float(np.mean(tuned / default)) - 1.0
+
+    def advantage_over_window(self, start: int, stop: int | None = None) -> float:
+        """Mean advantage over an iteration window."""
+        stop_ = len(self.tuned_wips) if stop is None else stop
+        tuned = np.asarray(self.tuned_wips[start:stop_])
+        default = np.asarray(self.default_wips[start:stop_])
+        return float(np.mean(tuned / default)) - 1.0
+
+    def to_table(self) -> Table:
+        """Render the result as a paper-style table."""
+        table = Table(
+            "Workload drift: adaptive tuning vs static default configuration",
+            ["Phase", "Blend t", "Tuned WIPS", "Default WIPS", "Advantage"],
+        )
+        n = len(self.blend)
+        phases = [
+            ("pure browsing", 0, n // 3),
+            ("drifting", n // 3, 2 * n // 3),
+            ("pure ordering", 2 * n // 3, n),
+        ]
+        for name, lo, hi in phases:
+            t = float(np.mean(self.blend[lo:hi]))
+            tuned = float(np.mean(self.tuned_wips[lo:hi]))
+            default = float(np.mean(self.default_wips[lo:hi]))
+            table.add_row(
+                name, f"{t:.2f}", f"{tuned:.1f}", f"{default:.1f}",
+                f"{(tuned / default - 1) * 100:+.1f}%",
+            )
+        return table
+
+    def chart(self, width: int = 80, height: int = 10) -> str:
+        """ASCII chart of the tuned series (drift window marked)."""
+        n = len(self.tuned_wips)
+        return line_chart(
+            list(self.tuned_wips), width=width, height=height,
+            title="Drift experiment: tuned WIPS (| = drift window bounds)",
+            markers=[n // 3, 2 * n // 3],
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+) -> DriftResult:
+    """Ramp browsing→ordering over the middle third of the run."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    total = max(cfg.iterations, 30)
+    ramp_start, ramp_end = total // 3, 2 * total // 3
+
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+
+    def mix_at(i: int) -> tuple[float, WorkloadMix]:
+        """The blend parameter and mix offered at iteration ``i``."""
+        if i < ramp_start:
+            return 0.0, BROWSING_MIX
+        if i >= ramp_end:
+            return 1.0, ORDERING_MIX
+        t = (i - ramp_start) / max(ramp_end - ramp_start, 1)
+        # Quantize so consecutive iterations reuse the same blended mix
+        # (each distinct mix costs a workload-context build).
+        t = round(t * 10) / 10.0
+        return t, WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, t)
+
+    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=cfg.population)
+    inner = ClusterTuningSession(
+        backend, scenario,
+        scheme=make_scheme(scenario, "default"),
+        seed=derive_seed(cfg.seed, "drift"),
+    )
+    adaptive = AdaptiveTuningSession(inner)
+
+    default_cfg = cluster.default_configuration()
+    blend: list[float] = []
+    tuned: list[float] = []
+    default: list[float] = []
+    current_t = -1.0
+    for i in range(total):
+        t, mix = mix_at(i)
+        if t != current_t:
+            adaptive.set_mix(mix)
+            current_t = t
+        measurement = adaptive.step()
+        blend.append(t)
+        tuned.append(measurement.wips)
+        reference = backend.measure(
+            adaptive.session.scenario,
+            default_cfg,
+            seed=derive_seed(cfg.seed, "drift-default", i),
+        )
+        default.append(reference.wips)
+
+    return DriftResult(
+        blend=tuple(blend),
+        tuned_wips=tuple(tuned),
+        default_wips=tuple(default),
+        restarts=tuple(adaptive.restarts),
+    )

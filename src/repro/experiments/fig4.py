@@ -1,0 +1,159 @@
+"""Figure 4 (and the §III.A narrative): per-workload tuning and the
+cross-workload configuration matrix.
+
+For each of the three TPC-W mixes the driver runs a full Active Harmony
+tuning session (default method, all 23 parameters of the three servers) on
+the single-node-per-tier cluster, exactly as §III.A does.  It then applies
+each workload's best configuration to the other two workloads — the paper's
+Figure 4 — demonstrating that "there is no universal configuration good for
+all kinds of workloads".
+
+Reported per mix:
+
+* baseline (default configuration) mean WIPS,
+* the best tuned configuration's *re-measured* WIPS and improvement,
+* the §III.A window statistics: fraction of second-100 iterations beating
+  the default, and the mean improvement over that window,
+* the 3×3 cross-application matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+from repro.model.base import PerformanceBackend, Scenario
+from repro.tpcw.interactions import STANDARD_MIXES
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+__all__ = ["Fig4Result", "run"]
+
+MIX_ORDER = ("browsing", "shopping", "ordering")
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Everything Figure 4 / Table 3 / the §III.A text report."""
+
+    baselines: Mapping[str, float]
+    best_configs: Mapping[str, Configuration]
+    #: cross[(config_mix, applied_mix)] = re-measured WIPS.
+    cross: Mapping[tuple[str, str], float]
+    histories: Mapping[str, TuningHistory]
+    #: Fraction of second-window iterations beating the baseline, per mix.
+    fraction_above: Mapping[str, float]
+    #: Mean relative improvement over the second window, per mix.
+    window_improvement: Mapping[str, float]
+
+    def improvement(self, mix: str) -> float:
+        """Best-config improvement over the default configuration."""
+        return self.cross[(mix, mix)] / self.baselines[mix] - 1.0
+
+    def to_matrix_table(self) -> Table:
+        """The Figure 4 matrix: best configs applied across workloads."""
+        table = Table(
+            "Figure 4: best configuration per workload applied to each workload (WIPS)",
+            ["Applied to \\ Tuned for", *MIX_ORDER, "default config"],
+        )
+        for applied in MIX_ORDER:
+            table.add_row(
+                applied,
+                *(f"{self.cross[(cfg, applied)]:.1f}" for cfg in MIX_ORDER),
+                f"{self.baselines[applied]:.1f}",
+            )
+        return table
+
+    def to_improvement_table(self) -> Table:
+        """The small table under Figure 4 (improvement vs default)."""
+        table = Table(
+            "Figure 4 (bottom): improvement of the best configuration vs default",
+            ["", *MIX_ORDER],
+        )
+        table.add_row(
+            "Improvement vs default",
+            *(f"{self.improvement(m) * 100:.0f}%" for m in MIX_ORDER),
+        )
+        table.add_row(
+            "Second-window iterations beating default",
+            *(f"{self.fraction_above[m] * 100:.0f}%" for m in MIX_ORDER),
+        )
+        table.add_row(
+            "Mean second-window improvement",
+            *(f"{self.window_improvement[m] * 100:.1f}%" for m in MIX_ORDER),
+        )
+        return table
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+) -> Fig4Result:
+    """Run the §III.A / Figure 4 experiment."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+
+    baselines: dict[str, float] = {}
+    best_configs: dict[str, Configuration] = {}
+    histories: dict[str, TuningHistory] = {}
+    fraction_above: dict[str, float] = {}
+    window_improvement: dict[str, float] = {}
+
+    for mix_name in MIX_ORDER:
+        scenario = Scenario(
+            cluster=cluster,
+            mix=STANDARD_MIXES[mix_name],
+            population=cfg.population,
+        )
+        seed = derive_seed(cfg.seed, "fig4", mix_name)
+        session = ClusterTuningSession(
+            backend,
+            scenario,
+            scheme=make_scheme(scenario, "default"),
+            seed=seed,
+        )
+        baseline = session.measure_baseline(
+            iterations=cfg.baseline_iterations
+        ).window_stats(0)
+        session.run(cfg.iterations)
+        history = session.history
+
+        baselines[mix_name] = baseline.mean
+        best_configs[mix_name] = history.best_configuration()
+        histories[mix_name] = history
+        start = cfg.window_start()
+        fraction_above[mix_name] = history.fraction_above(baseline.mean, start)
+        window = history.window_stats(start)
+        window_improvement[mix_name] = window.mean / baseline.mean - 1.0
+
+    cross: dict[tuple[str, str], float] = {}
+    for config_mix in MIX_ORDER:
+        for applied_mix in MIX_ORDER:
+            scenario = Scenario(
+                cluster=cluster,
+                mix=STANDARD_MIXES[applied_mix],
+                population=cfg.population,
+            )
+            stats = remeasure(
+                backend,
+                scenario,
+                best_configs[config_mix],
+                seed=derive_seed(cfg.seed, "fig4-cross", config_mix, applied_mix),
+                iterations=cfg.baseline_iterations,
+            )
+            cross[(config_mix, applied_mix)] = stats.mean
+
+    return Fig4Result(
+        baselines=baselines,
+        best_configs=best_configs,
+        cross=cross,
+        histories=histories,
+        fraction_above=fraction_above,
+        window_improvement=window_improvement,
+    )

@@ -1,0 +1,209 @@
+"""Figure 7: automatic cluster reconfiguration.
+
+Two dual experiments on a six-reconfigurable-node cluster (plus the
+database tier), exactly the paper's §IV setups:
+
+* **(a)** four proxy nodes + two application nodes; the workload starts as
+  browsing and switches to ordering at iteration 90; one forced
+  reconfiguration check right after iteration 100 moves a proxy node to
+  the overloaded application tier.
+* **(b)** two proxy nodes + four application nodes under a browsing
+  workload; the check after iteration 100 moves an application node to the
+  overloaded proxy tier.
+
+Parameter tuning (duplication scheme — tier-level parameters survive node
+moves) runs throughout, as in the paper.  Reported: the WIPS series, the
+decision the algorithm took, and the before/after improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.runner import ExperimentConfig, make_backend
+from repro.model.base import PerformanceBackend, Scenario
+from repro.tpcw.interactions import STANDARD_MIXES
+from repro.tuning.reconfig import MoveDecision, ReconfigPolicy, Reconfigurator
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.plot import line_chart
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+__all__ = ["Fig7Result", "run_a", "run_b", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """One reconfiguration experiment's outcome."""
+
+    label: str
+    wips: tuple[float, ...]
+    workloads: tuple[str, ...]
+    decision: Optional[MoveDecision]
+    reconfig_iteration: int
+    #: Mean WIPS over the pre-reconfiguration window (same workload).
+    before: float
+    #: Mean WIPS over the post-reconfiguration tail.
+    after: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative WIPS gain from the reconfiguration."""
+        return self.after / self.before - 1.0
+
+    def to_table(self) -> Table:
+        """Render the result as a paper-style table."""
+        table = Table(
+            f"Figure 7({self.label}): reconfiguration experiment",
+            ["Quantity", "Value"],
+        )
+        if self.decision is None:
+            table.add_row("decision", "none (no move warranted)")
+        else:
+            table.add_row(
+                "decision",
+                f"move {self.decision.node_id} "
+                f"{self.decision.from_role.value} -> {self.decision.to_role.value} "
+                f"(relieves {self.decision.relieves}, "
+                f"{'immediate' if self.decision.immediate else 'deferred'})",
+            )
+        table.add_row("reconfig at iteration", self.reconfig_iteration)
+        table.add_row("WIPS before", f"{self.before:.1f}")
+        table.add_row("WIPS after", f"{self.after:.1f}")
+        table.add_row("improvement", f"{self.improvement * 100:.0f}%")
+        return table
+
+    def chart(self, width: int = 80, height: int = 12) -> str:
+        """ASCII rendering of the Figure 7 series (| = reconfiguration)."""
+        return line_chart(
+            list(self.wips), width=width, height=height,
+            title=(
+                f"Figure 7({self.label}): WIPS around the reconfiguration "
+                "(| = move)"
+            ),
+            markers=[self.reconfig_iteration],
+        )
+
+    def series_table(self, stride: int = 5) -> Table:
+        """The WIPS series (down-sampled) — the figure's data."""
+        table = Table(
+            f"Figure 7({self.label}) series: WIPS per iteration",
+            ["Iteration", "Workload", "WIPS"],
+        )
+        for i in range(0, len(self.wips), stride):
+            table.add_row(i, self.workloads[i], f"{self.wips[i]:.1f}")
+        return table
+
+
+def _run_experiment(
+    label: str,
+    cluster: ClusterSpec,
+    schedule: Sequence[tuple[int, str]],
+    total_iterations: int,
+    reconfig_at: int,
+    cfg: ExperimentConfig,
+    backend: PerformanceBackend,
+    policy: Optional[ReconfigPolicy] = None,
+) -> Fig7Result:
+    """Drive tuning + one forced reconfiguration check."""
+    seed = derive_seed(cfg.seed, "fig7", label)
+    mix_at = dict(schedule)
+    current_mix = mix_at[0]
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[current_mix],
+        population=cfg.cluster_population,
+    )
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "duplication"),
+        seed=seed,
+    )
+    reconfigurator = Reconfigurator(policy)
+
+    wips: list[float] = []
+    workloads: list[str] = []
+    decision: Optional[MoveDecision] = None
+    for i in range(total_iterations):
+        if i in mix_at and i > 0:
+            current_mix = mix_at[i]
+            session.set_mix(STANDARD_MIXES[current_mix])
+        measurement = session.step()
+        wips.append(measurement.wips)
+        workloads.append(current_mix)
+        if i == reconfig_at and decision is None:
+            decision = reconfigurator.decide(
+                session.scenario.cluster, measurement
+            )
+            if decision is not None:
+                new_cluster = reconfigurator.apply(
+                    session.scenario.cluster, decision
+                )
+                session.set_cluster(new_cluster)
+
+    switch = max((s for s, _ in schedule), default=0)
+    before_window = wips[max(switch, reconfig_at - 10) : reconfig_at + 1]
+    after_window = wips[min(reconfig_at + 5, len(wips) - 1) :]
+    return Fig7Result(
+        label=label,
+        wips=tuple(wips),
+        workloads=tuple(workloads),
+        decision=decision,
+        reconfig_iteration=reconfig_at,
+        before=float(np.mean(before_window)),
+        after=float(np.mean(after_window)),
+    )
+
+
+def run_a(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+) -> Fig7Result:
+    """Figure 7(a): browsing→ordering on 4 proxies + 2 app nodes."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    total = max(cfg.iterations, 30)
+    switch = int(total * 0.45)
+    reconfig = int(total * 0.5)
+    return _run_experiment(
+        "a",
+        ClusterSpec.three_tier(4, 2, 2),
+        [(0, "browsing"), (switch, "ordering")],
+        total,
+        reconfig,
+        cfg,
+        backend,
+    )
+
+
+def run_b(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+) -> Fig7Result:
+    """Figure 7(b): browsing throughout on 2 proxies + 4 app nodes."""
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    total = max(cfg.iterations, 30)
+    reconfig = int(total * 0.5)
+    return _run_experiment(
+        "b",
+        ClusterSpec.three_tier(2, 4, 2),
+        [(0, "browsing")],
+        total,
+        reconfig,
+        cfg,
+        backend,
+    )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+) -> tuple[Fig7Result, Fig7Result]:
+    """Both Figure 7 experiments."""
+    return run_a(config, backend), run_b(config, backend)

@@ -1,0 +1,126 @@
+"""Price/performance: which cluster layout serves the workload cheapest?
+
+An extension experiment built on TPC-W's own Dollars/WIPS metric (§II.C).
+For a fixed machine budget, sweep the assignment of machines to tiers,
+measure each layout's (tuned-default) throughput under a mix, and report
+$/WIPS — quantifying the paper's point that node *roles* matter: the same
+hardware, differently assigned, differs severalfold in delivered capacity
+(exactly why §IV's automatic reconfiguration pays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.pricing import PricingModel
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.model.base import PerformanceBackend, Scenario
+from repro.tpcw.interactions import STANDARD_MIXES
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+__all__ = ["LayoutRow", "PricePerformanceResult", "run"]
+
+
+@dataclass(frozen=True)
+class LayoutRow:
+    """One evaluated layout."""
+
+    proxies: int
+    apps: int
+    dbs: int
+    wips: float
+    cost: float
+    dollars_per_wips: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable layout name, e.g. ``3p/2a/1d``."""
+        return f"{self.proxies}p/{self.apps}a/{self.dbs}d"
+
+
+@dataclass(frozen=True)
+class PricePerformanceResult:
+    """All layouts for one mix, best (cheapest per WIPS) first."""
+
+    mix_name: str
+    population: int
+    rows: tuple[LayoutRow, ...]
+
+    def best(self) -> LayoutRow:
+        """The layout with the lowest $/WIPS."""
+        return min(self.rows, key=lambda r: r.dollars_per_wips)
+
+    def worst(self) -> LayoutRow:
+        """The layout with the highest $/WIPS."""
+        return max(self.rows, key=lambda r: r.dollars_per_wips)
+
+    def to_table(self) -> Table:
+        """Render the result as a paper-style table."""
+        table = Table(
+            f"Price/performance across layouts — {self.mix_name} mix, "
+            f"N={self.population}",
+            ["Layout", "WIPS", "Cluster cost", "$/WIPS"],
+        )
+        for row in sorted(self.rows, key=lambda r: r.dollars_per_wips):
+            table.add_row(
+                row.label,
+                f"{row.wips:.1f}",
+                f"${row.cost:,.0f}",
+                f"${row.dollars_per_wips:,.2f}",
+            )
+        return table
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    backend: PerformanceBackend | None = None,
+    mix_name: str = "ordering",
+    machines: int = 6,
+    db_nodes: int = 2,
+    pricing: PricingModel | None = None,
+    layouts: Sequence[tuple[int, int]] | None = None,
+) -> PricePerformanceResult:
+    """Evaluate every split of ``machines`` front nodes into proxy/app tiers.
+
+    The database tier is held at ``db_nodes`` (it is stateful — the §IV
+    algorithm never reassigns it either); the remaining machines split
+    between the proxy and application tiers in every feasible way.
+    """
+    cfg = config or ExperimentConfig()
+    backend = backend or make_backend()
+    pricing = pricing or PricingModel()
+    if layouts is None:
+        layouts = [(p, machines - p) for p in range(1, machines)]
+
+    rows = []
+    for proxies, apps in layouts:
+        cluster = ClusterSpec.three_tier(proxies, apps, db_nodes)
+        scenario = Scenario(
+            cluster=cluster,
+            mix=STANDARD_MIXES[mix_name],
+            population=cfg.cluster_population,
+        )
+        stats = remeasure(
+            backend,
+            scenario,
+            cluster.default_configuration(),
+            seed=derive_seed(cfg.seed, "price", mix_name, proxies, apps),
+            iterations=max(cfg.baseline_iterations // 2, 3),
+        )
+        cost = pricing.cluster_cost(cluster)
+        rows.append(
+            LayoutRow(
+                proxies=proxies,
+                apps=apps,
+                dbs=db_nodes,
+                wips=stats.mean,
+                cost=cost,
+                dollars_per_wips=pricing.dollars_per_wips(cluster, stats.mean),
+            )
+        )
+    return PricePerformanceResult(
+        mix_name=mix_name, population=cfg.cluster_population, rows=tuple(rows)
+    )

@@ -1,0 +1,75 @@
+"""Table 1: the TPC-W workload mixes.
+
+The paper's Table 1 is the TPC-W specification's interaction weights; this
+driver regenerates it from :mod:`repro.tpcw.interactions` and verifies the
+Browse/Order split (95/5, 80/20, 50/50) as a sanity check that the encoded
+mixes are exactly the specification's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    InteractionCategory,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+)
+from repro.util.tables import Table
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The regenerated mix table plus the category split per mix."""
+
+    browse_split: dict[str, float]
+    order_split: dict[str, float]
+
+    def to_table(self) -> Table:
+        """Render the paper's Table 1."""
+        table = Table(
+            "TABLE 1: TPC-W benchmark workloads",
+            ["Web Interaction", "Browsing (WIPSb)", "Shopping (WIPS)", "Ordering (WIPSo)"],
+        )
+        mixes = (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+        table.add_row(
+            "Browse",
+            *(f"{m.category_fraction(InteractionCategory.BROWSE) * 100:.0f} %" for m in mixes),
+        )
+        for interaction in Interaction:
+            if interaction.category is not InteractionCategory.BROWSE:
+                continue
+            table.add_row(
+                interaction.value,
+                *(f"{m.weight(interaction) * 100:.2f} %" for m in mixes),
+            )
+        table.add_row(
+            "Order",
+            *(f"{m.category_fraction(InteractionCategory.ORDER) * 100:.0f} %" for m in mixes),
+        )
+        for interaction in Interaction:
+            if interaction.category is not InteractionCategory.ORDER:
+                continue
+            table.add_row(
+                interaction.value,
+                *(f"{m.weight(interaction) * 100:.2f} %" for m in mixes),
+            )
+        return table
+
+
+def run() -> Table1Result:
+    """Regenerate Table 1 and its Browse/Order splits."""
+    return Table1Result(
+        browse_split={
+            m.name: m.category_fraction(InteractionCategory.BROWSE)
+            for m in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+        },
+        order_split={
+            m.name: m.category_fraction(InteractionCategory.ORDER)
+            for m in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+        },
+    )

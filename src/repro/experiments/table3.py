@@ -1,0 +1,45 @@
+"""Table 3: tunable-parameter values before and after tuning per workload.
+
+Renders our reproduction of the paper's Table 3 from a :class:`Fig4Result`
+(the same tuning runs feed Figure 4 and Table 3 in the paper).  The
+absolute tuned values differ from the paper's — different substrate,
+different noise realization — but the qualitative movements the paper
+discusses are asserted in the test suite (e.g. proxy memory cache grows,
+``join_buffer_size`` shrinks or stays harmless, ``cache_swap_*`` barely
+matter).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Role
+from repro.cluster.params import params_for_role
+from repro.experiments.fig4 import MIX_ORDER, Fig4Result
+from repro.util.tables import Table
+
+__all__ = ["render"]
+
+_SECTION = {
+    Role.PROXY: "Proxy Server",
+    Role.APP: "Web Server",
+    Role.DB: "Database Server",
+}
+_NODE = {Role.PROXY: "proxy0", Role.APP: "app0", Role.DB: "db0"}
+
+
+def render(result: Fig4Result) -> Table:
+    """The Table 3 reproduction for the single-node-per-tier cluster."""
+    table = Table(
+        "TABLE 3: tuning results for different workloads",
+        ["Tunable parameter", "Default", *(m.capitalize() for m in MIX_ORDER)],
+    )
+    for role in (Role.PROXY, Role.APP, Role.DB):
+        table.add_row(f"-- {_SECTION[role]} --", "", "", "", "")
+        node = _NODE[role]
+        for param in params_for_role(role):
+            full_name = f"{node}.{param.name}"
+            table.add_row(
+                param.name,
+                param.default,
+                *(result.best_configs[m][full_name] for m in MIX_ORDER),
+            )
+    return table

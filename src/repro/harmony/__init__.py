@@ -1,0 +1,60 @@
+"""Active Harmony: the paper's automated tuning infrastructure.
+
+The package mirrors the architecture of Figure 2 of the paper:
+
+* :mod:`repro.harmony.parameter` — tunable parameters and configurations
+  (each parameter is one dimension of the search space, §II.B),
+* :mod:`repro.harmony.simplex` — the integer-adapted Nelder–Mead simplex
+  that is the kernel of the Adaptation Controller,
+* :mod:`repro.harmony.search` — the strategy interface plus baseline
+  strategies (random search, coordinate descent) used for ablations,
+* :mod:`repro.harmony.server` / :mod:`repro.harmony.client` — the Harmony
+  server and the minimal client API applications call
+  (register / fetch / report),
+* :mod:`repro.harmony.scaling` — *parameter duplication* and *parameter
+  partitioning* (§III.B) for scalable cluster tuning,
+* :mod:`repro.harmony.history` — tuning histories and convergence metrics.
+"""
+
+from repro.harmony.constraints import ConstraintSet, OrderingConstraint
+from repro.harmony.history import TuningHistory, TuningRecord
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.harmony.scaling import (
+    DuplicationScheme,
+    PartitionScheme,
+    identity_scheme,
+)
+from repro.harmony.search import (
+    CoordinateDescent,
+    RandomSearch,
+    SearchStrategy,
+    SimplexStrategy,
+)
+from repro.harmony.server import HarmonyServer, TuningSession
+from repro.harmony.client import HarmonyClient
+from repro.harmony.net import HarmonyTCPServer, RemoteHarmonyClient
+from repro.harmony.simplex import NelderMeadSimplex, SimplexOptions
+
+__all__ = [
+    "ConstraintSet",
+    "OrderingConstraint",
+    "IntParameter",
+    "ParameterSpace",
+    "Configuration",
+    "NelderMeadSimplex",
+    "SimplexOptions",
+    "SearchStrategy",
+    "SimplexStrategy",
+    "RandomSearch",
+    "CoordinateDescent",
+    "HarmonyServer",
+    "HarmonyClient",
+    "HarmonyTCPServer",
+    "RemoteHarmonyClient",
+    "TuningSession",
+    "TuningHistory",
+    "TuningRecord",
+    "DuplicationScheme",
+    "PartitionScheme",
+    "identity_scheme",
+]

@@ -1,0 +1,90 @@
+"""The minimal client API applications use to become tunable.
+
+The paper stresses that Active Harmony requires "very minimal changes to the
+application": declare the tunable parameters, then alternate fetch/report.
+:class:`HarmonyClient` is that surface.  It talks to the server through the
+message protocol (:mod:`repro.harmony.protocol`), like the instrumented
+Squid/Tomcat/MySQL processes in the paper talked to the Tcl server.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.harmony.parameter import Configuration, IntParameter
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    RegisterReply,
+    RegisterRequest,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+from repro.harmony.server import HarmonyServer
+
+__all__ = ["HarmonyClient"]
+
+
+class HarmonyClient:
+    """A tunable application's handle on a :class:`HarmonyServer`."""
+
+    def __init__(self, server: HarmonyServer, client_id: str) -> None:
+        self._server = server
+        self.client_id = client_id
+        self._registered = False
+        self._iterations = 0
+
+    @property
+    def iterations(self) -> int:
+        """Completed fetch/report cycles as acknowledged by the server."""
+        return self._iterations
+
+    @property
+    def registered(self) -> bool:
+        """True between successful register() and unregister()."""
+        return self._registered
+
+    def register(
+        self,
+        parameters: Sequence[IntParameter],
+        strategy: str = "simplex",
+        start: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """Declare tunable parameters; returns the space dimension."""
+        reply = self._server.handle(
+            RegisterRequest(self.client_id, tuple(parameters), strategy, start)
+        )
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"register failed: {reply.error}")
+        assert isinstance(reply, RegisterReply)
+        self._registered = True
+        return reply.dimension
+
+    def fetch(self) -> Configuration:
+        """Fetch the configuration to apply for the next iteration."""
+        reply = self._server.handle(FetchRequest(self.client_id))
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"fetch failed: {reply.error}")
+        assert isinstance(reply, FetchReply)
+        return reply.configuration
+
+    def report(self, performance: float) -> int:
+        """Report measured performance; returns iterations completed."""
+        reply = self._server.handle(ReportRequest(self.client_id, performance))
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"report failed: {reply.error}")
+        assert isinstance(reply, ReportReply)
+        self._iterations = reply.iterations
+        return reply.iterations
+
+    def unregister(self) -> Optional[Configuration]:
+        """Detach from the server; returns the best configuration found."""
+        reply = self._server.handle(UnregisterRequest(self.client_id))
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"unregister failed: {reply.error}")
+        assert isinstance(reply, UnregisterReply)
+        self._registered = False
+        return reply.best

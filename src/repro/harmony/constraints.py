@@ -1,0 +1,159 @@
+"""Parameter constraints and their repair projection.
+
+Several of the paper's Table 3 parameters are only meaningful jointly:
+Squid's eviction watermarks need ``cache_swap_low < cache_swap_high`` and
+Tomcat's pools need ``minProcessors <= maxProcessors``.  An unconstrained
+searcher will happily propose the inverted orders (the real Squid/Tomcat
+would refuse to start or behave pathologically), so the search kernels
+project every candidate configuration back into the feasible region before
+it is measured.
+
+The projection (:meth:`ConstraintSet.repair`) is deterministic and minimal
+in the ordering sense: it first raises the upper variable toward
+feasibility, then lowers the lower one — never touching satisfied pairs —
+and lands on each parameter's legal grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.harmony.parameter import Configuration, ParameterSpace
+
+__all__ = ["OrderingConstraint", "ConstraintSet"]
+
+
+@dataclass(frozen=True)
+class OrderingConstraint:
+    """Require ``config[lesser] + min_gap <= config[greater]``."""
+
+    lesser: str
+    greater: str
+    min_gap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lesser == self.greater:
+            raise ValueError(f"constraint relates {self.lesser!r} to itself")
+        if self.min_gap < 0:
+            raise ValueError("min_gap must be non-negative")
+
+    @property
+    def names(self) -> tuple[str, str]:
+        """Both parameter names."""
+        return (self.lesser, self.greater)
+
+    def satisfied(self, config: Mapping[str, int]) -> bool:
+        """True when the configuration honours the ordering."""
+        return config[self.lesser] + self.min_gap <= config[self.greater]
+
+    def describe(self, config: Mapping[str, int]) -> str:
+        """A human-readable violation message."""
+        gap = f" + {self.min_gap}" if self.min_gap else ""
+        return (
+            f"{self.lesser}={config[self.lesser]}{gap} must not exceed "
+            f"{self.greater}={config[self.greater]}"
+        )
+
+    def prefixed(self, prefix: str) -> "OrderingConstraint":
+        """The same constraint over namespaced parameter names."""
+        return OrderingConstraint(
+            f"{prefix}{self.lesser}", f"{prefix}{self.greater}", self.min_gap
+        )
+
+    def repair(self, space: ParameterSpace, values: dict[str, int]) -> None:
+        """Mutate ``values`` minimally so the constraint holds (if possible).
+
+        Prefers raising ``greater``; lowers ``lesser`` only when the upper
+        bound blocks the first move.  A constraint that cannot be satisfied
+        within the bounds (disjoint ranges) is left violated — the caller's
+        :meth:`ConstraintSet.repair` raises in that case.
+        """
+        lo_param = space[self.lesser]
+        hi_param = space[self.greater]
+        lo, hi = values[self.lesser], values[self.greater]
+        if lo + self.min_gap <= hi:
+            return
+        raised = hi_param.clamp_up(lo + self.min_gap)
+        if lo + self.min_gap <= raised:
+            values[self.greater] = raised
+            return
+        values[self.greater] = raised
+        lowered = lo_param.clamp_down(raised - self.min_gap)
+        if lowered + self.min_gap <= raised:
+            values[self.lesser] = lowered
+
+
+class ConstraintSet:
+    """An ordered collection of constraints with validation and repair."""
+
+    def __init__(self, constraints: Iterable[OrderingConstraint] = ()) -> None:
+        self._constraints: tuple[OrderingConstraint, ...] = tuple(constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[OrderingConstraint]:
+        return iter(self._constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    @property
+    def constraints(self) -> tuple[OrderingConstraint, ...]:
+        """The constraints, in application order."""
+        return self._constraints
+
+    def names(self) -> set[str]:
+        """Every parameter name referenced by some constraint."""
+        return {name for c in self._constraints for name in c.names}
+
+    def prefixed(self, prefix: str) -> "ConstraintSet":
+        """The same constraints over namespaced parameter names."""
+        return ConstraintSet(c.prefixed(prefix) for c in self._constraints)
+
+    def merge(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Concatenate two constraint sets."""
+        return ConstraintSet(tuple(self._constraints) + tuple(other.constraints))
+
+    def restrict_to(self, names: Sequence[str] | set[str]) -> "ConstraintSet":
+        """Only the constraints fully expressible over ``names``."""
+        wanted = set(names)
+        return ConstraintSet(
+            c for c in self._constraints
+            if c.lesser in wanted and c.greater in wanted
+        )
+
+    def satisfied(self, config: Mapping[str, int]) -> bool:
+        """True when every constraint holds."""
+        return all(c.satisfied(config) for c in self._constraints)
+
+    def violations(self, config: Mapping[str, int]) -> list[str]:
+        """Messages for every violated constraint (empty when feasible)."""
+        return [
+            c.describe(config) for c in self._constraints if not c.satisfied(config)
+        ]
+
+    def repair(self, space: ParameterSpace, config: Mapping[str, int]) -> Configuration:
+        """Project ``config`` into the feasible region.
+
+        Raises ``ValueError`` if some constraint cannot be satisfied within
+        the parameter bounds at all (a modelling error, not a search error).
+        """
+        missing = self.names() - set(space.names)
+        if missing:
+            raise KeyError(
+                f"constraints reference parameters outside the space: "
+                f"{sorted(missing)}"
+            )
+        values = {name: int(config[name]) for name in space.names}
+        for constraint in self._constraints:
+            constraint.repair(space, values)
+        repaired = Configuration(values)
+        still = self.violations(repaired)
+        if still:
+            raise ValueError(
+                "constraints unsatisfiable within parameter bounds: "
+                + "; ".join(still)
+            )
+        return repaired

@@ -1,0 +1,119 @@
+"""Tuning histories and the convergence metrics the paper reports.
+
+Table 4 of the paper reports, per tuning method: the performance of the best
+configuration after 200 iterations, the standard deviation over the *second*
+100 iterations, and the number of iterations the tuning process took to
+converge.  :class:`TuningHistory` computes all three from a recorded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.harmony.parameter import Configuration
+from repro.util.stats import RunningStats
+
+__all__ = ["TuningRecord", "TuningHistory"]
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One tuning iteration: the configuration used and its measurement."""
+
+    iteration: int
+    configuration: Configuration
+    performance: float
+
+
+class TuningHistory:
+    """Append-only record of a tuning run with analysis helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TuningRecord] = []
+
+    def append(self, configuration: Configuration, performance: float) -> TuningRecord:
+        """Record the next iteration's (configuration, performance)."""
+        rec = TuningRecord(len(self._records), configuration, performance)
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TuningRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> TuningRecord:
+        return self._records[i]
+
+    @property
+    def records(self) -> Sequence[TuningRecord]:
+        """All records, in iteration order."""
+        return tuple(self._records)
+
+    def performances(self) -> np.ndarray:
+        """Performance series as an array (one entry per iteration)."""
+        return np.array([r.performance for r in self._records])
+
+    def best(self) -> TuningRecord:
+        """The record with the highest performance."""
+        if not self._records:
+            raise ValueError("empty history")
+        return max(self._records, key=lambda r: r.performance)
+
+    def best_configuration(self) -> Configuration:
+        """Configuration of the best-performing iteration."""
+        return self.best().configuration
+
+    def window_stats(self, start: int, stop: Optional[int] = None) -> RunningStats:
+        """Mean/stddev of performance over iterations [start, stop)."""
+        stop_ = len(self._records) if stop is None else stop
+        return RunningStats(r.performance for r in self._records[start:stop_])
+
+    def fraction_above(self, baseline: float, start: int = 0,
+                       stop: Optional[int] = None) -> float:
+        """Fraction of iterations in the window beating ``baseline``.
+
+        The paper reports e.g. "the performance of 78% of the iterations is
+        better than it is in the default configuration".
+        """
+        stop_ = len(self._records) if stop is None else stop
+        window = self._records[start:stop_]
+        if not window:
+            raise ValueError("empty window")
+        hits = sum(1 for r in window if r.performance > baseline)
+        return hits / len(window)
+
+    def iterations_to_converge(
+        self,
+        tolerance: float = 0.05,
+        settle: int = 10,
+    ) -> int:
+        """First iteration from which performance stays near the final level.
+
+        "Converged" means: from that iteration on, the running performance
+        never drops more than ``tolerance`` (relative) below the mean of the
+        last ``settle`` iterations, for at least ``settle`` consecutive
+        iterations.  Returns ``len(history)`` if the run never settles.
+        """
+        if len(self._records) < settle + 1:
+            return len(self._records)
+        perf = self.performances()
+        target = float(np.mean(perf[-settle:]))
+        floor = target * (1.0 - tolerance)
+        ok = perf >= floor
+        run = 0
+        for i, flag in enumerate(ok):
+            run = run + 1 if flag else 0
+            if run >= settle:
+                return i - settle + 1
+        return len(self._records)
+
+    def improvement_over(self, baseline: float) -> float:
+        """Relative improvement of the best iteration over ``baseline``."""
+        if baseline <= 0:
+            raise ValueError(f"baseline must be positive, got {baseline}")
+        return self.best().performance / baseline - 1.0

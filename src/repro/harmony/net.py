@@ -1,0 +1,192 @@
+"""A TCP Harmony server and a remote client.
+
+The original Active Harmony Adaptation Controller ran as a standalone
+daemon; tunable applications (on other machines of the cluster) connected
+over TCP with register / fetch / report calls.  This module provides that
+deployment shape on top of the in-process :class:`~repro.harmony.server.
+HarmonyServer`:
+
+* :class:`HarmonyTCPServer` — a threading TCP server speaking the
+  line-delimited JSON wire format of :mod:`repro.harmony.wire`.  Requests
+  from all connections are serialized through one lock, preserving the
+  single-controller semantics of the original system.
+* :class:`RemoteHarmonyClient` — the same minimal API as
+  :class:`~repro.harmony.client.HarmonyClient`, over a socket.
+
+Example::
+
+    server = HarmonyTCPServer(HarmonyServer(seed=1))
+    with server.running() as (host, port):
+        client = RemoteHarmonyClient(host, port, "squid")
+        client.register(parameters)
+        for _ in range(100):
+            cfg = client.fetch()
+            client.report(measure(cfg))
+        best = client.unregister()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import socketserver
+import threading
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.harmony.parameter import Configuration, IntParameter
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    RegisterReply,
+    RegisterRequest,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+from repro.harmony.server import HarmonyServer
+from repro.harmony.wire import WireError, decode, encode
+
+__all__ = ["HarmonyTCPServer", "RemoteHarmonyClient"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, dispatch, write JSON replies."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        """Serve one connection until it closes."""
+        server: "HarmonyTCPServer" = self.server  # type: ignore[assignment]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                message = decode(text)
+            except WireError as err:
+                reply = ErrorReply("?", f"WireError: {err}")
+            else:
+                with server.dispatch_lock:
+                    reply = server.harmony.handle(message)
+            self.wfile.write((encode(reply) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class HarmonyTCPServer(socketserver.ThreadingTCPServer):
+    """Serve a :class:`HarmonyServer` over TCP (one JSON message per line)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        harmony: Optional[HarmonyServer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.harmony = harmony or HarmonyServer()
+        self.dispatch_lock = threading.Lock()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound (port 0 picks a free one)."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    @contextlib.contextmanager
+    def running(self) -> Iterator[tuple[str, int]]:
+        """Serve on a background thread for the duration of the block."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield self.address
+        finally:
+            self.shutdown()
+            self.server_close()
+            thread.join(timeout=5.0)
+
+
+class RemoteHarmonyClient:
+    """The minimal tunable-application API, over a TCP connection."""
+
+    def __init__(self, host: str, port: int, client_id: str,
+                 timeout: float = 10.0) -> None:
+        self.client_id = client_id
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._registered = False
+        self._iterations = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def _call(self, message):
+        self._file.write((encode(message) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("harmony server closed the connection")
+        reply = decode(line.decode("utf-8").strip())
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"harmony server error: {reply.error}")
+        return reply
+
+    def close(self) -> None:
+        """Close the connection (the server keeps the session state)."""
+        with contextlib.suppress(OSError):
+            self._file.close()
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteHarmonyClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the Harmony API ---------------------------------------------------
+    @property
+    def iterations(self) -> int:
+        """Completed fetch/report cycles as acknowledged by the server."""
+        return self._iterations
+
+    @property
+    def registered(self) -> bool:
+        """True between successful register() and unregister()."""
+        return self._registered
+
+    def register(
+        self,
+        parameters: Sequence[IntParameter],
+        strategy: str = "simplex",
+        start: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """Declare tunable parameters; returns the space dimension."""
+        reply = self._call(
+            RegisterRequest(self.client_id, tuple(parameters), strategy, start)
+        )
+        assert isinstance(reply, RegisterReply)
+        self._registered = True
+        return reply.dimension
+
+    def fetch(self) -> Configuration:
+        """Fetch the configuration to apply next."""
+        reply = self._call(FetchRequest(self.client_id))
+        assert isinstance(reply, FetchReply)
+        return reply.configuration
+
+    def report(self, performance: float) -> int:
+        """Report measured performance; returns iterations completed."""
+        reply = self._call(ReportRequest(self.client_id, performance))
+        assert isinstance(reply, ReportReply)
+        self._iterations = reply.iterations
+        return reply.iterations
+
+    def unregister(self) -> Optional[Configuration]:
+        """Detach from the server; returns the best configuration found."""
+        reply = self._call(UnregisterRequest(self.client_id))
+        assert isinstance(reply, UnregisterReply)
+        self._registered = False
+        return reply.best

@@ -1,0 +1,295 @@
+"""Tunable parameters, parameter spaces and configurations.
+
+The paper treats "each tunable parameter as a variable in an independent
+dimension" (§II.B).  A :class:`ParameterSpace` is an ordered set of
+:class:`IntParameter` dimensions; a :class:`Configuration` is one legal point
+(an immutable name→value mapping).  The simplex works in a continuous vector
+space; :meth:`ParameterSpace.from_vector` implements the paper's adaptation
+of "using the resulting values from the nearest integer point in the space".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["IntParameter", "ParameterSpace", "Configuration"]
+
+
+@dataclass(frozen=True)
+class IntParameter:
+    """One integer-valued tunable dimension.
+
+    Legal values are ``low, low+step, …`` up to the largest such value not
+    exceeding ``high``.  ``default`` must be legal.
+    """
+
+    name: str
+    default: int
+    low: int
+    high: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if self.step < 1:
+            raise ValueError(f"{self.name}: step must be >= 1, got {self.step}")
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low {self.low} > high {self.high}")
+        if not self.is_legal(self.default):
+            raise ValueError(
+                f"{self.name}: default {self.default} is not a legal value "
+                f"(range [{self.low}, {self.high}], step {self.step})"
+            )
+
+    @property
+    def num_values(self) -> int:
+        """Number of legal values."""
+        return (self.high - self.low) // self.step + 1
+
+    @property
+    def span(self) -> int:
+        """Distance between the extreme legal values."""
+        return (self.num_values - 1) * self.step
+
+    def is_legal(self, value: int) -> bool:
+        """True if ``value`` is on the grid and within bounds."""
+        return (
+            self.low <= value <= self.high and (value - self.low) % self.step == 0
+        )
+
+    def clamp(self, value: float) -> int:
+        """Nearest legal value to (possibly fractional) ``value``."""
+        steps = round((value - self.low) / self.step)
+        steps = max(0, min(self.num_values - 1, steps))
+        return self.low + steps * self.step
+
+    def clamp_up(self, value: float) -> int:
+        """Smallest legal value >= ``value`` (or the top of the range)."""
+        steps = math.ceil((value - self.low) / self.step)
+        steps = max(0, min(self.num_values - 1, steps))
+        return self.low + steps * self.step
+
+    def clamp_down(self, value: float) -> int:
+        """Largest legal value <= ``value`` (or the bottom of the range)."""
+        steps = math.floor((value - self.low) / self.step)
+        steps = max(0, min(self.num_values - 1, steps))
+        return self.low + steps * self.step
+
+    def random(self, rng: np.random.Generator) -> int:
+        """A uniformly random legal value."""
+        return self.low + int(rng.integers(self.num_values)) * self.step
+
+    def neighbors(self, value: int) -> list[int]:
+        """Legal values one step away from ``value`` (1 or 2 of them)."""
+        if not self.is_legal(value):
+            raise ValueError(f"{self.name}: {value} is not legal")
+        out = []
+        if value - self.step >= self.low:
+            out.append(value - self.step)
+        if value + self.step <= self.high:
+            out.append(value + self.step)
+        return out
+
+    def extremeness(self, value: int) -> float:
+        """How close ``value`` sits to a bound, in [0, 1].
+
+        0 at the centre of the range, 1 exactly on a bound.  Used by the
+        extreme-value damping option and the measurement-noise model
+        (the paper observed configurations with extreme values behave
+        erratically, §III.A).
+        """
+        if self.span == 0:
+            return 0.0
+        centre = (self.low + self.high) / 2.0
+        return abs(value - centre) / (self.span / 2.0)
+
+
+class Configuration(Mapping[str, int]):
+    """An immutable, hashable assignment of values to parameter names."""
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, int]) -> None:
+        object.__setattr__(self, "_values", dict(values))
+        object.__setattr__(
+            self, "_hash", hash(tuple(sorted(self._values.items())))
+        )
+
+    def __getitem__(self, key: str) -> int:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def replace(self, **updates: int) -> "Configuration":
+        """A copy with some values changed."""
+        merged = dict(self._values)
+        for key in updates:
+            if key not in merged:
+                raise KeyError(f"unknown parameter {key!r}")
+        merged.update(updates)
+        return Configuration(merged)
+
+    def subset(self, names: Iterable[str]) -> "Configuration":
+        """A configuration restricted to ``names``."""
+        return Configuration({n: self._values[n] for n in names})
+
+    def merge(self, other: Mapping[str, int]) -> "Configuration":
+        """A configuration with ``other``'s entries added/overriding."""
+        merged = dict(self._values)
+        merged.update(other)
+        return Configuration(merged)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Configuration({inner})"
+
+
+class ParameterSpace:
+    """An ordered collection of :class:`IntParameter` dimensions."""
+
+    def __init__(self, parameters: Sequence[IntParameter]) -> None:
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate parameter names: {dupes}")
+        self._params: tuple[IntParameter, ...] = tuple(parameters)
+        self._index = {p.name: i for i, p in enumerate(self._params)}
+
+    # -- basic introspection -------------------------------------------
+    @property
+    def parameters(self) -> tuple[IntParameter, ...]:
+        """The dimensions, in order."""
+        return self._params
+
+    @property
+    def names(self) -> list[str]:
+        """Parameter names, in order."""
+        return [p.name for p in self._params]
+
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions."""
+        return len(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> IntParameter:
+        return self._params[self._index[name]]
+
+    def subspace(self, names: Iterable[str]) -> "ParameterSpace":
+        """A space containing only ``names`` (kept in this space's order)."""
+        wanted = set(names)
+        missing = wanted - set(self._index)
+        if missing:
+            raise KeyError(f"unknown parameters: {sorted(missing)}")
+        return ParameterSpace([p for p in self._params if p.name in wanted])
+
+    def union(self, other: "ParameterSpace") -> "ParameterSpace":
+        """Concatenate two disjoint spaces."""
+        return ParameterSpace(list(self._params) + list(other._params))
+
+    def prefixed(self, prefix: str) -> "ParameterSpace":
+        """A copy with every parameter name prefixed by ``prefix``.
+
+        Used to build cluster-wide spaces, e.g. ``proxy0.cache_mem``.
+        """
+        return ParameterSpace(
+            [
+                IntParameter(
+                    name=f"{prefix}{p.name}",
+                    default=p.default,
+                    low=p.low,
+                    high=p.high,
+                    step=p.step,
+                )
+                for p in self._params
+            ]
+        )
+
+    # -- configurations ---------------------------------------------------
+    def default_configuration(self) -> Configuration:
+        """The configuration of all defaults."""
+        return Configuration({p.name: p.default for p in self._params})
+
+    def random_configuration(self, rng: np.random.Generator) -> Configuration:
+        """A uniformly random legal configuration."""
+        return Configuration({p.name: p.random(rng) for p in self._params})
+
+    def validate(self, config: Mapping[str, int]) -> None:
+        """Raise ``ValueError`` unless ``config`` is complete and legal."""
+        missing = set(self._index) - set(config)
+        extra = set(config) - set(self._index)
+        if missing or extra:
+            raise ValueError(
+                f"configuration mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for p in self._params:
+            if not p.is_legal(config[p.name]):
+                raise ValueError(
+                    f"{p.name}={config[p.name]} is not legal "
+                    f"(range [{p.low}, {p.high}], step {p.step})"
+                )
+
+    def clamp(self, config: Mapping[str, int | float]) -> Configuration:
+        """Project arbitrary values to the nearest legal configuration."""
+        return Configuration(
+            {p.name: p.clamp(float(config[p.name])) for p in self._params}
+        )
+
+    def extremeness(self, config: Mapping[str, int]) -> float:
+        """Mean per-dimension extremeness of ``config`` in [0, 1]."""
+        if not self._params:
+            return 0.0
+        return float(
+            np.mean([p.extremeness(config[p.name]) for p in self._params])
+        )
+
+    # -- vector space -------------------------------------------------------
+    def to_vector(self, config: Mapping[str, int]) -> np.ndarray:
+        """Configuration → float vector (in parameter order)."""
+        return np.array([float(config[p.name]) for p in self._params])
+
+    def from_vector(self, vector: np.ndarray) -> Configuration:
+        """Float vector → nearest legal configuration (paper §II.B)."""
+        if len(vector) != len(self._params):
+            raise ValueError(
+                f"vector has {len(vector)} entries, space has {len(self._params)}"
+            )
+        return Configuration(
+            {p.name: p.clamp(float(v)) for p, v in zip(self._params, vector)}
+        )
+
+    def lower_bounds(self) -> np.ndarray:
+        """Vector of lower bounds."""
+        return np.array([float(p.low) for p in self._params])
+
+    def upper_bounds(self) -> np.ndarray:
+        """Vector of upper bounds."""
+        return np.array([float(p.high) for p in self._params])
+
+    def __repr__(self) -> str:
+        return f"ParameterSpace({', '.join(self.names)})"

@@ -1,0 +1,107 @@
+"""Message types for the Harmony server/client protocol.
+
+The real Active Harmony system is a network server (the Adaptation
+Controller, written in Tcl) that applications talk to through a small API:
+register tunable parameters, fetch the configuration to use next, and report
+observed performance.  We reproduce that as an in-process message protocol —
+typed request/reply dataclasses dispatched by :class:`repro.harmony.server.
+HarmonyServer.handle` — so the server can be driven either through the
+convenience methods or through explicit messages (as the paper's clients do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.harmony.parameter import Configuration, IntParameter
+
+__all__ = [
+    "Message",
+    "Reply",
+    "RegisterRequest",
+    "RegisterReply",
+    "FetchRequest",
+    "FetchReply",
+    "ReportRequest",
+    "ReportReply",
+    "UnregisterRequest",
+    "UnregisterReply",
+    "ErrorReply",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages (carries the client id)."""
+
+    client_id: str
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Base class for all protocol replies."""
+
+    client_id: str
+
+
+@dataclass(frozen=True)
+class RegisterRequest(Message):
+    """Register a client and its tunable parameters with the server."""
+
+    parameters: Sequence[IntParameter] = field(default_factory=tuple)
+    strategy: str = "simplex"
+    #: Optional starting configuration (defaults to parameter defaults).
+    start: Optional[Mapping[str, int]] = None
+
+
+@dataclass(frozen=True)
+class RegisterReply(Reply):
+    """Registration succeeded; ``dimension`` echoes the space size."""
+
+    dimension: int = 0
+
+
+@dataclass(frozen=True)
+class FetchRequest(Message):
+    """Ask for the configuration the client should apply next."""
+
+
+@dataclass(frozen=True)
+class FetchReply(Reply):
+    """The configuration to apply for the next iteration."""
+
+    configuration: Configuration = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ReportRequest(Message):
+    """Report the performance observed under the fetched configuration."""
+
+    performance: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReportReply(Reply):
+    """Acknowledgement; ``iterations`` counts completed reports."""
+
+    iterations: int = 0
+
+
+@dataclass(frozen=True)
+class UnregisterRequest(Message):
+    """Detach a client from the server."""
+
+
+@dataclass(frozen=True)
+class UnregisterReply(Reply):
+    """Client detached; the final best configuration is returned."""
+
+    best: Optional[Configuration] = None
+
+
+@dataclass(frozen=True)
+class ErrorReply(Reply):
+    """The request could not be served."""
+
+    error: str = ""

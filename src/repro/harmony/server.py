@@ -1,0 +1,225 @@
+"""The Harmony server (Adaptation Controller).
+
+One :class:`HarmonyServer` manages any number of independent tuning
+sessions, one per registered client.  Each session owns a search strategy
+(simplex by default — the paper's kernel) and a :class:`TuningHistory`.
+
+The *parameter partitioning* method of §III.B is expressed by simply running
+one server (or one session) per work-line group: "we use a different Active
+Harmony tuning server to tune the parameters for each work line".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.harmony.constraints import ConstraintSet
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    Message,
+    RegisterReply,
+    RegisterRequest,
+    Reply,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+from repro.harmony.search import (
+    CoordinateDescent,
+    RandomSearch,
+    SearchStrategy,
+    SimplexStrategy,
+)
+from repro.harmony.simplex import SimplexOptions
+from repro.util.rng import RngFactory
+
+__all__ = ["HarmonyServer", "TuningSession"]
+
+StrategyFactory = Callable[[ParameterSpace, Optional[Configuration]], SearchStrategy]
+
+
+class TuningSession:
+    """The server-side state for one registered client."""
+
+    def __init__(
+        self,
+        client_id: str,
+        space: ParameterSpace,
+        strategy: SearchStrategy,
+    ) -> None:
+        self.client_id = client_id
+        self.space = space
+        self.strategy = strategy
+        self.history = TuningHistory()
+        self._outstanding: Optional[Configuration] = None
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed fetch/report cycles."""
+        return len(self.history)
+
+    def fetch(self) -> Configuration:
+        """Configuration for the client's next iteration."""
+        self._outstanding = self.strategy.ask()
+        return self._outstanding
+
+    def report(self, performance: float) -> None:
+        """Record the performance observed under the fetched configuration."""
+        if self._outstanding is None:
+            raise RuntimeError(
+                f"client {self.client_id!r} reported without fetching"
+            )
+        config = self._outstanding
+        self._outstanding = None
+        self.strategy.tell(config, performance)
+        self.history.append(config, performance)
+
+    def best_configuration(self) -> Optional[Configuration]:
+        """Best configuration observed so far (None before any report)."""
+        best = self.strategy.best
+        return best[0] if best is not None else None
+
+
+class HarmonyServer:
+    """Adaptation Controller managing tuning sessions for many clients."""
+
+    #: Names accepted in :class:`RegisterRequest.strategy`.
+    STRATEGIES = ("simplex", "simplex-damped", "random", "coordinate")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        simplex_options: Optional[SimplexOptions] = None,
+    ) -> None:
+        self._rng_factory = RngFactory(seed)
+        self._simplex_options = simplex_options
+        self._sessions: dict[str, TuningSession] = {}
+
+    # -- direct API ------------------------------------------------------
+    @property
+    def sessions(self) -> Mapping[str, TuningSession]:
+        """Live sessions keyed by client id."""
+        return dict(self._sessions)
+
+    def register(
+        self,
+        client_id: str,
+        parameters: Sequence[IntParameter] | ParameterSpace,
+        strategy: str = "simplex",
+        start: Optional[Mapping[str, int]] = None,
+        constraints: Optional[ConstraintSet] = None,
+    ) -> TuningSession:
+        """Create a tuning session for ``client_id``."""
+        if client_id in self._sessions:
+            raise ValueError(f"client {client_id!r} already registered")
+        space = (
+            parameters
+            if isinstance(parameters, ParameterSpace)
+            else ParameterSpace(list(parameters))
+        )
+        start_cfg = Configuration(dict(start)) if start is not None else None
+        built = self._build_strategy(
+            strategy, space, start_cfg, client_id, constraints
+        )
+        session = TuningSession(client_id, space, built)
+        self._sessions[client_id] = session
+        return session
+
+    def _build_strategy(
+        self,
+        name: str,
+        space: ParameterSpace,
+        start: Optional[Configuration],
+        client_id: str,
+        constraints: Optional[ConstraintSet] = None,
+    ) -> SearchStrategy:
+        rng = self._rng_factory.get("strategy", client_id)
+        if name == "simplex":
+            return SimplexStrategy(
+                space, start=start, options=self._simplex_options, rng=rng,
+                constraints=constraints,
+            )
+        if name == "simplex-damped":
+            base = self._simplex_options or SimplexOptions()
+            opts = SimplexOptions(
+                alpha=base.alpha,
+                gamma=base.gamma,
+                rho=base.rho,
+                sigma=base.sigma,
+                initial_scale=base.initial_scale,
+                damp_extremes=True,
+                damping_fraction=base.damping_fraction,
+            )
+            return SimplexStrategy(
+                space, start=start, options=opts, rng=rng,
+                constraints=constraints,
+            )
+        if name == "random":
+            return RandomSearch(space, rng=rng, start=start, constraints=constraints)
+        if name == "coordinate":
+            return CoordinateDescent(space, start=start, constraints=constraints)
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {self.STRATEGIES}"
+        )
+
+    def fetch(self, client_id: str) -> Configuration:
+        """Next configuration for ``client_id``."""
+        return self._session(client_id).fetch()
+
+    def report(self, client_id: str, performance: float) -> None:
+        """Record a measurement for ``client_id``'s outstanding fetch."""
+        self._session(client_id).report(performance)
+
+    def unregister(self, client_id: str) -> Optional[Configuration]:
+        """Remove the session; returns its best configuration."""
+        session = self._session(client_id)
+        del self._sessions[client_id]
+        return session.best_configuration()
+
+    def history(self, client_id: str) -> TuningHistory:
+        """The tuning history for ``client_id``."""
+        return self._session(client_id).history
+
+    def _session(self, client_id: str) -> TuningSession:
+        try:
+            return self._sessions[client_id]
+        except KeyError:
+            raise KeyError(f"unknown client {client_id!r}") from None
+
+    # -- message interface --------------------------------------------------
+    def handle(self, message: Message) -> Reply:
+        """Dispatch one protocol message, never raising to the caller."""
+        try:
+            if isinstance(message, RegisterRequest):
+                session = self.register(
+                    message.client_id,
+                    list(message.parameters),
+                    strategy=message.strategy,
+                    start=message.start,
+                )
+                return RegisterReply(message.client_id, session.space.dimension)
+            if isinstance(message, FetchRequest):
+                return FetchReply(message.client_id, self.fetch(message.client_id))
+            if isinstance(message, ReportRequest):
+                if not np.isfinite(message.performance):
+                    raise ValueError(
+                        f"non-finite performance {message.performance!r}"
+                    )
+                self.report(message.client_id, message.performance)
+                return ReportReply(
+                    message.client_id,
+                    self._session(message.client_id).iterations,
+                )
+            if isinstance(message, UnregisterRequest):
+                best = self.unregister(message.client_id)
+                return UnregisterReply(message.client_id, best)
+            raise TypeError(f"unhandled message type {type(message).__name__}")
+        except Exception as err:  # protocol boundary: surface as ErrorReply
+            return ErrorReply(message.client_id, f"{type(err).__name__}: {err}")

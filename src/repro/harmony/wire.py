@@ -1,0 +1,167 @@
+"""JSON wire format for the Harmony message protocol.
+
+The original Active Harmony ran as a network daemon (its Adaptation
+Controller was a Tcl server) that instrumented applications — Squid, Tomcat
+wrappers, the TPC-W driver — connected to over sockets.  This module gives
+the in-process protocol of :mod:`repro.harmony.protocol` a concrete wire
+encoding (one JSON object per line) used by :mod:`repro.harmony.net`.
+
+Every message/reply type maps to ``{"type": <TypeName>, ...fields}``;
+configurations are JSON objects, parameters are ``{name, default, low,
+high, step}`` objects.  Decoding is strict: unknown types and malformed
+fields raise :class:`WireError`, which the server turns into an
+``ErrorReply``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional, Union
+
+from repro.harmony.parameter import Configuration, IntParameter
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    Message,
+    RegisterReply,
+    RegisterRequest,
+    Reply,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+
+__all__ = ["WireError", "encode", "decode"]
+
+
+class WireError(ValueError):
+    """The payload is not a valid protocol message."""
+
+
+def _encode_configuration(config: Optional[Configuration]) -> Optional[dict]:
+    return dict(config) if config is not None else None
+
+
+def _decode_configuration(data: Any, field: str) -> Optional[Configuration]:
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise WireError(f"{field}: expected an object, got {type(data).__name__}")
+    out = {}
+    for key, value in data.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise WireError(f"{field}.{key}: expected an integer, got {value!r}")
+        out[str(key)] = value
+    return Configuration(out)
+
+
+def _encode_parameter(param: IntParameter) -> dict:
+    return {
+        "name": param.name,
+        "default": param.default,
+        "low": param.low,
+        "high": param.high,
+        "step": param.step,
+    }
+
+
+def _decode_parameter(data: Any) -> IntParameter:
+    if not isinstance(data, dict):
+        raise WireError(f"parameter: expected an object, got {type(data).__name__}")
+    try:
+        return IntParameter(
+            name=str(data["name"]),
+            default=int(data["default"]),
+            low=int(data["low"]),
+            high=int(data["high"]),
+            step=int(data.get("step", 1)),
+        )
+    except KeyError as err:
+        raise WireError(f"parameter: missing field {err.args[0]!r}") from None
+    except (TypeError, ValueError) as err:
+        raise WireError(f"parameter: {err}") from None
+
+
+def encode(message: Union[Message, Reply]) -> str:
+    """Serialize a protocol message/reply to one JSON line (no newline)."""
+    base: dict[str, Any] = {
+        "type": type(message).__name__,
+        "client_id": message.client_id,
+    }
+    if isinstance(message, RegisterRequest):
+        base["parameters"] = [_encode_parameter(p) for p in message.parameters]
+        base["strategy"] = message.strategy
+        base["start"] = dict(message.start) if message.start is not None else None
+    elif isinstance(message, RegisterReply):
+        base["dimension"] = message.dimension
+    elif isinstance(message, FetchRequest):
+        pass
+    elif isinstance(message, FetchReply):
+        base["configuration"] = _encode_configuration(message.configuration)
+    elif isinstance(message, ReportRequest):
+        base["performance"] = message.performance
+    elif isinstance(message, ReportReply):
+        base["iterations"] = message.iterations
+    elif isinstance(message, UnregisterRequest):
+        pass
+    elif isinstance(message, UnregisterReply):
+        base["best"] = _encode_configuration(message.best)
+    elif isinstance(message, ErrorReply):
+        base["error"] = message.error
+    else:
+        raise WireError(f"unknown message type {type(message).__name__}")
+    return json.dumps(base, sort_keys=True)
+
+
+def decode(line: str) -> Union[Message, Reply]:
+    """Parse one JSON line into a protocol message/reply."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise WireError(f"invalid JSON: {err}") from None
+    if not isinstance(data, dict):
+        raise WireError("payload must be a JSON object")
+    kind = data.get("type")
+    client_id = data.get("client_id")
+    if not isinstance(client_id, str) or not client_id:
+        raise WireError("missing or invalid client_id")
+
+    if kind == "RegisterRequest":
+        params = data.get("parameters")
+        if not isinstance(params, list) or not params:
+            raise WireError("RegisterRequest needs a non-empty parameters list")
+        start = data.get("start")
+        if start is not None and not isinstance(start, Mapping):
+            raise WireError("start must be an object or null")
+        return RegisterRequest(
+            client_id,
+            tuple(_decode_parameter(p) for p in params),
+            strategy=str(data.get("strategy", "simplex")),
+            start=dict(start) if start is not None else None,
+        )
+    if kind == "RegisterReply":
+        return RegisterReply(client_id, int(data.get("dimension", 0)))
+    if kind == "FetchRequest":
+        return FetchRequest(client_id)
+    if kind == "FetchReply":
+        return FetchReply(
+            client_id, _decode_configuration(data.get("configuration"), "configuration")
+        )
+    if kind == "ReportRequest":
+        perf = data.get("performance")
+        if not isinstance(perf, (int, float)) or isinstance(perf, bool):
+            raise WireError(f"performance must be a number, got {perf!r}")
+        return ReportRequest(client_id, float(perf))
+    if kind == "ReportReply":
+        return ReportReply(client_id, int(data.get("iterations", 0)))
+    if kind == "UnregisterRequest":
+        return UnregisterRequest(client_id)
+    if kind == "UnregisterReply":
+        return UnregisterReply(
+            client_id, _decode_configuration(data.get("best"), "best")
+        )
+    if kind == "ErrorReply":
+        return ErrorReply(client_id, str(data.get("error", "")))
+    raise WireError(f"unknown message type {kind!r}")

@@ -1,0 +1,391 @@
+"""The analytic backend: a fixed point over AMVA + pool corrections.
+
+Solving one configuration proceeds as an outer fixed point:
+
+1. build the demand set (server models need a per-node concurrency
+   estimate, which the previous iterate supplies),
+2. solve the closed network with Schweitzer AMVA,
+3. layer M/M/c/K waiting/blocking for the thread and connection pools onto
+   the solution (pool waits become extra per-cycle delay; blocking becomes
+   failed interactions),
+4. refresh the concurrency estimates from the queue lengths and pool
+   occupancies, damped, and repeat until throughput stabilizes.
+
+The result is deterministic; the configured :class:`NoiseModel` then turns
+the model throughput into one noisy "measured" WIPS per seed, exactly the
+signal the Harmony server consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.cluster.context import WorkloadContext
+from repro.tpcw.interactions import InteractionCategory
+from repro.cluster.memory import MemoryModel
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.harmony.parameter import Configuration
+from repro.model.base import (
+    Measurement,
+    PerformanceBackend,
+    ResourceUtilization,
+    Scenario,
+)
+from repro.model.demands import DemandSet, build_demands
+from repro.model.mva import Station, solve_mva
+from repro.model.noise import NoiseModel
+from repro.util.rng import spawn_rng
+
+__all__ = ["AnalyticBackend", "AnalyticSolution"]
+
+#: Fixed per-interaction network round-trip overhead (LAN latencies).
+NETWORK_RTT = 5e-3
+
+
+@dataclass(frozen=True)
+class AnalyticSolution:
+    """Deterministic solution for one (cluster, config, workload)."""
+
+    throughput: float
+    error_rate: float
+    response_time: float
+    utilization: dict[str, ResourceUtilization]
+    max_memory_penalty: float
+    diagnostics: dict[str, float]
+
+    @property
+    def effective_wips(self) -> float:
+        """Successful interactions per second.
+
+        In a closed workload a rejected request bounces its emulated browser
+        straight back into think/retry, so rejections burn *attempts*, not
+        completions: sustained throughput stays at what the pools admit
+        (which the pool stations already bound).  ``error_rate`` is
+        therefore reported as a health metric but does not scale WIPS.
+        """
+        return self.throughput
+
+
+class AnalyticBackend(PerformanceBackend):
+    """MVA-based testbed substitute (fast path for tuning sweeps)."""
+
+    def __init__(
+        self,
+        noise: Optional[NoiseModel] = None,
+        memory: Optional[MemoryModel] = None,
+        max_outer: int = 40,
+        damping: float = 0.5,
+        tol: float = 2e-4,
+    ) -> None:
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        self.noise = noise if noise is not None else NoiseModel()
+        self.memory = memory or MemoryModel()
+        self.max_outer = max_outer
+        self.damping = damping
+        self.tol = tol
+        self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
+
+    # ------------------------------------------------------------------
+    def _context(self, scenario: Scenario) -> WorkloadContext:
+        key = (id(scenario.catalog), scenario.mix.name)
+        ctx = self._context_cache.get(key)
+        if ctx is None:
+            ctx = WorkloadContext.for_mix(scenario.mix, scenario.catalog)
+            self._context_cache[key] = ctx
+        return ctx
+
+    def solve(
+        self,
+        cluster: ClusterSpec,
+        configuration: Mapping[str, int],
+        ctx: WorkloadContext,
+        population: int,
+        think_time: float,
+    ) -> AnalyticSolution:
+        """Deterministic model solution for one sub-system.
+
+        Thread and connection pools enter the MVA as multi-server stations
+        whose per-interaction demand is ``visits × holding time``, where the
+        holding time — how long one request keeps a thread/connection — is
+        the downstream residence computed by the *previous* outer iterate.
+        A saturated pool then throttles throughput and inflates response
+        time the way a real connector does, instead of mass-rejecting.
+        Requests are only rejected when the pool's queue exceeds its backlog
+        (``acceptCount``); the excess fraction becomes failed interactions.
+
+        (This counts a request's downstream service once in the downstream
+        stations and once inside the pool-station holding time; the
+        double-count inflates response time by at most the pool holding,
+        which is small against the 7 s think time away from saturation and
+        is the standard price of this flow-equivalent approximation.)
+        """
+        conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
+        holding: dict[str, float] = {}
+        x_prev = 0.0
+        demand_set: DemandSet | None = None
+        mva = None
+        err = 0.0
+        pool_diag: dict[str, float] = {}
+
+        for _ in range(self.max_outer):
+            demand_set = build_demands(
+                cluster, configuration, ctx, conc, self.memory
+            )
+            stations = []
+            for nd in demand_set.nodes:
+                stations.append(Station(f"{nd.node_id}:cpu", nd.cpu, nd.cpu_servers))
+                stations.append(Station(f"{nd.node_id}:disk", nd.disk))
+                stations.append(Station(f"{nd.node_id}:nic", nd.nic))
+            pool_names = {}
+            for pool in demand_set.pools:
+                name = f"{pool.node_id}:{pool.kind}"
+                pool_names[name] = pool
+                stations.append(
+                    Station(
+                        name,
+                        pool.visits * holding.get(name, 0.02),
+                        pool.servers,
+                    )
+                )
+            mva = solve_mva(
+                stations, population, think_time, extra_delay=NETWORK_RTT
+            )
+            x = mva.throughput
+
+            # --- refresh pool holding times from downstream residence ------
+            fwd_dyn = demand_set.forward_dynamic
+            fwd_total = demand_set.forward_total
+            db_resid = 0.0
+            db_resid_bound = 0.0
+            for nd in demand_set.nodes:
+                if nd.role is not Role.DB:
+                    continue
+                db_resid += (
+                    mva.residence[f"{nd.node_id}:cpu"]
+                    + mva.residence[f"{nd.node_id}:disk"]
+                    + mva.residence[f"{nd.node_id}:nic"]
+                )
+                conns = next(
+                    p.servers
+                    for p in demand_set.pools
+                    if p.node_id == nd.node_id and p.kind == "dbconn"
+                )
+                db_resid_bound += (nd.cpu + nd.disk + nd.nic) * max(
+                    1.0, conns / nd.cpu_servers
+                )
+            # Same processor-sharing bound as the app pools: at most
+            # ``max_connections`` requests can be inside a database node.
+            db_resid = min(db_resid, db_resid_bound)
+            db_per_page = db_resid / fwd_dyn if fwd_dyn > 1e-9 else 0.0
+            app_resid = {}
+            app_demand = {}
+            app_cores = {}
+            for nd in demand_set.nodes:
+                if nd.role is not Role.APP:
+                    continue
+                app_resid[nd.node_id] = (
+                    mva.residence[f"{nd.node_id}:cpu"]
+                    + mva.residence[f"{nd.node_id}:disk"]
+                    + mva.residence[f"{nd.node_id}:nic"]
+                )
+                app_demand[nd.node_id] = nd.cpu + nd.disk + nd.nic
+                app_cores[nd.node_id] = nd.cpu_servers
+
+            err = 0.0
+            pool_diag = {}
+            pool_queue: dict[str, float] = {}
+            d = self.damping
+            holding_drift = 0.0
+            for name, pool in pool_names.items():
+                # The MVA piles *all* excess population onto the bottleneck
+                # station, so the raw residence overstates how long one of a
+                # pool's P threads actually holds local resources: with at
+                # most P requests inside the node, per-request residence is
+                # bounded by processor sharing among P threads.  Cap the
+                # MVA-derived holding by that bound — this is what makes a
+                # CPU-saturated node throttle at its CPU capacity instead of
+                # oscillating between CPU-limited and pool-limited regimes.
+                if pool.kind in ("http", "ajp"):
+                    visits = max(pool.visits, 1e-9)
+                    per_req = app_resid[pool.node_id] / visits
+                    d_req = app_demand[pool.node_id] / visits
+                    ps_bound = d_req * max(
+                        1.0, pool.servers / app_cores[pool.node_id]
+                    )
+                    local = min(per_req, ps_bound)
+                    if pool.kind == "http":
+                        dyn_frac = fwd_dyn / max(fwd_total, 1e-9)
+                        target = local + dyn_frac * db_per_page
+                    else:
+                        target = local + db_per_page
+                else:  # dbconn: holding is the database residence per page
+                    target = db_per_page
+                previous = holding.get(name, 0.02)
+                holding[name] = (1 - d) * previous + d * target
+                holding_drift = max(
+                    holding_drift,
+                    abs(holding[name] - previous) / max(holding[name], 1e-6),
+                )
+                # Backlog overflow → rejected requests → failed interactions.
+                q = mva.queue[name]
+                waiting = max(0.0, q - pool.servers)
+                backlog = pool.capacity - pool.servers
+                over = max(0.0, waiting - backlog)
+                reject = over / q if q > 1e-9 else 0.0
+                err += pool.visits * reject
+                pool_diag[f"{pool.node_id}.{pool.kind}.util"] = mva.utilization[name]
+                pool_diag[f"{pool.node_id}.{pool.kind}.reject"] = reject
+                pool_queue.setdefault(pool.node_id, 0.0)
+                pool_queue[pool.node_id] = max(pool_queue[pool.node_id], q)
+            err = min(err, 0.95)
+
+            # --- refresh concurrency estimates ----------------------------
+            for nd in demand_set.nodes:
+                q = (
+                    mva.queue[f"{nd.node_id}:cpu"]
+                    + mva.queue[f"{nd.node_id}:disk"]
+                    + mva.queue[f"{nd.node_id}:nic"]
+                )
+                target = max(pool_queue.get(nd.node_id, 0.0), q, 1.0)
+                conc[nd.node_id] = (1 - d) * conc[nd.node_id] + d * target
+
+            if (
+                abs(x - x_prev) <= self.tol * max(x, 1e-9)
+                and holding_drift <= 100 * self.tol
+            ):
+                x_prev = x
+                break
+            x_prev = x
+
+        assert demand_set is not None and mva is not None
+        x = x_prev
+
+        utilization: dict[str, ResourceUtilization] = {}
+        max_penalty = 1.0
+        for nd in demand_set.nodes:
+            utilization[nd.node_id] = ResourceUtilization(
+                cpu=min(x * nd.cpu / nd.cpu_servers, 1.0),
+                disk=min(x * nd.disk, 1.0),
+                network=min(x * nd.nic, 1.0),
+                memory=nd.memory_bytes / nd.memory_capacity,
+            )
+            max_penalty = max(max_penalty, nd.memory_penalty)
+
+        diagnostics = dict(demand_set.diagnostics)
+        # Per-node load facts for the §IV reconfiguration algorithm:
+        # ``N_i`` (jobs resident on node i) and ``A_i`` (average process time).
+        for nd in demand_set.nodes:
+            diagnostics[f"{nd.node_id}.jobs"] = conc[nd.node_id]
+            diagnostics[f"{nd.node_id}.service_time"] = nd.cpu + nd.disk + nd.nic
+            diagnostics[f"{nd.node_id}.memory_penalty"] = nd.memory_penalty
+        diagnostics.update(pool_diag)
+        diagnostics["forward_dynamic"] = demand_set.forward_dynamic
+        diagnostics["forward_static"] = demand_set.forward_static
+        return AnalyticSolution(
+            throughput=x,
+            error_rate=err,
+            response_time=mva.response_time,
+            utilization=utilization,
+            max_memory_penalty=max_penalty,
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    def _subset_config(
+        self, configuration: Mapping[str, int], node_ids: list[str]
+    ) -> Configuration:
+        prefixes = tuple(f"{n}." for n in node_ids)
+        return Configuration(
+            {k: v for k, v in configuration.items() if k.startswith(prefixes)}
+        )
+
+    def measure(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int = 0,
+    ) -> Measurement:
+        """One noisy measurement iteration (see :class:`PerformanceBackend`)."""
+        ctx = self._context(scenario)
+        think = scenario.behavior.effective_mean_think_time
+        extremeness = scenario.cluster.full_space().extremeness(configuration)
+        rng = spawn_rng(seed, "analytic-measure")
+
+        if scenario.work_lines:
+            lines = scenario.work_lines
+            per_line: dict[str, float] = {}
+            utilization: dict[str, ResourceUtilization] = {}
+            total_raw = 0.0
+            total_wips = 0.0
+            err_acc = 0.0
+            resp_acc = 0.0
+            max_penalty = 1.0
+            diagnostics: dict[str, float] = {}
+            share = scenario.population // len(lines)
+            remainder = scenario.population - share * len(lines)
+            for i, (line_id, node_ids) in enumerate(sorted(lines.items())):
+                placements = [
+                    scenario.cluster.placement(n) for n in node_ids
+                ]
+                sub_cluster = ClusterSpec(placements, name=line_id)
+                sub_pop = share + (1 if i < remainder else 0)
+                sol = self.solve(
+                    sub_cluster,
+                    self._subset_config(configuration, list(node_ids)),
+                    ctx,
+                    max(sub_pop, 1),
+                    think,
+                )
+                noisy = self.noise.apply(
+                    sol.effective_wips,
+                    extremeness,
+                    sol.max_memory_penalty,
+                    spawn_rng(seed, "line", line_id),
+                )
+                per_line[line_id] = noisy
+                total_raw += sol.throughput
+                total_wips += noisy
+                err_acc += sol.error_rate * sol.throughput
+                resp_acc += sol.response_time * sol.throughput
+                utilization.update(sol.utilization)
+                max_penalty = max(max_penalty, sol.max_memory_penalty)
+                diagnostics.update(
+                    {f"{line_id}.{k}": v for k, v in sol.diagnostics.items()}
+                )
+            error_rate = err_acc / total_raw if total_raw > 0 else 0.0
+            response = resp_acc / total_raw if total_raw > 0 else 0.0
+            return Measurement(
+                wips=total_wips,
+                raw_wips=total_raw,
+                error_rate=error_rate,
+                response_time=response,
+                utilization=utilization,
+                diagnostics=diagnostics,
+                per_line_wips=per_line,
+            )
+
+        sol = self.solve(
+            scenario.cluster, configuration, ctx, scenario.population, think
+        )
+        wips = self.noise.apply(
+            sol.effective_wips, extremeness, sol.max_memory_penalty, rng
+        )
+        diagnostics = dict(sol.diagnostics)
+        # Secondary TPC-W metrics: the category split of the throughput
+        # (interactions are sampled i.i.d. from the mix, so the long-run
+        # category rates are the mix's Browse/Order fractions).
+        for category in InteractionCategory:
+            diagnostics[f"wips_{category.value}"] = (
+                wips * scenario.mix.category_fraction(category)
+            )
+        return Measurement(
+            wips=wips,
+            raw_wips=sol.throughput,
+            error_rate=sol.error_rate,
+            response_time=sol.response_time,
+            utilization=sol.utilization,
+            diagnostics=diagnostics,
+        )

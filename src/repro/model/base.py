@@ -1,0 +1,148 @@
+"""Backend interface: what a "measurement iteration" consumes and produces.
+
+Both backends (analytic and discrete-event) implement
+:class:`PerformanceBackend`: given a :class:`Scenario` (the cluster, the
+workload and the closed EB population) and a full configuration, produce a
+:class:`Measurement` — WIPS plus the per-node resource utilizations §IV's
+reconfiguration algorithm monitors.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.cluster.topology import ClusterSpec
+from repro.harmony.parameter import Configuration
+from repro.tpcw.browser import BrowserBehavior
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import WorkloadMix
+
+__all__ = ["Scenario", "ResourceUtilization", "Measurement", "PerformanceBackend"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """The system and workload one measurement iteration runs against."""
+
+    cluster: ClusterSpec
+    mix: WorkloadMix
+    #: Number of emulated browsers (closed population).
+    population: int
+    catalog: Catalog = field(default_factory=Catalog)
+    #: Think-time / navigation behaviour; mix defaults to the scenario mix.
+    behavior: Optional[BrowserBehavior] = None
+    #: Optional work-line partition (line id → node ids).  When set, each
+    #: line serves an equal share of the EB population in isolation.
+    work_lines: Optional[Mapping[str, tuple[str, ...]]] = None
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if self.behavior is None:
+            object.__setattr__(self, "behavior", BrowserBehavior(self.mix))
+        if self.work_lines is not None:
+            frozen = {k: tuple(v) for k, v in self.work_lines.items()}
+            listed = [n for nodes in frozen.values() for n in nodes]
+            if sorted(listed) != sorted(self.cluster.node_ids):
+                raise ValueError(
+                    "work lines must cover every cluster node exactly once"
+                )
+            object.__setattr__(self, "work_lines", frozen)
+
+    def with_mix(self, mix: WorkloadMix) -> "Scenario":
+        """Same scenario under a different workload mix."""
+        return Scenario(
+            cluster=self.cluster,
+            mix=mix,
+            population=self.population,
+            catalog=self.catalog,
+            behavior=BrowserBehavior(
+                mix,
+                self.behavior.mean_think_time,
+                self.behavior.max_think_time,
+            ),
+            work_lines=self.work_lines,
+        )
+
+    def with_cluster(self, cluster: ClusterSpec) -> "Scenario":
+        """Same scenario on a different cluster layout (post-reconfiguration).
+
+        Any work-line partition is dropped (lines are tied to the layout).
+        """
+        return Scenario(
+            cluster=cluster,
+            mix=self.mix,
+            population=self.population,
+            catalog=self.catalog,
+            behavior=self.behavior,
+            work_lines=None,
+        )
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Utilization of one node's resources, each in [0, 1]-ish.
+
+    These are the ``R_ij`` values of the paper's Table 5 (j ranges over
+    CPU, disk, network and memory).  Values can slightly exceed 1 for the
+    memory ratio (resident/physical) under pressure.
+    """
+
+    cpu: float
+    disk: float
+    network: float
+    memory: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Resource-name → utilization mapping (for threshold scans)."""
+        return {
+            "cpu": self.cpu,
+            "disk": self.disk,
+            "network": self.network,
+            "memory": self.memory,
+        }
+
+    def max_utilization(self) -> float:
+        """The busiest resource's utilization."""
+        return max(self.cpu, self.disk, self.network, self.memory)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One iteration's observed performance."""
+
+    #: Measured web interactions per second (includes measurement noise).
+    wips: float
+    #: Model throughput before noise (diagnostic; DES reports its raw rate).
+    raw_wips: float
+    #: Fraction of interactions rejected/failed.
+    error_rate: float
+    #: Mean interaction response time, seconds.
+    response_time: float
+    #: Per-node resource utilizations.
+    utilization: Mapping[str, ResourceUtilization]
+    #: Free-form diagnostics (hit rates, pool occupancies, memory penalty…).
+    diagnostics: Mapping[str, float] = field(default_factory=dict)
+    #: Per-work-line WIPS when the scenario was partitioned.
+    per_line_wips: Mapping[str, float] = field(default_factory=dict)
+
+
+class PerformanceBackend(abc.ABC):
+    """Measure a configuration on a scenario — the testbed substitute."""
+
+    @abc.abstractmethod
+    def measure(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int = 0,
+    ) -> Measurement:
+        """Run one measurement iteration and return its observation.
+
+        ``configuration`` must be complete for ``scenario.cluster``'s full
+        parameter space (``"<node>.<param>"`` names).  ``seed`` drives the
+        measurement noise / simulation randomness, so repeating a seed
+        reproduces the measurement exactly.
+        """

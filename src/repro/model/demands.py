@@ -1,0 +1,221 @@
+"""Assemble per-node station demands from the server models.
+
+Given a cluster layout, a full configuration, and a workload context, this
+module produces what the MVA solver consumes: per-node CPU / disk / NIC
+demands (scaled by each node's traffic share and inflated by its memory
+pressure), the finite pools to correct for, and the tier-to-tier forwarding
+fractions.  Load balancing is even within a tier — the paper's duplication
+assumption (b): "the workload [is] evenly distributed among all the servers
+in the same tier".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.appserver import AppServerModel
+from repro.cluster.context import WorkloadContext
+from repro.cluster.database import DatabaseModel
+from repro.cluster.memory import MemoryModel
+from repro.cluster.node import Role
+from repro.cluster.proxy import ProxyModel
+from repro.cluster.topology import ClusterSpec
+
+__all__ = ["NodeDemand", "PoolSpec", "DemandSet", "build_demands"]
+
+
+@dataclass(frozen=True)
+class NodeDemand:
+    """Per-interaction demands of one node (share-scaled, pressure-inflated)."""
+
+    node_id: str
+    role: Role
+    cpu: float
+    disk: float
+    nic: float
+    cpu_servers: int
+    memory_bytes: float
+    memory_capacity: float
+    memory_penalty: float
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One finite pool: servers, total capacity, and traffic through it."""
+
+    node_id: str
+    kind: str  # "http" | "ajp" | "dbconn"
+    servers: int
+    capacity: int
+    #: Requests per *interaction* arriving at this node's pool.
+    visits: float
+
+
+@dataclass(frozen=True)
+class DemandSet:
+    """Everything the analytic solver needs for one configuration."""
+
+    nodes: tuple[NodeDemand, ...]
+    pools: tuple[PoolSpec, ...]
+    #: Dynamic pages reaching the app tier, per interaction.
+    forward_dynamic: float
+    #: Static requests (objects + cacheable-page misses) reaching the app
+    #: tier, per interaction.
+    forward_static: float
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def forward_total(self) -> float:
+        """All requests reaching the app tier, per interaction."""
+        return self.forward_dynamic + self.forward_static
+
+
+#: MySQL has no configurable accept backlog: a connection beyond
+#: ``max_connections`` is refused after a small TCP backlog.
+DB_BACKLOG = 10
+
+
+def build_demands(
+    cluster: ClusterSpec,
+    config: Mapping[str, int],
+    ctx: WorkloadContext,
+    concurrency: Mapping[str, float],
+    memory_model: MemoryModel | None = None,
+) -> DemandSet:
+    """Derive the demand set for ``config`` on ``cluster`` under ``ctx``.
+
+    ``concurrency`` maps node id → the solver's current estimate of
+    simultaneous in-flight requests at that node (the outer fixed point of
+    :class:`repro.model.analytic.AnalyticBackend` refines it).
+    """
+    memory_model = memory_model or MemoryModel()
+    proxies = cluster.nodes_in(Role.PROXY)
+    apps = cluster.nodes_in(Role.APP)
+    dbs = cluster.nodes_in(Role.DB)
+
+    nodes: list[NodeDemand] = []
+    pools: list[PoolSpec] = []
+    diagnostics: dict[str, float] = {}
+
+    # --- proxy tier ------------------------------------------------------
+    fwd_dynamic = 0.0
+    fwd_static = 0.0
+    share_p = 1.0 / len(proxies)
+    for node_id in proxies:
+        placement = cluster.placement(node_id)
+        cfg = cluster.node_config(config, node_id)
+        ev = ProxyModel(placement.spec).evaluate(
+            cfg, ctx, concurrency.get(node_id, 8.0)
+        )
+        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
+        nodes.append(
+            NodeDemand(
+                node_id=node_id,
+                role=Role.PROXY,
+                cpu=share_p * ev.cpu_demand * penalty,
+                disk=share_p * ev.disk_demand * penalty,
+                nic=share_p * placement.spec.nic_seconds(ev.nic_bytes),
+                cpu_servers=placement.spec.cpu_cores,
+                memory_bytes=ev.memory_bytes,
+                memory_capacity=placement.spec.memory_bytes,
+                memory_penalty=penalty,
+            )
+        )
+        fwd_dynamic += share_p * ev.forward_dynamic
+        fwd_static += share_p * ev.forward_static
+        diagnostics[f"{node_id}.mem_hit"] = ev.mem_hit
+        diagnostics[f"{node_id}.disk_hit"] = ev.disk_hit
+
+    # --- application tier ---------------------------------------------------
+    share_a = 1.0 / len(apps)
+    for node_id in apps:
+        placement = cluster.placement(node_id)
+        cfg = cluster.node_config(config, node_id)
+        ev = AppServerModel(placement.spec).evaluate(
+            cfg,
+            ctx,
+            dynamic_pages=fwd_dynamic,
+            static_requests=fwd_static,
+            concurrency=concurrency.get(node_id, 8.0),
+        )
+        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
+        nodes.append(
+            NodeDemand(
+                node_id=node_id,
+                role=Role.APP,
+                cpu=share_a * ev.cpu_demand * penalty,
+                disk=share_a * ev.disk_demand * penalty,
+                nic=share_a * placement.spec.nic_seconds(ev.nic_bytes),
+                cpu_servers=placement.spec.cpu_cores,
+                memory_bytes=ev.memory_bytes,
+                memory_capacity=placement.spec.memory_bytes,
+                memory_penalty=penalty,
+            )
+        )
+        http_servers, http_backlog = ev.http_pool
+        ajp_servers, ajp_backlog = ev.ajp_pool
+        pools.append(
+            PoolSpec(
+                node_id=node_id,
+                kind="http",
+                servers=http_servers,
+                capacity=http_servers + http_backlog,
+                visits=share_a * (fwd_dynamic + fwd_static),
+            )
+        )
+        pools.append(
+            PoolSpec(
+                node_id=node_id,
+                kind="ajp",
+                servers=ajp_servers,
+                capacity=ajp_servers + ajp_backlog,
+                visits=share_a * fwd_dynamic,
+            )
+        )
+        diagnostics[f"{node_id}.spawn_rate"] = ev.spawn_rate
+
+    # --- database tier ------------------------------------------------------
+    share_d = 1.0 / len(dbs)
+    for node_id in dbs:
+        placement = cluster.placement(node_id)
+        cfg = cluster.node_config(config, node_id)
+        ev = DatabaseModel(placement.spec).evaluate(
+            cfg,
+            ctx,
+            dynamic_pages=fwd_dynamic,
+            concurrency=concurrency.get(node_id, 8.0),
+        )
+        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
+        nodes.append(
+            NodeDemand(
+                node_id=node_id,
+                role=Role.DB,
+                cpu=share_d * ev.cpu_demand * penalty,
+                disk=share_d * ev.disk_demand * penalty,
+                nic=share_d * placement.spec.nic_seconds(ev.nic_bytes),
+                cpu_servers=placement.spec.cpu_cores,
+                memory_bytes=ev.memory_bytes,
+                memory_capacity=placement.spec.memory_bytes,
+                memory_penalty=penalty,
+            )
+        )
+        pools.append(
+            PoolSpec(
+                node_id=node_id,
+                kind="dbconn",
+                servers=ev.connection_limit,
+                capacity=ev.connection_limit + DB_BACKLOG,
+                visits=share_d * fwd_dynamic,
+            )
+        )
+        diagnostics[f"{node_id}.table_miss"] = ev.table_miss
+        diagnostics[f"{node_id}.binlog_spill"] = ev.binlog_spill
+
+    return DemandSet(
+        nodes=tuple(nodes),
+        pools=tuple(pools),
+        forward_dynamic=fwd_dynamic,
+        forward_static=fwd_static,
+        diagnostics=diagnostics,
+    )

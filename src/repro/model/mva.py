@@ -1,0 +1,174 @@
+"""Single-class approximate Mean Value Analysis (Schweitzer).
+
+Solves a closed queueing network with ``N`` customers, a think-time delay
+``Z``, and a set of queueing stations.  Multi-server stations use Seidmann's
+transformation: an *m*-server station with per-visit demand ``D`` behaves
+(approximately) like a single-server station of demand ``D/m`` in series
+with a pure delay of ``D·(m-1)/m``.  Schweitzer's fixed point replaces the
+exact MVA population recursion, making the solve O(iterations × stations)
+independent of ``N`` — this is what lets the benchmark harness run hundreds
+of 23-parameter tuning iterations in milliseconds.
+
+References: Reiser & Lavenberg (exact MVA); Schweitzer 1979; Seidmann,
+Schweitzer & Shalev-Oren 1987.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Station", "MvaResult", "solve_mva", "solve_mva_exact"]
+
+
+@dataclass(frozen=True)
+class Station:
+    """One service centre: a label, per-customer demand, and server count."""
+
+    name: str
+    demand: float  # total service demand per customer visit cycle, seconds
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ValueError(f"{self.name}: demand must be non-negative")
+        if self.servers < 1:
+            raise ValueError(f"{self.name}: servers must be >= 1")
+
+
+@dataclass(frozen=True)
+class MvaResult:
+    """Solution of the closed network."""
+
+    #: System throughput, customers (interactions) per second.
+    throughput: float
+    #: Total response time per cycle excluding think time, seconds.
+    response_time: float
+    #: Per-station residence time (queueing + service + Seidmann delay).
+    residence: dict[str, float]
+    #: Per-station mean queue length (customers in station).
+    queue: dict[str, float]
+    #: Per-station utilization (fraction of total service capacity busy).
+    utilization: dict[str, float]
+    #: Fixed-point iterations used.
+    iterations: int
+
+    def bottleneck(self) -> str:
+        """Name of the most utilized station."""
+        return max(self.utilization, key=self.utilization.get)  # type: ignore[arg-type]
+
+
+def solve_mva(
+    stations: Sequence[Station],
+    population: int,
+    think_time: float,
+    extra_delay: float = 0.0,
+    tol: float = 1e-7,
+    max_iter: int = 10_000,
+) -> MvaResult:
+    """Solve the closed network via the Schweitzer fixed point.
+
+    Parameters
+    ----------
+    stations:
+        Queueing stations (multi-server handled via Seidmann).
+    population:
+        Number of circulating customers (emulated browsers), >= 1.
+    think_time:
+        Pure delay per cycle (EB think time), seconds.
+    extra_delay:
+        Additional pure delay per cycle (e.g. pool waiting times computed by
+        an outer fixed point, or network propagation).
+    """
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if think_time < 0 or extra_delay < 0:
+        raise ValueError("delays must be non-negative")
+    n = len(stations)
+    if n == 0:
+        total_delay = think_time + extra_delay
+        x = population / total_delay if total_delay > 0 else float("inf")
+        return MvaResult(x, extra_delay, {}, {}, {}, 0)
+
+    demand = np.array([s.demand for s in stations], dtype=float)
+    servers = np.array([s.servers for s in stations], dtype=float)
+    # Seidmann: queueing part D/m, delay part D*(m-1)/m.
+    q_demand = demand / servers
+    s_delay = demand * (servers - 1.0) / servers
+    z = think_time + extra_delay + float(s_delay.sum())
+
+    N = float(population)
+    queue = np.full(n, N / max(n, 1) * 0.5)
+    x = 0.0
+    it = 0
+    for it in range(1, max_iter + 1):
+        # Schweitzer: arriving customer sees (N-1)/N of the queue.
+        residence = q_demand * (1.0 + queue * (N - 1.0) / N)
+        total = z + float(residence.sum())
+        x_new = N / total if total > 0 else float("inf")
+        queue_new = x_new * residence
+        if abs(x_new - x) <= tol * max(x_new, 1e-12) and np.all(
+            np.abs(queue_new - queue) <= tol * np.maximum(queue_new, 1e-9)
+        ):
+            x, queue = x_new, queue_new
+            break
+        x, queue = x_new, queue_new
+
+    residence = q_demand * (1.0 + queue * (N - 1.0) / N) + s_delay
+    utilization = np.minimum(x * demand / servers, 1.0)
+    return MvaResult(
+        throughput=float(x),
+        response_time=float(residence.sum()) + extra_delay,
+        residence={s.name: float(r) for s, r in zip(stations, residence)},
+        queue={
+            s.name: float(q + x * d)
+            for s, q, d in zip(stations, queue, s_delay)
+        },
+        utilization={s.name: float(u) for s, u in zip(stations, utilization)},
+        iterations=it,
+    )
+
+
+def solve_mva_exact(
+    stations: Sequence[Station],
+    population: int,
+    think_time: float,
+    extra_delay: float = 0.0,
+) -> MvaResult:
+    """Exact MVA (Reiser–Lavenberg population recursion).
+
+    Only valid for single-server stations (``servers == 1``); it exists as
+    the ground-truth reference the Schweitzer approximation is tested
+    against, and for small models where exactness is cheap (O(N·K)).
+    """
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if think_time < 0 or extra_delay < 0:
+        raise ValueError("delays must be non-negative")
+    for s in stations:
+        if s.servers != 1:
+            raise ValueError(
+                f"exact MVA supports single-server stations only; "
+                f"{s.name!r} has {s.servers}"
+            )
+    demand = np.array([s.demand for s in stations], dtype=float)
+    z = think_time + extra_delay
+    queue = np.zeros(len(stations))
+    x = 0.0
+    residence = demand.copy()
+    for n in range(1, population + 1):
+        residence = demand * (1.0 + queue)
+        total = z + float(residence.sum())
+        x = n / total if total > 0 else float("inf")
+        queue = x * residence
+    utilization = np.minimum(x * demand, 1.0)
+    return MvaResult(
+        throughput=float(x),
+        response_time=float(residence.sum()) + extra_delay,
+        residence={s.name: float(r) for s, r in zip(stations, residence)},
+        queue={s.name: float(q) for s, q in zip(stations, queue)},
+        utilization={s.name: float(u) for s, u in zip(stations, utilization)},
+        iterations=population,
+    )

@@ -1,0 +1,140 @@
+"""Approximate multi-class Mean Value Analysis.
+
+The analytic backend aggregates the 14 TPC-W interactions into a single
+customer class (mix-weighted demands).  This module provides the
+multi-class solver needed to *check* that aggregation and to model
+populations that genuinely differ — e.g. a browsing EB pool sharing the
+cluster with an ordering EB pool (two think times, two demand vectors),
+which no single class can express.
+
+The solver is the multi-class Schweitzer fixed point: an arriving class-c
+customer at station k sees the full queue of other classes but only
+``(N_c - 1)/N_c`` of its own class's queue.  Multi-server stations use the
+same Seidmann transformation as the single-class solver.
+
+Exactness checks in the test suite:
+
+* one class ≡ :func:`repro.model.mva.solve_mva`,
+* identical classes ≡ a merged single class,
+* closed-form M/M/1 sanity at light load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.model.mva import Station
+
+__all__ = ["CustomerClass", "MultiClassResult", "solve_mva_multiclass"]
+
+
+@dataclass(frozen=True)
+class CustomerClass:
+    """One closed customer class: population, think time, per-station demands."""
+
+    name: str
+    population: int
+    think_time: float
+    #: Station name → service demand per cycle, seconds.
+    demands: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError(f"{self.name}: population must be >= 1")
+        if self.think_time < 0:
+            raise ValueError(f"{self.name}: think_time must be non-negative")
+        for station, demand in self.demands.items():
+            if demand < 0:
+                raise ValueError(f"{self.name}@{station}: demand must be >= 0")
+
+
+@dataclass(frozen=True)
+class MultiClassResult:
+    """Per-class throughputs and response times, plus station aggregates."""
+
+    #: Class name → throughput (customers/second).
+    throughput: Mapping[str, float]
+    #: Class name → response time per cycle excluding think time.
+    response_time: Mapping[str, float]
+    #: Station name → total mean queue length (all classes).
+    queue: Mapping[str, float]
+    #: Station name → total utilization.
+    utilization: Mapping[str, float]
+    iterations: int
+
+    @property
+    def total_throughput(self) -> float:
+        """Sum of class throughputs."""
+        return sum(self.throughput.values())
+
+
+def solve_mva_multiclass(
+    stations: Sequence[Station],
+    classes: Sequence[CustomerClass],
+    tol: float = 1e-8,
+    max_iter: int = 20_000,
+) -> MultiClassResult:
+    """Solve the multi-class closed network (Schweitzer fixed point)."""
+    if not classes:
+        raise ValueError("need at least one customer class")
+    names = [s.name for s in stations]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate station names")
+    station_index = {name: i for i, name in enumerate(names)}
+    for cls in classes:
+        unknown = set(cls.demands) - set(names)
+        if unknown:
+            raise ValueError(f"{cls.name}: demands for unknown stations {sorted(unknown)}")
+
+    k = len(stations)
+    c = len(classes)
+    servers = np.array([s.servers for s in stations], dtype=float)
+    # Demands matrix [class, station], Seidmann-split.
+    demand = np.zeros((c, k))
+    for ci, cls in enumerate(classes):
+        for station, d in cls.demands.items():
+            demand[ci, station_index[station]] = d
+    q_demand = demand / servers  # queueing part
+    s_delay = (demand * (servers - 1.0) / servers).sum(axis=1)  # per class
+    populations = np.array([cls.population for cls in classes], dtype=float)
+    think = np.array([cls.think_time for cls in classes], dtype=float) + s_delay
+
+    # Per-class per-station queues.
+    queue = np.tile((populations / max(k, 1) * 0.5)[:, None], (1, k)) * (
+        q_demand > 0
+    )
+    x = np.zeros(c)
+    it = 0
+    for it in range(1, max_iter + 1):
+        total_queue = queue.sum(axis=0)  # per station
+        # Arriving class-c customer sees others fully, own class scaled.
+        seen = total_queue[None, :] - queue / populations[:, None]
+        residence = q_demand * (1.0 + seen)
+        totals = think + residence.sum(axis=1)
+        with np.errstate(divide="ignore"):
+            x_new = np.where(totals > 0, populations / totals, np.inf)
+        queue_new = x_new[:, None] * residence
+        if np.all(np.abs(x_new - x) <= tol * np.maximum(x_new, 1e-12)) and np.all(
+            np.abs(queue_new - queue) <= tol * np.maximum(queue_new, 1e-9)
+        ):
+            x, queue = x_new, queue_new
+            break
+        x, queue = x_new, queue_new
+
+    total_queue = queue.sum(axis=0)
+    seen = total_queue[None, :] - queue / populations[:, None]
+    residence = q_demand * (1.0 + seen)
+    utilization = np.minimum((x[:, None] * demand / servers).sum(axis=0), 1.0)
+    return MultiClassResult(
+        throughput={cls.name: float(xv) for cls, xv in zip(classes, x)},
+        response_time={
+            cls.name: float(residence[ci].sum() + s_delay[ci])
+            for ci, cls in enumerate(classes)
+        },
+        queue={name: float(q) for name, q in zip(names, total_queue)},
+        utilization={name: float(u) for name, u in zip(names, utilization)},
+        iterations=it,
+    )

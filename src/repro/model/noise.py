@@ -1,0 +1,72 @@
+"""Measurement-noise model.
+
+Real WIPS measurements fluctuate iteration to iteration.  The paper reports
+two empirical facts the noise model reproduces:
+
+* baseline runs have a small relative spread (Table 4's "None" row:
+  σ ≈ 2% of the mean), and
+* "the system often performs poorly [and erratically] when using a
+  configuration with parameters with extreme values" (§III.A) — so the
+  relative noise grows with how close the configuration sits to its bounds
+  and with memory pressure.
+
+Noise is multiplicative lognormal-ish (symmetric in the small-σ regime) and
+driven by an explicit generator so iterations are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Relative measurement noise as a function of configuration state."""
+
+    #: Relative σ for a mid-range configuration with no memory pressure.
+    base_sigma: float = 0.012
+    #: Additional relative σ at full extremeness (every parameter pinned).
+    extreme_sigma: float = 0.015
+    #: Additional relative σ per unit of memory-pressure penalty above 1.
+    pressure_sigma: float = 0.08
+    #: Hard cap on the relative σ.
+    max_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("base_sigma", "extreme_sigma", "pressure_sigma", "max_sigma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def sigma(self, extremeness: float, memory_penalty: float = 1.0) -> float:
+        """Relative noise level for a configuration.
+
+        ``extremeness`` is the mean per-dimension closeness to bounds in
+        [0, 1]; ``memory_penalty`` is the worst node's service-inflation
+        factor (>= 1).
+        """
+        if not 0.0 <= extremeness <= 1.0:
+            raise ValueError(f"extremeness must be in [0,1], got {extremeness}")
+        if memory_penalty < 1.0:
+            raise ValueError("memory_penalty must be >= 1")
+        s = (
+            self.base_sigma
+            + self.extreme_sigma * extremeness**2
+            + self.pressure_sigma * (memory_penalty - 1.0)
+        )
+        return min(s, self.max_sigma)
+
+    def apply(
+        self,
+        value: float,
+        extremeness: float,
+        memory_penalty: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One noisy observation of ``value`` (never negative)."""
+        s = self.sigma(extremeness, memory_penalty)
+        noisy = value * float(np.exp(rng.normal(0.0, s) - 0.5 * s * s))
+        return max(noisy, 0.0)

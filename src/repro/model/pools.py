@@ -1,0 +1,96 @@
+"""M/M/c/K waiting and blocking — the finite-pool corrections.
+
+Tomcat's connector pools and MySQL's connection limit are *c*-server queues
+with finite waiting rooms: ``c = maxProcessors``, ``K = c + acceptCount``.
+A request arriving with all threads busy waits in the backlog; one arriving
+with the backlog full is rejected (a failed TPC-W interaction).  The MVA
+network cannot express these caps directly, so the analytic backend layers
+the classical M/M/c/K results on top: :func:`mmck` returns the blocking
+probability and the mean wait of *accepted* requests, given the arrival
+rate and mean holding time the MVA solution implies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PoolResult", "mmck"]
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """Steady-state M/M/c/K quantities."""
+
+    #: Probability an arrival is rejected (system full).
+    blocking: float
+    #: Mean waiting time (excluding service) of accepted arrivals, seconds.
+    wait: float
+    #: Mean number of busy servers.
+    busy: float
+    #: Offered load a = λ·s (Erlangs).
+    offered: float
+    #: Number of servers c.
+    servers: int = 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of servers busy."""
+        return self.busy / self.servers
+
+
+def mmck(arrival_rate: float, holding_time: float, servers: int, capacity: int) -> PoolResult:
+    """Solve M/M/c/K.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ, requests per second (Poisson).
+    holding_time:
+        Mean service (holding) time per request, seconds.
+    servers:
+        c >= 1 parallel servers (threads / connections).
+    capacity:
+        K >= c total places (in service + waiting).  ``K == c`` means no
+        waiting room (pure loss).
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if capacity < servers:
+        raise ValueError("capacity must be >= servers")
+    if arrival_rate < 0 or holding_time < 0:
+        raise ValueError("rates and times must be non-negative")
+    if arrival_rate == 0.0 or holding_time == 0.0:
+        return PoolResult(blocking=0.0, wait=0.0, busy=0.0, offered=0.0, servers=servers)
+
+    c, k = servers, capacity
+    a = arrival_rate * holding_time  # offered load, Erlangs
+    if a <= 0.0:  # product underflow of tiny positives
+        return PoolResult(blocking=0.0, wait=0.0, busy=0.0, offered=0.0,
+                          servers=servers)
+
+    # p_n / p_0 in log space for numerical stability with large pools;
+    # log(a) - log(n) rather than log(a/n) so subnormal loads don't
+    # underflow the quotient to zero.
+    log_a = math.log(a)
+    log_terms = [0.0] * (k + 1)
+    for n in range(1, k + 1):
+        log_terms[n] = log_terms[n - 1] + log_a - math.log(min(n, c))
+    m = max(log_terms)
+    weights = [math.exp(t - m) for t in log_terms]
+    total = sum(weights)
+    probs = [w / total for w in weights]
+
+    blocking = probs[k]
+    accepted_rate = arrival_rate * (1.0 - blocking)
+    queue_len = sum((n - c) * probs[n] for n in range(c + 1, k + 1))
+    busy = sum(min(n, c) * probs[n] for n in range(k + 1))
+    wait = queue_len / accepted_rate if accepted_rate > 0 else 0.0
+    # Guard tiny negative round-off.
+    return PoolResult(
+        blocking=min(max(blocking, 0.0), 1.0),
+        wait=max(wait, 0.0),
+        busy=max(busy, 0.0),
+        offered=a,
+        servers=c,
+    )

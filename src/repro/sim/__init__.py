@@ -1,0 +1,36 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate for the request-level backend (:mod:`repro.des`).  It
+is deliberately SimPy-flavoured — generator-based processes communicating
+through events and resources — but written from scratch and reduced to what
+the cluster models need:
+
+* :class:`Environment` — the event loop and simulated clock,
+* :class:`Process` — a generator coroutine driven by the loop,
+* :class:`Resource` — a multi-server queueing resource with an optional
+  bounded waiting room (rejects when full, like a TCP accept backlog),
+* :class:`Monitor` / :class:`repro.util.TimeWeightedStats` integration for
+  utilization accounting.
+
+Design notes (performance): the event queue is a binary heap of
+``(time, sequence, event)`` tuples; the sequence number breaks ties FIFO and
+avoids comparing event objects.  Processes are plain generators — no thread
+or greenlet machinery — so a run costs one heap push/pop plus one ``send``
+per event.
+"""
+
+from repro.sim.core import Environment, Event, Interrupt, SimulationError, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import AcquireRequest, QueueFullError, Resource
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "Resource",
+    "AcquireRequest",
+    "QueueFullError",
+]

@@ -1,0 +1,185 @@
+"""Event loop and primitive events for the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+__all__ = ["Environment", "Event", "Timeout", "Interrupt", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, yielding a bad object…)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with a value (success) or *failed* with an
+    exception.  Callbacks registered before the trigger run when the event is
+    processed by the loop; waiting processes are resumed with the value or
+    have the exception thrown into them.
+    """
+
+    __slots__ = ("env", "_value", "_exc", "_triggered", "_processed", "_callbacks")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` was called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the loop has delivered the event to its waiters."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The success value (only meaningful after the event succeeded)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, if the event failed."""
+        return self._exc
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self.env.now, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed with ``exc``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self.env.now, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(env.now + delay, self)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active: Optional["Process"] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently being stepped (None outside process code)."""
+        return self._active
+
+    # -- event construction helpers ------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new :class:`Process` running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, at: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        at, _, event = heapq.heappop(self._queue)
+        self._now = at
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue is empty or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given the clock
+        is advanced to exactly ``until`` even if no event lands there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

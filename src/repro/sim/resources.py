@@ -1,0 +1,158 @@
+"""Multi-server queueing resources with bounded waiting rooms.
+
+:class:`Resource` models a pool of ``capacity`` identical servers (threads,
+database connections, disk channels).  Acquire requests beyond capacity wait
+FIFO in a queue of at most ``queue_limit`` entries; requests arriving to a
+full queue fail immediately with :class:`QueueFullError` — this is how the
+cluster models express Tomcat's ``acceptCount`` and similar backlog limits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+from repro.util.stats import TimeWeightedStats
+
+__all__ = ["Resource", "AcquireRequest", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """An acquire arrived while the waiting room was full (rejected)."""
+
+
+class AcquireRequest(Event):
+    """Event representing one pending or granted acquisition.
+
+    Yield it to wait for a server; call :meth:`release` (or use the resource's
+    ``release``) exactly once when done.
+    """
+
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        """Return the server to the pool (idempotence is an error)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` servers with a FIFO waiting room of ``queue_limit``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int,
+        queue_limit: Optional[int] = None,
+        name: str = "resource",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if queue_limit is not None and queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.env = env
+        self.name = name
+        self._capacity = capacity
+        self._queue_limit = queue_limit
+        self._in_service = 0
+        self._waiting: deque[AcquireRequest] = deque()
+        self._rejected = 0
+        self._granted = 0
+        self.busy_stats = TimeWeightedStats(env.now, 0.0)
+        self.queue_stats = TimeWeightedStats(env.now, 0.0)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Number of servers."""
+        return self._capacity
+
+    @property
+    def in_service(self) -> int:
+        """Requests currently holding a server."""
+        return self._in_service
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting."""
+        return len(self._waiting)
+
+    @property
+    def rejected(self) -> int:
+        """Count of acquires rejected because the waiting room was full."""
+        return self._rejected
+
+    @property
+    def granted(self) -> int:
+        """Count of acquires that obtained a server."""
+        return self._granted
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Time-average fraction of servers busy since the last reset."""
+        t = self.env.now if now is None else now
+        return self.busy_stats.mean(t) / self._capacity
+
+    def reset_stats(self) -> None:
+        """Restart utilization/queue integration at the current time."""
+        self.busy_stats.reset(self.env.now)
+        self.queue_stats.reset(self.env.now)
+        self._rejected = 0
+        self._granted = 0
+
+    # -- acquire / release -------------------------------------------------
+    def acquire(self) -> AcquireRequest:
+        """Request a server; the returned event triggers when granted.
+
+        If the waiting room is full the event fails with
+        :class:`QueueFullError` (delivered when yielded on).
+        """
+        req = AcquireRequest(self.env, self)
+        if self._in_service < self._capacity:
+            self._in_service += 1
+            self._granted += 1
+            self.busy_stats.update(self.env.now, self._in_service)
+            req.succeed(req)
+        elif self._queue_limit is not None and len(self._waiting) >= self._queue_limit:
+            self._rejected += 1
+            req.fail(QueueFullError(self.name))
+        else:
+            self._waiting.append(req)
+            self.queue_stats.update(self.env.now, len(self._waiting))
+        return req
+
+    def release(self, req: AcquireRequest) -> None:
+        """Free the server held by ``req`` and admit the next waiter."""
+        if req.resource is not self:
+            raise SimulationError("release on the wrong resource")
+        if req._released:
+            raise SimulationError("double release")
+        if not req.triggered or req.exception is not None:
+            raise SimulationError("release of a request that never held a server")
+        req._released = True
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self.queue_stats.update(self.env.now, len(self._waiting))
+            self._granted += 1
+            nxt.succeed(nxt)  # server handed over; _in_service unchanged
+        else:
+            self._in_service -= 1
+            self.busy_stats.update(self.env.now, self._in_service)
+
+    def cancel(self, req: AcquireRequest) -> None:
+        """Withdraw a waiting request (no effect if already granted)."""
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            return
+        self.queue_stats.update(self.env.now, len(self._waiting))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Resource({self.name!r}, capacity={self._capacity}, "
+            f"busy={self._in_service}, queued={len(self._waiting)})"
+        )

@@ -1,0 +1,54 @@
+"""TPC-W: the transactional web benchmark used as the performance metric.
+
+The paper measures every experiment in WIPS (Web Interactions Per Second)
+under the three TPC-W workload mixes of its Table 1 — Browsing (WIPSb),
+Shopping (WIPS) and Ordering (WIPSo).  This package implements:
+
+* the 14 web interactions and the exact Table 1 mix percentages
+  (:mod:`repro.tpcw.interactions`),
+* per-interaction *resource profiles* — how much static content, servlet
+  CPU, database reads/writes each interaction generates
+  (:mod:`repro.tpcw.profiles`),
+* the item catalog at the paper's scale factor of 10,000 items with Zipf
+  popularity (:mod:`repro.tpcw.catalog`),
+* the closed-loop emulated-browser behaviour (:mod:`repro.tpcw.browser`),
+* WIPS / WIPSb / WIPSo metric helpers (:mod:`repro.tpcw.metrics`).
+"""
+
+from repro.tpcw.browser import BrowserBehavior
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    InteractionCategory,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    STANDARD_MIXES,
+    WorkloadMix,
+)
+from repro.tpcw.metrics import WipsMeter
+from repro.tpcw.mix import MixSampler, expected_profile
+from repro.tpcw.navigation import SITE_STRUCTURE, NavigationModel
+from repro.tpcw.profiles import PROFILES, InteractionProfile
+from repro.tpcw.wirt import WIRT_LIMITS, WirtTracker
+
+__all__ = [
+    "Interaction",
+    "InteractionCategory",
+    "WorkloadMix",
+    "BROWSING_MIX",
+    "SHOPPING_MIX",
+    "ORDERING_MIX",
+    "STANDARD_MIXES",
+    "InteractionProfile",
+    "PROFILES",
+    "MixSampler",
+    "expected_profile",
+    "NavigationModel",
+    "SITE_STRUCTURE",
+    "Catalog",
+    "BrowserBehavior",
+    "WipsMeter",
+    "WirtTracker",
+    "WIRT_LIMITS",
+]

@@ -1,0 +1,73 @@
+"""Emulated-browser behaviour (the TPC-W load model).
+
+TPC-W drives the system with a closed population of *emulated browsers*
+(EBs): each EB repeatedly thinks for a random time, then issues its next web
+interaction and waits for the response.  The think-time distribution is the
+TPC-W specification's truncated exponential with a 7-second mean.
+
+:class:`BrowserBehavior` is the pure (engine-agnostic) specification — both
+the analytic backend (which needs only the mean think time) and the
+discrete-event backend (which samples it per request) consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tpcw.interactions import Interaction, WorkloadMix
+from repro.tpcw.mix import MixSampler
+
+__all__ = ["BrowserBehavior"]
+
+
+@dataclass(frozen=True)
+class BrowserBehavior:
+    """Think-time distribution plus the interaction mix of one EB.
+
+    Parameters follow the TPC-W specification: think times are exponential
+    with ``mean_think_time`` (7 s), truncated at ``max_think_time`` (10× the
+    mean).
+    """
+
+    mix: WorkloadMix
+    mean_think_time: float = 7.0
+    max_think_time: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.mean_think_time <= 0:
+            raise ValueError("mean_think_time must be positive")
+        if self.max_think_time < self.mean_think_time:
+            raise ValueError("max_think_time must be >= mean_think_time")
+
+    @property
+    def effective_mean_think_time(self) -> float:
+        """Mean of the truncated exponential (slightly below the nominal mean).
+
+        For an exponential with rate 1/m truncated at T, the mean is
+        ``m - T·exp(-T/m)/(1-exp(-T/m))``... computed exactly here so the
+        analytic and simulated backends agree on the think time they model.
+        """
+        m = self.mean_think_time
+        t = self.max_think_time
+        p = np.exp(-t / m)
+        # E[X | X <= T] for X ~ Exp(1/m).
+        return float((m - (t + m) * p) / (1.0 - p))
+
+    def sampler(self) -> MixSampler:
+        """A sampler over this behaviour's mix."""
+        return MixSampler(self.mix)
+
+    def next_think_time(self, rng: np.random.Generator) -> float:
+        """Draw one think time (truncated exponential)."""
+        while True:
+            t = float(rng.exponential(self.mean_think_time))
+            if t <= self.max_think_time:
+                return t
+
+    def next_interaction(
+        self, rng: np.random.Generator, sampler: MixSampler | None = None
+    ) -> Interaction:
+        """Draw the next interaction from the mix."""
+        return (sampler or self.sampler()).sample(rng)

@@ -1,0 +1,156 @@
+"""The item catalog and the static-object universe.
+
+The paper runs TPC-W at scale factor 10,000 items (§II.D).  Static content —
+item images, shared page furniture — forms the universe the proxy cache
+works against.  Popularity is Zipf-distributed (the standard web-object
+model, and what makes small memory caches effective).
+
+The central service exported to the performance models is
+:meth:`Catalog.hit_fraction`: the fraction of static-object *requests* that
+a memory cache of a given size can serve, given Squid's admission bounds
+(``minimum_object_size`` / ``maximum_object_size_in_memory``).  It assumes
+the cache retains the most popular admissible objects (the steady state of
+an LRU/LFU cache under Zipf traffic) and is fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+from repro.util.units import KB
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Static-object universe for a TPC-W store.
+
+    Parameters
+    ----------
+    scale:
+        Number of items the store sells (paper: 10,000).
+    objects_per_item:
+        Static objects per item (thumbnail + full image by default).
+    zipf_exponent:
+        Popularity skew; ~0.8 is typical for web objects.
+    mean_object_kb / sigma:
+        Lognormal object-size parameters (median web image a few KB).
+    seed:
+        Seed for the size draw (sizes are a fixed property of the store).
+    """
+
+    def __init__(
+        self,
+        scale: int = 10_000,
+        objects_per_item: int = 2,
+        zipf_exponent: float = 0.8,
+        mean_object_kb: float = 5.0,
+        sigma: float = 1.0,
+        seed: int = 1234,
+    ) -> None:
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        if objects_per_item < 1:
+            raise ValueError("objects_per_item must be >= 1")
+        if zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        self.scale = scale
+        self.zipf_exponent = zipf_exponent
+        n = scale * objects_per_item
+        rng = spawn_rng(seed, "catalog", scale, objects_per_item)
+        mu = np.log(mean_object_kb * KB)
+        self._sizes = np.exp(rng.normal(mu, sigma, size=n))
+        self._sizes = np.maximum(self._sizes, 256.0)  # floor: headers alone
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-zipf_exponent)
+        self._popularity = weights / weights.sum()
+        # Popularity rank is independent of size: shuffle sizes once.
+        rng.shuffle(self._sizes)
+        self._cdf = np.cumsum(self._popularity)
+        self._cdf[-1] = 1.0
+        # hit_fraction is called with a handful of distinct (capacity,
+        # bounds) triples thousands of times per tuning run; the catalog is
+        # immutable, so memoising is free speed.
+        self._hit_cache: dict[tuple[float, float, float], float] = {}
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """Number of distinct static objects."""
+        return len(self._sizes)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Object sizes in bytes, indexed by popularity rank (read-only)."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Request probability per object, by popularity rank (read-only)."""
+        view = self._popularity.view()
+        view.flags.writeable = False
+        return view
+
+    def universe_bytes(self) -> float:
+        """Total bytes of all static objects."""
+        return float(self._sizes.sum())
+
+    def mean_object_bytes(self) -> float:
+        """Request-weighted mean object size (what a served byte stream sees)."""
+        return float(np.dot(self._popularity, self._sizes))
+
+    # -- cache modelling ---------------------------------------------------
+    def admissible_mask(
+        self, min_size_bytes: float, max_size_bytes: float
+    ) -> np.ndarray:
+        """Objects whose size passes the admission bounds."""
+        return (self._sizes >= min_size_bytes) & (self._sizes <= max_size_bytes)
+
+    def hit_fraction(
+        self,
+        cache_bytes: float,
+        min_size_bytes: float = 0.0,
+        max_size_bytes: float = float("inf"),
+    ) -> float:
+        """Fraction of static requests served by a cache of ``cache_bytes``.
+
+        The cache is assumed to hold the most popular objects that (a) pass
+        the size-admission bounds and (b) fit cumulatively in the capacity —
+        the steady state of LRU under independent-reference Zipf traffic.
+        """
+        if cache_bytes <= 0:
+            return 0.0
+        key = (float(cache_bytes), float(min_size_bytes), float(max_size_bytes))
+        hit = self._hit_cache.get(key)
+        if hit is not None:
+            return hit
+        mask = self.admissible_mask(min_size_bytes, max_size_bytes)
+        if not mask.any():
+            hit = 0.0
+        else:
+            sizes = self._sizes[mask]
+            pops = self._popularity[mask]
+            cum = np.cumsum(sizes)
+            cached = cum <= cache_bytes
+            hit = float(min(1.0, pops[cached].sum()))
+        if len(self._hit_cache) < 100_000:
+            self._hit_cache[key] = hit
+        return hit
+
+    def sample_object(self, rng: np.random.Generator) -> int:
+        """Draw one object index according to popularity (for the DES)."""
+        idx = int(np.searchsorted(self._cdf, rng.random(), side="right"))
+        return min(idx, self.num_objects - 1)
+
+    def sample_objects(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` object indices according to popularity."""
+        u = rng.random(n)
+        idx = np.searchsorted(self._cdf, u, side="right")
+        return np.minimum(idx, self.num_objects - 1)
+
+    def object_size(self, index: int) -> float:
+        """Size in bytes of object ``index``."""
+        return float(self._sizes[index])

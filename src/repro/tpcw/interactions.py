@@ -1,0 +1,208 @@
+"""The 14 TPC-W web interactions and the Table 1 workload mixes.
+
+The percentages below are transcribed verbatim from Table 1 of the paper
+("TPC-W benchmark workloads"): the Browsing mix is 95% browse / 5% order,
+Shopping 80/20, Ordering 50/50.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "Interaction",
+    "InteractionCategory",
+    "WorkloadMix",
+    "BROWSING_MIX",
+    "SHOPPING_MIX",
+    "ORDERING_MIX",
+    "STANDARD_MIXES",
+]
+
+
+class InteractionCategory(enum.Enum):
+    """TPC-W classifies interactions as Browse or Order (Table 1)."""
+
+    BROWSE = "browse"
+    ORDER = "order"
+
+
+class Interaction(enum.Enum):
+    """One of the 14 TPC-W web interactions."""
+
+    HOME = "Home"
+    NEW_PRODUCTS = "New Products"
+    BEST_SELLERS = "Best Sellers"
+    PRODUCT_DETAIL = "Product Detail"
+    SEARCH_REQUEST = "Search Request"
+    SEARCH_RESULTS = "Search Results"
+    SHOPPING_CART = "Shopping Cart"
+    CUSTOMER_REGISTRATION = "Customer Registration"
+    BUY_REQUEST = "Buy Request"
+    BUY_CONFIRM = "Buy Confirm"
+    ORDER_INQUIRY = "Order Inquiry"
+    ORDER_DISPLAY = "Order Display"
+    ADMIN_REQUEST = "Admin Request"
+    ADMIN_CONFIRM = "Admin Confirm"
+
+    @property
+    def category(self) -> InteractionCategory:
+        """Browse/Order classification per Table 1."""
+        return _CATEGORIES[self]
+
+
+_BROWSE = (
+    Interaction.HOME,
+    Interaction.NEW_PRODUCTS,
+    Interaction.BEST_SELLERS,
+    Interaction.PRODUCT_DETAIL,
+    Interaction.SEARCH_REQUEST,
+    Interaction.SEARCH_RESULTS,
+)
+_ORDER = (
+    Interaction.SHOPPING_CART,
+    Interaction.CUSTOMER_REGISTRATION,
+    Interaction.BUY_REQUEST,
+    Interaction.BUY_CONFIRM,
+    Interaction.ORDER_INQUIRY,
+    Interaction.ORDER_DISPLAY,
+    Interaction.ADMIN_REQUEST,
+    Interaction.ADMIN_CONFIRM,
+)
+_CATEGORIES: dict[Interaction, InteractionCategory] = {
+    **{i: InteractionCategory.BROWSE for i in _BROWSE},
+    **{i: InteractionCategory.ORDER for i in _ORDER},
+}
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named assignment of weights to the 14 interactions.
+
+    Weights are fractions summing to 1 (Table 1 gives percentages).
+    """
+
+    name: str
+    weights: Mapping[Interaction, float]
+
+    def __post_init__(self) -> None:
+        missing = set(Interaction) - set(self.weights)
+        if missing:
+            raise ValueError(
+                f"mix {self.name!r} missing weights for "
+                f"{sorted(i.value for i in missing)}"
+            )
+        extra = set(self.weights) - set(Interaction)
+        if extra:
+            raise ValueError(f"mix {self.name!r} has unknown interactions {extra}")
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"mix {self.name!r} weights sum to {total:.6f}, expected 1.0"
+            )
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError(f"mix {self.name!r} has a negative weight")
+
+    def weight(self, interaction: Interaction) -> float:
+        """The fraction of interactions of this kind."""
+        return self.weights[interaction]
+
+    def category_fraction(self, category: InteractionCategory) -> float:
+        """Total weight of Browse (or Order) interactions."""
+        return sum(
+            w for i, w in self.weights.items() if i.category is category
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+    @staticmethod
+    def blend(a: "WorkloadMix", b: "WorkloadMix", t: float,
+              name: str | None = None) -> "WorkloadMix":
+        """Linear interpolation between two mixes (``t=0`` → a, ``t=1`` → b).
+
+        Real traffic drifts gradually between regimes (a sale announcement
+        shifts browsing toward ordering over hours, not instantly); blended
+        mixes let experiments model that drift.
+        """
+        if not 0.0 <= t <= 1.0:
+            raise ValueError(f"t must be in [0, 1], got {t}")
+        weights = {
+            i: (1.0 - t) * a.weight(i) + t * b.weight(i) for i in Interaction
+        }
+        return WorkloadMix(name or f"{a.name}~{b.name}@{t:.2f}", weights)
+
+
+def _mix(name: str, percent: Mapping[Interaction, float]) -> WorkloadMix:
+    return WorkloadMix(name, {i: p / 100.0 for i, p in percent.items()})
+
+
+#: Table 1, "Browsing (WIPSb)" column — 95% browse / 5% order.
+BROWSING_MIX = _mix(
+    "browsing",
+    {
+        Interaction.HOME: 29.00,
+        Interaction.NEW_PRODUCTS: 11.00,
+        Interaction.BEST_SELLERS: 11.00,
+        Interaction.PRODUCT_DETAIL: 21.00,
+        Interaction.SEARCH_REQUEST: 12.00,
+        Interaction.SEARCH_RESULTS: 11.00,
+        Interaction.SHOPPING_CART: 2.00,
+        Interaction.CUSTOMER_REGISTRATION: 0.82,
+        Interaction.BUY_REQUEST: 0.75,
+        Interaction.BUY_CONFIRM: 0.69,
+        Interaction.ORDER_INQUIRY: 0.30,
+        Interaction.ORDER_DISPLAY: 0.25,
+        Interaction.ADMIN_REQUEST: 0.10,
+        Interaction.ADMIN_CONFIRM: 0.09,
+    },
+)
+
+#: Table 1, "Shopping (WIPS)" column — 80% browse / 20% order.
+SHOPPING_MIX = _mix(
+    "shopping",
+    {
+        Interaction.HOME: 16.00,
+        Interaction.NEW_PRODUCTS: 5.00,
+        Interaction.BEST_SELLERS: 5.00,
+        Interaction.PRODUCT_DETAIL: 17.00,
+        Interaction.SEARCH_REQUEST: 20.00,
+        Interaction.SEARCH_RESULTS: 17.00,
+        Interaction.SHOPPING_CART: 11.60,
+        Interaction.CUSTOMER_REGISTRATION: 3.00,
+        Interaction.BUY_REQUEST: 2.60,
+        Interaction.BUY_CONFIRM: 1.20,
+        Interaction.ORDER_INQUIRY: 0.75,
+        Interaction.ORDER_DISPLAY: 0.66,
+        Interaction.ADMIN_REQUEST: 0.10,
+        Interaction.ADMIN_CONFIRM: 0.09,
+    },
+)
+
+#: Table 1, "Ordering (WIPSo)" column — 50% browse / 50% order.
+ORDERING_MIX = _mix(
+    "ordering",
+    {
+        Interaction.HOME: 9.12,
+        Interaction.NEW_PRODUCTS: 0.46,
+        Interaction.BEST_SELLERS: 0.46,
+        Interaction.PRODUCT_DETAIL: 12.35,
+        Interaction.SEARCH_REQUEST: 14.53,
+        Interaction.SEARCH_RESULTS: 13.08,
+        Interaction.SHOPPING_CART: 13.53,
+        Interaction.CUSTOMER_REGISTRATION: 12.86,
+        Interaction.BUY_REQUEST: 12.73,
+        Interaction.BUY_CONFIRM: 10.18,
+        Interaction.ORDER_INQUIRY: 0.25,
+        Interaction.ORDER_DISPLAY: 0.22,
+        Interaction.ADMIN_REQUEST: 0.12,
+        Interaction.ADMIN_CONFIRM: 0.11,
+    },
+)
+
+#: The three standard mixes, keyed by name.
+STANDARD_MIXES: dict[str, WorkloadMix] = {
+    m.name: m for m in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+}

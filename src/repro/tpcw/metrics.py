@@ -1,0 +1,98 @@
+"""WIPS metrics.
+
+TPC-W's primary metric is WIPS — web interactions per second — measured over
+a measurement interval.  WIPSb and WIPSo are the same quantity measured
+while the system runs the Browsing and Ordering mixes respectively
+(§II.C of the paper).  :class:`WipsMeter` accumulates completions over a
+measurement window (the DES backend feeds it; the analytic backend computes
+throughput directly).
+"""
+
+from __future__ import annotations
+
+from repro.tpcw.interactions import Interaction, InteractionCategory
+
+__all__ = ["WipsMeter"]
+
+
+class WipsMeter:
+    """Counts completed web interactions within a measurement window."""
+
+    def __init__(self) -> None:
+        self._window_open = False
+        self._start = 0.0
+        self._stop = 0.0
+        self._completed = 0
+        self._errors = 0
+        self._by_category = {c: 0 for c in InteractionCategory}
+
+    def open_window(self, now: float) -> None:
+        """Begin the measurement interval (end of warm-up)."""
+        if self._window_open:
+            raise RuntimeError("measurement window already open")
+        self._window_open = True
+        self._start = now
+        self._completed = 0
+        self._errors = 0
+        self._by_category = {c: 0 for c in InteractionCategory}
+
+    def close_window(self, now: float) -> None:
+        """End the measurement interval (start of cool-down)."""
+        if not self._window_open:
+            raise RuntimeError("measurement window is not open")
+        if now < self._start:
+            raise ValueError("window closed before it opened")
+        self._window_open = False
+        self._stop = now
+
+    @property
+    def window_open(self) -> bool:
+        """True between open_window and close_window."""
+        return self._window_open
+
+    def record_completion(self, interaction: Interaction) -> None:
+        """Record one successfully completed interaction (if window open)."""
+        if self._window_open:
+            self._completed += 1
+            self._by_category[interaction.category] += 1
+
+    def record_error(self) -> None:
+        """Record one failed interaction (rejected/errored; not counted)."""
+        if self._window_open:
+            self._errors += 1
+
+    @property
+    def completed(self) -> int:
+        """Interactions completed inside the window."""
+        return self._completed
+
+    @property
+    def errors(self) -> int:
+        """Interactions failed inside the window."""
+        return self._errors
+
+    @property
+    def duration(self) -> float:
+        """Length of the (closed) measurement window."""
+        if self._window_open:
+            raise RuntimeError("window still open")
+        return self._stop - self._start
+
+    def wips(self) -> float:
+        """Web interactions per second over the closed window."""
+        d = self.duration
+        if d <= 0:
+            raise ValueError("measurement window has zero duration")
+        return self._completed / d
+
+    def error_rate(self) -> float:
+        """Fraction of attempted interactions that failed."""
+        total = self._completed + self._errors
+        return self._errors / total if total else 0.0
+
+    def category_rate(self, category: InteractionCategory) -> float:
+        """Completions per second of one category (browse vs order)."""
+        d = self.duration
+        if d <= 0:
+            raise ValueError("measurement window has zero duration")
+        return self._by_category[category] / d

@@ -1,0 +1,75 @@
+"""Sampling interactions from a workload mix, and mix-level aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tpcw.interactions import Interaction, WorkloadMix
+from repro.tpcw.profiles import PROFILES, InteractionProfile
+
+__all__ = ["MixSampler", "expected_profile"]
+
+
+class MixSampler:
+    """Draw interactions i.i.d. according to a mix's weights.
+
+    (The full TPC-W navigation graph is a Markov chain whose stationary
+    distribution is the Table 1 mix; sampling the stationary distribution
+    directly produces the same long-run interaction stream statistics, which
+    is all the throughput metric observes.)
+    """
+
+    def __init__(self, mix: WorkloadMix) -> None:
+        self.mix = mix
+        self._interactions = list(Interaction)
+        weights = np.array([mix.weight(i) for i in self._interactions])
+        self._cdf = np.cumsum(weights)
+        self._cdf[-1] = 1.0  # guard against float round-off
+
+    def sample(self, rng: np.random.Generator) -> Interaction:
+        """One interaction drawn from the mix."""
+        u = rng.random()
+        idx = int(np.searchsorted(self._cdf, u, side="right"))
+        return self._interactions[min(idx, len(self._interactions) - 1)]
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[Interaction]:
+        """``n`` i.i.d. interactions (vectorized)."""
+        u = rng.random(n)
+        idx = np.searchsorted(self._cdf, u, side="right")
+        idx = np.minimum(idx, len(self._interactions) - 1)
+        return [self._interactions[i] for i in idx]
+
+
+def expected_profile(mix: WorkloadMix) -> InteractionProfile:
+    """Mix-averaged resource profile with *unconditional* back-end fields.
+
+    The per-interaction profiles in :data:`repro.tpcw.profiles.PROFILES`
+    state back-end demands (servlet CPU, database work) *conditional on the
+    page actually being generated* — a cacheable page served from the proxy
+    cache generates none.  The aggregate class the analytic backend uses
+    needs the unconditional expectation, so back-end fields are weighted by
+    each interaction's dynamic-generation probability ``(1 - page_cacheable)``
+    here.  (Pages that are cacheable but *miss* the proxy cache are served
+    as static regenerations by the application tier without database work,
+    which the proxy model accounts for separately.)
+
+    Front-end fields (static objects, response size) and ``page_cacheable``
+    are plain mix averages.
+    """
+    front = dict.fromkeys(("static_objects", "response_bytes"), 0.0)
+    backend = dict.fromkeys(
+        ("app_cpu", "db_queries", "db_heavy_queries", "db_writes",
+         "db_inserts", "db_result_bytes"),
+        0.0,
+    )
+    cacheable = 0.0
+    for interaction in Interaction:
+        w = mix.weight(interaction)
+        profile = PROFILES[interaction]
+        cacheable += w * profile.page_cacheable
+        dynamic = 1.0 - profile.page_cacheable
+        for key in front:
+            front[key] += w * getattr(profile, key)
+        for key in backend:
+            backend[key] += w * dynamic * getattr(profile, key)
+    return InteractionProfile(page_cacheable=cacheable, **front, **backend)

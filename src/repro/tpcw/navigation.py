@@ -1,0 +1,171 @@
+"""The TPC-W navigation graph: Markov sessions over the 14 interactions.
+
+TPC-W emulated browsers do not draw pages independently — they *navigate*:
+a Search Request is followed by Search Results, a Buy Request by a Buy
+Confirm, and so on.  The Table 1 mixes are the *stationary* distributions
+of that navigation.  :class:`NavigationModel` builds, for any mix, a
+transition matrix that
+
+1. respects the site's session structure (a sparse set of allowed
+   follow-up interactions per page), and
+2. has the mix as its **exact** stationary distribution.
+
+Construction: with probability ``structure_weight`` the browser follows a
+structural edge (choosing among allowed successors proportionally to their
+stationary weights), and with the remaining probability it "jumps" — picks
+its next interaction from a jump distribution.  The jump distribution is
+solved from the stationarity equation
+
+    pi = structure_weight · pi·P_struct + (1 − structure_weight) · jump
+
+so ``jump = (pi − structure_weight · pi·P_struct) / (1 − structure_weight)``.
+A valid (non-negative) jump distribution exists whenever
+``structure_weight`` is small enough; :meth:`max_structure_weight` computes
+the largest feasible value and the constructor clips to it.
+
+The i.i.d. sampler (:class:`~repro.tpcw.mix.MixSampler`) is the
+``structure_weight = 0`` special case; throughput statistics are identical
+(same stationary distribution), but the navigation model produces the
+*correlated* request sequences a session-aware cache or affinity study
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.tpcw.interactions import Interaction, WorkloadMix
+
+__all__ = ["SITE_STRUCTURE", "NavigationModel"]
+
+_I = Interaction
+
+#: Allowed follow-up interactions per page — the store's link structure.
+#: (Derived from the TPC-W page flow: every page links home and to the
+#: search form; listing pages link to product details; the order pipeline
+#: is Cart → Registration → Buy Request → Buy Confirm.)
+SITE_STRUCTURE: dict[Interaction, tuple[Interaction, ...]] = {
+    _I.HOME: (_I.NEW_PRODUCTS, _I.BEST_SELLERS, _I.SEARCH_REQUEST,
+              _I.PRODUCT_DETAIL, _I.ORDER_INQUIRY),
+    _I.NEW_PRODUCTS: (_I.PRODUCT_DETAIL, _I.HOME, _I.SEARCH_REQUEST),
+    _I.BEST_SELLERS: (_I.PRODUCT_DETAIL, _I.HOME, _I.SEARCH_REQUEST),
+    _I.PRODUCT_DETAIL: (_I.SHOPPING_CART, _I.PRODUCT_DETAIL,
+                        _I.SEARCH_REQUEST, _I.HOME),
+    _I.SEARCH_REQUEST: (_I.SEARCH_RESULTS,),
+    _I.SEARCH_RESULTS: (_I.PRODUCT_DETAIL, _I.SEARCH_REQUEST, _I.HOME),
+    _I.SHOPPING_CART: (_I.CUSTOMER_REGISTRATION, _I.PRODUCT_DETAIL,
+                       _I.SEARCH_REQUEST, _I.HOME),
+    _I.CUSTOMER_REGISTRATION: (_I.BUY_REQUEST, _I.HOME),
+    _I.BUY_REQUEST: (_I.BUY_CONFIRM, _I.SHOPPING_CART, _I.HOME),
+    _I.BUY_CONFIRM: (_I.HOME, _I.SEARCH_REQUEST, _I.ORDER_INQUIRY),
+    _I.ORDER_INQUIRY: (_I.ORDER_DISPLAY, _I.HOME),
+    _I.ORDER_DISPLAY: (_I.HOME, _I.SEARCH_REQUEST),
+    _I.ADMIN_REQUEST: (_I.ADMIN_CONFIRM,),
+    _I.ADMIN_CONFIRM: (_I.HOME, _I.ADMIN_REQUEST),
+}
+
+
+class NavigationModel:
+    """A session-structured Markov chain with the mix as its stationary law."""
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        structure_weight: Optional[float] = None,
+        structure: Mapping[Interaction, Sequence[Interaction]] = SITE_STRUCTURE,
+    ) -> None:
+        self.mix = mix
+        self._interactions = list(Interaction)
+        index = {i: k for k, i in enumerate(self._interactions)}
+        n = len(self._interactions)
+        pi = np.array([mix.weight(i) for i in self._interactions])
+
+        # Structural kernel: follow an allowed link, biased by popularity.
+        p_struct = np.zeros((n, n))
+        for src, dests in structure.items():
+            weights = np.array([max(pi[index[d]], 1e-12) for d in dests])
+            weights = weights / weights.sum()
+            for dest, w in zip(dests, weights):
+                p_struct[index[src], index[dest]] = w
+        self._p_struct = p_struct
+
+        flow = pi @ p_struct  # structural inflow per page, at weight 1
+        feasible = self._max_weight(pi, flow)
+        if structure_weight is None:
+            beta = 0.9 * feasible
+        else:
+            if not 0.0 <= structure_weight < 1.0:
+                raise ValueError("structure_weight must be in [0, 1)")
+            beta = min(structure_weight, feasible)
+        self.structure_weight = float(beta)
+
+        jump = (pi - beta * flow) / (1.0 - beta)
+        jump = np.maximum(jump, 0.0)  # clip float dust
+        self._jump = jump / jump.sum()
+        self._transition = beta * p_struct + (1.0 - beta) * np.tile(
+            self._jump, (n, 1)
+        )
+        self._cum = np.cumsum(self._transition, axis=1)
+        self._cum[:, -1] = 1.0
+        self._pi = pi
+
+    @staticmethod
+    def _max_weight(pi: np.ndarray, flow: np.ndarray) -> float:
+        """Largest β with a non-negative jump distribution.
+
+        ``jump_j >= 0`` requires ``pi_j >= β·flow_j`` for every j, so
+        β ≤ min_j pi_j / flow_j (over pages with structural inflow).
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(flow > 0, pi / flow, np.inf)
+        return float(min(1.0, ratios.min()))
+
+    # ------------------------------------------------------------------
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """The row-stochastic transition matrix (read-only copy)."""
+        return self._transition.copy()
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The chain's stationary distribution, solved by power iteration."""
+        pi = np.full(len(self._interactions), 1.0 / len(self._interactions))
+        for _ in range(10_000):
+            nxt = pi @ self._transition
+            if np.abs(nxt - pi).max() < 1e-14:
+                return nxt
+            pi = nxt
+        return pi
+
+    def next_interaction(
+        self, current: Interaction, rng: np.random.Generator
+    ) -> Interaction:
+        """Sample the follow-up of ``current``."""
+        row = self._interactions.index(current)
+        u = rng.random()
+        col = int(np.searchsorted(self._cum[row], u, side="right"))
+        return self._interactions[min(col, len(self._interactions) - 1)]
+
+    def sample_session(
+        self,
+        rng: np.random.Generator,
+        length: int,
+        start: Optional[Interaction] = None,
+    ) -> list[Interaction]:
+        """A navigation session of ``length`` interactions."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if start is None:
+            u = rng.random()
+            cdf = np.cumsum(self._pi)
+            cdf[-1] = 1.0
+            idx = int(np.searchsorted(cdf, u, side="right"))
+            current = self._interactions[min(idx, len(self._interactions) - 1)]
+        else:
+            current = start
+        out = [current]
+        for _ in range(length - 1):
+            current = self.next_interaction(current, rng)
+            out.append(current)
+        return out

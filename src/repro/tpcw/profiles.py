@@ -1,0 +1,247 @@
+"""Per-interaction resource profiles.
+
+The paper's testbed executed real servlets and SQL; we replace them with a
+resource profile per interaction describing *what work it generates where*:
+embedded static objects served by the proxy tier, servlet CPU on the
+application tier, and read/write work on the database tier.  The values are
+calibrated so the three Table 1 mixes stress the system the way the paper
+describes (§III.A):
+
+* the **browsing** mix is dominated by static/cacheable content — most
+  requests can be served by the proxy (or the application server) without
+  touching the database;
+* the **ordering** mix utilizes "all components in the system, including the
+  database server", with update transactions whose "high latency operations"
+  keep application threads occupied longer.
+
+Quantities are per web interaction.  CPU times are seconds on one core of
+the paper's reference machine (dual Athlon 1.67 GHz); sizes are bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpcw.interactions import Interaction
+from repro.util.units import KB
+
+__all__ = ["InteractionProfile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class InteractionProfile:
+    """Resource demands one web interaction generates across the tiers."""
+
+    #: Average number of embedded static objects (images, style sheets)
+    #: fetched alongside the page; always served by the proxy tier.
+    static_objects: float
+    #: Probability the page itself is static/cacheable at the proxy, so a
+    #: proxy hit avoids the application and database tiers entirely.
+    page_cacheable: float
+    #: Servlet CPU seconds on the application tier for a dynamic page.
+    app_cpu: float
+    #: Simple read queries issued to the database.
+    db_queries: float
+    #: Expensive read queries (joins/aggregations: Best Sellers, Search).
+    db_heavy_queries: float
+    #: Update transactions (cart updates, order placement).
+    db_writes: float
+    #: Rows inserted (order lines) — exercises the delayed-insert path.
+    db_inserts: float
+    #: Size of the generated page, bytes.
+    response_bytes: float
+    #: Bytes of query results shipped from the database to the servlet.
+    db_result_bytes: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.page_cacheable <= 1.0:
+            raise ValueError(
+                f"page_cacheable must be in [0,1], got {self.page_cacheable}"
+            )
+        for field_name in (
+            "static_objects",
+            "app_cpu",
+            "db_queries",
+            "db_heavy_queries",
+            "db_writes",
+            "db_inserts",
+            "response_bytes",
+            "db_result_bytes",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def scaled(self, factor: float) -> "InteractionProfile":
+        """All demands multiplied by ``factor`` (workload-scaling helper)."""
+        return InteractionProfile(
+            static_objects=self.static_objects * factor,
+            page_cacheable=self.page_cacheable,
+            app_cpu=self.app_cpu * factor,
+            db_queries=self.db_queries * factor,
+            db_heavy_queries=self.db_heavy_queries * factor,
+            db_writes=self.db_writes * factor,
+            db_inserts=self.db_inserts * factor,
+            response_bytes=self.response_bytes * factor,
+            db_result_bytes=self.db_result_bytes * factor,
+        )
+
+
+_MS = 1e-3
+
+#: Calibrated profiles for the 14 interactions.
+PROFILES: dict[Interaction, InteractionProfile] = {
+    Interaction.HOME: InteractionProfile(
+        static_objects=9.0,
+        page_cacheable=0.90,
+        app_cpu=13.0 * _MS,
+        db_queries=0.3,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=12 * KB,
+        db_result_bytes=2 * KB,
+    ),
+    Interaction.NEW_PRODUCTS: InteractionProfile(
+        static_objects=12.0,
+        page_cacheable=0.85,
+        app_cpu=26.0 * _MS,
+        db_queries=0.5,
+        db_heavy_queries=0.8,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=20 * KB,
+        db_result_bytes=12 * KB,
+    ),
+    Interaction.BEST_SELLERS: InteractionProfile(
+        static_objects=12.0,
+        page_cacheable=0.85,
+        app_cpu=26.0 * _MS,
+        db_queries=0.3,
+        db_heavy_queries=1.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=20 * KB,
+        db_result_bytes=12 * KB,
+    ),
+    Interaction.PRODUCT_DETAIL: InteractionProfile(
+        static_objects=7.0,
+        page_cacheable=0.80,
+        app_cpu=16.0 * _MS,
+        db_queries=0.6,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=16 * KB,
+        db_result_bytes=4 * KB,
+    ),
+    Interaction.SEARCH_REQUEST: InteractionProfile(
+        static_objects=7.0,
+        page_cacheable=0.95,
+        app_cpu=8.0 * _MS,
+        db_queries=0.0,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=8 * KB,
+        db_result_bytes=0.0,
+    ),
+    Interaction.SEARCH_RESULTS: InteractionProfile(
+        static_objects=11.0,
+        page_cacheable=0.10,
+        app_cpu=70.0 * _MS,
+        db_queries=0.5,
+        db_heavy_queries=1.2,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=24 * KB,
+        db_result_bytes=16 * KB,
+    ),
+    Interaction.SHOPPING_CART: InteractionProfile(
+        static_objects=9.0,
+        page_cacheable=0.0,
+        app_cpu=28.0 * _MS,
+        db_queries=1.2,
+        db_heavy_queries=0.0,
+        db_writes=0.6,
+        db_inserts=0.4,
+        response_bytes=14 * KB,
+        db_result_bytes=4 * KB,
+    ),
+    Interaction.CUSTOMER_REGISTRATION: InteractionProfile(
+        static_objects=3.0,
+        page_cacheable=0.30,
+        app_cpu=16.0 * _MS,
+        db_queries=0.6,
+        db_heavy_queries=0.0,
+        db_writes=0.2,
+        db_inserts=0.2,
+        response_bytes=9 * KB,
+        db_result_bytes=1 * KB,
+    ),
+    Interaction.BUY_REQUEST: InteractionProfile(
+        static_objects=3.0,
+        page_cacheable=0.0,
+        app_cpu=20.0 * _MS,
+        db_queries=2.0,
+        db_heavy_queries=0.0,
+        db_writes=0.5,
+        db_inserts=0.3,
+        response_bytes=12 * KB,
+        db_result_bytes=5 * KB,
+    ),
+    Interaction.BUY_CONFIRM: InteractionProfile(
+        static_objects=2.0,
+        page_cacheable=0.0,
+        app_cpu=22.0 * _MS,
+        db_queries=2.0,
+        db_heavy_queries=0.0,
+        db_writes=2.0,
+        db_inserts=3.0,
+        response_bytes=10 * KB,
+        db_result_bytes=4 * KB,
+    ),
+    Interaction.ORDER_INQUIRY: InteractionProfile(
+        static_objects=2.0,
+        page_cacheable=0.25,
+        app_cpu=13.0 * _MS,
+        db_queries=0.5,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=8 * KB,
+        db_result_bytes=1 * KB,
+    ),
+    Interaction.ORDER_DISPLAY: InteractionProfile(
+        static_objects=3.0,
+        page_cacheable=0.0,
+        app_cpu=26.0 * _MS,
+        db_queries=1.5,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=14 * KB,
+        db_result_bytes=6 * KB,
+    ),
+    Interaction.ADMIN_REQUEST: InteractionProfile(
+        static_objects=2.0,
+        page_cacheable=0.0,
+        app_cpu=19.0 * _MS,
+        db_queries=1.0,
+        db_heavy_queries=0.0,
+        db_writes=0.0,
+        db_inserts=0.0,
+        response_bytes=10 * KB,
+        db_result_bytes=3 * KB,
+    ),
+    Interaction.ADMIN_CONFIRM: InteractionProfile(
+        static_objects=2.0,
+        page_cacheable=0.0,
+        app_cpu=20.0 * _MS,
+        db_queries=1.0,
+        db_heavy_queries=0.0,
+        db_writes=1.0,
+        db_inserts=0.5,
+        response_bytes=10 * KB,
+        db_result_bytes=2 * KB,
+    ),
+}

@@ -1,0 +1,112 @@
+"""WIRT — TPC-W's Web Interaction Response Time constraints.
+
+A compliant TPC-W run must keep the 90th-percentile response time of every
+interaction type under a per-type limit (clause 5.2 of the specification);
+WIPS without WIRT compliance is not a valid result.  The limits encoded
+below follow the specification's structure: 3 seconds for ordinary pages,
+5 seconds for the query-heavy pages (Best Sellers, New Products, Buy
+Confirm) and 20 seconds for the offline-flavoured Admin Confirm.
+
+:class:`WirtTracker` accumulates per-interaction latencies (the DES feeds
+it) and reports percentile compliance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.tpcw.interactions import Interaction
+from repro.util.stats import percentile
+from repro.util.tables import Table
+
+__all__ = ["WIRT_LIMITS", "WirtTracker"]
+
+_I = Interaction
+
+#: 90th-percentile response-time limits, seconds, per interaction type.
+WIRT_LIMITS: dict[Interaction, float] = {
+    _I.HOME: 3.0,
+    _I.NEW_PRODUCTS: 5.0,
+    _I.BEST_SELLERS: 5.0,
+    _I.PRODUCT_DETAIL: 3.0,
+    _I.SEARCH_REQUEST: 3.0,
+    _I.SEARCH_RESULTS: 10.0,
+    _I.SHOPPING_CART: 3.0,
+    _I.CUSTOMER_REGISTRATION: 3.0,
+    _I.BUY_REQUEST: 3.0,
+    _I.BUY_CONFIRM: 5.0,
+    _I.ORDER_INQUIRY: 3.0,
+    _I.ORDER_DISPLAY: 3.0,
+    _I.ADMIN_REQUEST: 3.0,
+    _I.ADMIN_CONFIRM: 20.0,
+}
+
+
+class WirtTracker:
+    """Per-interaction latency accumulation and 90th-percentile compliance."""
+
+    def __init__(
+        self,
+        limits: Optional[Mapping[Interaction, float]] = None,
+        quantile: float = 90.0,
+    ) -> None:
+        if not 0.0 < quantile < 100.0:
+            raise ValueError("quantile must be in (0, 100)")
+        self.limits = dict(limits) if limits is not None else dict(WIRT_LIMITS)
+        missing = set(Interaction) - set(self.limits)
+        if missing:
+            raise ValueError(
+                f"limits missing for {sorted(i.value for i in missing)}"
+            )
+        self.quantile = quantile
+        self._samples: dict[Interaction, list[float]] = {
+            i: [] for i in Interaction
+        }
+
+    def record(self, interaction: Interaction, latency: float) -> None:
+        """Record one completed interaction's response time."""
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples[interaction].append(latency)
+
+    def count(self, interaction: Interaction) -> int:
+        """Samples recorded for one interaction type."""
+        return len(self._samples[interaction])
+
+    def percentile_of(self, interaction: Interaction) -> Optional[float]:
+        """The tracked quantile for one type (None without samples)."""
+        samples = self._samples[interaction]
+        if not samples:
+            return None
+        return percentile(samples, self.quantile)
+
+    def violations(self) -> dict[Interaction, float]:
+        """Interaction types whose tracked percentile exceeds the limit."""
+        out = {}
+        for interaction, limit in self.limits.items():
+            p = self.percentile_of(interaction)
+            if p is not None and p > limit:
+                out[interaction] = p
+        return out
+
+    def compliant(self) -> bool:
+        """True when every measured interaction type is within its limit."""
+        return not self.violations()
+
+    def to_table(self) -> Table:
+        """Per-type percentile vs limit, paper/spec style."""
+        table = Table(
+            f"WIRT compliance (p{self.quantile:.0f} response time vs limit)",
+            ["Interaction", "Samples", f"p{self.quantile:.0f} (s)",
+             "Limit (s)", "OK"],
+        )
+        for interaction in Interaction:
+            p = self.percentile_of(interaction)
+            table.add_row(
+                interaction.value,
+                self.count(interaction),
+                "-" if p is None else f"{p:.3f}",
+                f"{self.limits[interaction]:.0f}",
+                "-" if p is None else ("yes" if p <= self.limits[interaction] else "NO"),
+            )
+        return table

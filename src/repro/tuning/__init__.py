@@ -1,0 +1,34 @@
+"""The tuning layer: wiring Active Harmony to the cluster under test.
+
+* :mod:`repro.tuning.iteration` — the measurement-iteration protocol of
+  §III.A (warm up / measure / cool down; the Harmony server adjusts the
+  configuration between iterations),
+* :mod:`repro.tuning.session` — :class:`ClusterTuningSession`, which drives
+  any :class:`~repro.harmony.scaling.TuningScheme` (default method,
+  parameter duplication, parameter partitioning) against a backend,
+* :mod:`repro.tuning.reconfig` — the §IV automatic cluster-reconfiguration
+  algorithm (Table 5 / Figure 6).
+"""
+
+from repro.tuning.adaptive import AdaptiveTuningSession
+from repro.tuning.iteration import IterationRunner, IterationSpec
+from repro.tuning.reconfig import (
+    MoveDecision,
+    ReconfigPolicy,
+    Reconfigurator,
+)
+from repro.tuning.reconfig_loop import AppliedMove, ReconfigurationLoop
+from repro.tuning.session import ClusterTuningSession, make_scheme
+
+__all__ = [
+    "AdaptiveTuningSession",
+    "IterationSpec",
+    "IterationRunner",
+    "ClusterTuningSession",
+    "make_scheme",
+    "ReconfigPolicy",
+    "Reconfigurator",
+    "MoveDecision",
+    "ReconfigurationLoop",
+    "AppliedMove",
+]

@@ -1,0 +1,111 @@
+"""Adaptation to changing workloads (the Figure 5 behaviour).
+
+The paper's Figure 5 changes the workload every 100 iterations and shows
+the tuner re-adapting "fairly quickly".  A converged simplex, however, has
+collapsed around the old workload's optimum and remembers stale objective
+values, so an explicit *shift-and-restart* heuristic makes re-adaptation
+fast: when the measured performance level shifts abruptly (beyond what the
+measurement noise explains), the tuner restarts its search from the best
+configuration it currently knows — retaining the knowledge, discarding the
+stale simplex geometry.
+
+:class:`AdaptiveTuningSession` layers that heuristic over
+:class:`~repro.tuning.session.ClusterTuningSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.harmony.parameter import Configuration
+from repro.model.base import Measurement
+from repro.tpcw.interactions import WorkloadMix
+from repro.tuning.session import ClusterTuningSession
+
+__all__ = ["AdaptiveTuningSession"]
+
+
+class AdaptiveTuningSession:
+    """A tuning session that restarts its search on workload shifts."""
+
+    def __init__(
+        self,
+        session: ClusterTuningSession,
+        shift_threshold: float = 0.10,
+        detect_window: int = 3,
+        plateau_window: int = 12,
+    ) -> None:
+        if shift_threshold <= 0:
+            raise ValueError("shift_threshold must be positive")
+        if detect_window < 1 or plateau_window < detect_window:
+            raise ValueError("need plateau_window >= detect_window >= 1")
+        self.session = session
+        self.shift_threshold = shift_threshold
+        self.detect_window = detect_window
+        self.plateau_window = plateau_window
+        self._recent: list[float] = []
+        self._restarts: list[int] = []
+
+    @property
+    def restarts(self) -> list[int]:
+        """Iteration indices at which the search was restarted."""
+        return list(self._restarts)
+
+    @property
+    def history(self):
+        """The underlying global tuning history."""
+        return self.session.history
+
+    def set_mix(self, mix: WorkloadMix) -> None:
+        """Switch the offered workload (the experiment driver's knob)."""
+        self.session.set_mix(mix)
+
+    def step(self) -> Measurement:
+        """One tuning iteration with shift detection."""
+        measurement = self.session.step()
+        self._recent.append(measurement.wips)
+        if len(self._recent) > self.plateau_window:
+            self._recent.pop(0)
+        if self._shift_detected():
+            self._restart()
+        return measurement
+
+    def run(self, iterations: int) -> None:
+        """Run ``iterations`` adaptive steps."""
+        for _ in range(iterations):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def _shift_detected(self) -> bool:
+        if len(self._recent) < self.plateau_window:
+            return False
+        # Medians, not means: a single bad configuration explored by the
+        # simplex must not look like a workload shift, but a persistent
+        # level change (every recent iteration moved) must.  Only *drops*
+        # trigger: a gradual rise is the tuner's own progress, and a
+        # favourable workload change needs no rescue — the stale simplex
+        # keeps improving from where it is.
+        head = float(np.median(self._recent[: -self.detect_window]))
+        tail = float(np.median(self._recent[-self.detect_window :]))
+        if head <= 0:
+            return False
+        return (head - tail) / head > self.shift_threshold
+
+    def _restart(self) -> None:
+        """Restart every group's search from its best-known fragment."""
+        session = self.session
+        self._restarts.append(len(session.history))
+        self._recent = self._recent[-self.detect_window :]
+        for group in session.scheme.groups:
+            server_session = session.server.sessions[group.group_id]
+            best: Optional[Configuration] = server_session.best_configuration()
+            session.server.unregister(group.group_id)
+            session.server.register(
+                group.group_id,
+                group.space,
+                strategy="simplex",
+                start=best,
+                constraints=group.constraints,
+            )

@@ -1,0 +1,192 @@
+"""Automatic cluster reconfiguration — the §IV algorithm.
+
+A literal implementation of Figure 6 / Table 5 of the paper:
+
+1. every (node *i*, resource *j*) with utilization ``R_ij`` above the high
+   threshold ``HT_ij`` puts node *i* on the overloaded list ``L1``;
+2. every node whose resources are *all* below the low thresholds goes on
+   the lightly-loaded list ``L2``;
+3. ``L1`` is sorted by *degree of urgency* (resource-priority weighted —
+   the paper's footnote 3: an overloaded CPU is more urgent than a busy
+   NIC);
+4. for the most urgent node *i*, pick the candidate *k* in ``L2`` with
+   (a) ``Tier(k) ≠ Tier(i)``, (b) ``M(Tier(k)) > 1`` (never empty a tier),
+   and (c) minimal cost ``F + N_k·M_km − N_k·A_k``;
+5. reconfigure *k* to serve ``Tier(i)``.
+
+Equation (1)'s sign decides *when*: non-negative → wait for node *k*'s jobs
+to drain before reconfiguring (cheaper than moving them); negative →
+reconfigure immediately and migrate the jobs to same-tier peers.
+
+The reconfiguration check runs at a lower frequency than parameter tuning
+(the paper suggests every ~50 iterations) since it reacts to long-term
+trends and costs more to execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.model.base import Measurement
+
+__all__ = ["ReconfigPolicy", "MoveDecision", "Reconfigurator"]
+
+
+@dataclass(frozen=True)
+class ReconfigPolicy:
+    """Thresholds and cost model (the paper's Table 5 variables).
+
+    ``high_thresholds`` / ``low_thresholds`` are the ``HT_ij`` / ``LT_ij``
+    values, uniform across nodes by default.  ``urgency_weights`` order the
+    resources for step 3 (CPU overload outranks network, per footnote 3).
+    ``move_cost`` is ``M_km`` per job — migrating a database's jobs means
+    moving state and is far more expensive than re-pointing proxy or app
+    traffic, which is what keeps stateful nodes in place.  ``reconfig_cost``
+    is ``F``, the fixed cost (in seconds) of restarting a node in its new
+    role.
+    """
+
+    high_thresholds: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "cpu": 0.85,
+            "disk": 0.85,
+            "network": 0.85,
+            "memory": 0.90,
+        }
+    )
+    low_thresholds: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "cpu": 0.45,
+            "disk": 0.45,
+            "network": 0.45,
+            "memory": 0.75,
+        }
+    )
+    urgency_weights: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "cpu": 4.0,
+            "memory": 3.0,
+            "disk": 2.0,
+            "network": 1.0,
+        }
+    )
+    move_cost: Mapping[Role, float] = field(
+        default_factory=lambda: {Role.PROXY: 0.2, Role.APP: 0.5, Role.DB: 30.0}
+    )
+    reconfig_cost: float = 2.0
+
+    def __post_init__(self) -> None:
+        for resource, high in self.high_thresholds.items():
+            low = self.low_thresholds.get(resource)
+            if low is None:
+                raise ValueError(f"no low threshold for resource {resource!r}")
+            if not 0.0 < low < high:
+                raise ValueError(
+                    f"{resource}: need 0 < LT ({low}) < HT ({high})"
+                )
+
+
+@dataclass(frozen=True)
+class MoveDecision:
+    """The outcome of one reconfiguration check."""
+
+    #: Node to re-role (the algorithm's *k*).
+    node_id: str
+    #: Tier it leaves.
+    from_role: Role
+    #: Tier it joins (the overloaded node's tier).
+    to_role: Role
+    #: The overloaded node that triggered the move (the algorithm's *i*).
+    relieves: str
+    #: Equation (1) value; negative → reconfigure immediately.
+    cost: float
+
+    @property
+    def immediate(self) -> bool:
+        """True when migrating jobs now beats waiting for them to drain."""
+        return self.cost < 0.0
+
+
+class Reconfigurator:
+    """Stateless evaluator of the §IV algorithm over one measurement."""
+
+    def __init__(self, policy: Optional[ReconfigPolicy] = None) -> None:
+        self.policy = policy or ReconfigPolicy()
+
+    # -- steps 1-3 -------------------------------------------------------
+    def overloaded(self, measurement: Measurement) -> list[str]:
+        """Step 1's L1, already sorted by step 3's degree of urgency."""
+        pol = self.policy
+        scored: list[tuple[float, str]] = []
+        for node_id, util in measurement.utilization.items():
+            urgency = 0.0
+            for resource, value in util.as_dict().items():
+                ht = pol.high_thresholds[resource]
+                if value > ht:
+                    urgency = max(
+                        urgency, pol.urgency_weights[resource] * (value - ht)
+                    )
+            if urgency > 0.0:
+                scored.append((urgency, node_id))
+        scored.sort(reverse=True)
+        return [node_id for _, node_id in scored]
+
+    def underutilized(self, measurement: Measurement) -> list[str]:
+        """Step 2's L2: nodes with every resource under its low threshold."""
+        pol = self.policy
+        out = []
+        for node_id, util in measurement.utilization.items():
+            if all(
+                value <= pol.low_thresholds[resource]
+                for resource, value in util.as_dict().items()
+            ):
+                out.append(node_id)
+        return out
+
+    # -- steps 4-5 ----------------------------------------------------------
+    def equation1(self, measurement: Measurement, cluster: ClusterSpec,
+                  node_id: str) -> float:
+        """The cost ``F + N_k·M_km − N_k·A_k`` for candidate ``k``."""
+        jobs = float(measurement.diagnostics.get(f"{node_id}.jobs", 1.0))
+        avg_service = float(
+            measurement.diagnostics.get(f"{node_id}.service_time", 0.05)
+        )
+        move = self.policy.move_cost[cluster.role_of(node_id)]
+        return self.policy.reconfig_cost + jobs * move - jobs * avg_service
+
+    def decide(
+        self, cluster: ClusterSpec, measurement: Measurement
+    ) -> Optional[MoveDecision]:
+        """Run one reconfiguration check; None when no move is warranted."""
+        l1 = self.overloaded(measurement)
+        if not l1:
+            return None
+        l2 = self.underutilized(measurement)
+        if not l2:
+            return None
+        target = l1[0]
+        target_role = cluster.role_of(target)
+        best: Optional[MoveDecision] = None
+        for candidate in l2:
+            role = cluster.role_of(candidate)
+            if role is target_role:  # constraint (a)
+                continue
+            if cluster.tier_size(role) <= 1:  # constraint (b)
+                continue
+            cost = self.equation1(measurement, cluster, candidate)
+            if best is None or cost < best.cost:
+                best = MoveDecision(
+                    node_id=candidate,
+                    from_role=role,
+                    to_role=target_role,
+                    relieves=target,
+                    cost=cost,
+                )
+        return best
+
+    def apply(self, cluster: ClusterSpec, decision: MoveDecision) -> ClusterSpec:
+        """Step 5: the reconfigured cluster (nodes keep their ids)."""
+        return cluster.move_node(decision.node_id, decision.to_role)

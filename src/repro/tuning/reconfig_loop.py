@@ -1,0 +1,151 @@
+"""Periodic reconfiguration: the §IV algorithm run as a background policy.
+
+"Unlike parameter tuning which is done for each iteration, the
+reconfiguration algorithm is run at a lower frequency (e.g., every 50
+iterations) since it is designed to react to longer term trends, and incurs
+a greater overhead to make changes."
+
+:class:`ReconfigurationLoop` wraps a duplication-scheme
+:class:`~repro.tuning.session.ClusterTuningSession` and, every
+``check_every`` iterations, feeds a smoothed view of the recent node
+utilizations to the :class:`~repro.tuning.reconfig.Reconfigurator`.  An
+accepted move re-binds the session to the new layout; a ``cooldown`` then
+suppresses further checks while the cluster re-settles (and the tuner
+re-adapts), preventing oscillating moves.  Deferred moves (equation (1)
+non-negative — cheaper to let the node drain) take effect ``drain_delay``
+iterations after the decision, as the paper's "wait until all existing
+requests finish".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.base import Measurement, ResourceUtilization
+from repro.tuning.reconfig import MoveDecision, ReconfigPolicy, Reconfigurator
+from repro.tuning.session import ClusterTuningSession
+
+__all__ = ["AppliedMove", "ReconfigurationLoop"]
+
+
+@dataclass(frozen=True)
+class AppliedMove:
+    """One executed reconfiguration, for the loop's audit trail."""
+
+    decided_at: int
+    applied_at: int
+    decision: MoveDecision
+
+
+class ReconfigurationLoop:
+    """Tuning with periodic automatic reconfiguration checks."""
+
+    def __init__(
+        self,
+        session: ClusterTuningSession,
+        policy: Optional[ReconfigPolicy] = None,
+        check_every: int = 50,
+        cooldown: int = 25,
+        drain_delay: int = 3,
+        smoothing: int = 5,
+        max_moves: Optional[int] = None,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if cooldown < 0 or drain_delay < 0:
+            raise ValueError("cooldown and drain_delay must be non-negative")
+        if smoothing < 1:
+            raise ValueError("smoothing must be >= 1")
+        self.session = session
+        self.reconfigurator = Reconfigurator(policy)
+        self.check_every = check_every
+        self.cooldown = cooldown
+        self.drain_delay = drain_delay
+        self.smoothing = smoothing
+        self.max_moves = max_moves
+        self._recent: list[Measurement] = []
+        self._moves: list[AppliedMove] = []
+        self._pending: Optional[tuple[int, MoveDecision]] = None
+        self._quiet_until = 0
+
+    @property
+    def moves(self) -> list[AppliedMove]:
+        """Every reconfiguration executed so far."""
+        return list(self._moves)
+
+    # ------------------------------------------------------------------
+    def _smoothed(self) -> Measurement:
+        """Average the recent window's utilizations into one measurement.
+
+        The algorithm should react to trends, not to one iteration's noise
+        (or to one freak configuration the tuner tried).
+        """
+        window = self._recent[-self.smoothing :]
+        last = window[-1]
+        n = len(window)
+        utilization = {}
+        for node_id in last.utilization:
+            utilization[node_id] = ResourceUtilization(
+                cpu=sum(m.utilization[node_id].cpu for m in window) / n,
+                disk=sum(m.utilization[node_id].disk for m in window) / n,
+                network=sum(m.utilization[node_id].network for m in window) / n,
+                memory=sum(m.utilization[node_id].memory for m in window) / n,
+            )
+        return Measurement(
+            wips=last.wips,
+            raw_wips=last.raw_wips,
+            error_rate=last.error_rate,
+            response_time=last.response_time,
+            utilization=utilization,
+            diagnostics=last.diagnostics,
+        )
+
+    def step(self) -> Measurement:
+        """One tuning iteration plus the due reconfiguration actions."""
+        measurement = self.session.step()
+        self._recent.append(measurement)
+        if len(self._recent) > self.smoothing:
+            self._recent.pop(0)
+        i = self.session.iterations
+
+        # Apply a deferred move once its drain delay elapsed.
+        if self._pending is not None and i >= self._pending[0]:
+            decided_at, decision = self._pending
+            self._execute(decision, decided_at - self.drain_delay, i)
+            self._pending = None
+            return measurement
+
+        if (
+            self._pending is None
+            and i >= self._quiet_until
+            and i % self.check_every == 0
+            and (self.max_moves is None or len(self._moves) < self.max_moves)
+        ):
+            decision = self.reconfigurator.decide(
+                self.session.scenario.cluster, self._smoothed()
+            )
+            if decision is not None:
+                if decision.immediate or self.drain_delay == 0:
+                    self._execute(decision, i, i)
+                else:
+                    self._pending = (i + self.drain_delay, decision)
+        return measurement
+
+    def _execute(self, decision: MoveDecision, decided_at: int, now: int) -> None:
+        new_cluster = self.reconfigurator.apply(
+            self.session.scenario.cluster, decision
+        )
+        self.session.set_cluster(new_cluster)
+        self._moves.append(
+            AppliedMove(decided_at=decided_at, applied_at=now, decision=decision)
+        )
+        self._quiet_until = now + self.cooldown
+        self._recent.clear()  # old-layout utilizations no longer apply
+
+    def run(self, iterations: int) -> None:
+        """Run ``iterations`` steps of tuning-with-reconfiguration."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        for _ in range(iterations):
+            self.step()

@@ -1,0 +1,243 @@
+"""Cluster tuning sessions: a tuning scheme driven against a backend.
+
+A :class:`ClusterTuningSession` owns
+
+* a :class:`~repro.model.base.Scenario` (the cluster + workload),
+* a :class:`~repro.harmony.scaling.TuningScheme` (default method /
+  duplication / partitioning),
+* one Harmony tuning session per scheme group (the paper's "separate
+  Active Harmony tuning server for each of the groups"), and
+* an :class:`~repro.tuning.iteration.IterationRunner`.
+
+Each :meth:`step` fetches every group's next configuration fragment,
+combines them into a full cluster configuration, runs one measurement
+iteration, and reports back — the whole-cluster WIPS to every group under
+the default/duplication methods, or each work line's own WIPS under
+partitioning (the per-group signal that §III.B credits for partitioning's
+stability).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+from repro.harmony.scaling import (
+    DuplicationScheme,
+    PartitionScheme,
+    TuningScheme,
+    identity_scheme,
+)
+from repro.harmony.server import HarmonyServer
+from repro.harmony.simplex import SimplexOptions
+from repro.model.base import Measurement, PerformanceBackend, Scenario
+from repro.tuning.iteration import IterationRunner, IterationSpec
+
+__all__ = ["ClusterTuningSession", "make_scheme"]
+
+
+def make_scheme(scenario: Scenario, method: str, work_lines: int = 2) -> TuningScheme:
+    """Build the §III.B tuning scheme named by ``method``.
+
+    ``"default"`` — one server tunes every parameter of every node;
+    ``"duplication"`` — tune one representative node per tier, copy within
+    the tier; ``"partitioning"`` — one server per work line (the scenario
+    must be able to form ``work_lines`` lines).
+    """
+    full_space = scenario.cluster.full_space()
+    constraints = scenario.cluster.full_constraints()
+    if method == "default":
+        return identity_scheme(full_space, constraints=constraints)
+    if method == "duplication":
+        return DuplicationScheme(
+            full_space, scenario.cluster.tiers(), constraints=constraints
+        )
+    if method == "partitioning":
+        return PartitionScheme(
+            full_space,
+            scenario.cluster.work_lines(work_lines),
+            constraints=constraints,
+        )
+    raise ValueError(
+        f"unknown method {method!r}; expected default/duplication/partitioning"
+    )
+
+
+class ClusterTuningSession:
+    """Drive one tuning scheme against one scenario."""
+
+    def __init__(
+        self,
+        backend: PerformanceBackend,
+        scenario: Scenario,
+        scheme: Optional[TuningScheme] = None,
+        strategy: str = "simplex",
+        seed: int = 0,
+        iteration_spec: Optional[IterationSpec] = None,
+        simplex_options: Optional[SimplexOptions] = None,
+        on_measure_error: str = "raise",
+    ) -> None:
+        if on_measure_error not in ("raise", "penalize"):
+            raise ValueError(
+                f"on_measure_error must be 'raise' or 'penalize', "
+                f"got {on_measure_error!r}"
+            )
+        self.on_measure_error = on_measure_error
+        self.measure_failures = 0
+        self.scheme = scheme or identity_scheme(scenario.cluster.full_space())
+        self.scenario = self._align_scenario(scenario)
+        self.server = HarmonyServer(seed=seed, simplex_options=simplex_options)
+        for group in self.scheme.groups:
+            self.server.register(
+                group.group_id,
+                group.space,
+                strategy=strategy,
+                constraints=group.constraints,
+            )
+        self.runner = IterationRunner(
+            backend, self.scenario, seed=seed, spec=iteration_spec
+        )
+        self.history = TuningHistory()
+
+    def _align_scenario(self, scenario: Scenario) -> Scenario:
+        """Attach the partition's work lines to the scenario if needed."""
+        if not isinstance(self.scheme, PartitionScheme):
+            return scenario
+        lines = {
+            g.group_id: tuple(
+                sorted({name.split(".", 1)[0] for name in g.space.names})
+            )
+            for g in self.scheme.groups
+        }
+        return Scenario(
+            cluster=scenario.cluster,
+            mix=scenario.mix,
+            population=scenario.population,
+            catalog=scenario.catalog,
+            behavior=scenario.behavior,
+            work_lines=lines,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def iterations(self) -> int:
+        """Completed tuning iterations."""
+        return len(self.history)
+
+    def set_mix(self, mix) -> None:
+        """Switch the offered workload mix (tuner state is kept)."""
+        self.scenario = self.scenario.with_mix(mix)
+        self.runner.scenario = self.scenario
+
+    def set_cluster(self, new_cluster) -> None:
+        """Re-bind the session to a reconfigured cluster (§IV moves).
+
+        Only the *duplication* scheme survives a node changing tiers: its
+        tuned space is tier-level (one entry per role parameter) and thus
+        independent of which nodes serve which tier — exactly why the
+        reconfiguration experiments tune with duplication.  The expansion
+        map is rebuilt for the new layout; the Harmony sessions (and all
+        their search state) carry over untouched.
+        """
+        if not isinstance(self.scheme, DuplicationScheme):
+            raise TypeError(
+                "only duplication-scheme sessions survive reconfiguration "
+                f"(got {type(self.scheme).__name__})"
+            )
+        new_scheme = DuplicationScheme(
+            new_cluster.full_space(),
+            new_cluster.tiers(),
+            constraints=new_cluster.full_constraints(),
+        )
+        if sorted(g.space.names for g in new_scheme.groups) != sorted(
+            g.space.names for g in self.scheme.groups
+        ):
+            raise ValueError("reconfigured cluster has a different tier-level space")
+        self.scheme = new_scheme
+        self.scenario = self.scenario.with_cluster(new_cluster)
+        self.runner.scenario = self.scenario
+
+    def group_history(self, group_id: str) -> TuningHistory:
+        """One group's tuning history (its own fetch/report stream)."""
+        return self.server.history(group_id)
+
+    def current_configuration(self) -> Configuration:
+        """The full configuration the next step() will measure."""
+        fragments = {
+            g.group_id: self.server.sessions[g.group_id].strategy.ask()
+            for g in self.scheme.groups
+        }
+        return self.scheme.combine(fragments)
+
+    def step(self) -> Measurement:
+        """Run one tuning iteration: fetch → measure → report.
+
+        A backend failure (a crashed measurement — the paper's servers did
+        occasionally wedge under bad configurations) either propagates
+        (``on_measure_error="raise"``) or is *penalized*: the tuner is told
+        the configuration performed at 0 WIPS, which the simplex treats as
+        a worst point and moves away from, and the iteration is recorded as
+        a zero-performance entry so the timeline stays complete.
+        """
+        fragments: dict[str, Configuration] = {}
+        for group in self.scheme.groups:
+            fragments[group.group_id] = self.server.fetch(group.group_id)
+        full = self.scheme.combine(fragments)
+        try:
+            measurement = self.runner.run(full)
+        except Exception:
+            if self.on_measure_error == "raise":
+                raise
+            self.measure_failures += 1
+            for group in self.scheme.groups:
+                self.server.report(group.group_id, 0.0)
+            self.history.append(full, 0.0)
+            return Measurement(
+                wips=0.0,
+                raw_wips=0.0,
+                error_rate=1.0,
+                response_time=float("inf"),
+                utilization={},
+            )
+        for group in self.scheme.groups:
+            perf = self._group_performance(group.group_id, measurement)
+            self.server.report(group.group_id, perf)
+        self.history.append(full, measurement.wips)
+        return measurement
+
+    def _group_performance(self, group_id: str, measurement: Measurement) -> float:
+        if measurement.per_line_wips:
+            try:
+                return measurement.per_line_wips[group_id]
+            except KeyError:
+                raise KeyError(
+                    f"backend produced no per-line WIPS for group {group_id!r}"
+                ) from None
+        return measurement.wips
+
+    def run(self, iterations: int) -> TuningHistory:
+        """Run ``iterations`` tuning steps; returns the global history."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        for _ in range(iterations):
+            self.step()
+        return self.history
+
+    def best_configuration(self) -> Configuration:
+        """Best full configuration measured so far (global WIPS)."""
+        return self.history.best_configuration()
+
+    def measure_baseline(self, configuration: Optional[Configuration] = None,
+                         iterations: int = 10) -> TuningHistory:
+        """Measure a fixed configuration (default: the cluster defaults).
+
+        Used for the Table 4 "None (no tuning)" row; runs on the same seed
+        stream as tuning iterations but does not touch the tuner state.
+        """
+        cfg = configuration or self.scenario.cluster.default_configuration()
+        out = TuningHistory()
+        for i in range(iterations):
+            m = self.runner.run(cfg, index=10_000 + i)
+            out.append(cfg, m.wips)
+        return out

@@ -1,0 +1,128 @@
+"""Terminal plotting: sparklines, line charts and histograms.
+
+The paper's figures are time series (Figure 5, Figure 7) — these helpers
+render their reproductions directly in the terminal and in the benchmark
+result files, no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["sparkline", "line_chart", "histogram"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _bucket(values: Sequence[float], width: int) -> list[float]:
+    """Down-sample to ``width`` points by averaging consecutive chunks."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    step = len(values) / width
+    for i in range(width):
+        lo = int(i * step)
+        hi = max(int((i + 1) * step), lo + 1)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-line block-character series (▁▂▃…█)."""
+    if not values:
+        raise ValueError("sparkline of empty series")
+    data = _bucket(values, width)
+    lo = min(data) if lo is None else lo
+    hi = max(data) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(data)
+    out = []
+    for v in data:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        out.append(_SPARK_BLOCKS[max(0, min(len(_SPARK_BLOCKS) - 1, idx))])
+    return "".join(out)
+
+
+def line_chart(
+    values: Sequence[float],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+    y_format: str = "{:8.1f}",
+    markers: Optional[Sequence[int]] = None,
+) -> str:
+    """A multi-line ASCII chart with a y-axis.
+
+    ``markers`` are x-indices (in the original series) drawn as ``|``
+    columns — used to flag workload switches or reconfiguration points.
+    """
+    if not values:
+        raise ValueError("line_chart of empty series")
+    if width < 8 or height < 2:
+        raise ValueError("chart too small")
+    data = _bucket(values, width)
+    lo, hi = min(data), max(data)
+    if hi - lo <= 0:
+        hi = lo + 1.0
+    cols = len(data)
+    marker_cols = set()
+    if markers:
+        scale = cols / len(values)
+        marker_cols = {min(cols - 1, int(m * scale)) for m in markers}
+
+    grid = [[" "] * cols for _ in range(height)]
+    for x, v in enumerate(data):
+        y = int((v - lo) / (hi - lo) * (height - 1) + 0.5)
+        row = height - 1 - y
+        grid[row][x] = "*"
+        if x in marker_cols:
+            for r in range(height):
+                if grid[r][x] == " ":
+                    grid[r][x] = "|"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        level = hi - (hi - lo) * r / (height - 1)
+        prefix = y_format.format(level) if r in (0, height - 1) else " " * len(
+            y_format.format(0.0)
+        )
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * len(y_format.format(0.0)) + " +" + "-" * cols)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    value_format: str = "{:10.2f}",
+) -> str:
+    """A horizontal-bar ASCII histogram."""
+    if not values:
+        raise ValueError("histogram of empty series")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi - lo <= 0:
+        return f"{value_format.format(lo)} | {'#' * width} ({len(values)})"
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        edge = lo + (hi - lo) * i / bins
+        bar = "#" * (math.ceil(count / peak * width) if count else 0)
+        lines.append(f"{value_format.format(edge)} | {bar} ({count})")
+    return "\n".join(lines)

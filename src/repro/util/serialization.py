@@ -1,0 +1,111 @@
+"""JSON persistence for configurations and tuning histories.
+
+Tuning a production system is a long-running activity; operators need to
+save the best configuration found, resume analysis later, and diff runs.
+The formats here are plain JSON (one document for configurations, JSON
+Lines for histories — append-friendly, like the iteration log a real
+Harmony server writes).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, Iterable, Union
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+
+__all__ = [
+    "configuration_to_json",
+    "configuration_from_json",
+    "save_configuration",
+    "load_configuration",
+    "save_history",
+    "load_history",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def configuration_to_json(config: Configuration, indent: int | None = 2) -> str:
+    """Serialize a configuration to a JSON object string (sorted keys)."""
+    return json.dumps(dict(config), indent=indent, sort_keys=True)
+
+
+def configuration_from_json(text: str) -> Configuration:
+    """Parse a configuration from a JSON object string."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a JSON object, got {type(data).__name__}")
+    out = {}
+    for key, value in data.items():
+        if not isinstance(key, str):
+            raise ValueError(f"parameter names must be strings, got {key!r}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"parameter {key!r} must be an integer, got {value!r}"
+            )
+        out[key] = value
+    return Configuration(out)
+
+
+def save_configuration(config: Configuration, path: PathLike) -> None:
+    """Write a configuration to ``path`` as JSON."""
+    pathlib.Path(path).write_text(configuration_to_json(config) + "\n")
+
+
+def load_configuration(path: PathLike) -> Configuration:
+    """Read a configuration from a JSON file."""
+    return configuration_from_json(pathlib.Path(path).read_text())
+
+
+def _history_lines(history: TuningHistory) -> Iterable[str]:
+    for record in history.records:
+        yield json.dumps(
+            {
+                "iteration": record.iteration,
+                "performance": record.performance,
+                "configuration": dict(record.configuration),
+            },
+            sort_keys=True,
+        )
+
+
+def save_history(history: TuningHistory, path_or_file: PathLike | IO[str]) -> None:
+    """Write a tuning history as JSON Lines (one record per line)."""
+    if hasattr(path_or_file, "write"):
+        for line in _history_lines(history):
+            path_or_file.write(line + "\n")  # type: ignore[union-attr]
+        return
+    with open(path_or_file, "w") as fh:  # type: ignore[arg-type]
+        for line in _history_lines(history):
+            fh.write(line + "\n")
+
+
+def load_history(path_or_file: PathLike | IO[str]) -> TuningHistory:
+    """Read a tuning history from JSON Lines.
+
+    Iteration numbers are validated to be the consecutive sequence a
+    :class:`TuningHistory` produces (corrupt/partial files fail loudly).
+    """
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = pathlib.Path(path_or_file).read_text().splitlines()  # type: ignore[arg-type]
+    history = TuningHistory()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        for field in ("iteration", "performance", "configuration"):
+            if field not in data:
+                raise ValueError(f"line {i + 1}: missing field {field!r}")
+        if data["iteration"] != len(history):
+            raise ValueError(
+                f"line {i + 1}: iteration {data['iteration']} out of order "
+                f"(expected {len(history)})"
+            )
+        config = configuration_from_json(json.dumps(data["configuration"]))
+        history.append(config, float(data["performance"]))
+    return history

@@ -1,0 +1,184 @@
+"""Streaming statistics helpers.
+
+:class:`RunningStats` implements Welford's online algorithm for mean and
+variance — numerically stable and O(1) per observation, which matters when a
+discrete-event run feeds it millions of samples.  :class:`TimeWeightedStats`
+integrates a piecewise-constant signal over time (used for resource
+utilization: the fraction of time a server was busy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "RunningStats",
+    "TimeWeightedStats",
+    "confidence_interval",
+    "percentile",
+]
+
+
+class RunningStats:
+    """Online mean / variance / min / max over a stream of numbers."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        for v in values:
+            self.add(v)
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both streams."""
+        if other._n == 0:
+            out = RunningStats()
+            out._n, out._mean, out._m2 = self._n, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        if self._n == 0:
+            return other.merge(self)
+        out = RunningStats()
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        out._n = n
+        out._mean = self._mean + delta * other._n / n
+        out._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator; 0.0 for fewer than 2 samples)."""
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``-inf`` when empty)."""
+        return self._max
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(n={self._n}, mean={self.mean:.6g}, "
+            f"stddev={self.stddev:.6g})"
+        )
+
+
+class TimeWeightedStats:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; the value recorded at
+    time *t* is assumed to hold until the next update.  ``mean(now)`` closes
+    the last segment at ``now``.
+    """
+
+    __slots__ = ("_last_t", "_last_v", "_area", "_t0", "_max")
+
+    def __init__(self, t0: float = 0.0, value: float = 0.0) -> None:
+        self._t0 = t0
+        self._last_t = t0
+        self._last_v = value
+        self._area = 0.0
+        self._max = value
+
+    def update(self, t: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at time ``t``."""
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        self._area += self._last_v * (t - self._last_t)
+        self._last_t = t
+        self._last_v = value
+        if value > self._max:
+            self._max = value
+
+    def mean(self, now: float) -> float:
+        """Time-average of the signal over ``[t0, now]``."""
+        if now < self._last_t:
+            raise ValueError(f"now={now} precedes last update {self._last_t}")
+        span = now - self._t0
+        if span <= 0.0:
+            return self._last_v
+        return (self._area + self._last_v * (now - self._last_t)) / span
+
+    @property
+    def current(self) -> float:
+        """The most recently recorded value."""
+        return self._last_v
+
+    @property
+    def maximum(self) -> float:
+        """Largest value the signal ever took."""
+        return self._max
+
+    def reset(self, t0: float) -> None:
+        """Restart integration at ``t0``, keeping the current value."""
+        self._t0 = t0
+        self._last_t = t0
+        self._area = 0.0
+        self._max = self._last_v
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def confidence_interval(stats: RunningStats, z: float = 1.96) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Returns ``(low, high)``; collapses to the mean for fewer than 2 samples.
+    """
+    if stats.count < 2:
+        return (stats.mean, stats.mean)
+    half = z * stats.stddev / math.sqrt(stats.count)
+    return (stats.mean - half, stats.mean + half)

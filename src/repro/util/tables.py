@@ -1,0 +1,71 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness prints tables shaped like the paper's (Table 1, 3, 4,
+the Figure 4 matrix).  This module keeps the formatting in one place so all
+reports look the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return f"{value:.1f}"
+        return f"{value:.4g}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and data rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as monospaced ASCII art."""
+        return format_table(self.title, self.headers, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Format ``rows`` under ``headers`` with a title banner."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        """One padded, pipe-separated row."""
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Unit constants and conversions used throughout the library.
+
+Internally the library uses **bytes** for sizes, **seconds** for times and
+**bytes/second** for rates.  Configuration parameters mirror the units the
+original server software used (e.g. Squid's ``cache_mem`` is in MB, MySQL's
+``join_buffer_size`` in bytes); the per-server model classes document and
+perform the conversion at the boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "MBPS", "Seconds", "Bytes", "bytes_to_mb", "mb_to_bytes"]
+
+#: One kilobyte (binary), in bytes.
+KB: int = 1024
+#: One megabyte (binary), in bytes.
+MB: int = 1024 * 1024
+#: One gigabyte (binary), in bytes.
+GB: int = 1024 * 1024 * 1024
+
+#: One megabit per second, in bytes/second (network rates are decimal).
+MBPS: float = 1e6 / 8.0
+
+#: Type aliases for documentation purposes.
+Seconds = float
+Bytes = int
+
+
+def bytes_to_mb(n: float) -> float:
+    """Convert bytes to (binary) megabytes."""
+    return n / MB
+
+
+def mb_to_bytes(n: float) -> int:
+    """Convert (binary) megabytes to bytes, rounding to the nearest byte."""
+    return int(round(n * MB))

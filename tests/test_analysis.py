@@ -1,0 +1,150 @@
+"""Tests for the sensitivity and importance analysis tools."""
+
+import pytest
+
+from repro.analysis.importance import history_importance, importance_table
+from repro.analysis.sensitivity import (
+    SensitivityCurve,
+    sensitivity_report,
+    sweep_parameter,
+)
+from repro.cluster.topology import ClusterSpec
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import BROWSING_MIX
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=750)
+    backend = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    return cluster, scenario, backend
+
+
+class TestSensitivityCurve:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensitivityCurve("p", (), (), (), 1.0)
+        with pytest.raises(ValueError):
+            SensitivityCurve("p", (1, 2), (1.0,), (0.0, 0.0), 1.0)
+
+    def test_effect_and_extremes(self):
+        c = SensitivityCurve("p", (1, 2, 3), (90.0, 100.0, 80.0), (0, 0, 0), 100.0)
+        assert c.effect_size == pytest.approx(0.2)
+        assert c.best_value == 2
+        assert c.worst_value == 3
+
+
+class TestSweepParameter:
+    def test_validation(self, setup):
+        cluster, scenario, backend = setup
+        base = cluster.default_configuration()
+        with pytest.raises(ValueError):
+            sweep_parameter(backend, scenario, base, "proxy0.cache_mem", points=1)
+        with pytest.raises(ValueError):
+            sweep_parameter(backend, scenario, base, "proxy0.cache_mem", repeats=0)
+
+    def test_cache_mem_has_large_effect_for_browsing(self, setup):
+        cluster, scenario, backend = setup
+        curve = sweep_parameter(
+            backend, scenario, cluster.default_configuration(),
+            "proxy0.cache_mem", points=4, repeats=1,
+        )
+        assert curve.effect_size > 0.10
+        assert curve.best_value > curve.worst_value  # more cache is better
+
+    def test_swap_watermarks_near_neutral(self, setup):
+        cluster, scenario, backend = setup
+        curve = sweep_parameter(
+            backend, scenario, cluster.default_configuration(),
+            "proxy0.cache_swap_low", points=4, repeats=1,
+            constraints=cluster.full_constraints(),
+        )
+        assert curve.effect_size < 0.03
+
+    def test_values_cover_bounds_and_base(self, setup):
+        cluster, scenario, backend = setup
+        space = cluster.full_space()
+        curve = sweep_parameter(
+            backend, scenario, cluster.default_configuration(),
+            "db0.table_cache", points=3, repeats=1,
+        )
+        param = space["db0.table_cache"]
+        assert param.low in curve.values
+        assert param.high in curve.values
+        assert param.default in curve.values
+
+    def test_deterministic(self, setup):
+        cluster, scenario, backend = setup
+        kw = dict(points=3, repeats=2, seed=5)
+        a = sweep_parameter(backend, scenario, cluster.default_configuration(),
+                            "proxy0.cache_mem", **kw)
+        b = sweep_parameter(backend, scenario, cluster.default_configuration(),
+                            "proxy0.cache_mem", **kw)
+        assert a.mean_wips == b.mean_wips
+
+
+class TestSensitivityReport:
+    def test_ranked_and_table(self, setup):
+        cluster, scenario, backend = setup
+        report = sensitivity_report(
+            backend, scenario,
+            names=["proxy0.cache_mem", "proxy0.cache_swap_low"],
+            points=3, repeats=1,
+        )
+        ranked = report.ranked()
+        assert ranked[0].name == "proxy0.cache_mem"
+        assert "cache_mem" in report.to_table().render()
+        with pytest.raises(KeyError):
+            report.curve("nope")
+
+
+class TestHistoryImportance:
+    def _history(self, n=40):
+        """A synthetic run where only 'driver' matters."""
+        import numpy as np
+
+        space = ParameterSpace(
+            [
+                IntParameter("driver", 0, 0, 100),
+                IntParameter("dud", 50, 0, 100),
+            ]
+        )
+        rng = np.random.default_rng(0)
+        h = TuningHistory()
+        for _ in range(n):
+            d = int(rng.integers(0, 101))
+            u = int(rng.integers(0, 101))
+            h.append(Configuration({"driver": d, "dud": u}), 100.0 + d)
+        return h, space
+
+    def test_driver_outranks_dud(self):
+        h, space = self._history()
+        imps = history_importance(h, space)
+        assert imps[0].name == "driver"
+        assert imps[0].correlation > 0.9
+        assert imps[0].score > imps[1].score
+
+    def test_too_short_history_rejected(self):
+        h = TuningHistory()
+        h.append(Configuration({"a": 1}), 1.0)
+        with pytest.raises(ValueError):
+            history_importance(h, ParameterSpace([IntParameter("a", 1, 0, 2)]))
+
+    def test_movement_component(self):
+        space = ParameterSpace([IntParameter("a", 0, 0, 100)])
+        h = TuningHistory()
+        h.append(Configuration({"a": 0}), 1.0)
+        h.append(Configuration({"a": 0}), 1.0)
+        h.append(Configuration({"a": 100}), 10.0)  # best moved full span
+        imps = history_importance(h, space)
+        assert imps[0].movement == pytest.approx(1.0)
+
+    def test_table_renders(self):
+        h, space = self._history()
+        text = importance_table(history_importance(h, space)).render()
+        assert "driver" in text and "dud" in text

@@ -1,0 +1,78 @@
+"""Randomized cross-validation of the two backends.
+
+The tuning experiments trust the analytic backend across the whole
+configuration space, not just at the defaults — so the agreement check must
+hold for *arbitrary feasible configurations*, including lopsided ones.
+Seeds are fixed (not hypothesis-driven) to keep the DES cost bounded; each
+case is an independent random feasible configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import SHOPPING_MIX
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def backends():
+    return (
+        SimulationBackend(time_scale=0.05),
+        AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0)),
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec.three_tier(1, 1, 1)
+
+
+def _random_feasible(cluster, seed):
+    space = cluster.full_space()
+    constraints = cluster.full_constraints()
+    rng = spawn_rng(seed, "agreement")
+    # Mid-range biased sampling: average two uniform draws per dimension so
+    # most parameters sit away from pathological extremes (as a tuner's
+    # candidates do after the first few iterations).
+    values = {}
+    for p in space.parameters:
+        a, b = p.random(rng), p.random(rng)
+        values[p.name] = p.clamp((a + b) / 2)
+    return constraints.repair(space, values)
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_random_configs_agree(backends, cluster, case):
+    des, analytic = backends
+    config = _random_feasible(cluster, case)
+    scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=500)
+    w_des = des.measure(scenario, config, seed=case).wips
+    w_ana = analytic.measure(scenario, config, seed=case).wips
+    assert w_des == pytest.approx(w_ana, rel=0.15), dict(config)
+
+
+def test_agreement_of_relative_ordering(backends, cluster):
+    """Beyond absolute agreement: for configurations whose analytic WIPS
+    differ *materially* (beyond DES sampling noise), the DES must order
+    them the same way — that ordering is all the tuner actually consumes.
+    Ties (configs within a few percent) carry no ordering information."""
+    des, analytic = backends
+    scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=750)
+    configs = [_random_feasible(cluster, 100 + i) for i in range(4)]
+    configs.append(cluster.default_configuration())
+    w_des = [des.measure(scenario, c, seed=1).wips for c in configs]
+    w_ana = [analytic.measure(scenario, c, seed=1).wips for c in configs]
+    compared = 0
+    for i in range(len(configs)):
+        for j in range(i + 1, len(configs)):
+            if abs(w_ana[i] - w_ana[j]) / max(w_ana[i], w_ana[j]) > 0.05:
+                compared += 1
+                assert (w_des[i] > w_des[j]) == (w_ana[i] > w_ana[j]), (
+                    i, j, w_des, w_ana,
+                )
+    assert compared >= 1  # the sample must contain a material difference

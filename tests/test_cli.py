@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.util.serialization import load_configuration, load_history
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.mix == "shopping"
+        assert args.iterations == 100
+        assert args.method == "default"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestBaseline:
+    def test_prints_wips(self, capsys):
+        rc = main(["baseline", "--mix", "browsing", "--population", "300",
+                   "--repeats", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WIPS" in out
+        assert "browsing" in out
+
+
+class TestTune:
+    def test_tunes_and_saves(self, tmp_path, capsys):
+        best_path = tmp_path / "best.json"
+        history_path = tmp_path / "run.jsonl"
+        rc = main([
+            "tune", "--mix", "browsing", "--iterations", "30",
+            "--population", "750",
+            "--save-best", str(best_path),
+            "--save-history", str(history_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "best after 30 iterations" in out
+        cfg = load_configuration(best_path)
+        assert "proxy0.cache_mem" in cfg
+        history = load_history(history_path)
+        assert len(history) == 30
+
+    def test_duplication_method_on_cluster(self, capsys):
+        rc = main([
+            "tune", "--method", "duplication", "--iterations", "10",
+            "--proxies", "2", "--apps", "2", "--dbs", "2",
+            "--population", "600",
+        ])
+        assert rc == 0
+
+    def test_random_strategy(self, capsys):
+        rc = main(["tune", "--strategy", "random", "--iterations", "10",
+                   "--population", "400"])
+        assert rc == 0
+
+
+class TestSensitivity:
+    def test_named_params(self, capsys):
+        rc = main([
+            "sensitivity", "--mix", "browsing", "--population", "750",
+            "--params", "proxy0.cache_mem,proxy0.cache_swap_low",
+            "--points", "3", "--repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache_mem" in out and "Effect size" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        rc = main(["experiment", "table1"])
+        assert rc == 0
+        assert "Buy Confirm" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        rc = main(["experiment", "fig5", "--iterations", "20"])
+        assert rc == 0
+        assert "responsiveness" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_backends_agree(self, capsys):
+        rc = main(["validate", "--population", "300", "--time-scale", "0.03"])
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert rc == 0

@@ -1,0 +1,254 @@
+"""Tests for the per-server performance models (Squid / Tomcat / MySQL)."""
+
+import pytest
+
+from repro.cluster.appserver import AppServerModel
+from repro.cluster.context import WorkloadContext
+from repro.cluster.database import DatabaseModel
+from repro.cluster.memory import MemoryModel
+from repro.cluster.node import DEFAULT_NODE, NodeSpec
+from repro.cluster.params import APP_PARAMS, DB_PARAMS, PROXY_PARAMS
+from repro.cluster.proxy import ProxyModel
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX
+from repro.util.units import GB, KB, MB
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return WorkloadContext.for_mix(BROWSING_MIX, Catalog(scale=2000))
+
+
+@pytest.fixture(scope="module")
+def ordering_ctx():
+    return WorkloadContext.for_mix(ORDERING_MIX, Catalog(scale=2000))
+
+
+def _defaults(params):
+    return {p.name: p.default for p in params}
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(memory_bytes=0)
+
+    def test_cpu_seconds_scales_with_speed(self):
+        fast = NodeSpec(cpu_speed=2.0)
+        assert fast.cpu_seconds(1.0) == 0.5
+
+    def test_disk_seconds(self):
+        spec = NodeSpec(disk_access_time=0.01, disk_transfer_rate=10 * MB)
+        assert spec.disk_seconds(10 * MB, accesses=2) == pytest.approx(1.02)
+        with pytest.raises(ValueError):
+            spec.disk_seconds(-1.0)
+
+    def test_nic_seconds(self):
+        spec = NodeSpec(nic_rate=12.5e6)
+        assert spec.nic_seconds(12.5e6) == pytest.approx(1.0)
+
+    def test_table2_defaults(self):
+        """Table 2: dual CPUs, 1 GB memory, 100 Mbps Ethernet."""
+        assert DEFAULT_NODE.cpu_cores == 2
+        assert DEFAULT_NODE.memory_bytes == 1 * GB
+        assert DEFAULT_NODE.nic_rate == pytest.approx(100e6 / 8)
+
+
+class TestMemoryModel:
+    def test_no_penalty_below_threshold(self):
+        m = MemoryModel(pressure_threshold=0.85)
+        assert m.penalty(0.5 * GB, 1 * GB) == 1.0
+        assert m.penalty(0.85 * GB, 1 * GB) == 1.0
+
+    def test_penalty_at_capacity_equals_slope(self):
+        m = MemoryModel(pressure_threshold=0.85, swap_slope=4.0)
+        assert m.penalty(1 * GB, 1 * GB) == pytest.approx(4.0)
+
+    def test_monotone(self):
+        m = MemoryModel()
+        values = [m.penalty(x * GB, 1 * GB) for x in (0.5, 0.9, 1.0, 1.2)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_continuous_at_threshold(self):
+        m = MemoryModel()
+        eps = 1e-6
+        assert m.penalty((0.85 + eps) * GB, 1 * GB) == pytest.approx(1.0, abs=1e-3)
+
+    def test_headroom(self):
+        m = MemoryModel(pressure_threshold=0.85)
+        assert m.headroom(0.5 * GB, 1 * GB) == pytest.approx(0.35 * GB)
+        assert m.headroom(0.9 * GB, 1 * GB) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(pressure_threshold=1.5)
+        with pytest.raises(ValueError):
+            MemoryModel(swap_slope=0.5)
+        with pytest.raises(ValueError):
+            MemoryModel().penalty(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            MemoryModel().penalty(1.0, 0.0)
+
+
+class TestProxyModel:
+    def _eval(self, ctx, **overrides):
+        cfg = _defaults(PROXY_PARAMS)
+        cfg.update(overrides)
+        return ProxyModel(DEFAULT_NODE).evaluate(cfg, ctx)
+
+    def test_fractions_partition(self, ctx):
+        ev = self._eval(ctx)
+        assert 0.0 <= ev.mem_hit <= 1.0
+        assert ev.mem_hit + ev.disk_hit <= 1.0 + 1e-9
+
+    def test_more_cache_mem_more_memory_hits(self, ctx):
+        small = self._eval(ctx, cache_mem=4)
+        large = self._eval(ctx, cache_mem=128)
+        assert large.mem_hit > small.mem_hit
+        assert large.disk_demand < small.disk_demand
+        assert large.memory_bytes > small.memory_bytes
+
+    def test_bigger_in_memory_bound_admits_more(self, ctx):
+        small = self._eval(ctx, maximum_object_size_in_memory=2, cache_mem=64)
+        large = self._eval(ctx, maximum_object_size_in_memory=1024, cache_mem=64)
+        assert large.mem_hit >= small.mem_hit
+
+    def test_minimum_object_size_leaves_memory_cache_alone(self, ctx):
+        """Raising the disk-cache minimum must not change memory hits (the
+        Squid behaviour that makes the paper's tuned minimums harmless)."""
+        base = self._eval(ctx, minimum_object_size=0)
+        raised = self._eval(ctx, minimum_object_size=128)
+        assert raised.mem_hit == pytest.approx(base.mem_hit)
+        assert raised.disk_hit <= base.disk_hit
+
+    def test_swap_watermarks_nearly_neutral(self, ctx):
+        a = self._eval(ctx, cache_swap_low=70, cache_swap_high=98)
+        b = self._eval(ctx, cache_swap_low=90, cache_swap_high=91)
+        assert b.disk_demand == pytest.approx(a.disk_demand, rel=0.02)
+
+    def test_bucket_size_costs_cpu(self, ctx):
+        short = self._eval(ctx, store_objects_per_bucket=5)
+        long = self._eval(ctx, store_objects_per_bucket=200)
+        assert long.cpu_demand > short.cpu_demand
+
+    def test_forwarding_accounting(self, ctx):
+        ev = self._eval(ctx)
+        assert 0.0 < ev.forward_dynamic < 1.0
+        assert ev.forward_pages >= ev.forward_dynamic
+        assert ev.forward_static >= 0.0
+
+    def test_ordering_forwards_more_dynamics(self, ctx, ordering_ctx):
+        b = self._eval(ctx)
+        cfg = _defaults(PROXY_PARAMS)
+        o = ProxyModel(DEFAULT_NODE).evaluate(cfg, ordering_ctx)
+        assert o.forward_dynamic > b.forward_dynamic
+
+
+class TestAppServerModel:
+    def _eval(self, ctx, dynamic=0.5, static=3.0, conc=8.0, **overrides):
+        cfg = _defaults(APP_PARAMS)
+        cfg.update(overrides)
+        return AppServerModel(DEFAULT_NODE).evaluate(
+            cfg, ctx, dynamic_pages=dynamic, static_requests=static,
+            concurrency=conc,
+        )
+
+    def test_negative_visits_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            self._eval(ctx, dynamic=-1.0)
+
+    def test_bigger_buffer_fewer_syscalls(self, ctx):
+        small = self._eval(ctx, bufferSize=512)
+        large = self._eval(ctx, bufferSize=16384)
+        assert large.cpu_demand < small.cpu_demand
+
+    def test_thread_memory_cost(self, ctx):
+        few = self._eval(ctx, maxProcessors=5)
+        many = self._eval(ctx, maxProcessors=512)
+        assert many.memory_bytes > few.memory_bytes
+
+    def test_spawn_churn_higher_when_warm_pool_small(self, ctx):
+        cold = self._eval(ctx, minProcessors=1, conc=40.0)
+        warm = self._eval(ctx, minProcessors=64, conc=40.0)
+        assert cold.spawn_rate > warm.spawn_rate
+        assert cold.cpu_demand > warm.cpu_demand
+
+    def test_burstier_workload_spawns_more(self, ctx, ordering_ctx):
+        b = self._eval(ctx, minProcessors=1, conc=40.0)
+        o = AppServerModel(DEFAULT_NODE).evaluate(
+            _defaults(APP_PARAMS), ordering_ctx,
+            dynamic_pages=0.5, static_requests=3.0, concurrency=40.0,
+        )
+        assert b.spawn_rate > o.spawn_rate
+
+    def test_pool_tuples(self, ctx):
+        ev = self._eval(ctx, maxProcessors=33, acceptCount=44,
+                        AJPmaxProcessors=55, AJPacceptCount=66)
+        assert ev.http_pool == (33, 44)
+        assert ev.ajp_pool == (55, 66)
+
+
+class TestDatabaseModel:
+    def _eval(self, ctx, dynamic=0.6, conc=8.0, **overrides):
+        cfg = _defaults(DB_PARAMS)
+        cfg.update(overrides)
+        return DatabaseModel(DEFAULT_NODE).evaluate(
+            cfg, ctx, dynamic_pages=dynamic, concurrency=conc
+        )
+
+    def test_negative_visits_rejected(self, ordering_ctx):
+        with pytest.raises(ValueError):
+            self._eval(ordering_ctx, dynamic=-0.1)
+
+    def test_table_cache_reduces_misses_and_cpu(self, ordering_ctx):
+        small = self._eval(ordering_ctx, table_cache=16)
+        large = self._eval(ordering_ctx, table_cache=1024)
+        assert large.table_miss < small.table_miss
+        assert large.cpu_demand < small.cpu_demand
+
+    def test_binlog_cache_reduces_spills(self, ordering_ctx):
+        small = self._eval(ordering_ctx, binlog_cache_size=4096)
+        large = self._eval(ordering_ctx, binlog_cache_size=1048576)
+        assert large.binlog_spill < small.binlog_spill
+        assert large.disk_demand < small.disk_demand
+
+    def test_thread_cache_reduces_churn_cpu(self, ordering_ctx):
+        cold = self._eval(ordering_ctx, thread_con=1, conc=60.0)
+        warm = self._eval(ordering_ctx, thread_con=128, conc=60.0)
+        assert warm.cpu_demand < cold.cpu_demand
+
+    def test_join_buffer_size_flat_above_need(self, ordering_ctx):
+        """The paper: 'reducing the join buffer size does not impact
+        performance' — CPU is flat once the buffer covers the joins."""
+        mid = self._eval(ordering_ctx, join_buffer_size=524288)
+        big = self._eval(ordering_ctx, join_buffer_size=16777216)
+        assert mid.cpu_demand == pytest.approx(big.cpu_demand)
+        assert big.memory_bytes > mid.memory_bytes
+
+    def test_tiny_join_buffer_costs_cpu(self, ordering_ctx):
+        tiny = self._eval(ordering_ctx, join_buffer_size=131072)
+        ok = self._eval(ordering_ctx, join_buffer_size=524288)
+        assert tiny.cpu_demand > ok.cpu_demand
+
+    def test_connection_memory(self, ordering_ctx):
+        few = self._eval(ordering_ctx, max_connections=10)
+        many = self._eval(ordering_ctx, max_connections=1000)
+        assert many.memory_bytes > few.memory_bytes
+        assert many.connection_limit == 1000
+
+    def test_small_thread_stack_penalizes_heavy_queries(self, ordering_ctx):
+        small = self._eval(ordering_ctx, thread_stack=32768)
+        safe = self._eval(ordering_ctx, thread_stack=262144)
+        assert small.cpu_demand > safe.cpu_demand
+
+    def test_delayed_queue_batches_inserts(self, ordering_ctx):
+        small = self._eval(ordering_ctx, delayed_queue_size=100)
+        large = self._eval(ordering_ctx, delayed_queue_size=10000)
+        assert large.disk_demand < small.disk_demand
+
+    def test_net_buffer_reduces_syscall_cpu(self, ordering_ctx):
+        small = self._eval(ordering_ctx, net_buffer_length=1024)
+        large = self._eval(ordering_ctx, net_buffer_length=65536)
+        assert large.cpu_demand < small.cpu_demand

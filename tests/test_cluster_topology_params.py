@@ -1,0 +1,187 @@
+"""Tests for cluster topology, parameter definitions and reconfiguration."""
+
+import pytest
+
+from repro.cluster.node import Role
+from repro.cluster.params import (
+    APP_PARAMS,
+    DB_PARAMS,
+    PAPER_TUNED,
+    PROXY_PARAMS,
+    params_for_role,
+    space_for_role,
+)
+from repro.cluster.topology import ClusterSpec, NodePlacement
+
+
+class TestParams:
+    def test_counts_match_table3(self):
+        assert len(PROXY_PARAMS) == 7
+        assert len(APP_PARAMS) == 7
+        assert len(DB_PARAMS) == 9
+
+    def test_defaults_match_table3_column(self):
+        space = space_for_role(Role.PROXY)
+        assert space["cache_mem"].default == 8
+        assert space["cache_swap_low"].default == 90
+        assert space["maximum_object_size"].default == 4096
+        app = space_for_role(Role.APP)
+        assert app["minProcessors"].default == 5
+        assert app["maxProcessors"].default == 20
+        assert app["bufferSize"].default == 2048
+        db = space_for_role(Role.DB)
+        assert db["max_connections"].default == 100
+        assert db["table_cache"].default == 64
+        assert db["binlog_cache_size"].default == 32768
+
+    def test_defaults_are_legal(self):
+        for role in Role:
+            space = space_for_role(role)
+            space.validate(space.default_configuration())
+
+    def test_paper_tuned_values_within_ranges(self):
+        """Every Table 3 tuned value must be inside our tuning range (the
+        ranges were chosen to contain them)."""
+        all_params = {p.name: p for p in PROXY_PARAMS + APP_PARAMS + DB_PARAMS}
+        for workload, values in PAPER_TUNED.items():
+            for name, value in values.items():
+                p = all_params[name]
+                assert p.low <= value <= p.high, (workload, name, value)
+
+    def test_params_for_role(self):
+        assert params_for_role(Role.PROXY) is PROXY_PARAMS
+
+
+class TestNodePlacement:
+    def test_dot_in_id_rejected(self):
+        with pytest.raises(ValueError):
+            NodePlacement("bad.id", Role.PROXY)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            NodePlacement("", Role.PROXY)
+
+
+class TestClusterSpec:
+    def test_three_tier(self):
+        c = ClusterSpec.three_tier(2, 3, 1)
+        assert c.num_nodes == 6
+        assert c.tier_size(Role.PROXY) == 2
+        assert c.tier_size(Role.APP) == 3
+        assert c.tier_size(Role.DB) == 1
+        assert c.nodes_in(Role.APP) == ["app0", "app1", "app2"]
+
+    def test_needs_every_tier(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterSpec([NodePlacement("p0", Role.PROXY)])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSpec(
+                [
+                    NodePlacement("x", Role.PROXY),
+                    NodePlacement("x", Role.APP),
+                    NodePlacement("d", Role.DB),
+                ]
+            )
+
+    def test_role_lookup(self):
+        c = ClusterSpec.three_tier(1, 1, 1)
+        assert c.role_of("db0") is Role.DB
+        assert "proxy0" in c
+        with pytest.raises(KeyError):
+            c.role_of("ghost")
+
+    def test_full_space_names(self):
+        c = ClusterSpec.three_tier(1, 1, 1)
+        space = c.full_space()
+        assert space.dimension == 7 + 7 + 9
+        assert "proxy0.cache_mem" in space
+        assert "app0.maxProcessors" in space
+        assert "db0.table_cache" in space
+
+    def test_full_space_grows_with_nodes(self):
+        c = ClusterSpec.three_tier(2, 2, 2)
+        assert c.full_space().dimension == 2 * (7 + 7 + 9)
+
+    def test_node_config_extraction(self):
+        c = ClusterSpec.three_tier(1, 1, 1)
+        full = c.default_configuration()
+        cfg = c.node_config(full, "proxy0")
+        assert cfg["cache_mem"] == 8
+        assert "minProcessors" not in cfg
+
+    def test_node_config_missing_params_rejected(self):
+        c = ClusterSpec.three_tier(1, 1, 1)
+        with pytest.raises(ValueError, match="missing"):
+            c.node_config({"proxy0.cache_mem": 8}, "proxy0")
+        with pytest.raises(KeyError):
+            c.node_config(c.default_configuration(), "ghost")
+
+    def test_tiers_mapping(self):
+        c = ClusterSpec.three_tier(2, 1, 1)
+        assert c.tiers() == {
+            "proxy": ["proxy0", "proxy1"],
+            "app": ["app0"],
+            "db": ["db0"],
+        }
+
+
+class TestMoveNode:
+    def test_move_changes_role_keeps_id(self):
+        c = ClusterSpec.three_tier(2, 1, 1)
+        moved = c.move_node("proxy1", Role.APP)
+        assert moved.role_of("proxy1") is Role.APP
+        assert moved.tier_size(Role.PROXY) == 1
+        assert moved.tier_size(Role.APP) == 2
+        # Original untouched.
+        assert c.role_of("proxy1") is Role.PROXY
+
+    def test_moved_node_gets_new_role_parameters(self):
+        c = ClusterSpec.three_tier(2, 1, 1)
+        moved = c.move_node("proxy1", Role.APP)
+        space = moved.full_space()
+        assert "proxy1.maxProcessors" in space
+        assert "proxy1.cache_mem" not in space
+
+    def test_cannot_empty_a_tier(self):
+        c = ClusterSpec.three_tier(1, 1, 1)
+        with pytest.raises(ValueError, match="last"):
+            c.move_node("proxy0", Role.APP)
+
+    def test_move_to_same_role_rejected(self):
+        c = ClusterSpec.three_tier(2, 1, 1)
+        with pytest.raises(ValueError, match="already"):
+            c.move_node("proxy0", Role.PROXY)
+
+
+class TestWorkLines:
+    def test_two_lines(self):
+        c = ClusterSpec.three_tier(2, 2, 2)
+        lines = c.work_lines(2)
+        assert set(lines) == {"line0", "line1"}
+        for nodes in lines.values():
+            roles = {c.role_of(n) for n in nodes}
+            assert roles == set(Role)  # one of each tier
+
+    def test_covers_all_nodes_once(self):
+        c = ClusterSpec.three_tier(2, 4, 2)
+        lines = c.work_lines(2)
+        listed = sorted(n for nodes in lines.values() for n in nodes)
+        assert listed == sorted(c.node_ids)
+
+    def test_uneven_tiers_dealt_round_robin(self):
+        c = ClusterSpec.three_tier(2, 3, 2)
+        lines = c.work_lines(2)
+        app_counts = sorted(
+            sum(1 for n in nodes if c.role_of(n) is Role.APP)
+            for nodes in lines.values()
+        )
+        assert app_counts == [1, 2]
+
+    def test_too_many_lines_rejected(self):
+        c = ClusterSpec.three_tier(2, 2, 1)
+        with pytest.raises(ValueError, match="work lines"):
+            c.work_lines(2)
+        with pytest.raises(ValueError):
+            c.work_lines(0)

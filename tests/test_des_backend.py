@@ -1,0 +1,176 @@
+"""Tests for the discrete-event backend, including cross-validation."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX, SHOPPING_MIX
+from repro.tuning.iteration import IterationSpec
+
+
+@pytest.fixture(scope="module")
+def fast_des():
+    """A short-window DES for tests (6s warm-up, 60s measurement)."""
+    return SimulationBackend(time_scale=0.06)
+
+
+@pytest.fixture(scope="module")
+def quiet_analytic():
+    return AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec.three_tier(1, 1, 1)
+
+
+class TestBasics:
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            SimulationBackend(time_scale=0.0)
+
+    def test_produces_measurement(self, fast_des, cluster):
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=200)
+        m = fast_des.measure(sc, cluster.default_configuration(), seed=1)
+        assert m.wips > 0
+        assert m.response_time > 0
+        assert set(m.utilization) == set(cluster.node_ids)
+
+    def test_deterministic_per_seed(self, fast_des, cluster):
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=100)
+        cfg = cluster.default_configuration()
+        a = fast_des.measure(sc, cfg, seed=9)
+        b = fast_des.measure(sc, cfg, seed=9)
+        assert a.wips == b.wips
+        assert a.error_rate == b.error_rate
+
+    def test_seed_changes_outcome(self, fast_des, cluster):
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=100)
+        cfg = cluster.default_configuration()
+        assert fast_des.measure(sc, cfg, seed=1).wips != fast_des.measure(
+            sc, cfg, seed=2
+        ).wips
+
+    def test_unsaturated_wips_tracks_population(self, fast_des, cluster):
+        cfg = cluster.default_configuration()
+        w100 = fast_des.measure(
+            Scenario(cluster=cluster, mix=BROWSING_MIX, population=100),
+            cfg, seed=3,
+        ).wips
+        w200 = fast_des.measure(
+            Scenario(cluster=cluster, mix=BROWSING_MIX, population=200),
+            cfg, seed=3,
+        ).wips
+        assert w200 == pytest.approx(2 * w100, rel=0.15)
+
+
+class TestCrossValidation:
+    """The headline substrate check: DES and analytic backends must agree."""
+
+    @pytest.mark.parametrize("mix", [BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX])
+    def test_default_config_agreement(self, fast_des, quiet_analytic, cluster, mix):
+        sc = Scenario(cluster=cluster, mix=mix, population=500)
+        cfg = cluster.default_configuration()
+        w_des = fast_des.measure(sc, cfg, seed=4).wips
+        w_ana = quiet_analytic.measure(sc, cfg, seed=4).wips
+        assert w_des == pytest.approx(w_ana, rel=0.10)
+
+    def test_utilization_agreement(self, fast_des, quiet_analytic, cluster):
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=500)
+        cfg = cluster.default_configuration()
+        m_des = fast_des.measure(sc, cfg, seed=5)
+        m_ana = quiet_analytic.measure(sc, cfg, seed=5)
+        for node in cluster.node_ids:
+            assert m_des.utilization[node].cpu == pytest.approx(
+                m_ana.utilization[node].cpu, abs=0.12
+            )
+
+    def test_tuning_direction_agreement(self, fast_des, quiet_analytic, cluster):
+        """Both backends must agree that cache tuning helps browsing."""
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=700)
+        default = cluster.default_configuration()
+        tuned = default.replace(**{
+            "proxy0.cache_mem": 192,
+            "proxy0.maximum_object_size_in_memory": 1024,
+        })
+        for backend in (fast_des, quiet_analytic):
+            w_d = backend.measure(sc, default, seed=6).wips
+            w_t = backend.measure(sc, tuned, seed=6).wips
+            assert w_t > w_d
+
+
+class TestPoolBehaviour:
+    def test_starved_thread_pool_rejects(self, cluster):
+        des = SimulationBackend(time_scale=0.04)
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=600)
+        starved = cluster.default_configuration().replace(**{
+            "app0.maxProcessors": 5,
+            "app0.AJPmaxProcessors": 5,
+            "app0.acceptCount": 5,
+            "app0.AJPacceptCount": 5,
+        })
+        m = des.measure(sc, starved, seed=7)
+        assert m.error_rate > 0.0
+        assert m.diagnostics["app0.http.rejected"] > 0
+
+    def test_ample_pools_no_rejections(self, fast_des, cluster):
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=200)
+        roomy = cluster.default_configuration().replace(**{
+            "app0.maxProcessors": 256,
+            "app0.AJPmaxProcessors": 256,
+            "app0.acceptCount": 1024,
+            "app0.AJPacceptCount": 1024,
+        })
+        m = fast_des.measure(sc, roomy, seed=8)
+        assert m.error_rate == 0.0
+
+
+class TestWorkLines:
+    def test_per_line_wips(self, cluster):
+        des = SimulationBackend(time_scale=0.04)
+        big = ClusterSpec.three_tier(2, 2, 2)
+        lines = {k: tuple(v) for k, v in big.work_lines(2).items()}
+        sc = Scenario(
+            cluster=big, mix=SHOPPING_MIX, population=300, work_lines=lines
+        )
+        m = des.measure(sc, big.default_configuration(), seed=9)
+        assert set(m.per_line_wips) == {"line0", "line1"}
+        assert sum(m.per_line_wips.values()) == pytest.approx(m.wips, rel=1e-6)
+        # Roughly even split of the population.
+        lo, hi = sorted(m.per_line_wips.values())
+        assert hi < 2.0 * lo
+
+
+class TestIterationSpecIntegration:
+    def test_custom_spec_durations(self, cluster):
+        des = SimulationBackend(
+            iteration_spec=IterationSpec(warmup=10, measure=50, cooldown=0),
+            time_scale=1.0,
+        )
+        assert des.spec.measure == 50
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=50)
+        m = des.measure(sc, cluster.default_configuration(), seed=1)
+        assert m.wips > 0
+
+
+class TestNavigationMode:
+    def test_navigation_sessions_give_same_throughput(self, cluster):
+        """Correlated navigation has the same stationary mix, so WIPS must
+        match i.i.d. sampling within sampling noise."""
+        iid = SimulationBackend(time_scale=0.05, navigation=False)
+        nav = SimulationBackend(time_scale=0.05, navigation=True)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=300)
+        cfg = cluster.default_configuration()
+        w_iid = iid.measure(sc, cfg, seed=12).wips
+        w_nav = nav.measure(sc, cfg, seed=12).wips
+        assert w_nav == pytest.approx(w_iid, rel=0.08)
+
+    def test_navigation_category_split_matches_mix(self, cluster):
+        nav = SimulationBackend(time_scale=0.05, navigation=True)
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=300)
+        m = nav.measure(sc, cluster.default_configuration(), seed=13)
+        share = m.diagnostics["wips_browse"] / m.wips
+        assert share == pytest.approx(0.95, abs=0.04)

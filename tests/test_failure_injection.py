@@ -1,0 +1,113 @@
+"""Failure injection: flaky backends and wedged measurements.
+
+The paper's testbed occasionally needed server restarts (§V); a production
+tuner must survive measurements that crash.  These tests drive a tuning
+session against backends that fail deterministically or randomly and check
+that tuning degrades gracefully instead of derailing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Measurement, PerformanceBackend, Scenario
+from repro.tpcw.interactions import BROWSING_MIX
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.rng import spawn_rng
+
+
+class CrashingBackend(PerformanceBackend):
+    """Fails every ``period``-th measurement (simulating a wedged server)."""
+
+    def __init__(self, inner: PerformanceBackend, period: int) -> None:
+        self.inner = inner
+        self.period = period
+        self.calls = 0
+
+    def measure(self, scenario, configuration, seed=0) -> Measurement:
+        self.calls += 1
+        if self.calls % self.period == 0:
+            raise RuntimeError("measurement harness wedged")
+        return self.inner.measure(scenario, configuration, seed)
+
+
+class RandomCrashBackend(PerformanceBackend):
+    """Fails each measurement independently with probability p."""
+
+    def __init__(self, inner: PerformanceBackend, p: float, seed: int) -> None:
+        self.inner = inner
+        self.p = p
+        self.rng = spawn_rng(seed, "crash")
+
+    def measure(self, scenario, configuration, seed=0) -> Measurement:
+        if self.rng.random() < self.p:
+            raise RuntimeError("spurious failure")
+        return self.inner.measure(scenario, configuration, seed)
+
+
+def _session(backend, on_measure_error, seed=31):
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=750)
+    return ClusterTuningSession(
+        backend, scenario,
+        scheme=make_scheme(scenario, "default"),
+        seed=seed,
+        on_measure_error=on_measure_error,
+    )
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _session(AnalyticBackend(), "ignore")
+
+
+class TestRaiseMode:
+    def test_failure_propagates_by_default(self):
+        backend = CrashingBackend(AnalyticBackend(), period=3)
+        session = _session(backend, "raise")
+        with pytest.raises(RuntimeError, match="wedged"):
+            session.run(10)
+        # The completed iterations were recorded.
+        assert 0 < session.iterations < 10
+
+
+class TestPenalizeMode:
+    def test_run_completes_despite_failures(self):
+        backend = CrashingBackend(AnalyticBackend(), period=5)
+        session = _session(backend, "penalize")
+        session.run(40)
+        assert session.iterations == 40
+        assert session.measure_failures == 8
+        # Failed iterations are recorded at zero performance.
+        zeros = sum(1 for r in session.history if r.performance == 0.0)
+        assert zeros == 8
+
+    def test_failed_measurement_reported_as_zero(self):
+        backend = CrashingBackend(AnalyticBackend(), period=2)
+        session = _session(backend, "penalize")
+        m = session.step()  # ok
+        assert m.wips > 0
+        m = session.step()  # crash
+        assert m.wips == 0.0
+        assert m.error_rate == 1.0
+
+    def test_tuning_still_improves_with_random_failures(self):
+        inner = AnalyticBackend()
+        backend = RandomCrashBackend(inner, p=0.10, seed=7)
+        session = _session(backend, "penalize")
+        baseline = ClusterTuningSession(
+            inner,
+            session.scenario,
+            seed=31,
+        ).measure_baseline(iterations=10).window_stats(0)
+        session.run(120)
+        best = session.history.best().performance
+        assert best > baseline.mean * 1.05
+
+    def test_best_configuration_never_a_crashed_one(self):
+        backend = CrashingBackend(AnalyticBackend(), period=4)
+        session = _session(backend, "penalize")
+        session.run(30)
+        assert session.history.best().performance > 0.0

@@ -1,0 +1,253 @@
+"""Tests for parameter constraints and their repair projection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import Role
+from repro.cluster.params import constraints_for_role
+from repro.cluster.topology import ClusterSpec
+from repro.harmony.constraints import ConstraintSet, OrderingConstraint
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.harmony.scaling import DuplicationScheme, PartitionScheme
+from repro.harmony.simplex import NelderMeadSimplex
+from repro.harmony.search import CoordinateDescent, RandomSearch, SimplexStrategy
+
+
+def _space():
+    return ParameterSpace(
+        [
+            IntParameter("low", 10, 0, 100),
+            IntParameter("high", 50, 0, 100),
+            IntParameter("other", 5, 0, 10),
+        ]
+    )
+
+
+def _cs(gap=0):
+    return ConstraintSet([OrderingConstraint("low", "high", min_gap=gap)])
+
+
+class TestOrderingConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrderingConstraint("a", "a")
+        with pytest.raises(ValueError):
+            OrderingConstraint("a", "b", min_gap=-1)
+
+    def test_satisfied(self):
+        c = OrderingConstraint("low", "high", min_gap=5)
+        assert c.satisfied({"low": 10, "high": 15})
+        assert not c.satisfied({"low": 10, "high": 14})
+
+    def test_prefixed(self):
+        c = OrderingConstraint("a", "b", 2).prefixed("n0.")
+        assert c.lesser == "n0.a"
+        assert c.greater == "n0.b"
+        assert c.min_gap == 2
+
+    def test_describe_mentions_values(self):
+        c = OrderingConstraint("low", "high")
+        msg = c.describe({"low": 9, "high": 3})
+        assert "9" in msg and "3" in msg
+
+
+class TestConstraintSet:
+    def test_len_bool_iter(self):
+        cs = _cs()
+        assert len(cs) == 1
+        assert bool(cs)
+        assert not ConstraintSet()
+        assert list(cs)[0].lesser == "low"
+
+    def test_names(self):
+        assert _cs().names() == {"low", "high"}
+
+    def test_violations(self):
+        cs = _cs()
+        assert cs.violations({"low": 1, "high": 2}) == []
+        assert len(cs.violations({"low": 9, "high": 2})) == 1
+
+    def test_restrict_to(self):
+        cs = ConstraintSet(
+            [OrderingConstraint("a", "b"), OrderingConstraint("c", "d")]
+        )
+        restricted = cs.restrict_to({"a", "b", "c"})
+        assert len(restricted) == 1
+        assert restricted.constraints[0].lesser == "a"
+
+    def test_merge(self):
+        merged = _cs().merge(ConstraintSet([OrderingConstraint("x", "y")]))
+        assert len(merged) == 2
+
+
+class TestRepair:
+    def test_noop_when_satisfied(self):
+        space = _space()
+        cfg = Configuration({"low": 10, "high": 50, "other": 5})
+        assert _cs().repair(space, cfg) == cfg
+
+    def test_raises_greater_first(self):
+        space = _space()
+        cfg = Configuration({"low": 60, "high": 50, "other": 5})
+        repaired = _cs().repair(space, cfg)
+        assert repaired["low"] == 60
+        assert repaired["high"] == 60
+        assert repaired["other"] == 5
+
+    def test_lowers_lesser_at_bound(self):
+        space = _space()
+        cfg = Configuration({"low": 100, "high": 50, "other": 5})
+        repaired = _cs(gap=10).repair(space, cfg)
+        assert repaired["high"] == 100
+        assert repaired["low"] == 90
+
+    def test_respects_grid(self):
+        space = ParameterSpace(
+            [
+                IntParameter("low", 10, 0, 100, step=10),
+                IntParameter("high", 55, 5, 95, step=10),
+            ]
+        )
+        cs = ConstraintSet([OrderingConstraint("low", "high", min_gap=1)])
+        repaired = cs.repair(space, Configuration({"low": 60, "high": 55}))
+        space.validate(repaired)
+        assert cs.satisfied(repaired)
+
+    def test_unsatisfiable_raises(self):
+        space = ParameterSpace(
+            [
+                IntParameter("low", 90, 90, 100),
+                IntParameter("high", 10, 0, 10),
+            ]
+        )
+        cs = ConstraintSet([OrderingConstraint("low", "high")])
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            cs.repair(space, space.default_configuration())
+
+    def test_unknown_name_raises(self):
+        cs = ConstraintSet([OrderingConstraint("nope", "high")])
+        with pytest.raises(KeyError):
+            cs.repair(_space(), Configuration({"low": 1, "high": 2, "other": 0}))
+
+    def test_idempotent(self):
+        space = _space()
+        cs = _cs(gap=3)
+        cfg = Configuration({"low": 80, "high": 20, "other": 1})
+        once = cs.repair(space, cfg)
+        assert cs.repair(space, once) == once
+
+
+class TestSearchIntegration:
+    def test_simplex_never_asks_infeasible(self):
+        space = _space()
+        cs = _cs(gap=1)
+        simplex = NelderMeadSimplex(
+            space, rng=np.random.default_rng(0), constraints=cs
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            cfg = simplex.ask()
+            assert cs.satisfied(cfg), dict(cfg)
+            simplex.tell(cfg, float(rng.normal()))
+
+    def test_simplex_repairs_infeasible_start(self):
+        space = _space()
+        cs = _cs()
+        start = Configuration({"low": 90, "high": 10, "other": 5})
+        simplex = NelderMeadSimplex(space, start=start, constraints=cs)
+        assert cs.satisfied(simplex.ask())
+
+    def test_random_search_feasible(self):
+        space = _space()
+        cs = _cs(gap=2)
+        s = RandomSearch(space, rng=np.random.default_rng(2), constraints=cs)
+        for _ in range(40):
+            cfg = s.ask()
+            assert cs.satisfied(cfg)
+            s.tell(cfg, 0.0)
+
+    def test_coordinate_descent_feasible(self):
+        space = _space()
+        cs = _cs(gap=2)
+        s = CoordinateDescent(space, constraints=cs, step_multiplier=30)
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            cfg = s.ask()
+            assert cs.satisfied(cfg)
+            s.tell(cfg, float(rng.random()))
+
+    def test_strategy_still_optimizes_under_constraints(self):
+        space = _space()
+        cs = _cs(gap=1)
+        s = SimplexStrategy(
+            space, rng=np.random.default_rng(4), constraints=cs
+        )
+        # Optimum wants low as HIGH as possible but below high.
+        for _ in range(120):
+            cfg = s.ask()
+            s.tell(cfg, float(cfg["low"] + cfg["high"]))
+        best = s.best[0]
+        assert best["high"] >= 95
+        assert best["low"] >= 80
+        assert cs.satisfied(best)
+
+
+class TestClusterConstraints:
+    def test_role_constraints(self):
+        assert len(constraints_for_role(Role.PROXY)) == 1
+        assert len(constraints_for_role(Role.APP)) == 2
+        assert len(constraints_for_role(Role.DB)) == 0
+
+    def test_full_constraints_namespaced(self):
+        cluster = ClusterSpec.three_tier(2, 1, 1)
+        cs = cluster.full_constraints()
+        # 2 proxies x 1 + 1 app x 2 = 4 constraints.
+        assert len(cs) == 4
+        assert "proxy1.cache_swap_low" in cs.names()
+        assert "app0.minProcessors" in cs.names()
+
+    def test_defaults_are_feasible(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        assert cluster.full_constraints().satisfied(
+            cluster.default_configuration()
+        )
+
+    def test_duplication_lifts_constraints_to_tier_level(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        scheme = DuplicationScheme(
+            cluster.full_space(), cluster.tiers(),
+            constraints=cluster.full_constraints(),
+        )
+        group = scheme.groups[0]
+        assert "proxy.cache_swap_low" in group.constraints.names()
+        assert "app.minProcessors" in group.constraints.names()
+        # One per tier-level pair, not per node.
+        assert len(group.constraints) == 3
+
+    def test_partitioning_restricts_constraints_per_line(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        scheme = PartitionScheme(
+            cluster.full_space(), cluster.work_lines(2),
+            constraints=cluster.full_constraints(),
+        )
+        for group in scheme.groups:
+            names = group.constraints.names()
+            assert names <= set(group.space.names)
+            assert len(group.constraints) == 3  # 1 proxy + 2 app per line
+
+    def test_tuning_session_only_measures_feasible_configs(self):
+        from repro.model.analytic import AnalyticBackend
+        from repro.model.base import Scenario
+        from repro.tpcw.interactions import SHOPPING_MIX
+        from repro.tuning.session import ClusterTuningSession, make_scheme
+
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=400)
+        session = ClusterTuningSession(
+            AnalyticBackend(), scenario,
+            scheme=make_scheme(scenario, "default"), seed=5,
+        )
+        cs = cluster.full_constraints()
+        session.run(40)
+        for record in session.history:
+            assert cs.satisfied(record.configuration)

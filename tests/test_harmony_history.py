@@ -1,0 +1,96 @@
+"""Tests for tuning histories and their convergence metrics."""
+
+import numpy as np
+import pytest
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+
+
+def _history(values):
+    h = TuningHistory()
+    for i, v in enumerate(values):
+        h.append(Configuration({"x": i}), v)
+    return h
+
+
+class TestBasics:
+    def test_append_and_indexing(self):
+        h = _history([1.0, 2.0])
+        assert len(h) == 2
+        assert h[0].iteration == 0
+        assert h[1].performance == 2.0
+        assert [r.performance for r in h] == [1.0, 2.0]
+
+    def test_best(self):
+        h = _history([1.0, 5.0, 3.0])
+        assert h.best().iteration == 1
+        assert h.best_configuration() == Configuration({"x": 1})
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TuningHistory().best()
+
+    def test_performances_array(self):
+        h = _history([1.0, 2.0, 3.0])
+        assert np.array_equal(h.performances(), [1.0, 2.0, 3.0])
+
+
+class TestWindows:
+    def test_window_stats(self):
+        h = _history([0.0, 0.0, 10.0, 20.0])
+        s = h.window_stats(2)
+        assert s.mean == 15.0
+        assert s.count == 2
+
+    def test_window_with_stop(self):
+        h = _history([1.0, 2.0, 3.0, 4.0])
+        assert h.window_stats(1, 3).mean == 2.5
+
+    def test_fraction_above(self):
+        h = _history([1.0, 5.0, 5.0, 1.0])
+        assert h.fraction_above(2.0) == 0.5
+        assert h.fraction_above(2.0, start=1, stop=3) == 1.0
+
+    def test_fraction_above_empty_window_rejected(self):
+        h = _history([1.0])
+        with pytest.raises(ValueError):
+            h.fraction_above(0.0, start=5)
+
+
+class TestConvergence:
+    def test_immediate_convergence(self):
+        h = _history([10.0] * 30)
+        assert h.iterations_to_converge(settle=5) == 0
+
+    def test_step_convergence(self):
+        values = [1.0] * 20 + [10.0] * 30
+        h = _history(values)
+        assert h.iterations_to_converge(settle=5) == 20
+
+    def test_never_converges(self):
+        # Alternating values never stay near the final level.
+        h = _history([1.0, 100.0] * 20)
+        conv = h.iterations_to_converge(tolerance=0.05, settle=10)
+        assert conv == len(h)
+
+    def test_short_history(self):
+        h = _history([1.0, 2.0])
+        assert h.iterations_to_converge(settle=10) == 2
+
+    def test_noise_within_tolerance_counts_as_converged(self):
+        rng = np.random.default_rng(0)
+        values = list(100.0 + rng.normal(0, 1.0, size=50))
+        h = _history(values)
+        assert h.iterations_to_converge(tolerance=0.05, settle=10) == 0
+
+
+class TestImprovement:
+    def test_improvement_over(self):
+        h = _history([100.0, 120.0])
+        assert h.improvement_over(100.0) == pytest.approx(0.2)
+
+    def test_non_positive_baseline_rejected(self):
+        h = _history([1.0])
+        with pytest.raises(ValueError):
+            h.improvement_over(0.0)

@@ -1,0 +1,197 @@
+"""Tests for the wire codec and the TCP Harmony server."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.harmony.net import HarmonyTCPServer, RemoteHarmonyClient
+from repro.harmony.parameter import Configuration, IntParameter
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    RegisterReply,
+    RegisterRequest,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+from repro.harmony.server import HarmonyServer
+from repro.harmony.wire import WireError, decode, encode
+
+
+def _params():
+    return (
+        IntParameter("a", 5, 0, 10),
+        IntParameter("b", 100, 0, 1000, step=100),
+    )
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            RegisterRequest("c", _params(), "simplex", {"a": 3, "b": 200}),
+            RegisterRequest("c", _params()),
+            RegisterReply("c", 2),
+            FetchRequest("c"),
+            FetchReply("c", Configuration({"a": 1, "b": 100})),
+            ReportRequest("c", 123.5),
+            ReportReply("c", 7),
+            UnregisterRequest("c"),
+            UnregisterReply("c", Configuration({"a": 2, "b": 300})),
+            UnregisterReply("c", None),
+            ErrorReply("c", "boom"),
+        ],
+    )
+    def test_round_trip(self, message):
+        decoded = decode(encode(message))
+        assert type(decoded) is type(message)
+        assert decoded == message
+
+    def test_single_line(self):
+        line = encode(RegisterRequest("c", _params()))
+        assert "\n" not in line
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WireError):
+            decode("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError):
+            decode("[1,2]")
+
+    def test_missing_client_id_rejected(self):
+        with pytest.raises(WireError):
+            decode('{"type": "FetchRequest"}')
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireError):
+            decode('{"type": "Nope", "client_id": "c"}')
+
+    def test_bad_performance_rejected(self):
+        with pytest.raises(WireError):
+            decode('{"type": "ReportRequest", "client_id": "c", "performance": "fast"}')
+
+    def test_bad_configuration_value_rejected(self):
+        with pytest.raises(WireError):
+            decode(
+                '{"type": "FetchReply", "client_id": "c", '
+                '"configuration": {"a": 1.5}}'
+            )
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(WireError):
+            decode(
+                '{"type": "RegisterRequest", "client_id": "c", '
+                '"parameters": [{"name": "a"}]}'
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(WireError):
+            decode(
+                '{"type": "RegisterRequest", "client_id": "c", "parameters": []}'
+            )
+
+
+class TestTcpServer:
+    def test_full_client_lifecycle(self):
+        server = HarmonyTCPServer(HarmonyServer(seed=2))
+        with server.running() as (host, port):
+            with RemoteHarmonyClient(host, port, "app") as client:
+                dim = client.register(_params())
+                assert dim == 2
+                for _ in range(15):
+                    cfg = client.fetch()
+                    client.report(float(-abs(cfg["a"] - 8) - abs(cfg["b"] - 700) / 100))
+                assert client.iterations == 15
+                best = client.unregister()
+                assert best is not None
+                assert abs(best["a"] - 8) <= 8  # it searched
+
+    def test_server_error_surfaces_to_client(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            with RemoteHarmonyClient(host, port, "ghost") as client:
+                with pytest.raises(RuntimeError, match="unknown client"):
+                    client.fetch()
+
+    def test_malformed_line_gets_error_reply(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(b"this is not json\n")
+                reply = decode(sock.makefile().readline().strip())
+                assert isinstance(reply, ErrorReply)
+                assert "WireError" in reply.error
+
+    def test_two_concurrent_clients_tune_independently(self):
+        server = HarmonyTCPServer(HarmonyServer(seed=3))
+        results = {}
+
+        def run(name, target):
+            with RemoteHarmonyClient(*server.address, name) as client:
+                client.register(_params())
+                for _ in range(20):
+                    cfg = client.fetch()
+                    client.report(float(-abs(cfg["a"] - target)))
+                results[name] = client.unregister()
+
+        with server.running():
+            threads = [
+                threading.Thread(target=run, args=("left", 2)),
+                threading.Thread(target=run, args=("right", 9)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert set(results) == {"left", "right"}
+        assert abs(results["left"]["a"] - 2) <= abs(results["left"]["a"] - 9)
+
+    def test_session_survives_reconnect(self):
+        """Dropping the TCP connection must not lose the tuning session."""
+        server = HarmonyTCPServer(HarmonyServer(seed=4))
+        with server.running() as (host, port):
+            c1 = RemoteHarmonyClient(host, port, "app")
+            c1.register(_params())
+            cfg = c1.fetch()
+            c1.report(5.0)
+            c1.close()
+            # Reconnect under the same client id: state is still there.
+            with RemoteHarmonyClient(host, port, "app") as c2:
+                c2.fetch()
+                assert c2.report(6.0) == 2  # second completed iteration
+
+    def test_port_zero_binds_free_port(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            assert port > 0
+
+
+class TestWireEdgeCases:
+    def test_fetch_reply_with_null_configuration(self):
+        decoded = decode('{"type": "FetchReply", "client_id": "c", '
+                         '"configuration": null}')
+        assert isinstance(decoded, FetchReply)
+        assert decoded.configuration is None
+
+    def test_report_integer_performance_accepted(self):
+        decoded = decode('{"type": "ReportRequest", "client_id": "c", '
+                         '"performance": 42}')
+        assert decoded.performance == 42.0
+
+    def test_boolean_performance_rejected(self):
+        with pytest.raises(WireError):
+            decode('{"type": "ReportRequest", "client_id": "c", '
+                   '"performance": true}')
+
+    def test_register_default_strategy(self):
+        decoded = decode(
+            '{"type": "RegisterRequest", "client_id": "c", "parameters": '
+            '[{"name": "x", "default": 1, "low": 0, "high": 5}]}'
+        )
+        assert decoded.strategy == "simplex"
+        assert decoded.parameters[0].step == 1

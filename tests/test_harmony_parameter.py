@@ -1,0 +1,197 @@
+"""Tests for parameters, configurations and parameter spaces."""
+
+import numpy as np
+import pytest
+
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+
+
+class TestIntParameter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntParameter("", 1, 0, 10)
+        with pytest.raises(ValueError):
+            IntParameter("p", 1, 0, 10, step=0)
+        with pytest.raises(ValueError):
+            IntParameter("p", 1, 10, 0)
+        with pytest.raises(ValueError):
+            IntParameter("p", 11, 0, 10)  # default out of range
+        with pytest.raises(ValueError):
+            IntParameter("p", 1, 0, 10, step=2)  # default off grid
+
+    def test_num_values(self):
+        assert IntParameter("p", 0, 0, 10, step=1).num_values == 11
+        assert IntParameter("p", 0, 0, 10, step=5).num_values == 3
+        assert IntParameter("p", 0, 0, 9, step=5).num_values == 2
+
+    def test_is_legal(self):
+        p = IntParameter("p", 10, 10, 50, step=10)
+        assert p.is_legal(30)
+        assert not p.is_legal(35)
+        assert not p.is_legal(60)
+        assert not p.is_legal(0)
+
+    def test_clamp_rounds_to_grid(self):
+        p = IntParameter("p", 10, 10, 50, step=10)
+        assert p.clamp(34.0) == 30
+        assert p.clamp(35.1) == 40
+        assert p.clamp(-5.0) == 10
+        assert p.clamp(999.0) == 50
+
+    def test_clamp_result_always_legal(self):
+        p = IntParameter("p", 4, 4, 256, step=3)
+        for v in (-10.0, 4.4, 100.7, 255.9, 400.0):
+            assert p.is_legal(p.clamp(v))
+
+    def test_random_legal(self):
+        p = IntParameter("p", 0, 0, 100, step=7)
+        rng = np.random.default_rng(0)
+        values = {p.random(rng) for _ in range(200)}
+        assert all(p.is_legal(v) for v in values)
+        assert len(values) > 5
+
+    def test_neighbors(self):
+        p = IntParameter("p", 10, 0, 20, step=10)
+        assert p.neighbors(10) == [0, 20]
+        assert p.neighbors(0) == [10]
+        assert p.neighbors(20) == [10]
+        with pytest.raises(ValueError):
+            p.neighbors(5)
+
+    def test_extremeness(self):
+        p = IntParameter("p", 50, 0, 100)
+        assert p.extremeness(50) == pytest.approx(0.0)
+        assert p.extremeness(0) == pytest.approx(1.0)
+        assert p.extremeness(100) == pytest.approx(1.0)
+        assert p.extremeness(75) == pytest.approx(0.5)
+
+    def test_extremeness_degenerate_range(self):
+        p = IntParameter("p", 5, 5, 5)
+        assert p.extremeness(5) == 0.0
+
+
+class TestConfiguration:
+    def test_mapping_interface(self):
+        c = Configuration({"a": 1, "b": 2})
+        assert c["a"] == 1
+        assert len(c) == 2
+        assert set(c) == {"a", "b"}
+
+    def test_hashable_and_equal(self):
+        a = Configuration({"x": 1, "y": 2})
+        b = Configuration({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == {"x": 1, "y": 2}
+
+    def test_replace(self):
+        c = Configuration({"a": 1, "b": 2})
+        d = c.replace(a=9)
+        assert d["a"] == 9 and d["b"] == 2
+        assert c["a"] == 1  # original untouched
+        with pytest.raises(KeyError):
+            c.replace(zzz=1)
+
+    def test_subset_and_merge(self):
+        c = Configuration({"a": 1, "b": 2, "c": 3})
+        assert dict(c.subset(["a", "c"])) == {"a": 1, "c": 3}
+        merged = c.merge({"b": 20, "d": 4})
+        assert merged["b"] == 20 and merged["d"] == 4
+
+    def test_usable_as_dict_key(self):
+        c1 = Configuration({"a": 1})
+        c2 = Configuration({"a": 1})
+        d = {c1: "value"}
+        assert d[c2] == "value"
+
+
+class TestParameterSpace:
+    def _space(self):
+        return ParameterSpace(
+            [
+                IntParameter("a", 5, 0, 10),
+                IntParameter("b", 100, 100, 500, step=100),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        p = IntParameter("a", 0, 0, 1)
+        with pytest.raises(ValueError):
+            ParameterSpace([p, p])
+
+    def test_dimension_and_names(self):
+        s = self._space()
+        assert s.dimension == 2
+        assert s.names == ["a", "b"]
+        assert "a" in s and "zzz" not in s
+        assert s["b"].step == 100
+
+    def test_default_configuration(self):
+        assert dict(self._space().default_configuration()) == {"a": 5, "b": 100}
+
+    def test_validate(self):
+        s = self._space()
+        s.validate({"a": 3, "b": 300})
+        with pytest.raises(ValueError):
+            s.validate({"a": 3})  # missing b
+        with pytest.raises(ValueError):
+            s.validate({"a": 3, "b": 300, "c": 1})  # extra
+        with pytest.raises(ValueError):
+            s.validate({"a": 3, "b": 250})  # off grid
+
+    def test_vector_round_trip(self):
+        s = self._space()
+        cfg = Configuration({"a": 7, "b": 400})
+        assert s.from_vector(s.to_vector(cfg)) == cfg
+
+    def test_from_vector_projects_to_grid(self):
+        s = self._space()
+        cfg = s.from_vector(np.array([3.6, 240.0]))
+        assert cfg == {"a": 4, "b": 200}
+
+    def test_from_vector_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            self._space().from_vector(np.array([1.0]))
+
+    def test_subspace(self):
+        sub = self._space().subspace(["b"])
+        assert sub.names == ["b"]
+        with pytest.raises(KeyError):
+            self._space().subspace(["zzz"])
+
+    def test_union_disjoint(self):
+        s = self._space()
+        other = ParameterSpace([IntParameter("c", 0, 0, 1)])
+        assert s.union(other).names == ["a", "b", "c"]
+
+    def test_union_overlap_rejected(self):
+        s = self._space()
+        with pytest.raises(ValueError):
+            s.union(s)
+
+    def test_prefixed(self):
+        pre = self._space().prefixed("node0.")
+        assert pre.names == ["node0.a", "node0.b"]
+        assert pre["node0.b"].default == 100
+
+    def test_clamp_mapping(self):
+        s = self._space()
+        cfg = s.clamp({"a": 99, "b": 120.0})
+        assert cfg == {"a": 10, "b": 100}
+
+    def test_random_configuration_legal(self):
+        s = self._space()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            s.validate(s.random_configuration(rng))
+
+    def test_extremeness_bounds(self):
+        s = self._space()
+        assert s.extremeness({"a": 0, "b": 500}) == pytest.approx(1.0)
+        centred = {"a": 5, "b": 300}
+        assert s.extremeness(centred) == pytest.approx(0.0)
+
+    def test_bounds_vectors(self):
+        s = self._space()
+        assert list(s.lower_bounds()) == [0.0, 100.0]
+        assert list(s.upper_bounds()) == [10.0, 500.0]

@@ -1,0 +1,129 @@
+"""Tests for the search strategies (maximizing interface)."""
+
+import numpy as np
+import pytest
+
+from repro.harmony.parameter import IntParameter, ParameterSpace
+from repro.harmony.search import CoordinateDescent, RandomSearch, SimplexStrategy
+
+
+def _space(dim=2):
+    return ParameterSpace(
+        [IntParameter(f"x{i}", 50, 0, 100) for i in range(dim)]
+    )
+
+
+def _drive(strategy, objective, budget):
+    for _ in range(budget):
+        cfg = strategy.ask()
+        strategy.tell(cfg, objective(cfg))
+
+
+class TestSimplexStrategy:
+    def test_maximizes(self):
+        s = SimplexStrategy(_space(), rng=np.random.default_rng(0))
+        _drive(s, lambda c: -((c["x0"] - 70) ** 2 + (c["x1"] - 30) ** 2), 150)
+        best_cfg, best_val = s.best
+        assert abs(best_cfg["x0"] - 70) <= 5
+        assert abs(best_cfg["x1"] - 30) <= 5
+
+    def test_best_tracks_maximum(self):
+        s = SimplexStrategy(_space(1))
+        values = iter([5.0, 9.0, 3.0])
+        for v in values:
+            s.tell(s.ask(), v)
+        assert s.best[1] == 9.0
+
+    def test_initial_exploration_flag(self):
+        s = SimplexStrategy(_space(3))
+        assert s.in_initial_exploration
+        for i in range(4):
+            s.tell(s.ask(), float(i))
+        assert not s.in_initial_exploration
+
+    def test_non_finite_performance_handled(self):
+        s = SimplexStrategy(_space(1))
+        s.tell(s.ask(), float("-inf"))
+        s.tell(s.ask(), 2.0)
+        assert s.best[1] == 2.0
+
+
+class TestRandomSearch:
+    def test_first_point_is_default(self):
+        space = _space()
+        s = RandomSearch(space, rng=np.random.default_rng(0))
+        assert s.ask() == space.default_configuration()
+
+    def test_reproducible(self):
+        space = _space()
+        a = RandomSearch(space, rng=np.random.default_rng(5))
+        b = RandomSearch(space, rng=np.random.default_rng(5))
+        for _ in range(10):
+            ca, cb = a.ask(), b.ask()
+            assert ca == cb
+            a.tell(ca, 0.0)
+            b.tell(cb, 0.0)
+
+    def test_points_are_legal(self):
+        space = _space(3)
+        s = RandomSearch(space, rng=np.random.default_rng(1))
+        for _ in range(30):
+            cfg = s.ask()
+            space.validate(cfg)
+            s.tell(cfg, 0.0)
+
+    def test_eventually_finds_decent_point(self):
+        space = _space(1)
+        s = RandomSearch(space, rng=np.random.default_rng(2))
+        _drive(s, lambda c: -abs(c["x0"] - 42), 100)
+        assert abs(s.best[0]["x0"] - 42) <= 10
+
+
+class TestCoordinateDescent:
+    def test_step_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            CoordinateDescent(_space(), step_multiplier=0)
+
+    def test_hill_climbs_separable_objective(self):
+        s = CoordinateDescent(_space(2), step_multiplier=8)
+        _drive(s, lambda c: -((c["x0"] - 90) ** 2 + (c["x1"] - 10) ** 2), 120)
+        best = s.best[0]
+        assert best["x0"] >= 70
+        assert best["x1"] <= 30
+
+    def test_first_point_is_incumbent_default(self):
+        space = _space()
+        s = CoordinateDescent(space)
+        assert s.ask() == space.default_configuration()
+
+    def test_probes_differ_in_single_dimension(self):
+        space = _space(2)
+        s = CoordinateDescent(space, step_multiplier=4)
+        incumbent = s.ask()
+        s.tell(incumbent, 0.0)
+        probe = s.ask()
+        diffs = [k for k in space.names if probe[k] != incumbent[k]]
+        assert len(diffs) == 1
+
+    def test_all_points_legal(self):
+        space = ParameterSpace([IntParameter("x", 5, 0, 10, step=5)])
+        s = CoordinateDescent(space, step_multiplier=1)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            cfg = s.ask()
+            space.validate(cfg)
+            s.tell(cfg, float(rng.random()))
+
+    def test_keeps_incumbent_when_probes_worse(self):
+        space = _space(1)
+        s = CoordinateDescent(space, step_multiplier=4)
+        incumbent = s.ask()
+        s.tell(incumbent, 100.0)
+        # Both probes worse.
+        for _ in range(2):
+            cfg = s.ask()
+            s.tell(cfg, 0.0)
+        # Next cycle probes around the same incumbent.
+        nxt = s.ask()
+        diffs = [k for k in space.names if nxt[k] != incumbent[k]]
+        assert len(diffs) == 1

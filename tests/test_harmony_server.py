@@ -1,0 +1,186 @@
+"""Tests for the Harmony server, client API and message protocol."""
+
+import pytest
+
+from repro.harmony.client import HarmonyClient
+from repro.harmony.parameter import IntParameter
+from repro.harmony.protocol import (
+    ErrorReply,
+    FetchReply,
+    FetchRequest,
+    RegisterReply,
+    RegisterRequest,
+    ReportReply,
+    ReportRequest,
+    UnregisterReply,
+    UnregisterRequest,
+)
+from repro.harmony.server import HarmonyServer
+
+
+def _params():
+    return [
+        IntParameter("a", 5, 0, 10),
+        IntParameter("b", 100, 0, 1000, step=100),
+    ]
+
+
+class TestDirectApi:
+    def test_register_fetch_report_cycle(self):
+        server = HarmonyServer(seed=1)
+        server.register("app", _params())
+        cfg = server.fetch("app")
+        assert set(cfg) == {"a", "b"}
+        server.report("app", 42.0)
+        assert server.history("app")[0].performance == 42.0
+
+    def test_double_register_rejected(self):
+        server = HarmonyServer()
+        server.register("app", _params())
+        with pytest.raises(ValueError):
+            server.register("app", _params())
+
+    def test_unknown_client_rejected(self):
+        server = HarmonyServer()
+        with pytest.raises(KeyError):
+            server.fetch("ghost")
+        with pytest.raises(KeyError):
+            server.report("ghost", 1.0)
+
+    def test_report_without_fetch_rejected(self):
+        server = HarmonyServer()
+        server.register("app", _params())
+        with pytest.raises(RuntimeError):
+            server.report("app", 1.0)
+
+    def test_independent_sessions(self):
+        server = HarmonyServer(seed=1)
+        server.register("a", _params())
+        server.register("b", _params())
+        server.fetch("a")
+        server.report("a", 10.0)
+        assert len(server.history("a")) == 1
+        assert len(server.history("b")) == 0
+
+    def test_unregister_returns_best(self):
+        server = HarmonyServer(seed=1)
+        server.register("app", _params())
+        cfg = server.fetch("app")
+        server.report("app", 10.0)
+        best = server.unregister("app")
+        assert best == cfg
+        assert "app" not in server.sessions
+
+    def test_unknown_strategy_rejected(self):
+        server = HarmonyServer()
+        with pytest.raises(ValueError):
+            server.register("app", _params(), strategy="quantum")
+
+    def test_all_strategies_construct(self):
+        server = HarmonyServer(seed=2)
+        for i, strategy in enumerate(HarmonyServer.STRATEGIES):
+            server.register(f"c{i}", _params(), strategy=strategy)
+            server.fetch(f"c{i}")
+            server.report(f"c{i}", 1.0)
+
+    def test_start_configuration_respected(self):
+        server = HarmonyServer()
+        server.register("app", _params(), start={"a": 9, "b": 700})
+        assert server.fetch("app") == {"a": 9, "b": 700}
+
+    def test_tuning_improves_synthetic_metric(self):
+        """End to end: the server should find a much better point."""
+        server = HarmonyServer(seed=3)
+        server.register("app", _params())
+
+        def perf(cfg):
+            return -((cfg["a"] - 8) ** 2) - ((cfg["b"] - 800) / 100.0) ** 2
+
+        for _ in range(80):
+            cfg = server.fetch("app")
+            server.report("app", perf(cfg))
+        best = server.sessions["app"].best_configuration()
+        assert perf(best) > perf({"a": 5, "b": 100})
+
+
+class TestMessageProtocol:
+    def test_register_reply(self):
+        server = HarmonyServer()
+        reply = server.handle(RegisterRequest("c", tuple(_params())))
+        assert isinstance(reply, RegisterReply)
+        assert reply.dimension == 2
+
+    def test_fetch_and_report(self):
+        server = HarmonyServer()
+        server.handle(RegisterRequest("c", tuple(_params())))
+        fetch = server.handle(FetchRequest("c"))
+        assert isinstance(fetch, FetchReply)
+        report = server.handle(ReportRequest("c", 5.0))
+        assert isinstance(report, ReportReply)
+        assert report.iterations == 1
+
+    def test_error_reply_instead_of_raise(self):
+        server = HarmonyServer()
+        reply = server.handle(FetchRequest("ghost"))
+        assert isinstance(reply, ErrorReply)
+        assert "ghost" in reply.error
+
+    def test_non_finite_performance_rejected(self):
+        server = HarmonyServer()
+        server.handle(RegisterRequest("c", tuple(_params())))
+        server.handle(FetchRequest("c"))
+        reply = server.handle(ReportRequest("c", float("nan")))
+        assert isinstance(reply, ErrorReply)
+
+    def test_unregister_message(self):
+        server = HarmonyServer()
+        server.handle(RegisterRequest("c", tuple(_params())))
+        server.handle(FetchRequest("c"))
+        server.handle(ReportRequest("c", 1.0))
+        reply = server.handle(UnregisterRequest("c"))
+        assert isinstance(reply, UnregisterReply)
+        assert reply.best is not None
+
+
+class TestHarmonyClient:
+    def test_minimal_application_loop(self):
+        server = HarmonyServer(seed=4)
+        client = HarmonyClient(server, "squid")
+        dim = client.register(_params())
+        assert dim == 2
+        assert client.registered
+        for i in range(10):
+            cfg = client.fetch()
+            client.report(float(-abs(cfg["a"] - 7)))
+        assert client.iterations == 10
+        best = client.unregister()
+        assert best is not None
+        assert not client.registered
+
+    def test_fetch_before_register_raises(self):
+        client = HarmonyClient(HarmonyServer(), "x")
+        with pytest.raises(RuntimeError):
+            client.fetch()
+
+    def test_register_twice_raises(self):
+        server = HarmonyServer()
+        client = HarmonyClient(server, "x")
+        client.register(_params())
+        with pytest.raises(RuntimeError):
+            client.register(_params())
+
+
+class TestUnknownMessage:
+    def test_unhandled_message_type_becomes_error_reply(self):
+        from dataclasses import dataclass
+
+        from repro.harmony.protocol import Message
+
+        @dataclass(frozen=True)
+        class FrobnicateRequest(Message):
+            pass
+
+        server = HarmonyServer()
+        reply = server.handle(FrobnicateRequest("c"))
+        assert isinstance(reply, ErrorReply)
+        assert "FrobnicateRequest" in reply.error

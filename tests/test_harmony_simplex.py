@@ -1,0 +1,189 @@
+"""Tests for the integer-adapted Nelder–Mead simplex."""
+
+import numpy as np
+import pytest
+
+from repro.harmony.parameter import IntParameter, ParameterSpace
+from repro.harmony.simplex import NelderMeadSimplex, SimplexOptions
+
+
+def _space(dim=2, low=0, high=100, step=1):
+    return ParameterSpace(
+        [
+            IntParameter(f"x{i}", (low + high) // 2, low, high, step)
+            for i in range(dim)
+        ]
+    )
+
+
+def _minimize(simplex, objective, budget):
+    best = None
+    for _ in range(budget):
+        cfg = simplex.ask()
+        val = objective(cfg)
+        simplex.tell(cfg, val)
+        if best is None or val < best:
+            best = val
+    return best
+
+
+class TestOptionsValidation:
+    def test_bad_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            SimplexOptions(alpha=0)
+        with pytest.raises(ValueError):
+            SimplexOptions(gamma=1.0)
+        with pytest.raises(ValueError):
+            SimplexOptions(rho=1.0)
+        with pytest.raises(ValueError):
+            SimplexOptions(sigma=0.0)
+        with pytest.raises(ValueError):
+            SimplexOptions(initial_scale=0.0)
+        with pytest.raises(ValueError):
+            SimplexOptions(damping_fraction=0.0)
+
+
+class TestProtocol:
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            NelderMeadSimplex(ParameterSpace([]))
+
+    def test_ask_is_stable_until_tell(self):
+        s = NelderMeadSimplex(_space())
+        assert s.ask() == s.ask()
+
+    def test_tell_without_ask_rejected(self):
+        s = NelderMeadSimplex(_space())
+        with pytest.raises(RuntimeError):
+            s.tell(_space().default_configuration(), 1.0)
+
+    def test_tell_wrong_config_rejected(self):
+        s = NelderMeadSimplex(_space())
+        cfg = s.ask()
+        wrong = cfg.replace(x0=cfg["x0"] + 1 if cfg["x0"] < 100 else cfg["x0"] - 1)
+        with pytest.raises(ValueError):
+            s.tell(wrong, 1.0)
+
+    def test_initial_exploration_length(self):
+        """The paper: tuning n parameters explores n+1 configurations first."""
+        dim = 4
+        s = NelderMeadSimplex(_space(dim))
+        count = 0
+        while s.in_initial_exploration:
+            cfg = s.ask()
+            s.tell(cfg, float(count))
+            count += 1
+        assert count == dim + 1
+
+    def test_first_ask_is_start_configuration(self):
+        space = _space()
+        s = NelderMeadSimplex(space)
+        assert s.ask() == space.default_configuration()
+
+    def test_evaluations_counted(self):
+        s = NelderMeadSimplex(_space())
+        for i in range(5):
+            s.tell(s.ask(), float(i))
+        assert s.evaluations == 5
+
+    def test_non_finite_value_treated_as_worst(self):
+        s = NelderMeadSimplex(_space(1))
+        s.tell(s.ask(), float("nan"))
+        s.tell(s.ask(), 1.0)
+        assert s.best is not None and s.best[1] == 1.0
+
+
+class TestOptimization:
+    def test_minimizes_1d_quadratic(self):
+        space = ParameterSpace([IntParameter("x", 90, 0, 100)])
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(0))
+        _minimize(s, lambda c: (c["x"] - 30) ** 2, 60)
+        assert abs(s.best[0]["x"] - 30) <= 2
+
+    def test_minimizes_2d_quadratic(self):
+        space = _space(2)
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(1))
+        _minimize(s, lambda c: (c["x0"] - 20) ** 2 + (c["x1"] - 80) ** 2, 150)
+        assert abs(s.best[0]["x0"] - 20) <= 5
+        assert abs(s.best[0]["x1"] - 80) <= 5
+
+    def test_minimizes_coupled_objective(self):
+        space = _space(3)
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(2))
+
+        def rosenbrock_ish(c):
+            x, y, z = c["x0"] / 100, c["x1"] / 100, c["x2"] / 100
+            return (x - 0.5) ** 2 + 4 * (y - x) ** 2 + (z - 0.25) ** 2
+
+        _minimize(s, rosenbrock_ish, 250)
+        best = s.best[0]
+        assert abs(best["x0"] - 50) <= 15
+        assert abs(best["x1"] - 50) <= 20
+
+    def test_optimum_on_boundary_reachable(self):
+        space = ParameterSpace([IntParameter("x", 50, 0, 100)])
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(3))
+        _minimize(s, lambda c: c["x"], 60)  # minimum at x=0
+        assert s.best[0]["x"] <= 2
+
+    def test_all_asks_within_bounds(self):
+        space = _space(3, low=10, high=20)
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(4))
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            cfg = s.ask()
+            space.validate(cfg)  # raises if out of bounds / off grid
+            s.tell(cfg, float(rng.random()))
+
+    def test_simplex_diameter_shrinks(self):
+        space = _space(2)
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(6))
+        objective = lambda c: (c["x0"] - 40) ** 2 + (c["x1"] - 60) ** 2
+        _minimize(s, objective, 30)
+        early = s.simplex_diameter()
+        _minimize(s, objective, 150)
+        late = s.simplex_diameter()
+        assert late < early
+
+    def test_step_grid_respected(self):
+        space = ParameterSpace([IntParameter("x", 50, 0, 100, step=10)])
+        s = NelderMeadSimplex(space, rng=np.random.default_rng(7))
+        for i in range(30):
+            cfg = s.ask()
+            assert cfg["x"] % 10 == 0
+            s.tell(cfg, (cfg["x"] - 70) ** 2)
+
+
+class TestDamping:
+    def test_damping_limits_jump_to_bounds(self):
+        """With damping, the first non-initial proposals stay away from the
+        bounds even when the objective pulls hard toward them."""
+        space = ParameterSpace([IntParameter("x", 500, 0, 1000)])
+        plain = NelderMeadSimplex(space, rng=np.random.default_rng(8))
+        damped = NelderMeadSimplex(
+            space,
+            options=SimplexOptions(damp_extremes=True, damping_fraction=0.3),
+            rng=np.random.default_rng(8),
+        )
+
+        def drive(s, steps):
+            maxi = 0
+            for _ in range(steps):
+                cfg = s.ask()
+                maxi = max(maxi, cfg["x"])
+                s.tell(cfg, -float(cfg["x"]))  # pull toward x=1000
+            return maxi
+
+        plain_max = drive(plain, 8)
+        damped_max = drive(damped, 8)
+        assert damped_max < plain_max
+
+    def test_damped_still_reaches_optimum_eventually(self):
+        space = ParameterSpace([IntParameter("x", 500, 0, 1000)])
+        s = NelderMeadSimplex(
+            space,
+            options=SimplexOptions(damp_extremes=True, damping_fraction=0.5),
+            rng=np.random.default_rng(9),
+        )
+        _minimize(s, lambda c: -c["x"], 80)
+        assert s.best[0]["x"] >= 950

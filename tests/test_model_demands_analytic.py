@@ -1,0 +1,250 @@
+"""Tests for demand assembly and the analytic backend."""
+
+import pytest
+
+from repro.cluster.context import WorkloadContext
+from repro.cluster.memory import MemoryModel
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.harmony.parameter import Configuration
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.demands import build_demands
+from repro.model.noise import NoiseModel
+from repro.tpcw.catalog import Catalog
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX, SHOPPING_MIX
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(scale=2000)
+
+
+@pytest.fixture(scope="module")
+def ctx(catalog):
+    return WorkloadContext.for_mix(SHOPPING_MIX, catalog)
+
+
+@pytest.fixture(scope="module")
+def quiet_backend():
+    return AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+
+
+class TestBuildDemands:
+    def test_structure(self, ctx):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        ds = build_demands(
+            cluster, cluster.default_configuration(), ctx,
+            {n: 8.0 for n in cluster.node_ids},
+        )
+        assert len(ds.nodes) == 3
+        kinds = sorted(p.kind for p in ds.pools)
+        assert kinds == ["ajp", "dbconn", "http"]
+        assert ds.forward_dynamic > 0
+        assert ds.forward_static > 0
+        assert ds.forward_total == pytest.approx(
+            ds.forward_dynamic + ds.forward_static
+        )
+
+    def test_share_scaling_across_tier(self, ctx):
+        """Two proxies each carry half the per-interaction proxy demand."""
+        one = ClusterSpec.three_tier(1, 1, 1)
+        two = ClusterSpec.three_tier(2, 1, 1)
+        conc = {n: 8.0 for n in two.node_ids}
+        ds1 = build_demands(one, one.default_configuration(), ctx,
+                            {n: 8.0 for n in one.node_ids})
+        ds2 = build_demands(two, two.default_configuration(), ctx, conc)
+        p1 = next(n for n in ds1.nodes if n.role is Role.PROXY)
+        p2 = next(n for n in ds2.nodes if n.role is Role.PROXY)
+        assert p2.cpu == pytest.approx(p1.cpu / 2, rel=1e-6)
+        assert p2.disk == pytest.approx(p1.disk / 2, rel=1e-6)
+
+    def test_memory_penalty_inflates_demands(self, ctx):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        cfg = dict(cluster.default_configuration())
+        # Blow up the database's per-connection memory.
+        cfg["db0.max_connections"] = 1000
+        cfg["db0.join_buffer_size"] = 16777216
+        cfg["db0.thread_stack"] = 1048576
+        conc = {n: 8.0 for n in cluster.node_ids}
+        base = build_demands(cluster, cluster.default_configuration(), ctx, conc)
+        fat = build_demands(cluster, Configuration(cfg), ctx, conc)
+        db_base = next(n for n in base.nodes if n.role is Role.DB)
+        db_fat = next(n for n in fat.nodes if n.role is Role.DB)
+        assert db_fat.memory_penalty > 1.0
+        assert db_base.memory_penalty == pytest.approx(1.0)
+        assert db_fat.cpu > db_base.cpu
+
+    def test_diagnostics_present(self, ctx):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        ds = build_demands(
+            cluster, cluster.default_configuration(), ctx,
+            {n: 8.0 for n in cluster.node_ids},
+        )
+        assert "proxy0.mem_hit" in ds.diagnostics
+        assert "db0.table_miss" in ds.diagnostics
+
+
+class TestAnalyticBackend:
+    def test_deterministic_per_seed(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=300)
+        cfg = cluster.default_configuration()
+        a = quiet_backend.measure(sc, cfg, seed=5)
+        b = quiet_backend.measure(sc, cfg, seed=5)
+        assert a.wips == b.wips
+
+    def test_noise_varies_with_seed(self):
+        backend = AnalyticBackend()
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=300)
+        cfg = cluster.default_configuration()
+        a = backend.measure(sc, cfg, seed=1)
+        b = backend.measure(sc, cfg, seed=2)
+        assert a.wips != b.wips
+        assert a.raw_wips == b.raw_wips  # model part is deterministic
+
+    def test_throughput_monotone_then_saturating_in_population(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        cfg = cluster.default_configuration()
+        wips = []
+        for n in (50, 200, 500, 900, 1200):
+            sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=n)
+            wips.append(quiet_backend.measure(sc, cfg, seed=1).wips)
+        assert all(a <= b * 1.02 for a, b in zip(wips, wips[1:]))
+        # Saturation: last doubling gains little.
+        assert wips[-1] / wips[-2] < 1.2
+
+    def test_unsaturated_wips_close_to_n_over_z(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=50)
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        z = sc.behavior.effective_mean_think_time
+        assert m.wips == pytest.approx(50 / z, rel=0.1)
+
+    def test_utilizations_bounded(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=900)
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        for util in m.utilization.values():
+            assert 0.0 <= util.cpu <= 1.0
+            assert 0.0 <= util.disk <= 1.0
+            assert 0.0 <= util.network <= 1.0
+            assert util.memory > 0.0
+
+    def test_browsing_bottleneck_is_proxy(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=900)
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        proxy = m.utilization["proxy0"]
+        app = m.utilization["app0"]
+        assert proxy.max_utilization() > app.max_utilization()
+
+    def test_ordering_loads_app_and_db(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=700)
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        assert m.utilization["app0"].cpu > m.utilization["proxy0"].cpu
+        assert m.utilization["db0"].max_utilization() > 0.15
+
+    def test_adding_app_node_helps_ordering(self, quiet_backend):
+        cfg_pop = 1500
+        small = ClusterSpec.three_tier(2, 1, 1)
+        large = ClusterSpec.three_tier(2, 2, 1)
+        w_small = quiet_backend.measure(
+            Scenario(cluster=small, mix=ORDERING_MIX, population=cfg_pop),
+            small.default_configuration(), seed=1,
+        ).wips
+        w_large = quiet_backend.measure(
+            Scenario(cluster=large, mix=ORDERING_MIX, population=cfg_pop),
+            large.default_configuration(), seed=1,
+        ).wips
+        assert w_large > w_small * 1.2
+
+    def test_cache_tuning_improves_browsing(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=750)
+        default = cluster.default_configuration()
+        tuned = default.replace(**{
+            "proxy0.cache_mem": 192,
+            "proxy0.maximum_object_size_in_memory": 1024,
+        })
+        w_default = quiet_backend.measure(sc, default, seed=1).wips
+        w_tuned = quiet_backend.measure(sc, tuned, seed=1).wips
+        assert w_tuned > w_default * 1.08
+
+    def test_tiny_thread_pool_throttles(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=700)
+        default = cluster.default_configuration()
+        starved = default.replace(**{
+            "app0.maxProcessors": 5,
+            "app0.AJPmaxProcessors": 5,
+        })
+        w_default = quiet_backend.measure(sc, default, seed=1).wips
+        w_starved = quiet_backend.measure(sc, starved, seed=1).wips
+        assert w_starved < w_default * 0.9
+
+    def test_work_lines_sum_to_total(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        lines = cluster.work_lines(2)
+        sc = Scenario(
+            cluster=cluster, mix=SHOPPING_MIX, population=800,
+            work_lines={k: tuple(v) for k, v in lines.items()},
+        )
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        assert set(m.per_line_wips) == {"line0", "line1"}
+        assert sum(m.per_line_wips.values()) == pytest.approx(m.wips)
+
+    def test_work_lines_cover_check(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        with pytest.raises(ValueError, match="cover"):
+            Scenario(
+                cluster=cluster, mix=SHOPPING_MIX, population=100,
+                work_lines={"line0": ("proxy0", "app0", "db0")},
+            )
+
+    def test_reconfig_diagnostics_present(self, quiet_backend):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=300)
+        m = quiet_backend.measure(sc, cluster.default_configuration(), seed=1)
+        for node in cluster.node_ids:
+            assert f"{node}.jobs" in m.diagnostics
+            assert f"{node}.service_time" in m.diagnostics
+
+
+class TestNoiseModel:
+    def test_sigma_composition(self):
+        n = NoiseModel(base_sigma=0.01, extreme_sigma=0.04, pressure_sigma=0.1)
+        assert n.sigma(0.0, 1.0) == pytest.approx(0.01)
+        assert n.sigma(1.0, 1.0) == pytest.approx(0.05)
+        assert n.sigma(0.0, 1.5) == pytest.approx(0.06)
+
+    def test_sigma_capped(self):
+        n = NoiseModel(base_sigma=0.2, extreme_sigma=0.2, pressure_sigma=0.2,
+                       max_sigma=0.25)
+        assert n.sigma(1.0, 2.0) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(base_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel().sigma(1.5, 1.0)
+        with pytest.raises(ValueError):
+            NoiseModel().sigma(0.5, 0.9)
+
+    def test_apply_never_negative(self):
+        import numpy as np
+
+        n = NoiseModel(base_sigma=0.2, extreme_sigma=0.0, pressure_sigma=0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert n.apply(10.0, 0.0, 1.0, rng) >= 0.0
+
+    def test_apply_roughly_mean_preserving(self):
+        import numpy as np
+
+        n = NoiseModel(base_sigma=0.05, extreme_sigma=0.0, pressure_sigma=0.0)
+        rng = np.random.default_rng(1)
+        samples = [n.apply(100.0, 0.0, 1.0, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.01)

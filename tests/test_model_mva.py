@@ -1,0 +1,150 @@
+"""Tests for the approximate MVA solver."""
+
+import pytest
+
+from repro.model.mva import MvaResult, Station, solve_mva
+
+
+def _exact_mva_single_server(demands, population, think):
+    """Exact MVA recursion for single-server stations (reference)."""
+    k = len(demands)
+    q = [0.0] * k
+    x = 0.0
+    for n in range(1, population + 1):
+        r = [d * (1 + qk) for d, qk in zip(demands, q)]
+        x = n / (think + sum(r))
+        q = [x * rk for rk in r]
+    return x
+
+
+class TestValidation:
+    def test_bad_population(self):
+        with pytest.raises(ValueError):
+            solve_mva([Station("s", 0.1)], 0, 1.0)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            solve_mva([Station("s", 0.1)], 1, -1.0)
+
+    def test_station_validation(self):
+        with pytest.raises(ValueError):
+            Station("s", -0.1)
+        with pytest.raises(ValueError):
+            Station("s", 0.1, servers=0)
+
+
+class TestNoStations:
+    def test_pure_delay(self):
+        result = solve_mva([], 10, 2.0)
+        assert result.throughput == pytest.approx(5.0)
+
+
+class TestSingleServer:
+    def test_close_to_exact_mva(self):
+        demands = [0.02, 0.05, 0.01]
+        for n in (1, 5, 20, 100):
+            exact = _exact_mva_single_server(demands, n, 1.0)
+            approx = solve_mva(
+                [Station(f"s{i}", d) for i, d in enumerate(demands)], n, 1.0
+            ).throughput
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_single_customer_no_queueing(self):
+        # With N=1 response time is the bare demand.
+        result = solve_mva([Station("s", 0.5)], 1, 1.0)
+        assert result.response_time == pytest.approx(0.5, rel=1e-3)
+        assert result.throughput == pytest.approx(1 / 1.5, rel=1e-3)
+
+    def test_saturation_at_bottleneck(self):
+        # X is capped at 1/D_max for large N.
+        result = solve_mva([Station("fast", 0.01), Station("slow", 0.1)], 500, 1.0)
+        assert result.throughput == pytest.approx(10.0, rel=0.02)
+        assert result.bottleneck() == "slow"
+
+    def test_utilization_formula(self):
+        result = solve_mva([Station("s", 0.05)], 10, 1.0)
+        assert result.utilization["s"] == pytest.approx(
+            min(result.throughput * 0.05, 1.0), rel=1e-6
+        )
+
+    def test_queue_lengths_sum_close_to_population(self):
+        stations = [Station("a", 0.1), Station("b", 0.05)]
+        n = 50
+        result = solve_mva(stations, n, 1.0)
+        in_think = result.throughput * 1.0
+        total = sum(result.queue.values()) + in_think
+        assert total == pytest.approx(n, rel=0.1)
+
+
+class TestMultiServer:
+    def test_two_servers_double_capacity(self):
+        single = solve_mva([Station("s", 0.1, servers=1)], 400, 1.0)
+        double = solve_mva([Station("s", 0.1, servers=2)], 400, 1.0)
+        assert double.throughput == pytest.approx(2 * single.throughput, rel=0.05)
+
+    def test_multi_server_low_load_is_delay_like(self):
+        # At negligible load a c-server station adds ~D to response time.
+        result = solve_mva([Station("s", 0.1, servers=8)], 1, 10.0)
+        assert result.response_time == pytest.approx(0.1, rel=0.05)
+
+    def test_utilization_splits_over_servers(self):
+        result = solve_mva([Station("s", 0.1, servers=4)], 200, 1.0)
+        assert result.utilization["s"] <= 1.0
+
+
+class TestExtraDelay:
+    def test_extra_delay_reduces_throughput(self):
+        base = solve_mva([Station("s", 0.01)], 50, 1.0)
+        delayed = solve_mva([Station("s", 0.01)], 50, 1.0, extra_delay=1.0)
+        assert delayed.throughput < base.throughput
+
+    def test_unsaturated_throughput_matches_littles_law(self):
+        result = solve_mva([Station("s", 0.001)], 10, 1.0, extra_delay=0.5)
+        assert result.throughput == pytest.approx(10 / 1.501, rel=0.01)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self):
+        stations = [Station("a", 0.03, 2), Station("b", 0.07)]
+        r1 = solve_mva(stations, 77, 3.0)
+        r2 = solve_mva(stations, 77, 3.0)
+        assert r1.throughput == r2.throughput
+        assert r1.queue == r2.queue
+
+
+class TestExactMva:
+    def test_matches_reference_recursion(self):
+        from repro.model.mva import solve_mva_exact
+
+        demands = [0.02, 0.05, 0.01]
+        stations = [Station(f"s{i}", d) for i, d in enumerate(demands)]
+        for n in (1, 5, 50):
+            exact = solve_mva_exact(stations, n, 1.0)
+            reference = _exact_mva_single_server(demands, n, 1.0)
+            assert exact.throughput == pytest.approx(reference, rel=1e-12)
+
+    def test_rejects_multi_server(self):
+        from repro.model.mva import solve_mva_exact
+
+        with pytest.raises(ValueError, match="single-server"):
+            solve_mva_exact([Station("s", 0.1, servers=2)], 10, 1.0)
+
+    def test_schweitzer_close_to_exact_across_loads(self):
+        """The approximation the whole harness rests on: within a few
+        percent of exact MVA from light to heavy load."""
+        from repro.model.mva import solve_mva_exact
+
+        stations = [Station("a", 0.04), Station("b", 0.015), Station("c", 0.08)]
+        for n in (2, 10, 40, 150, 600):
+            exact = solve_mva_exact(stations, n, 2.0).throughput
+            approx = solve_mva(stations, n, 2.0).throughput
+            assert approx == pytest.approx(exact, rel=0.05), n
+
+    def test_exact_queue_lengths_conserve_population(self):
+        from repro.model.mva import solve_mva_exact
+
+        stations = [Station("a", 0.05), Station("b", 0.02)]
+        n = 30
+        result = solve_mva_exact(stations, n, 1.0)
+        total = sum(result.queue.values()) + result.throughput * 1.0
+        assert total == pytest.approx(n, rel=1e-9)

@@ -1,0 +1,154 @@
+"""Tests for the multi-class MVA solver and the aggregation it validates."""
+
+import pytest
+
+from repro.model.mva import Station, solve_mva
+from repro.model.mva_multiclass import (
+    CustomerClass,
+    solve_mva_multiclass,
+)
+
+
+def _stations():
+    return [Station("cpu", 0.0, 2), Station("disk", 0.0)]
+
+
+class TestValidation:
+    def test_needs_classes(self):
+        with pytest.raises(ValueError):
+            solve_mva_multiclass([Station("s", 0.1)], [])
+
+    def test_class_validation(self):
+        with pytest.raises(ValueError):
+            CustomerClass("c", 0, 1.0, {"s": 0.1})
+        with pytest.raises(ValueError):
+            CustomerClass("c", 1, -1.0, {"s": 0.1})
+        with pytest.raises(ValueError):
+            CustomerClass("c", 1, 1.0, {"s": -0.1})
+
+    def test_unknown_station_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            solve_mva_multiclass(
+                [Station("s", 0.1)],
+                [CustomerClass("c", 5, 1.0, {"ghost": 0.1})],
+            )
+
+    def test_duplicate_station_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            solve_mva_multiclass(
+                [Station("s", 0.1), Station("s", 0.2)],
+                [CustomerClass("c", 5, 1.0, {"s": 0.1})],
+            )
+
+
+class TestSingleClassEquivalence:
+    @pytest.mark.parametrize("n", [1, 10, 80, 400])
+    def test_one_class_matches_single_class_solver(self, n):
+        stations = [Station("a", 0.03, 2), Station("b", 0.06)]
+        single = solve_mva(stations, n, 2.0)
+        multi = solve_mva_multiclass(
+            stations,
+            [CustomerClass("only", n, 2.0, {"a": 0.03, "b": 0.06})],
+        )
+        assert multi.total_throughput == pytest.approx(
+            single.throughput, rel=0.02
+        )
+
+    def test_identical_split_classes_match_merged(self):
+        """Two identical classes of N/2 each ≈ one class of N."""
+        stations = [Station("a", 0.04), Station("b", 0.02)]
+        demands = {"a": 0.04, "b": 0.02}
+        merged = solve_mva_multiclass(
+            stations, [CustomerClass("all", 100, 1.5, demands)]
+        )
+        split = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("half1", 50, 1.5, demands),
+                CustomerClass("half2", 50, 1.5, demands),
+            ],
+        )
+        assert split.total_throughput == pytest.approx(
+            merged.total_throughput, rel=0.03
+        )
+
+
+class TestTwoClassBehaviour:
+    def test_light_load_littles_law(self):
+        stations = [Station("s", 0.001)]
+        result = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("a", 5, 1.0, {"s": 0.001}),
+                CustomerClass("b", 10, 2.0, {"s": 0.001}),
+            ],
+        )
+        assert result.throughput["a"] == pytest.approx(5 / 1.001, rel=0.01)
+        assert result.throughput["b"] == pytest.approx(10 / 2.001, rel=0.01)
+
+    def test_shared_bottleneck_caps_combined_flow(self):
+        stations = [Station("s", 0.1)]
+        result = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("a", 200, 1.0, {"s": 0.1}),
+                CustomerClass("b", 200, 1.0, {"s": 0.1}),
+            ],
+        )
+        assert result.total_throughput == pytest.approx(10.0, rel=0.05)
+        assert result.utilization["s"] == pytest.approx(1.0, abs=0.02)
+
+    def test_heavy_class_slows_light_class(self):
+        """Cross-class interference: adding a demanding class must inflate
+        the light class's response time."""
+        stations = [Station("s", 0.01)]
+        alone = solve_mva_multiclass(
+            stations, [CustomerClass("light", 20, 1.0, {"s": 0.01})]
+        )
+        together = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("light", 20, 1.0, {"s": 0.01}),
+                CustomerClass("heavy", 100, 0.5, {"s": 0.05}),
+            ],
+        )
+        assert together.response_time["light"] > alone.response_time["light"]
+        assert together.throughput["light"] < alone.throughput["light"]
+
+    def test_class_with_zero_demand_at_station(self):
+        stations = [Station("a", 0.0), Station("b", 0.0)]
+        result = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("a-only", 30, 1.0, {"a": 0.05}),
+                CustomerClass("b-only", 30, 1.0, {"b": 0.05}),
+            ],
+        )
+        # Disjoint stations: each class behaves like a separate network.
+        assert result.throughput["a-only"] == pytest.approx(
+            result.throughput["b-only"], rel=0.01
+        )
+
+
+class TestMixAggregationValidity:
+    def test_per_mix_classes_close_to_aggregate(self):
+        """The backend's single-aggregate-class shortcut: splitting the EB
+        population into a browsing-like and an ordering-like class with the
+        same *average* demands changes total throughput only mildly."""
+        stations = [Station("proxy", 0.0), Station("app", 0.0, 2)]
+        light = {"proxy": 0.012, "app": 0.008}
+        heavy = {"proxy": 0.006, "app": 0.030}
+        avg = {k: (light[k] + heavy[k]) / 2 for k in light}
+        aggregate = solve_mva_multiclass(
+            stations, [CustomerClass("avg", 400, 7.0, avg)]
+        )
+        split = solve_mva_multiclass(
+            stations,
+            [
+                CustomerClass("light", 200, 7.0, light),
+                CustomerClass("heavy", 200, 7.0, heavy),
+            ],
+        )
+        assert split.total_throughput == pytest.approx(
+            aggregate.total_throughput, rel=0.10
+        )

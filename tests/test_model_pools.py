@@ -1,0 +1,84 @@
+"""Tests for the M/M/c/K pool model."""
+
+import math
+
+import pytest
+
+from repro.model.pools import mmck
+
+
+def _mm1k_blocking(rho, k):
+    """Closed form M/M/1/K blocking probability."""
+    if rho == 1.0:
+        return 1.0 / (k + 1)
+    return (1 - rho) * rho**k / (1 - rho ** (k + 1))
+
+
+class TestValidation:
+    def test_bad_servers(self):
+        with pytest.raises(ValueError):
+            mmck(1.0, 1.0, 0, 1)
+
+    def test_capacity_below_servers(self):
+        with pytest.raises(ValueError):
+            mmck(1.0, 1.0, 2, 1)
+
+    def test_negative_rates(self):
+        with pytest.raises(ValueError):
+            mmck(-1.0, 1.0, 1, 1)
+
+
+class TestZeroLoad:
+    def test_no_arrivals(self):
+        res = mmck(0.0, 1.0, 4, 8)
+        assert res.blocking == 0.0
+        assert res.wait == 0.0
+        assert res.busy == 0.0
+
+
+class TestMM1K:
+    @pytest.mark.parametrize("rho", [0.3, 0.8, 1.5])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_blocking_matches_closed_form(self, rho, k):
+        res = mmck(arrival_rate=rho, holding_time=1.0, servers=1, capacity=k)
+        assert res.blocking == pytest.approx(_mm1k_blocking(rho, k), rel=1e-9)
+
+    def test_pure_loss_system(self):
+        # M/M/1/1: blocking = rho / (1 + rho).
+        res = mmck(2.0, 1.0, 1, 1)
+        assert res.blocking == pytest.approx(2.0 / 3.0)
+        assert res.wait == 0.0
+
+
+class TestMMcK:
+    def test_blocking_monotone_in_load(self):
+        values = [
+            mmck(lam, 1.0, 4, 10).blocking for lam in (1.0, 3.0, 5.0, 8.0)
+        ]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_blocking_decreases_with_capacity(self):
+        values = [mmck(5.0, 1.0, 4, k).blocking for k in (4, 8, 16, 64)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_more_servers_less_waiting(self):
+        few = mmck(3.0, 1.0, 4, 40)
+        many = mmck(3.0, 1.0, 16, 40)
+        assert many.wait < few.wait
+
+    def test_utilization(self):
+        res = mmck(1.0, 1.0, 2, 20)
+        # Offered load 1 over 2 servers, negligible blocking => util ~0.5.
+        assert res.utilization == pytest.approx(0.5, abs=0.02)
+
+    def test_large_pool_numerically_stable(self):
+        res = mmck(arrival_rate=100.0, holding_time=1.0, servers=512,
+                   capacity=1024)
+        assert 0.0 <= res.blocking <= 1.0
+        assert math.isfinite(res.wait)
+
+    def test_overload_blocks_excess(self):
+        # λs = 10 into 2 servers: roughly 80% must be turned away.
+        res = mmck(10.0, 1.0, 2, 4)
+        accepted = 10.0 * (1 - res.blocking)
+        assert accepted <= 2.0 + 1e-6

@@ -1,0 +1,93 @@
+"""Property-based tests for constraint repair."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.harmony.constraints import ConstraintSet, OrderingConstraint
+from repro.harmony.parameter import IntParameter, ParameterSpace
+
+
+@st.composite
+def constrained_spaces(draw):
+    """A 2-parameter space plus an ordering constraint guaranteed to be
+    satisfiable (the ranges overlap enough for the gap)."""
+    low_a = draw(st.integers(min_value=-500, max_value=500))
+    span_a = draw(st.integers(min_value=10, max_value=400))
+    step_a = draw(st.integers(min_value=1, max_value=7))
+    low_b = draw(st.integers(min_value=low_a - 50, max_value=low_a + 50))
+    span_b = draw(st.integers(min_value=10, max_value=400))
+    step_b = draw(st.integers(min_value=1, max_value=7))
+    high_a = low_a + span_a * step_a
+    high_b = low_b + span_b * step_b
+    gap = draw(st.integers(min_value=0, max_value=5))
+    # Satisfiability: there must exist a in A, b in B with a + gap <= b.
+    if low_a + gap > high_b:
+        gap = max(0, high_b - low_a)
+    space = ParameterSpace(
+        [
+            IntParameter("a", low_a, low_a, high_a, step_a),
+            IntParameter("b", low_b, low_b, high_b, step_b),
+        ]
+    )
+    return space, ConstraintSet([OrderingConstraint("a", "b", min_gap=gap)])
+
+
+class TestRepairProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(constrained_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_repair_feasible_and_legal(self, setup, seed):
+        space, cs = setup
+        rng = np.random.default_rng(seed)
+        cfg = space.random_configuration(rng)
+        try:
+            repaired = cs.repair(space, cfg)
+        except ValueError:
+            # Unsatisfiable combos can slip through the generator's guard
+            # when grids misalign; that is the documented failure mode.
+            return
+        space.validate(repaired)
+        assert cs.satisfied(repaired)
+
+    @settings(max_examples=80, deadline=None)
+    @given(constrained_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_repair_idempotent(self, setup, seed):
+        space, cs = setup
+        rng = np.random.default_rng(seed)
+        cfg = space.random_configuration(rng)
+        try:
+            once = cs.repair(space, cfg)
+        except ValueError:
+            return
+        assert cs.repair(space, once) == once
+
+    @settings(max_examples=80, deadline=None)
+    @given(constrained_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_repair_noop_on_feasible(self, setup, seed):
+        space, cs = setup
+        rng = np.random.default_rng(seed)
+        cfg = space.random_configuration(rng)
+        if cs.satisfied(cfg):
+            assert cs.repair(space, cfg) == cfg
+
+    @settings(max_examples=40, deadline=None)
+    @given(constrained_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_simplex_with_constraints_stays_feasible(self, setup, seed):
+        from repro.harmony.simplex import NelderMeadSimplex
+
+        space, cs = setup
+        # Skip genuinely unsatisfiable range combinations (disjoint grids).
+        constraint = cs.constraints[0]
+        assume(
+            space[constraint.lesser].low + constraint.min_gap
+            <= space[constraint.greater].high
+        )
+        simplex = NelderMeadSimplex(
+            space, rng=np.random.default_rng(seed), constraints=cs
+        )
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(15):
+            cfg = simplex.ask()
+            assert cs.satisfied(cfg)
+            space.validate(cfg)
+            simplex.tell(cfg, float(rng.normal()))

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the Harmony core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harmony.parameter import Configuration, IntParameter, ParameterSpace
+from repro.harmony.simplex import NelderMeadSimplex, SimplexOptions
+
+
+@st.composite
+def int_parameters(draw, name="p"):
+    low = draw(st.integers(min_value=-1000, max_value=1000))
+    span_steps = draw(st.integers(min_value=0, max_value=200))
+    step = draw(st.integers(min_value=1, max_value=50))
+    high = low + span_steps * step
+    default_steps = draw(st.integers(min_value=0, max_value=span_steps))
+    return IntParameter(name, low + default_steps * step, low, high, step)
+
+
+@st.composite
+def parameter_spaces(draw, max_dim=4):
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    return ParameterSpace(
+        [draw(int_parameters(name=f"p{i}")) for i in range(dim)]
+    )
+
+
+class TestParameterProperties:
+    @given(int_parameters(), st.floats(allow_nan=False, allow_infinity=False,
+                                       min_value=-1e7, max_value=1e7))
+    def test_clamp_always_legal(self, param, value):
+        assert param.is_legal(param.clamp(value))
+
+    @given(int_parameters(), st.floats(min_value=-1e7, max_value=1e7,
+                                       allow_nan=False))
+    def test_clamp_idempotent(self, param, value):
+        once = param.clamp(value)
+        assert param.clamp(float(once)) == once
+
+    @given(int_parameters())
+    def test_clamp_of_legal_value_is_identity(self, param):
+        for k in range(0, param.num_values, max(1, param.num_values // 7)):
+            v = param.low + k * param.step
+            assert param.clamp(float(v)) == v
+
+    @given(int_parameters(), st.integers(min_value=0, max_value=2**32))
+    def test_random_always_legal(self, param, seed):
+        rng = np.random.default_rng(seed)
+        assert param.is_legal(param.random(rng))
+
+    @given(int_parameters())
+    def test_extremeness_bounds(self, param):
+        for k in range(0, param.num_values, max(1, param.num_values // 5)):
+            v = param.low + k * param.step
+            assert 0.0 <= param.extremeness(v) <= 1.0 + 1e-12
+
+    @given(parameter_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_from_vector_always_legal(self, space, seed):
+        rng = np.random.default_rng(seed)
+        lo = space.lower_bounds() - 100.0
+        hi = space.upper_bounds() + 100.0
+        vector = lo + rng.random(space.dimension) * (hi - lo)
+        space.validate(space.from_vector(vector))
+
+    @given(parameter_spaces(), st.integers(min_value=0, max_value=2**32))
+    def test_vector_round_trip(self, space, seed):
+        rng = np.random.default_rng(seed)
+        cfg = space.random_configuration(rng)
+        assert space.from_vector(space.to_vector(cfg)) == cfg
+
+    @given(parameter_spaces())
+    def test_default_is_legal(self, space):
+        space.validate(space.default_configuration())
+
+
+class TestConfigurationProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers(-1000, 1000), min_size=1, max_size=6))
+    def test_equal_configs_equal_hashes(self, values):
+        a = Configuration(values)
+        b = Configuration(dict(reversed(list(values.items()))))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers(-1000, 1000), min_size=2, max_size=6))
+    def test_replace_changes_only_target(self, values):
+        cfg = Configuration(values)
+        key = sorted(values)[0]
+        replaced = cfg.replace(**{key: values[key] + 1})
+        assert replaced[key] == values[key] + 1
+        for other in values:
+            if other != key:
+                assert replaced[other] == cfg[other]
+
+
+class TestSimplexProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        parameter_spaces(max_dim=3),
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_asks_always_legal_under_random_feedback(self, space, seed, steps):
+        """Whatever objective values come back, every proposed configuration
+        is a legal point of the space — the paper's integer adaptation."""
+        simplex = NelderMeadSimplex(space, rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(steps):
+            cfg = simplex.ask()
+            space.validate(cfg)
+            simplex.tell(cfg, float(rng.normal()))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        parameter_spaces(max_dim=3),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_damped_asks_always_legal(self, space, seed):
+        simplex = NelderMeadSimplex(
+            space,
+            options=SimplexOptions(damp_extremes=True),
+            rng=np.random.default_rng(seed),
+        )
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(25):
+            cfg = simplex.ask()
+            space.validate(cfg)
+            simplex.tell(cfg, float(rng.normal()))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_best_never_worse_than_any_told_value(self, seed):
+        space = ParameterSpace([IntParameter("x", 50, 0, 100)])
+        simplex = NelderMeadSimplex(space, rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        told = []
+        for _ in range(20):
+            cfg = simplex.ask()
+            value = float(rng.normal())
+            told.append(value)
+            simplex.tell(cfg, value)
+        assert simplex.best[1] == min(told)

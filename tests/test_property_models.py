@@ -1,0 +1,144 @@
+"""Property-based tests for the statistics, queueing and cache models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.mva import Station, solve_mva
+from repro.model.pools import mmck
+from repro.tpcw.catalog import Catalog
+from repro.util.stats import RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStatsProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_matches_numpy(self, data):
+        s = RunningStats(data)
+        assert s.mean == pytest.approx(float(np.mean(data)), rel=1e-9, abs=1e-7)
+        if len(data) > 1:
+            assert s.variance == pytest.approx(
+                float(np.var(data, ddof=1)), rel=1e-6, abs=1e-6
+            )
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30),
+        st.lists(finite_floats, min_size=1, max_size=30),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        merged = RunningStats(a).merge(RunningStats(b))
+        combined = RunningStats(a + b)
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-7)
+        assert merged.variance == pytest.approx(
+            combined.variance, rel=1e-6, abs=1e-6
+        )
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_min_le_mean_le_max(self, data):
+        s = RunningStats(data)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+
+
+class TestMvaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=1.0),
+                st.integers(min_value=1, max_value=8),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_invariants(self, station_specs, population, think):
+        stations = [
+            Station(f"s{i}", d, c) for i, (d, c) in enumerate(station_specs)
+        ]
+        result = solve_mva(stations, population, think)
+        # Throughput positive and bounded by every capacity limit.
+        assert result.throughput > 0
+        for (d, c) in station_specs:
+            assert result.throughput <= c / d * 1.01
+        # Bounded by N / (Z + sum D) from below... and N/Z from above.
+        if think > 0:
+            assert result.throughput <= population / think * 1.01
+        # Utilizations in [0, 1].
+        for u in result.utilization.values():
+            assert -1e-9 <= u <= 1.0 + 1e-9
+        # Queues non-negative.
+        for q in result.queue.values():
+            assert q >= -1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_monotone_in_population(self, n):
+        stations = [Station("s", 0.05)]
+        x1 = solve_mva(stations, n, 1.0).throughput
+        x2 = solve_mva(stations, n + 10, 1.0).throughput
+        assert x2 >= x1 - 1e-6
+
+
+class TestMmckProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=1e-3, max_value=10.0),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=64),
+    )
+    def test_invariants(self, lam, hold, servers, extra):
+        res = mmck(lam, hold, servers, servers + extra)
+        assert 0.0 <= res.blocking <= 1.0
+        assert res.wait >= 0.0
+        assert 0.0 <= res.busy <= servers + 1e-9
+        assert math.isfinite(res.wait)
+        # Accepted throughput cannot exceed the pool's service capacity.
+        accepted = lam * (1 - res.blocking)
+        assert accepted <= servers / hold + 1e-6
+
+
+class TestCatalogProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=50, max_value=2000),
+        st.floats(min_value=0.0, max_value=1.5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_hit_fraction_in_unit_interval(self, scale, zipf, seed):
+        cat = Catalog(scale=scale, zipf_exponent=zipf, seed=seed)
+        for cache in (0.0, 1e6, 1e9):
+            h = cat.hit_fraction(cache)
+            assert 0.0 <= h <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=50, max_value=1000),
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(
+            st.floats(min_value=1e4, max_value=1e9),
+            min_size=2, max_size=6,
+        ),
+    )
+    def test_hit_fraction_monotone_in_capacity(self, scale, seed, sizes):
+        cat = Catalog(scale=scale, seed=seed)
+        sizes = sorted(sizes)
+        hits = [cat.hit_fraction(s) for s in sizes]
+        assert all(a <= b + 1e-12 for a, b in zip(hits, hits[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_tighter_bounds_never_increase_hits(self, seed):
+        cat = Catalog(scale=500, seed=seed)
+        cache = 8e6
+        wide = cat.hit_fraction(cache, 0.0, 1e9)
+        narrow = cat.hit_fraction(cache, 2048.0, 64 * 1024.0)
+        assert narrow <= wide + 1e-12

@@ -1,0 +1,79 @@
+"""Property-based round-trip tests for persistence and the wire format."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+from repro.harmony.protocol import FetchReply, ReportRequest, UnregisterReply
+from repro.harmony.wire import decode, encode
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_history,
+    save_history,
+)
+
+param_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=24,
+)
+config_dicts = st.dictionaries(
+    param_names, st.integers(min_value=-(2**40), max_value=2**40),
+    min_size=1, max_size=12,
+)
+performances = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConfigurationRoundTrip:
+    @given(config_dicts)
+    def test_json_round_trip(self, values):
+        cfg = Configuration(values)
+        assert configuration_from_json(configuration_to_json(cfg)) == cfg
+
+    @given(config_dicts)
+    def test_compact_round_trip(self, values):
+        cfg = Configuration(values)
+        assert configuration_from_json(
+            configuration_to_json(cfg, indent=None)
+        ) == cfg
+
+
+class TestHistoryRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(config_dicts, performances), min_size=0, max_size=20))
+    def test_jsonl_round_trip(self, records):
+        history = TuningHistory()
+        for values, perf in records:
+            history.append(Configuration(values), perf)
+        buf = io.StringIO()
+        save_history(history, buf)
+        buf.seek(0)
+        loaded = load_history(buf)
+        assert len(loaded) == len(history)
+        for a, b in zip(history, loaded):
+            assert a.configuration == b.configuration
+            assert a.performance == b.performance
+
+
+class TestWireRoundTrip:
+    @given(config_dicts)
+    def test_fetch_reply(self, values):
+        msg = FetchReply("client", Configuration(values))
+        assert decode(encode(msg)) == msg
+
+    @given(config_dicts)
+    def test_unregister_reply(self, values):
+        msg = UnregisterReply("client", Configuration(values))
+        assert decode(encode(msg)) == msg
+
+    @given(performances)
+    def test_report_request(self, perf):
+        msg = ReportRequest("client", perf)
+        decoded = decode(encode(msg))
+        assert decoded.performance == perf

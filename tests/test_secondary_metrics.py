@@ -1,0 +1,58 @@
+"""Tests for the secondary TPC-W metrics both backends report."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec.three_tier(1, 1, 1)
+
+
+class TestAnalyticCategorySplit:
+    def test_split_follows_mix(self, cluster):
+        backend = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=400)
+        m = backend.measure(sc, cluster.default_configuration(), seed=1)
+        assert m.diagnostics["wips_browse"] == pytest.approx(0.95 * m.wips)
+        assert m.diagnostics["wips_order"] == pytest.approx(0.05 * m.wips)
+
+    def test_ordering_mix_is_half_half(self, cluster):
+        backend = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=400)
+        m = backend.measure(sc, cluster.default_configuration(), seed=1)
+        assert m.diagnostics["wips_browse"] == pytest.approx(
+            m.diagnostics["wips_order"]
+        )
+
+
+class TestDesSecondaryMetrics:
+    @pytest.fixture(scope="class")
+    def measurement(self, cluster):
+        backend = SimulationBackend(time_scale=0.05)
+        sc = Scenario(cluster=cluster, mix=BROWSING_MIX, population=300)
+        return backend.measure(sc, cluster.default_configuration(), seed=2)
+
+    def test_category_rates_sum_to_wips(self, measurement):
+        total = (
+            measurement.diagnostics["wips_browse"]
+            + measurement.diagnostics["wips_order"]
+        )
+        assert total == pytest.approx(measurement.wips, rel=1e-6)
+
+    def test_category_split_near_mix(self, measurement):
+        share = measurement.diagnostics["wips_browse"] / measurement.wips
+        assert share == pytest.approx(0.95, abs=0.03)
+
+    def test_latency_percentiles_ordered(self, measurement):
+        p50 = measurement.diagnostics["rt_p50"]
+        p95 = measurement.diagnostics["rt_p95"]
+        assert 0.0 < p50 <= p95
+        # The mean sits between the median and the tail for this skew.
+        assert p50 <= measurement.response_time * 1.5

@@ -1,0 +1,114 @@
+"""Tests for JSON persistence of configurations and histories."""
+
+import io
+import json
+
+import pytest
+
+from repro.harmony.history import TuningHistory
+from repro.harmony.parameter import Configuration
+from repro.util.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    load_history,
+    save_configuration,
+    save_history,
+)
+
+
+def _config():
+    return Configuration({"proxy0.cache_mem": 32, "db0.table_cache": 512})
+
+
+def _history(n=5):
+    h = TuningHistory()
+    for i in range(n):
+        h.append(Configuration({"a": i, "b": 10 * i}), 100.0 + i)
+    return h
+
+
+class TestConfigurationJson:
+    def test_round_trip_string(self):
+        cfg = _config()
+        assert configuration_from_json(configuration_to_json(cfg)) == cfg
+
+    def test_round_trip_file(self, tmp_path):
+        cfg = _config()
+        path = tmp_path / "best.json"
+        save_configuration(cfg, path)
+        assert load_configuration(path) == cfg
+
+    def test_sorted_keys(self):
+        text = configuration_to_json(_config())
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_from_json("[1, 2]")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_from_json('{"a": 1.5}')
+        with pytest.raises(ValueError):
+            configuration_from_json('{"a": true}')
+        with pytest.raises(ValueError):
+            configuration_from_json('{"a": "x"}')
+
+
+class TestHistoryJson:
+    def test_round_trip_file(self, tmp_path):
+        h = _history()
+        path = tmp_path / "run.jsonl"
+        save_history(h, path)
+        loaded = load_history(path)
+        assert len(loaded) == len(h)
+        for a, b in zip(h, loaded):
+            assert a.iteration == b.iteration
+            assert a.performance == b.performance
+            assert a.configuration == b.configuration
+
+    def test_round_trip_stream(self):
+        h = _history(3)
+        buf = io.StringIO()
+        save_history(h, buf)
+        buf.seek(0)
+        loaded = load_history(buf)
+        assert loaded.best().performance == h.best().performance
+
+    def test_blank_lines_skipped(self, tmp_path):
+        h = _history(2)
+        path = tmp_path / "run.jsonl"
+        save_history(h, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_history(path)) == 2
+
+    def test_out_of_order_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        rec = {"iteration": 5, "performance": 1.0, "configuration": {"a": 1}}
+        path.write_text(json.dumps(rec) + "\n")
+        with pytest.raises(ValueError, match="out of order"):
+            load_history(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"iteration": 0, "performance": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="missing field"):
+            load_history(path)
+
+    def test_empty_file_gives_empty_history(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(load_history(path)) == 0
+
+    def test_loaded_history_supports_analysis(self, tmp_path):
+        """A persisted run stays usable with the analysis tooling."""
+        h = _history(10)
+        path = tmp_path / "run.jsonl"
+        save_history(h, path)
+        loaded = load_history(path)
+        assert loaded.best_configuration() == h.best_configuration()
+        assert loaded.window_stats(5).mean == pytest.approx(
+            h.window_stats(5).mean
+        )

@@ -1,0 +1,127 @@
+"""Tests for the simulation kernel's event loop and primitive events."""
+
+import pytest
+
+from repro.sim.core import Environment, Event, SimulationError, Timeout
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(5.0).now == 5.0
+
+    def test_run_empty_returns_now(self):
+        env = Environment()
+        assert env.run() == 0.0
+
+    def test_run_until_advances_clock_without_events(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_rejected(self):
+        env = Environment(5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        env = Environment()
+        fired = []
+        env.timeout(2.5).add_callback(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [2.5]
+
+    def test_order_preserved_for_equal_times(self):
+        env = Environment()
+        order = []
+        env.timeout(1.0).add_callback(lambda e: order.append("first"))
+        env.timeout(1.0).add_callback(lambda e: order.append("second"))
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_timeout_value(self):
+        env = Environment()
+        values = []
+        env.timeout(1.0, value="payload").add_callback(
+            lambda e: values.append(e.value)
+        )
+        env.run()
+        assert values == ["payload"]
+
+    def test_run_until_excludes_later_events(self):
+        env = Environment()
+        fired = []
+        env.timeout(1.0).add_callback(lambda e: fired.append(1))
+        env.timeout(5.0).add_callback(lambda e: fired.append(5))
+        env.run(until=2.0)
+        assert fired == [1]
+        assert env.now == 2.0
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        env.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_sets_exception(self):
+        env = Environment()
+        ev = env.event()
+        boom = RuntimeError("boom")
+        ev.fail(boom)
+        env.run()
+        assert ev.exception is boom
+
+    def test_callback_after_processed_runs_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(7)
+        env.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_triggered_and_processed_flags(self):
+        env = Environment()
+        ev = env.event()
+        assert not ev.triggered and not ev.processed
+        ev.succeed()
+        assert ev.triggered and not ev.processed
+        env.run()
+        assert ev.processed

@@ -1,0 +1,104 @@
+"""Tests for the item catalog and its cache model."""
+
+import numpy as np
+import pytest
+
+from repro.tpcw.catalog import Catalog
+from repro.util.units import KB, MB
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(scale=2000, seed=7)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Catalog(scale=0)
+        with pytest.raises(ValueError):
+            Catalog(objects_per_item=0)
+        with pytest.raises(ValueError):
+            Catalog(zipf_exponent=-1)
+
+    def test_num_objects(self, catalog):
+        assert catalog.num_objects == 2000 * 2
+
+    def test_sizes_positive_with_floor(self, catalog):
+        assert catalog.sizes.min() >= 256.0
+
+    def test_popularity_is_distribution(self, catalog):
+        assert catalog.popularity.sum() == pytest.approx(1.0)
+        assert (catalog.popularity >= 0).all()
+        # Popularity is rank-sorted descending.
+        assert (np.diff(catalog.popularity) <= 0).all()
+
+    def test_deterministic_for_seed(self):
+        a = Catalog(scale=100, seed=3)
+        b = Catalog(scale=100, seed=3)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_different_seeds_differ(self):
+        a = Catalog(scale=100, seed=3)
+        b = Catalog(scale=100, seed=4)
+        assert not np.array_equal(a.sizes, b.sizes)
+
+    def test_read_only_views(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.sizes[0] = 1.0
+
+    def test_universe_and_mean(self, catalog):
+        assert catalog.universe_bytes() == pytest.approx(catalog.sizes.sum())
+        assert 0 < catalog.mean_object_bytes() < catalog.sizes.max()
+
+
+class TestHitFraction:
+    def test_zero_cache_no_hits(self, catalog):
+        assert catalog.hit_fraction(0) == 0.0
+
+    def test_monotone_in_cache_size(self, catalog):
+        hits = [catalog.hit_fraction(s) for s in (1 * MB, 4 * MB, 16 * MB, 256 * MB)]
+        assert all(a <= b for a, b in zip(hits, hits[1:]))
+
+    def test_full_universe_cache_hits_everything(self, catalog):
+        assert catalog.hit_fraction(catalog.universe_bytes() * 1.01) == pytest.approx(1.0)
+
+    def test_admission_bounds_reduce_hits(self, catalog):
+        unbounded = catalog.hit_fraction(64 * MB)
+        bounded = catalog.hit_fraction(64 * MB, max_size_bytes=4 * KB)
+        assert bounded < unbounded
+
+    def test_min_size_excludes_small_objects(self, catalog):
+        full = catalog.hit_fraction(catalog.universe_bytes() * 2)
+        filtered = catalog.hit_fraction(
+            catalog.universe_bytes() * 2, min_size_bytes=64 * KB
+        )
+        assert filtered < full
+
+    def test_impossible_bounds_no_hits(self, catalog):
+        assert catalog.hit_fraction(
+            1 * MB, min_size_bytes=10 * MB, max_size_bytes=1 * KB
+        ) == 0.0
+
+    def test_zipf_concentration(self):
+        """A more skewed catalog yields higher hits at equal cache size."""
+        flat = Catalog(scale=2000, zipf_exponent=0.2, seed=5)
+        skew = Catalog(scale=2000, zipf_exponent=1.2, seed=5)
+        assert skew.hit_fraction(4 * MB) > flat.hit_fraction(4 * MB)
+
+
+class TestSampling:
+    def test_sample_object_in_range(self, catalog):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            idx = catalog.sample_object(rng)
+            assert 0 <= idx < catalog.num_objects
+
+    def test_popular_objects_sampled_more(self, catalog):
+        rng = np.random.default_rng(1)
+        idx = catalog.sample_objects(rng, 20_000)
+        top_fraction = np.mean(idx < catalog.num_objects // 10)
+        assert top_fraction > 0.3  # zipf 0.8: top 10% take far over 10%
+
+    def test_object_size_lookup(self, catalog):
+        assert catalog.object_size(0) == catalog.sizes[0]

@@ -1,0 +1,119 @@
+"""Tests for the TPC-W interactions and Table 1 mixes."""
+
+import pytest
+
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    InteractionCategory,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    STANDARD_MIXES,
+    WorkloadMix,
+)
+
+
+class TestInteractions:
+    def test_fourteen_interactions(self):
+        assert len(Interaction) == 14
+
+    def test_category_split(self):
+        browse = [i for i in Interaction if i.category is InteractionCategory.BROWSE]
+        order = [i for i in Interaction if i.category is InteractionCategory.ORDER]
+        assert len(browse) == 6
+        assert len(order) == 8
+
+    def test_specific_categories(self):
+        assert Interaction.HOME.category is InteractionCategory.BROWSE
+        assert Interaction.BUY_CONFIRM.category is InteractionCategory.ORDER
+        assert Interaction.SHOPPING_CART.category is InteractionCategory.ORDER
+
+
+class TestStandardMixes:
+    @pytest.mark.parametrize("mix", [BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX])
+    def test_weights_sum_to_one(self, mix):
+        assert sum(mix.weights.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_browse_order_splits_match_table1(self):
+        """Table 1 header row: 95/5, 80/20, 50/50."""
+        b = InteractionCategory.BROWSE
+        o = InteractionCategory.ORDER
+        assert BROWSING_MIX.category_fraction(b) == pytest.approx(0.95)
+        assert BROWSING_MIX.category_fraction(o) == pytest.approx(0.05)
+        assert SHOPPING_MIX.category_fraction(b) == pytest.approx(0.80)
+        assert SHOPPING_MIX.category_fraction(o) == pytest.approx(0.20)
+        assert ORDERING_MIX.category_fraction(b) == pytest.approx(0.50)
+        assert ORDERING_MIX.category_fraction(o) == pytest.approx(0.50)
+
+    def test_spot_values_from_table1(self):
+        assert BROWSING_MIX.weight(Interaction.HOME) == pytest.approx(0.29)
+        assert SHOPPING_MIX.weight(Interaction.SHOPPING_CART) == pytest.approx(0.116)
+        assert ORDERING_MIX.weight(Interaction.BUY_CONFIRM) == pytest.approx(0.1018)
+        assert ORDERING_MIX.weight(Interaction.ADMIN_CONFIRM) == pytest.approx(0.0011)
+
+    def test_standard_mixes_registry(self):
+        assert set(STANDARD_MIXES) == {"browsing", "shopping", "ordering"}
+        assert STANDARD_MIXES["browsing"] is BROWSING_MIX
+
+
+class TestWorkloadMixValidation:
+    def test_missing_interaction_rejected(self):
+        weights = {i: 1 / 13 for i in list(Interaction)[:-1]}
+        with pytest.raises(ValueError, match="missing"):
+            WorkloadMix("bad", weights)
+
+    def test_sum_not_one_rejected(self):
+        weights = {i: 0.1 for i in Interaction}
+        with pytest.raises(ValueError, match="sum"):
+            WorkloadMix("bad", weights)
+
+    def test_negative_weight_rejected(self):
+        weights = {i: 1 / 13 for i in list(Interaction)[:-1]}
+        weights[Interaction.ADMIN_CONFIRM] = -(sum(weights.values()) - 1.0)
+        total = sum(weights.values())
+        # Construct sums to 1 but one weight negative.
+        if weights[Interaction.ADMIN_CONFIRM] >= 0:
+            weights[Interaction.ADMIN_CONFIRM] = -0.01
+            weights[Interaction.HOME] = weights[Interaction.HOME] + 0.01
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", weights)
+
+
+class TestBlend:
+    def test_endpoints(self):
+        a = WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 0.0)
+        b = WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 1.0)
+        for i in Interaction:
+            assert a.weight(i) == pytest.approx(BROWSING_MIX.weight(i))
+            assert b.weight(i) == pytest.approx(ORDERING_MIX.weight(i))
+
+    def test_midpoint_category_split(self):
+        mid = WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 0.5)
+        # 95/5 blended with 50/50 -> 72.5/27.5.
+        assert mid.category_fraction(InteractionCategory.BROWSE) == pytest.approx(0.725)
+
+    def test_blend_is_valid_mix(self):
+        mid = WorkloadMix.blend(SHOPPING_MIX, ORDERING_MIX, 0.3)
+        assert sum(mid.weights.values()) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 1.5)
+
+    def test_custom_name(self):
+        mix = WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 0.5, name="sale-day")
+        assert mix.name == "sale-day"
+
+    def test_blend_measurable(self):
+        """A blended mix must flow through the whole measurement stack."""
+        from repro.cluster.topology import ClusterSpec
+        from repro.model.analytic import AnalyticBackend
+        from repro.model.base import Scenario
+
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        mid = WorkloadMix.blend(BROWSING_MIX, ORDERING_MIX, 0.5)
+        m = AnalyticBackend().measure(
+            Scenario(cluster=cluster, mix=mid, population=400),
+            cluster.default_configuration(), seed=1,
+        )
+        assert m.wips > 0

@@ -1,0 +1,144 @@
+"""Tests for the WIPS meter, browser behaviour and interaction profiles."""
+
+import numpy as np
+import pytest
+
+from repro.tpcw.browser import BrowserBehavior
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    InteractionCategory,
+)
+from repro.tpcw.metrics import WipsMeter
+from repro.tpcw.profiles import PROFILES, InteractionProfile
+
+
+class TestWipsMeter:
+    def test_basic_wips(self):
+        m = WipsMeter()
+        m.open_window(100.0)
+        for _ in range(50):
+            m.record_completion(Interaction.HOME)
+        m.close_window(200.0)
+        assert m.wips() == pytest.approx(0.5)
+
+    def test_completions_outside_window_ignored(self):
+        m = WipsMeter()
+        m.record_completion(Interaction.HOME)  # before open
+        m.open_window(0.0)
+        m.record_completion(Interaction.HOME)
+        m.close_window(10.0)
+        m.record_completion(Interaction.HOME)  # after close
+        assert m.completed == 1
+
+    def test_error_rate(self):
+        m = WipsMeter()
+        m.open_window(0.0)
+        m.record_completion(Interaction.HOME)
+        m.record_error()
+        m.record_error()
+        m.record_error()
+        m.close_window(1.0)
+        assert m.error_rate() == pytest.approx(0.75)
+
+    def test_category_rates(self):
+        m = WipsMeter()
+        m.open_window(0.0)
+        m.record_completion(Interaction.HOME)  # browse
+        m.record_completion(Interaction.BUY_CONFIRM)  # order
+        m.record_completion(Interaction.BUY_REQUEST)  # order
+        m.close_window(10.0)
+        assert m.category_rate(InteractionCategory.BROWSE) == pytest.approx(0.1)
+        assert m.category_rate(InteractionCategory.ORDER) == pytest.approx(0.2)
+
+    def test_window_protocol_errors(self):
+        m = WipsMeter()
+        with pytest.raises(RuntimeError):
+            m.close_window(1.0)
+        m.open_window(0.0)
+        with pytest.raises(RuntimeError):
+            m.open_window(1.0)
+        with pytest.raises(RuntimeError):
+            m.duration  # still open
+        with pytest.raises(ValueError):
+            m.close_window(-1.0)
+
+    def test_zero_duration_rejected(self):
+        m = WipsMeter()
+        m.open_window(5.0)
+        m.close_window(5.0)
+        with pytest.raises(ValueError):
+            m.wips()
+
+
+class TestBrowserBehavior:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrowserBehavior(BROWSING_MIX, mean_think_time=0.0)
+        with pytest.raises(ValueError):
+            BrowserBehavior(BROWSING_MIX, mean_think_time=10.0, max_think_time=5.0)
+
+    def test_think_times_truncated(self):
+        b = BrowserBehavior(BROWSING_MIX, mean_think_time=7.0, max_think_time=70.0)
+        rng = np.random.default_rng(0)
+        samples = [b.next_think_time(rng) for _ in range(2000)]
+        assert max(samples) <= 70.0
+        assert min(samples) >= 0.0
+
+    def test_effective_mean_matches_empirical(self):
+        b = BrowserBehavior(BROWSING_MIX, mean_think_time=7.0, max_think_time=21.0)
+        rng = np.random.default_rng(1)
+        samples = [b.next_think_time(rng) for _ in range(60_000)]
+        assert np.mean(samples) == pytest.approx(
+            b.effective_mean_think_time, rel=0.02
+        )
+
+    def test_effective_mean_below_nominal(self):
+        b = BrowserBehavior(BROWSING_MIX)
+        assert b.effective_mean_think_time < b.mean_think_time
+
+    def test_next_interaction_uses_mix(self):
+        b = BrowserBehavior(BROWSING_MIX)
+        sampler = b.sampler()
+        rng = np.random.default_rng(2)
+        seen = {b.next_interaction(rng, sampler) for _ in range(500)}
+        assert Interaction.HOME in seen
+
+
+class TestInteractionProfiles:
+    def test_all_interactions_profiled(self):
+        assert set(PROFILES) == set(Interaction)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InteractionProfile(
+                static_objects=1, page_cacheable=1.5, app_cpu=0.01,
+                db_queries=0, db_heavy_queries=0, db_writes=0, db_inserts=0,
+                response_bytes=1, db_result_bytes=0,
+            )
+        with pytest.raises(ValueError):
+            InteractionProfile(
+                static_objects=-1, page_cacheable=0.5, app_cpu=0.01,
+                db_queries=0, db_heavy_queries=0, db_writes=0, db_inserts=0,
+                response_bytes=1, db_result_bytes=0,
+            )
+
+    def test_scaled(self):
+        p = PROFILES[Interaction.HOME]
+        s = p.scaled(2.0)
+        assert s.app_cpu == pytest.approx(2 * p.app_cpu)
+        assert s.page_cacheable == p.page_cacheable
+
+    def test_buy_confirm_is_write_heavy(self):
+        p = PROFILES[Interaction.BUY_CONFIRM]
+        assert p.db_writes >= 1.0
+        assert p.db_inserts >= 1.0
+        assert p.page_cacheable == 0.0
+
+    def test_home_is_mostly_cacheable(self):
+        assert PROFILES[Interaction.HOME].page_cacheable >= 0.8
+
+    def test_search_results_hit_the_database(self):
+        p = PROFILES[Interaction.SEARCH_RESULTS]
+        assert p.db_heavy_queries > 0.5
+        assert p.page_cacheable <= 0.2

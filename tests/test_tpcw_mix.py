@@ -1,0 +1,94 @@
+"""Tests for mix sampling and the aggregate profile computation."""
+
+import numpy as np
+import pytest
+
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+)
+from repro.tpcw.mix import MixSampler, expected_profile
+from repro.tpcw.profiles import PROFILES
+from repro.cluster.context import mix_burstiness
+
+
+class TestMixSampler:
+    def test_empirical_distribution_matches_weights(self):
+        sampler = MixSampler(SHOPPING_MIX)
+        rng = np.random.default_rng(0)
+        n = 40_000
+        samples = sampler.sample_many(rng, n)
+        counts = {i: 0 for i in Interaction}
+        for s in samples:
+            counts[s] += 1
+        for interaction in (Interaction.HOME, Interaction.SHOPPING_CART,
+                            Interaction.SEARCH_REQUEST):
+            expected = SHOPPING_MIX.weight(interaction)
+            assert counts[interaction] / n == pytest.approx(expected, abs=0.01)
+
+    def test_sample_one_matches_many(self):
+        sampler = MixSampler(BROWSING_MIX)
+        a = [sampler.sample(np.random.default_rng(i)) for i in range(50)]
+        assert all(isinstance(i, Interaction) for i in a)
+
+    def test_reproducible(self):
+        sampler = MixSampler(ORDERING_MIX)
+        a = sampler.sample_many(np.random.default_rng(5), 100)
+        b = sampler.sample_many(np.random.default_rng(5), 100)
+        assert a == b
+
+    def test_rare_interactions_eventually_sampled(self):
+        sampler = MixSampler(BROWSING_MIX)
+        samples = set(sampler.sample_many(np.random.default_rng(1), 30_000))
+        assert Interaction.ADMIN_CONFIRM in samples  # weight 0.0009
+
+
+class TestExpectedProfile:
+    def test_backend_fields_weighted_by_dynamic_probability(self):
+        profile = expected_profile(BROWSING_MIX)
+        manual = sum(
+            BROWSING_MIX.weight(i)
+            * (1.0 - PROFILES[i].page_cacheable)
+            * PROFILES[i].app_cpu
+            for i in Interaction
+        )
+        assert profile.app_cpu == pytest.approx(manual)
+
+    def test_front_fields_plain_average(self):
+        profile = expected_profile(SHOPPING_MIX)
+        manual = sum(
+            SHOPPING_MIX.weight(i) * PROFILES[i].static_objects
+            for i in Interaction
+        )
+        assert profile.static_objects == pytest.approx(manual)
+
+    def test_ordering_heavier_on_database_than_browsing(self):
+        b = expected_profile(BROWSING_MIX)
+        o = expected_profile(ORDERING_MIX)
+        assert o.db_writes > 5 * b.db_writes
+        assert o.db_inserts > 5 * b.db_inserts
+        assert o.app_cpu > b.app_cpu
+
+    def test_browsing_heavier_on_static_content(self):
+        b = expected_profile(BROWSING_MIX)
+        o = expected_profile(ORDERING_MIX)
+        assert b.static_objects > o.static_objects
+        assert b.page_cacheable > o.page_cacheable
+
+    def test_cacheable_fraction_in_unit_interval(self):
+        for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX):
+            profile = expected_profile(mix)
+            assert 0.0 < profile.page_cacheable < 1.0
+
+
+class TestBurstiness:
+    def test_browsing_burstier_than_ordering(self):
+        """The paper: browsing request characteristics 'change dramatically'
+        while ordering's 'do not change dramatically'."""
+        assert mix_burstiness(BROWSING_MIX) > mix_burstiness(ORDERING_MIX)
+
+    def test_bounded(self):
+        for mix in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX):
+            assert 0.0 <= mix_burstiness(mix) <= 1.0

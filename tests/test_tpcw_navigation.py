@@ -1,0 +1,104 @@
+"""Tests for the TPC-W navigation (Markov session) model."""
+
+import numpy as np
+import pytest
+
+from repro.tpcw.interactions import (
+    BROWSING_MIX,
+    Interaction,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+)
+from repro.tpcw.navigation import SITE_STRUCTURE, NavigationModel
+
+
+@pytest.fixture(scope="module", params=["browsing", "shopping", "ordering"])
+def model(request):
+    mixes = {"browsing": BROWSING_MIX, "shopping": SHOPPING_MIX,
+             "ordering": ORDERING_MIX}
+    return NavigationModel(mixes[request.param])
+
+
+class TestConstruction:
+    def test_transition_matrix_row_stochastic(self, model):
+        p = model.transition_matrix
+        assert (p >= 0).all()
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_structure_weight_positive(self, model):
+        """The feasibility bound must leave real structure in the chain."""
+        assert model.structure_weight > 0.01
+
+    def test_bad_structure_weight_rejected(self):
+        with pytest.raises(ValueError):
+            NavigationModel(BROWSING_MIX, structure_weight=1.0)
+
+    def test_requested_weight_clipped_to_feasible(self):
+        model = NavigationModel(BROWSING_MIX, structure_weight=0.999)
+        # 0.999 is far beyond feasibility for these mixes.
+        assert model.structure_weight < 0.999
+
+
+class TestStationarity:
+    def test_stationary_distribution_is_the_mix(self, model):
+        pi = model.stationary_distribution()
+        expected = np.array([model.mix.weight(i) for i in Interaction])
+        assert np.allclose(pi, expected, atol=1e-9)
+
+    def test_empirical_long_run_matches_mix(self):
+        model = NavigationModel(SHOPPING_MIX)
+        rng = np.random.default_rng(0)
+        session = model.sample_session(rng, 60_000)
+        for interaction in (Interaction.HOME, Interaction.SHOPPING_CART,
+                            Interaction.SEARCH_RESULTS):
+            share = session.count(interaction) / len(session)
+            assert share == pytest.approx(
+                SHOPPING_MIX.weight(interaction), abs=0.012
+            )
+
+
+class TestSessionStructure:
+    def test_search_request_always_followed_by_results(self):
+        """The deterministic structural edge must dominate transitions."""
+        model = NavigationModel(BROWSING_MIX)
+        rng = np.random.default_rng(1)
+        followups = [
+            model.next_interaction(Interaction.SEARCH_REQUEST, rng)
+            for _ in range(3000)
+        ]
+        share = followups.count(Interaction.SEARCH_RESULTS) / len(followups)
+        # structure_weight of the flow goes through the single edge; the
+        # jump can also land on Search Results.
+        assert share > model.structure_weight * 0.9
+
+    def test_sessions_are_correlated_not_iid(self):
+        """Consecutive-pair frequencies must deviate from independence —
+        the point of navigation vs i.i.d. sampling."""
+        model = NavigationModel(BROWSING_MIX)
+        rng = np.random.default_rng(2)
+        session = model.sample_session(rng, 40_000)
+        pairs = sum(
+            1
+            for a, b in zip(session, session[1:])
+            if a is Interaction.SEARCH_REQUEST and b is Interaction.SEARCH_RESULTS
+        )
+        observed = pairs / (len(session) - 1)
+        independent = (
+            BROWSING_MIX.weight(Interaction.SEARCH_REQUEST)
+            * BROWSING_MIX.weight(Interaction.SEARCH_RESULTS)
+        )
+        assert observed > 3 * independent
+
+    def test_sample_session_length_and_start(self):
+        model = NavigationModel(ORDERING_MIX)
+        rng = np.random.default_rng(3)
+        session = model.sample_session(rng, 10, start=Interaction.HOME)
+        assert len(session) == 10
+        assert session[0] is Interaction.HOME
+        with pytest.raises(ValueError):
+            model.sample_session(rng, 0)
+
+    def test_structure_covers_every_interaction(self):
+        assert set(SITE_STRUCTURE) == set(Interaction)
+        for dests in SITE_STRUCTURE.values():
+            assert dests  # every page links somewhere

@@ -1,0 +1,81 @@
+"""Tests for the WIRT (response-time compliance) tracker."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.des.backend import SimulationBackend
+from repro.model.base import Scenario
+from repro.tpcw.interactions import Interaction, SHOPPING_MIX
+from repro.tpcw.wirt import WIRT_LIMITS, WirtTracker
+
+
+class TestLimitsTable:
+    def test_every_interaction_has_a_limit(self):
+        assert set(WIRT_LIMITS) == set(Interaction)
+
+    def test_heavy_pages_get_more_headroom(self):
+        assert WIRT_LIMITS[Interaction.BEST_SELLERS] > WIRT_LIMITS[Interaction.HOME]
+        assert WIRT_LIMITS[Interaction.ADMIN_CONFIRM] == max(WIRT_LIMITS.values())
+
+
+class TestTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirtTracker(quantile=0.0)
+        with pytest.raises(ValueError):
+            WirtTracker(limits={Interaction.HOME: 3.0})  # incomplete
+        tracker = WirtTracker()
+        with pytest.raises(ValueError):
+            tracker.record(Interaction.HOME, -1.0)
+
+    def test_empty_is_compliant(self):
+        tracker = WirtTracker()
+        assert tracker.compliant()
+        assert tracker.percentile_of(Interaction.HOME) is None
+
+    def test_percentile_and_violation(self):
+        tracker = WirtTracker()
+        for latency in [0.1] * 9 + [10.0]:
+            tracker.record(Interaction.HOME, latency)
+        # p90 lands between 0.1 and 10 by interpolation; push clearly over.
+        for _ in range(20):
+            tracker.record(Interaction.HOME, 10.0)
+        assert tracker.percentile_of(Interaction.HOME) > 3.0
+        assert Interaction.HOME in tracker.violations()
+        assert not tracker.compliant()
+
+    def test_compliance_within_limits(self):
+        tracker = WirtTracker()
+        for interaction in Interaction:
+            for _ in range(10):
+                tracker.record(interaction, 0.2)
+        assert tracker.compliant()
+        assert tracker.violations() == {}
+
+    def test_table_renders(self):
+        tracker = WirtTracker()
+        tracker.record(Interaction.HOME, 0.5)
+        text = tracker.to_table().render()
+        assert "Home" in text and "Limit" in text
+        assert "Buy Confirm" in text
+
+
+class TestDesIntegration:
+    def test_healthy_system_is_wirt_compliant(self):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        des = SimulationBackend(time_scale=0.05)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=300)
+        m = des.measure(sc, cluster.default_configuration(), seed=3)
+        assert m.diagnostics["wirt_compliant"] == 1.0
+        assert des.last_wirt is not None
+        assert des.last_wirt.count(Interaction.HOME) > 0
+
+    def test_overloaded_system_violates_wirt(self):
+        """Deep saturation must show up as WIRT non-compliance — the spec's
+        guard against quoting WIPS from an unusable system."""
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        des = SimulationBackend(time_scale=0.05)
+        sc = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=1400)
+        m = des.measure(sc, cluster.default_configuration(), seed=4)
+        assert m.diagnostics["wirt_compliant"] == 0.0
+        assert des.last_wirt.violations()

@@ -1,0 +1,73 @@
+"""Tests for the adaptive (workload-shift) tuning session."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX
+from repro.tuning.adaptive import AdaptiveTuningSession
+from repro.tuning.session import ClusterTuningSession, make_scheme
+
+
+def _session(seed=1):
+    scenario = Scenario(
+        cluster=ClusterSpec.three_tier(1, 1, 1),
+        mix=BROWSING_MIX,
+        population=750,
+    )
+    inner = ClusterTuningSession(
+        AnalyticBackend(), scenario,
+        scheme=make_scheme(scenario, "default"), seed=seed,
+    )
+    return AdaptiveTuningSession(inner)
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveTuningSession(_session().session, shift_threshold=0.0)
+
+    def test_bad_windows(self):
+        with pytest.raises(ValueError):
+            AdaptiveTuningSession(
+                _session().session, detect_window=5, plateau_window=3
+            )
+
+
+class TestShiftDetection:
+    def test_no_restart_under_stationary_workload(self):
+        adaptive = _session(seed=2)
+        adaptive.run(40)
+        # Normal tuning noise must not trigger restarts.
+        assert adaptive.restarts == []
+
+    def test_restart_after_workload_switch(self):
+        adaptive = _session(seed=3)
+        adaptive.run(30)
+        adaptive.set_mix(ORDERING_MIX)
+        adaptive.run(20)
+        assert len(adaptive.restarts) >= 1
+        assert adaptive.restarts[0] >= 30
+
+    def test_search_continues_after_restart(self):
+        adaptive = _session(seed=4)
+        adaptive.run(30)
+        adaptive.set_mix(ORDERING_MIX)
+        adaptive.run(30)
+        assert len(adaptive.history) == 60
+
+    def test_restart_resumes_from_best_known(self):
+        adaptive = _session(seed=5)
+        adaptive.run(30)
+        adaptive.set_mix(ORDERING_MIX)
+        adaptive.run(adaptive.plateau_window + 2)
+        assert adaptive.restarts, "expected the switch to trigger a restart"
+        r = adaptive.restarts[0]
+        history = adaptive.history
+        # The first configuration measured after the restart is the best
+        # configuration known at restart time (search resumes from it).
+        best_at_restart = max(
+            history.records[:r], key=lambda rec: rec.performance
+        ).configuration
+        assert history[r].configuration == best_at_restart

@@ -1,0 +1,194 @@
+"""Tests for the §IV reconfiguration algorithm."""
+
+import pytest
+
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.model.base import Measurement, ResourceUtilization
+from repro.tuning.reconfig import MoveDecision, ReconfigPolicy, Reconfigurator
+
+
+def _measurement(utils: dict[str, tuple[float, float, float, float]],
+                 diagnostics: dict[str, float] | None = None) -> Measurement:
+    return Measurement(
+        wips=100.0,
+        raw_wips=100.0,
+        error_rate=0.0,
+        response_time=0.1,
+        utilization={
+            node: ResourceUtilization(cpu=c, disk=d, network=n, memory=m)
+            for node, (c, d, n, m) in utils.items()
+        },
+        diagnostics=diagnostics or {},
+    )
+
+
+class TestPolicyValidation:
+    def test_thresholds_ordered(self):
+        with pytest.raises(ValueError):
+            ReconfigPolicy(
+                high_thresholds={"cpu": 0.4, "disk": 0.9, "network": 0.9,
+                                 "memory": 0.9},
+                low_thresholds={"cpu": 0.5, "disk": 0.4, "network": 0.4,
+                                "memory": 0.7},
+            )
+
+    def test_missing_low_threshold(self):
+        with pytest.raises(ValueError):
+            ReconfigPolicy(
+                high_thresholds={"cpu": 0.9, "gpu": 0.9},
+                low_thresholds={"cpu": 0.4},
+            )
+
+
+class TestClassification:
+    def test_overloaded_detection(self):
+        r = Reconfigurator()
+        m = _measurement({
+            "app0": (0.95, 0.1, 0.1, 0.3),   # cpu over 0.85
+            "proxy0": (0.2, 0.2, 0.2, 0.3),  # fine
+        })
+        assert r.overloaded(m) == ["app0"]
+
+    def test_urgency_ordering_prefers_cpu(self):
+        """Footnote 3: CPU overload outranks network overload."""
+        r = Reconfigurator()
+        m = _measurement({
+            "a": (0.95, 0.1, 0.1, 0.3),  # cpu +0.10 over
+            "b": (0.1, 0.1, 0.99, 0.3),  # network +0.14 over, lower weight
+        })
+        assert r.overloaded(m) == ["a", "b"]
+
+    def test_underutilized_requires_all_resources_low(self):
+        r = Reconfigurator()
+        m = _measurement({
+            "idle": (0.1, 0.1, 0.1, 0.3),
+            "half": (0.1, 0.6, 0.1, 0.3),  # disk above LT
+        })
+        assert r.underutilized(m) == ["idle"]
+
+    def test_memory_has_own_thresholds(self):
+        r = Reconfigurator()
+        m = _measurement({"n": (0.1, 0.1, 0.1, 0.95)})
+        assert r.overloaded(m) == ["n"]
+
+
+class TestEquation1:
+    def test_db_moves_cost_more(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        r = Reconfigurator()
+        diag = {
+            "proxy0.jobs": 4.0, "proxy0.service_time": 0.01,
+            "db0.jobs": 4.0, "db0.service_time": 0.01,
+        }
+        m = _measurement(
+            {n: (0.1, 0.1, 0.1, 0.3) for n in cluster.node_ids}, diag
+        )
+        assert r.equation1(m, cluster, "db0") > r.equation1(m, cluster, "proxy0")
+
+    def test_sign_decides_immediacy(self):
+        cluster = ClusterSpec.three_tier(2, 1, 1)
+        policy = ReconfigPolicy(reconfig_cost=0.1)
+        r = Reconfigurator(policy)
+        # Long average processing time makes waiting expensive -> immediate.
+        diag = {"proxy1.jobs": 10.0, "proxy1.service_time": 5.0}
+        m = _measurement(
+            {n: (0.1, 0.1, 0.1, 0.3) for n in cluster.node_ids}, diag
+        )
+        assert r.equation1(m, cluster, "proxy1") < 0
+
+
+class TestDecide:
+    def _cluster(self):
+        return ClusterSpec.three_tier(4, 2, 2)
+
+    def _ordering_like_measurement(self, cluster):
+        """Apps overloaded, proxies idle, dbs moderate."""
+        utils = {}
+        for n in cluster.nodes_in(Role.APP):
+            utils[n] = (0.97, 0.05, 0.1, 0.3)
+        for n in cluster.nodes_in(Role.PROXY):
+            utils[n] = (0.1, 0.2, 0.15, 0.2)
+        for n in cluster.nodes_in(Role.DB):
+            utils[n] = (0.4, 0.5, 0.1, 0.4)
+        diag = {}
+        for n in cluster.node_ids:
+            diag[f"{n}.jobs"] = 2.0
+            diag[f"{n}.service_time"] = 0.02
+        return _measurement(utils, diag)
+
+    def test_moves_idle_proxy_to_app_tier(self):
+        cluster = self._cluster()
+        r = Reconfigurator()
+        decision = r.decide(cluster, self._ordering_like_measurement(cluster))
+        assert decision is not None
+        assert decision.from_role is Role.PROXY
+        assert decision.to_role is Role.APP
+        assert decision.relieves.startswith("app")
+
+    def test_apply_returns_moved_cluster(self):
+        cluster = self._cluster()
+        r = Reconfigurator()
+        decision = r.decide(cluster, self._ordering_like_measurement(cluster))
+        moved = r.apply(cluster, decision)
+        assert moved.tier_size(Role.APP) == 3
+        assert moved.tier_size(Role.PROXY) == 3
+
+    def test_no_move_when_nothing_overloaded(self):
+        cluster = self._cluster()
+        r = Reconfigurator()
+        m = _measurement({n: (0.3, 0.3, 0.3, 0.3) for n in cluster.node_ids})
+        assert r.decide(cluster, m) is None
+
+    def test_no_move_when_no_donor(self):
+        cluster = self._cluster()
+        r = Reconfigurator()
+        # Everything busy: L2 empty.
+        m = _measurement({n: (0.95, 0.5, 0.5, 0.5) for n in cluster.node_ids})
+        assert r.decide(cluster, m) is None
+
+    def test_never_empties_a_tier(self):
+        cluster = ClusterSpec.three_tier(1, 2, 1)
+        r = Reconfigurator()
+        utils = {
+            "proxy0": (0.1, 0.1, 0.1, 0.2),  # idle, but last proxy
+            "app0": (0.97, 0.1, 0.1, 0.3),
+            "app1": (0.97, 0.1, 0.1, 0.3),
+            "db0": (0.4, 0.4, 0.1, 0.4),
+        }
+        decision = r.decide(cluster, _measurement(utils))
+        assert decision is None  # only candidate is the last proxy node
+
+    def test_same_tier_candidates_excluded(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        r = Reconfigurator()
+        utils = {n: (0.3, 0.3, 0.3, 0.3) for n in cluster.node_ids}
+        utils["app0"] = (0.97, 0.1, 0.1, 0.3)  # overloaded app
+        utils["app1"] = (0.1, 0.1, 0.1, 0.2)   # idle app (same tier!)
+        decision = r.decide(cluster, _measurement(utils))
+        assert decision is None or decision.from_role is not Role.APP
+
+    def test_expensive_db_not_chosen_over_cheap_proxy(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        r = Reconfigurator()
+        utils = {n: (0.3, 0.3, 0.3, 0.3) for n in cluster.node_ids}
+        utils["app0"] = (0.97, 0.1, 0.1, 0.3)
+        utils["app1"] = (0.97, 0.1, 0.1, 0.3)
+        utils["proxy1"] = (0.1, 0.1, 0.1, 0.2)
+        utils["db1"] = (0.1, 0.1, 0.1, 0.2)
+        diag = {}
+        for n in cluster.node_ids:
+            diag[f"{n}.jobs"] = 3.0
+            diag[f"{n}.service_time"] = 0.02
+        decision = r.decide(cluster, _measurement(utils, diag))
+        assert decision is not None
+        # A proxy donor is far cheaper to move than a database node.
+        assert decision.from_role is Role.PROXY
+
+
+class TestMoveDecision:
+    def test_immediate_flag(self):
+        d = MoveDecision("n", Role.PROXY, Role.APP, "app0", cost=-1.0)
+        assert d.immediate
+        d2 = MoveDecision("n", Role.PROXY, Role.APP, "app0", cost=1.0)
+        assert not d2.immediate

@@ -1,0 +1,101 @@
+"""Tests for the periodic reconfiguration loop."""
+
+import pytest
+
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX
+from repro.tuning.reconfig_loop import ReconfigurationLoop
+from repro.tuning.session import ClusterTuningSession, make_scheme
+
+
+def _loop(cluster, mix, population, **kwargs):
+    scenario = Scenario(cluster=cluster, mix=mix, population=population)
+    session = ClusterTuningSession(
+        AnalyticBackend(), scenario,
+        scheme=make_scheme(scenario, "duplication"), seed=13,
+    )
+    return ReconfigurationLoop(session, **kwargs)
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        with pytest.raises(ValueError):
+            _loop(cluster, BROWSING_MIX, 100, check_every=0)
+        with pytest.raises(ValueError):
+            _loop(cluster, BROWSING_MIX, 100, cooldown=-1)
+        with pytest.raises(ValueError):
+            _loop(cluster, BROWSING_MIX, 100, smoothing=0)
+        loop = _loop(cluster, BROWSING_MIX, 100)
+        with pytest.raises(ValueError):
+            loop.run(-1)
+
+
+class TestNoMoveWhenBalanced:
+    def test_balanced_cluster_stays_put(self):
+        loop = _loop(
+            ClusterSpec.three_tier(2, 2, 2), BROWSING_MIX, 600,
+            check_every=10,
+        )
+        loop.run(30)
+        assert loop.moves == []
+        assert loop.session.scenario.cluster.tier_size(Role.PROXY) == 2
+
+
+class TestMovesWhenImbalanced:
+    def test_moves_proxy_to_app_under_ordering(self):
+        """The Figure 7(a) situation, discovered by the periodic loop."""
+        loop = _loop(
+            ClusterSpec.three_tier(4, 2, 2), ORDERING_MIX, 2000,
+            check_every=10, drain_delay=2, cooldown=15,
+        )
+        loop.run(40)
+        assert len(loop.moves) >= 1
+        move = loop.moves[0]
+        assert move.decision.from_role is Role.PROXY
+        assert move.decision.to_role is Role.APP
+        cluster = loop.session.scenario.cluster
+        assert cluster.tier_size(Role.APP) >= 3
+
+    def test_deferred_move_waits_for_drain(self):
+        loop = _loop(
+            ClusterSpec.three_tier(4, 2, 2), ORDERING_MIX, 2000,
+            check_every=10, drain_delay=4, cooldown=50,
+        )
+        loop.run(40)
+        assert loop.moves, "expected at least one move"
+        move = loop.moves[0]
+        if not move.decision.immediate:
+            assert move.applied_at - move.decided_at >= 4
+
+    def test_cooldown_limits_move_rate(self):
+        loop = _loop(
+            ClusterSpec.three_tier(4, 2, 2), ORDERING_MIX, 2000,
+            check_every=5, drain_delay=0, cooldown=100,
+        )
+        loop.run(60)
+        assert len(loop.moves) <= 1
+
+    def test_max_moves_cap(self):
+        loop = _loop(
+            ClusterSpec.three_tier(4, 2, 2), ORDERING_MIX, 2000,
+            check_every=5, drain_delay=0, cooldown=0, max_moves=1,
+        )
+        loop.run(60)
+        assert len(loop.moves) <= 1
+
+    def test_throughput_improves_after_move(self):
+        loop = _loop(
+            ClusterSpec.three_tier(4, 2, 2), ORDERING_MIX, 2000,
+            check_every=10, drain_delay=0, cooldown=100,
+        )
+        loop.run(50)
+        assert loop.moves, "expected a move"
+        applied = loop.moves[0].applied_at
+        perf = loop.session.history.performances()
+        before = perf[max(0, applied - 8) : applied].mean()
+        after = perf[applied + 3 :].mean()
+        assert after > before * 1.15

@@ -1,0 +1,191 @@
+"""Tests for the iteration runner and cluster tuning sessions."""
+
+import pytest
+
+from repro.cluster.node import Role
+from repro.cluster.topology import ClusterSpec
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import Scenario
+from repro.model.noise import NoiseModel
+from repro.tpcw.interactions import BROWSING_MIX, ORDERING_MIX, SHOPPING_MIX
+from repro.tuning.iteration import IterationRunner, IterationSpec
+from repro.tuning.session import ClusterTuningSession, make_scheme
+
+
+@pytest.fixture()
+def backend():
+    return AnalyticBackend()
+
+
+@pytest.fixture()
+def scenario():
+    return Scenario(
+        cluster=ClusterSpec.three_tier(1, 1, 1),
+        mix=BROWSING_MIX,
+        population=750,
+    )
+
+
+class TestIterationSpec:
+    def test_paper_defaults(self):
+        spec = IterationSpec()
+        assert spec.warmup == 100.0
+        assert spec.measure == 1000.0
+        assert spec.cooldown == 100.0
+        assert spec.total == 1200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterationSpec(measure=0.0)
+        with pytest.raises(ValueError):
+            IterationSpec(warmup=-1.0)
+
+    def test_scaled(self):
+        spec = IterationSpec().scaled(0.1)
+        assert spec.measure == 100.0
+        with pytest.raises(ValueError):
+            IterationSpec().scaled(0.0)
+
+
+class TestIterationRunner:
+    def test_counter_advances(self, backend, scenario):
+        runner = IterationRunner(backend, scenario, seed=1)
+        cfg = scenario.cluster.default_configuration()
+        runner.run(cfg)
+        runner.run(cfg)
+        assert runner.iterations_run == 2
+
+    def test_same_index_same_noise(self, backend, scenario):
+        runner = IterationRunner(backend, scenario, seed=1)
+        cfg = scenario.cluster.default_configuration()
+        a = runner.run(cfg, index=3)
+        b = runner.run(cfg, index=3)
+        assert a.wips == b.wips
+        assert runner.iterations_run == 0  # explicit index doesn't count
+
+    def test_different_indices_different_noise(self, backend, scenario):
+        runner = IterationRunner(backend, scenario, seed=1)
+        cfg = scenario.cluster.default_configuration()
+        assert runner.run(cfg, index=0).wips != runner.run(cfg, index=1).wips
+
+
+class TestMakeScheme:
+    def test_default(self, scenario):
+        scheme = make_scheme(scenario, "default")
+        assert len(scheme.groups) == 1
+        assert scheme.groups[0].space.dimension == 23
+
+    def test_duplication(self):
+        sc = Scenario(
+            cluster=ClusterSpec.three_tier(2, 2, 2),
+            mix=SHOPPING_MIX, population=100,
+        )
+        scheme = make_scheme(sc, "duplication")
+        assert scheme.groups[0].space.dimension == 23  # tier-level
+        full = sc.cluster.full_space()
+        assert scheme.total_tuned_dimensions < full.dimension
+
+    def test_partitioning(self):
+        sc = Scenario(
+            cluster=ClusterSpec.three_tier(2, 2, 2),
+            mix=SHOPPING_MIX, population=100,
+        )
+        scheme = make_scheme(sc, "partitioning", work_lines=2)
+        assert len(scheme.groups) == 2
+
+    def test_unknown_method(self, scenario):
+        with pytest.raises(ValueError):
+            make_scheme(scenario, "magic")
+
+
+class TestClusterTuningSession:
+    def test_step_records_history(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=2)
+        m = session.step()
+        assert session.iterations == 1
+        assert session.history[0].performance == m.wips
+
+    def test_first_configuration_is_default(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=2)
+        assert session.current_configuration() == (
+            scenario.cluster.default_configuration()
+        )
+
+    def test_tuning_improves_browsing(self, backend, scenario):
+        """The §III.A claim at small scale: tuning beats the default."""
+        session = ClusterTuningSession(
+            backend, scenario,
+            scheme=make_scheme(scenario, "default"), seed=3,
+        )
+        baseline = session.measure_baseline(iterations=10).window_stats(0)
+        session.run(80)
+        assert session.history.best().performance > baseline.mean * 1.05
+
+    def test_run_validation(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=2)
+        with pytest.raises(ValueError):
+            session.run(-1)
+
+    def test_partitioned_session_wires_work_lines(self, backend):
+        sc = Scenario(
+            cluster=ClusterSpec.three_tier(2, 2, 2),
+            mix=SHOPPING_MIX, population=600,
+        )
+        session = ClusterTuningSession(
+            backend, sc, scheme=make_scheme(sc, "partitioning"), seed=4
+        )
+        assert session.scenario.work_lines is not None
+        m = session.step()
+        assert set(m.per_line_wips) == {"line0", "line1"}
+        # Each group's history carries its own line's signal.
+        for line in ("line0", "line1"):
+            assert session.group_history(line)[0].performance == pytest.approx(
+                m.per_line_wips[line]
+            )
+
+    def test_duplication_session_copies_values(self, backend):
+        sc = Scenario(
+            cluster=ClusterSpec.three_tier(2, 2, 2),
+            mix=SHOPPING_MIX, population=600,
+        )
+        session = ClusterTuningSession(
+            backend, sc, scheme=make_scheme(sc, "duplication"), seed=5
+        )
+        session.step()
+        cfg = session.history[0].configuration
+        assert cfg["proxy0.cache_mem"] == cfg["proxy1.cache_mem"]
+        assert cfg["app0.maxProcessors"] == cfg["app1.maxProcessors"]
+
+    def test_set_mix(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=6)
+        session.set_mix(ORDERING_MIX)
+        assert session.scenario.mix is ORDERING_MIX
+        assert session.runner.scenario.mix is ORDERING_MIX
+
+    def test_set_cluster_requires_duplication(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=7)
+        with pytest.raises(TypeError):
+            session.set_cluster(ClusterSpec.three_tier(1, 2, 1))
+
+    def test_set_cluster_rebinds_duplication(self, backend):
+        cluster = ClusterSpec.three_tier(2, 2, 2)
+        sc = Scenario(cluster=cluster, mix=ORDERING_MIX, population=900)
+        session = ClusterTuningSession(
+            backend, sc, scheme=make_scheme(sc, "duplication"), seed=8
+        )
+        session.step()
+        moved = cluster.move_node("proxy1", Role.APP)
+        session.set_cluster(moved)
+        m = session.step()  # must measure cleanly on the new layout
+        assert m.wips > 0
+        cfg = session.history[1].configuration
+        # The moved node now carries app-tier values.
+        assert "proxy1.maxProcessors" in cfg
+        assert cfg["proxy1.maxProcessors"] == cfg["app0.maxProcessors"]
+
+    def test_measure_baseline_uses_fixed_config(self, backend, scenario):
+        session = ClusterTuningSession(backend, scenario, seed=9)
+        history = session.measure_baseline(iterations=5)
+        assert len(history) == 5
+        assert len({r.configuration for r in history}) == 1
+        assert session.iterations == 0  # tuner untouched

@@ -1,0 +1,87 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.util.plot import histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_length_bounded_by_width(self):
+        s = sparkline(list(range(500)), width=40)
+        assert len(s) == 40
+
+    def test_short_series_kept_whole(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=8)
+        assert list(s) == sorted(s)
+
+    def test_flat_series(self):
+        s = sparkline([5.0] * 10, width=10)
+        assert s == s[0] * 10
+
+    def test_custom_bounds(self):
+        # With lo/hi pinned wide, a mid-level series renders mid blocks.
+        s = sparkline([50.0] * 5, width=5, lo=0.0, hi=100.0)
+        assert "▁" not in s and "█" not in s
+
+
+class TestLineChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1.0, 2.0], width=4)
+
+    def test_shape(self):
+        chart = line_chart(list(range(100)), width=50, height=8, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 8 + 1  # title + rows + axis
+
+    def test_extremes_labelled(self):
+        chart = line_chart([10.0, 20.0, 30.0], width=30, height=5)
+        assert "30.0" in chart
+        assert "10.0" in chart
+
+    def test_markers_drawn(self):
+        chart = line_chart([1.0] * 100, width=50, height=5, markers=[50])
+        assert "|" in chart
+
+    def test_contains_points(self):
+        assert "*" in line_chart([1.0, 5.0, 2.0], width=30, height=5)
+
+
+class TestHistogram:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_counts_sum(self):
+        data = [1.0, 1.1, 2.0, 2.1, 9.9]
+        out = histogram(data, bins=5)
+        import re
+
+        counts = [int(m) for m in re.findall(r"\((\d+)\)", out)]
+        assert sum(counts) == len(data)
+
+    def test_flat_data(self):
+        out = histogram([3.0, 3.0, 3.0])
+        assert "(3)" in out
+
+    def test_peak_has_longest_bar(self):
+        data = [1.0] * 10 + [2.0]
+        out = histogram(data, bins=2, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[-1].count("#")

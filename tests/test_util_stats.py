@@ -1,0 +1,154 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    RunningStats,
+    TimeWeightedStats,
+    confidence_interval,
+    percentile,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.stddev == 0.0
+
+    def test_single_value(self):
+        s = RunningStats([5.0])
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.minimum == 5.0
+        assert s.maximum == 5.0
+
+    def test_matches_numpy(self):
+        data = [1.5, -2.0, 3.25, 7.0, 0.0, 4.5]
+        s = RunningStats(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data, ddof=1))
+        assert s.stddev == pytest.approx(np.std(data, ddof=1))
+        assert s.minimum == min(data)
+        assert s.maximum == max(data)
+
+    def test_numerically_stable_with_offset(self):
+        # Welford should not cancel catastrophically at a large offset.
+        base = 1e8
+        data = [base + x for x in (0.1, 0.2, 0.3, 0.4)]
+        s = RunningStats(data)
+        assert s.variance == pytest.approx(
+            np.var([0.1, 0.2, 0.3, 0.4], ddof=1), rel=1e-6
+        )
+
+    def test_merge_equals_combined(self):
+        a_data = [1.0, 2.0, 3.0]
+        b_data = [10.0, 20.0]
+        merged = RunningStats(a_data).merge(RunningStats(b_data))
+        combined = RunningStats(a_data + b_data)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.mean == pytest.approx(1.5)
+        merged2 = RunningStats().merge(a)
+        assert merged2.count == 2
+
+
+class TestTimeWeightedStats:
+    def test_constant_signal(self):
+        t = TimeWeightedStats(0.0, 3.0)
+        assert t.mean(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        t = TimeWeightedStats(0.0, 0.0)
+        t.update(5.0, 1.0)  # 0 for 5s, then 1 for 5s
+        assert t.mean(10.0) == pytest.approx(0.5)
+
+    def test_multiple_steps(self):
+        t = TimeWeightedStats(0.0, 2.0)
+        t.update(1.0, 4.0)
+        t.update(3.0, 0.0)
+        # 2*1 + 4*2 + 0*1 over 4s = 10/4
+        assert t.mean(4.0) == pytest.approx(2.5)
+
+    def test_maximum_tracked(self):
+        t = TimeWeightedStats(0.0, 1.0)
+        t.update(1.0, 7.0)
+        t.update(2.0, 3.0)
+        assert t.maximum == 7.0
+
+    def test_time_going_backwards_rejected(self):
+        t = TimeWeightedStats(0.0, 0.0)
+        t.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.update(4.0, 2.0)
+
+    def test_mean_before_last_update_rejected(self):
+        t = TimeWeightedStats(0.0, 0.0)
+        t.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.mean(4.0)
+
+    def test_reset(self):
+        t = TimeWeightedStats(0.0, 2.0)
+        t.update(5.0, 10.0)
+        t.reset(5.0)
+        assert t.mean(10.0) == pytest.approx(10.0)
+        assert t.current == 10.0
+
+    def test_zero_span_returns_current(self):
+        t = TimeWeightedStats(3.0, 4.5)
+        assert t.mean(3.0) == 4.5
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_element(self):
+        assert percentile([4.2], 73) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestConfidenceInterval:
+    def test_collapses_for_small_samples(self):
+        s = RunningStats([5.0])
+        assert confidence_interval(s) == (5.0, 5.0)
+
+    def test_contains_mean(self):
+        s = RunningStats([1.0, 2.0, 3.0, 4.0])
+        low, high = confidence_interval(s)
+        assert low < s.mean < high
+
+    def test_width_shrinks_with_samples(self):
+        small = RunningStats([1.0, 3.0] * 5)
+        large = RunningStats([1.0, 3.0] * 50)
+        w_small = confidence_interval(small)[1] - confidence_interval(small)[0]
+        w_large = confidence_interval(large)[1] - confidence_interval(large)[0]
+        assert w_large < w_small

@@ -1,0 +1,54 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, "x")
+        out = t.render()
+        assert "== demo ==" in out
+        assert "a" in out and "b" in out
+        assert "x" in out
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_columns_aligned(self):
+        t = Table("demo", ["name", "v"])
+        t.add_row("long-name-here", 1)
+        t.add_row("s", 22)
+        lines = t.render().splitlines()
+        header, sep, row1, row2 = lines[1:5]
+        # The separator spans the widest cell in each column.
+        assert len(sep) >= len(header.rstrip())
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add_row(3.14159)
+        assert "3.142" in t.render()
+
+    def test_int_thousands_separator(self):
+        t = Table("demo", ["v"])
+        t.add_row(1048576)
+        assert "1,048,576" in t.render()
+
+    def test_str_dunder(self):
+        t = Table("demo", ["a"])
+        t.add_row("z")
+        assert str(t) == t.render()
+
+
+class TestFormatTable:
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("t", ["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table("t", ["a"], [])
+        assert "== t ==" in out
