@@ -126,16 +126,15 @@ def sweep_parameter(
     raw = np.linspace(param.low, param.high, points)
     values = sorted({param.clamp(float(v)) for v in raw} | {base[name]})
 
-    base_stats = RunningStats()
-    for r in range(repeats):
-        base_stats.add(
-            backend.measure(
-                scenario, base, seed=derive_seed(seed, "sweep-base", name, r)
-            ).wips
-        )
-
-    means: list[float] = []
-    stds: list[float] = []
+    # Gather every (configuration, seed) point of the sweep up front and
+    # measure them as one batch: backends that amortize work across points
+    # (vectorized MVA, solution reuse between noise repeats) then see the
+    # whole sweep at once.  Results come back in request order, so the
+    # statistics below fold in exactly the order the per-point loop used.
+    requests: list[tuple[Configuration, int]] = [
+        (base, derive_seed(seed, "sweep-base", name, r))
+        for r in range(repeats)
+    ]
     for value in values:
         cfg = base.replace(**{name: value})
         if constraints is not None and not constraints.satisfied(cfg):
@@ -143,14 +142,22 @@ def sweep_parameter(
             cfg = cfg.replace(**{name: value}) if param.is_legal(value) else cfg
             if not constraints.satisfied(cfg):
                 cfg = constraints.repair(space, cfg)
+        requests.extend(
+            (cfg, derive_seed(seed, "sweep", name, value, r))
+            for r in range(repeats)
+        )
+    measurements = iter(backend.measure_batch(scenario, requests))
+
+    base_stats = RunningStats()
+    for _ in range(repeats):
+        base_stats.add(next(measurements).wips)
+
+    means: list[float] = []
+    stds: list[float] = []
+    for _ in values:
         stats = RunningStats()
-        for r in range(repeats):
-            stats.add(
-                backend.measure(
-                    scenario, cfg,
-                    seed=derive_seed(seed, "sweep", name, value, r),
-                ).wips
-            )
+        for _ in range(repeats):
+            stats.add(next(measurements).wips)
         means.append(stats.mean)
         stds.append(stats.stddev)
 

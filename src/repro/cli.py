@@ -34,6 +34,15 @@ EXPERIMENTS = (
 )
 
 
+def _jobs_argument(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (or 0 for all cores), got {jobs}"
+        )
+    return jobs
+
+
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mix", choices=sorted(STANDARD_MIXES), default="shopping",
@@ -105,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="tuning iterations (paper protocol: 200)",
     )
     p.add_argument("--seed", type=int, default=17)
+    p.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help=(
+            "worker processes for independent runs (default: all cores; "
+            "1 = the serial path; results are identical either way)"
+        ),
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable measurement memoization (results are identical)",
+    )
 
     p = sub.add_parser(
         "validate", help="cross-check the analytic and DES backends"
@@ -177,8 +197,14 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig
+    from repro.parallel import resolve_jobs
 
-    cfg = ExperimentConfig(iterations=args.iterations, seed=args.seed)
+    cfg = ExperimentConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        jobs=resolve_jobs(args.jobs),
+        memoize=not args.no_cache,
+    )
     if args.name == "table1":
         from repro.experiments import table1
 
@@ -211,7 +237,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.name == "sensitivity":
         from repro.experiments import sensitivity
 
-        print(sensitivity.run(cfg).to_table())
+        result = sensitivity.run(cfg)
+        print(result.to_table())
+        print(result.cache_summary())
     elif args.name == "drift":
         from repro.experiments import drift
 

@@ -11,7 +11,7 @@ re-rolled (node ids are stable labels and survive moves).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 from typing import Mapping, Sequence
 
 from repro.cluster.node import DEFAULT_NODE, NodeSpec, Role
@@ -70,6 +70,22 @@ class ClusterSpec:
         return cls(placements, name=name)
 
     # -- introspection ------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Content identity of the layout (for measurement caching).
+
+        Covers everything that affects performance — node ids, roles and
+        hardware — but not the display name; two clusters with identical
+        placements fingerprint identically however they were built.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = tuple(
+                (p.node_id, p.role.value, astuple(p.spec))
+                for p in self._placements
+            )
+            self._fingerprint = cached
+        return cached
+
     @property
     def placements(self) -> tuple[NodePlacement, ...]:
         """All node placements."""

@@ -19,14 +19,21 @@ Reported per mix:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
 from repro.cluster.topology import ClusterSpec
-from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.experiments.runner import (
+    ExperimentConfig,
+    collect_cache_stats,
+    make_backend,
+    merge_cache_stats,
+    remeasure,
+)
 from repro.harmony.history import TuningHistory
 from repro.harmony.parameter import Configuration
 from repro.model.base import PerformanceBackend, Scenario
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import derive_seed
@@ -50,6 +57,39 @@ class Fig4Result:
     fraction_above: Mapping[str, float]
     #: Mean relative improvement over the second window, per mix.
     window_improvement: Mapping[str, float]
+    #: Measurement/solution cache counters summed over all runs (None when
+    #: caching was disabled).  Diagnostic only — excluded from
+    #: :meth:`canonical_dict`, since counters depend on the jobs setting
+    #: while the numbers above never do.
+    cache_stats: Optional[Mapping[str, float]] = field(default=None, compare=False)
+
+    def canonical_dict(self) -> dict:
+        """The result's numbers in a JSON-stable form.
+
+        Serializing this dict byte-compares runs across ``--jobs``
+        settings; cache counters are deliberately excluded (a worker pool
+        splits the caches, so the counters — unlike the results — depend
+        on the execution layout).
+        """
+        return {
+            "baselines": {m: self.baselines[m] for m in MIX_ORDER},
+            "best_configs": {
+                m: dict(sorted(self.best_configs[m].items())) for m in MIX_ORDER
+            },
+            "cross": {
+                f"{cfg}->{applied}": self.cross[(cfg, applied)]
+                for cfg in MIX_ORDER
+                for applied in MIX_ORDER
+            },
+            "fraction_above": {m: self.fraction_above[m] for m in MIX_ORDER},
+            "window_improvement": {
+                m: self.window_improvement[m] for m in MIX_ORDER
+            },
+            "history_wips": {
+                m: [r.performance for r in self.histories[m].records]
+                for m in MIX_ORDER
+            },
+        }
 
     def improvement(self, mix: str) -> float:
         """Best-config improvement over the default configuration."""
@@ -90,64 +130,136 @@ class Fig4Result:
         return table
 
 
+def _tune_mix(
+    mix_name: str,
+    cfg: ExperimentConfig,
+    backend: PerformanceBackend | None,
+) -> dict:
+    """Stage-1 worker: tune one workload mix end to end.
+
+    Self-contained and picklable; builds its own backend when none is
+    shared (worker processes cannot share one).  All randomness comes from
+    the seed derived here, so the result is identical wherever it runs.
+    """
+    backend = backend or make_backend(cfg)
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.population,
+    )
+    seed = derive_seed(cfg.seed, "fig4", mix_name)
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "default"),
+        seed=seed,
+    )
+    baseline = session.measure_baseline(
+        iterations=cfg.baseline_iterations
+    ).window_stats(0)
+    session.run(cfg.iterations)
+    history = session.history
+    start = cfg.window_start()
+    window = history.window_stats(start)
+    return {
+        "baseline": baseline.mean,
+        "best_config": history.best_configuration(),
+        "history": history,
+        "fraction_above": history.fraction_above(baseline.mean, start),
+        "window_improvement": window.mean / baseline.mean - 1.0,
+        "cache_stats": collect_cache_stats(backend),
+    }
+
+
+def _cross_cell(
+    config_mix: str,
+    applied_mix: str,
+    best_config: Configuration,
+    cfg: ExperimentConfig,
+    backend: PerformanceBackend | None,
+) -> dict:
+    """Stage-2 worker: re-measure one best config under one applied mix."""
+    backend = backend or make_backend(cfg)
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[applied_mix],
+        population=cfg.population,
+    )
+    stats = remeasure(
+        backend,
+        scenario,
+        best_config,
+        seed=derive_seed(cfg.seed, "fig4-cross", config_mix, applied_mix),
+        iterations=cfg.baseline_iterations,
+    )
+    return {"wips": stats.mean, "cache_stats": collect_cache_stats(backend)}
+
+
 def run(
     config: ExperimentConfig | None = None,
     backend: PerformanceBackend | None = None,
 ) -> Fig4Result:
-    """Run the §III.A / Figure 4 experiment."""
+    """Run the §III.A / Figure 4 experiment.
+
+    The three per-mix tuning runs are independent, as are the nine cross
+    cells once the best configurations exist; they form two stages of a
+    run plan fanned over ``cfg.jobs`` workers.  Per-run seeds are derived
+    from the root seed exactly as the serial loop derived them, so the
+    result is bit-identical at every jobs setting.
+    """
     cfg = config or ExperimentConfig()
-    backend = backend or make_backend()
-    cluster = ClusterSpec.three_tier(1, 1, 1)
+    executor = ParallelExecutor(cfg.jobs)
+    # A backend instance is shared across runs only in-process: workers in
+    # a pool each build their own (caches then live per worker).
+    shared = backend if backend is not None else (
+        make_backend(cfg) if executor.jobs == 1 else None
+    )
 
-    baselines: dict[str, float] = {}
-    best_configs: dict[str, Configuration] = {}
-    histories: dict[str, TuningHistory] = {}
-    fraction_above: dict[str, float] = {}
-    window_improvement: dict[str, float] = {}
-
-    for mix_name in MIX_ORDER:
-        scenario = Scenario(
-            cluster=cluster,
-            mix=STANDARD_MIXES[mix_name],
-            population=cfg.population,
-        )
-        seed = derive_seed(cfg.seed, "fig4", mix_name)
-        session = ClusterTuningSession(
-            backend,
-            scenario,
-            scheme=make_scheme(scenario, "default"),
-            seed=seed,
-        )
-        baseline = session.measure_baseline(
-            iterations=cfg.baseline_iterations
-        ).window_stats(0)
-        session.run(cfg.iterations)
-        history = session.history
-
-        baselines[mix_name] = baseline.mean
-        best_configs[mix_name] = history.best_configuration()
-        histories[mix_name] = history
-        start = cfg.window_start()
-        fraction_above[mix_name] = history.fraction_above(baseline.mean, start)
-        window = history.window_stats(start)
-        window_improvement[mix_name] = window.mean / baseline.mean - 1.0
-
-    cross: dict[tuple[str, str], float] = {}
-    for config_mix in MIX_ORDER:
-        for applied_mix in MIX_ORDER:
-            scenario = Scenario(
-                cluster=cluster,
-                mix=STANDARD_MIXES[applied_mix],
-                population=cfg.population,
+    tuned = executor.run(
+        [
+            RunSpec(
+                key=mix_name,
+                fn=_tune_mix,
+                kwargs={"mix_name": mix_name, "cfg": cfg, "backend": shared},
             )
-            stats = remeasure(
-                backend,
-                scenario,
-                best_configs[config_mix],
-                seed=derive_seed(cfg.seed, "fig4-cross", config_mix, applied_mix),
-                iterations=cfg.baseline_iterations,
+            for mix_name in MIX_ORDER
+        ]
+    )
+    baselines = {m: tuned[m]["baseline"] for m in MIX_ORDER}
+    best_configs = {m: tuned[m]["best_config"] for m in MIX_ORDER}
+    histories = {m: tuned[m]["history"] for m in MIX_ORDER}
+    fraction_above = {m: tuned[m]["fraction_above"] for m in MIX_ORDER}
+    window_improvement = {m: tuned[m]["window_improvement"] for m in MIX_ORDER}
+
+    cells = executor.run(
+        [
+            RunSpec(
+                key=(config_mix, applied_mix),
+                fn=_cross_cell,
+                kwargs={
+                    "config_mix": config_mix,
+                    "applied_mix": applied_mix,
+                    "best_config": best_configs[config_mix],
+                    "cfg": cfg,
+                    "backend": shared,
+                },
             )
-            cross[(config_mix, applied_mix)] = stats.mean
+            for config_mix in MIX_ORDER
+            for applied_mix in MIX_ORDER
+        ]
+    )
+    cross = {key: cell["wips"] for key, cell in cells.items()}
+
+    if shared is not None:
+        # One backend saw every run; read its counters once.
+        cache_stats = collect_cache_stats(shared)
+    else:
+        cache_stats = merge_cache_stats(
+            [tuned[m]["cache_stats"] for m in MIX_ORDER]
+            + [cell["cache_stats"] for cell in cells.values()]
+        )
 
     return Fig4Result(
         baselines=baselines,
@@ -156,4 +268,5 @@ def run(
         histories=histories,
         fraction_above=fraction_above,
         window_improvement=window_improvement,
+        cache_stats=cache_stats,
     )

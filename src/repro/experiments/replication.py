@@ -15,6 +15,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.experiments import fig4
 from repro.experiments.runner import ExperimentConfig
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.util.stats import RunningStats
 from repro.util.tables import Table
 
@@ -43,17 +44,53 @@ class Replication:
         return all(v > 0 for v in self.values)
 
 
+def _call_metric(
+    metric: Callable[[ExperimentConfig], float],
+    config: ExperimentConfig,
+) -> float:
+    """Worker: evaluate one metric under one seeded config."""
+    return metric(config)
+
+
 def replicate(
     name: str,
     metric: Callable[[ExperimentConfig], float],
     config: ExperimentConfig,
     seeds: Sequence[int],
 ) -> Replication:
-    """Run ``metric`` under each seed (config otherwise unchanged)."""
+    """Run ``metric`` under each seed (config otherwise unchanged).
+
+    Seeds are independent runs, so they fan over ``config.jobs`` workers;
+    each inner run then executes serially (``jobs=1``) to keep the pool
+    flat.  With ``config.jobs > 1`` the metric must be picklable (a
+    module-level function, not a lambda).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = [metric(replace(config, seed=seed)) for seed in seeds]
-    return Replication(name=name, values=tuple(values))
+    executor = ParallelExecutor(config.jobs)
+    inner_jobs = 1 if executor.jobs > 1 else config.jobs
+    results = executor.run(
+        [
+            RunSpec(
+                key=("seed", seed),
+                fn=_call_metric,
+                kwargs={
+                    "metric": metric,
+                    "config": replace(config, seed=seed, jobs=inner_jobs),
+                },
+            )
+            for seed in seeds
+        ]
+    )
+    return Replication(
+        name=name, values=tuple(results[("seed", s)] for s in seeds)
+    )
+
+
+def _fig4_improvements(config: ExperimentConfig) -> dict[str, float]:
+    """Worker: one seed's Figure 4 run, reduced to its improvements."""
+    result = fig4.run(config)
+    return {mix: result.improvement(mix) for mix in fig4.MIX_ORDER}
 
 
 def replicate_fig4_improvements(
@@ -63,16 +100,27 @@ def replicate_fig4_improvements(
     """Per-workload Figure 4 improvements across seeds.
 
     Returns one :class:`Replication` per mix.  (Each seed re-runs the full
-    three-mix tuning pipeline, so cost = ``len(seeds)`` × one Figure 4 run.)
+    three-mix tuning pipeline, so cost = ``len(seeds)`` × one Figure 4
+    run; the seeds fan over ``config.jobs`` workers.)
     """
-    collected: dict[str, list[float]] = {m: [] for m in fig4.MIX_ORDER}
-    for seed in seeds:
-        result = fig4.run(replace(config, seed=seed))
-        for mix in fig4.MIX_ORDER:
-            collected[mix].append(result.improvement(mix))
+    executor = ParallelExecutor(config.jobs)
+    inner_jobs = 1 if executor.jobs > 1 else config.jobs
+    results = executor.run(
+        [
+            RunSpec(
+                key=("seed", seed),
+                fn=_fig4_improvements,
+                kwargs={"config": replace(config, seed=seed, jobs=inner_jobs)},
+            )
+            for seed in seeds
+        ]
+    )
     return {
-        mix: Replication(name=f"fig4-improvement-{mix}", values=tuple(vals))
-        for mix, vals in collected.items()
+        mix: Replication(
+            name=f"fig4-improvement-{mix}",
+            values=tuple(results[("seed", s)][mix] for s in seeds),
+        )
+        for mix in fig4.MIX_ORDER
     }
 
 

@@ -23,6 +23,7 @@ from repro.experiments.runner import ExperimentConfig, remeasure
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import Scenario
 from repro.model.noise import NoiseModel
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import derive_seed
@@ -91,30 +92,48 @@ class NoiseSweepResult:
         return table
 
 
+def _noise_point(
+    sigma: float, cfg: ExperimentConfig, mix_name: str
+) -> tuple[float, float, float, float]:
+    """Worker: one noise level's full tuning run."""
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(
+        cluster=cluster, mix=STANDARD_MIXES[mix_name], population=cfg.population
+    )
+    backend = AnalyticBackend(
+        noise=NoiseModel(base_sigma=sigma, extreme_sigma=0.015,
+                         pressure_sigma=0.08)
+    )
+    base, tuned = _tuned_gain(
+        backend, scenario, cfg.iterations, cfg.baseline_iterations,
+        derive_seed(cfg.seed, "noise-sweep", mix_name, sigma),
+    )
+    return (sigma, base, tuned, tuned / base - 1.0)
+
+
 def run_noise_sweep(
     config: ExperimentConfig | None = None,
     mix_name: str = "browsing",
     sigmas: Sequence[float] = (0.005, 0.012, 0.03, 0.08),
 ) -> NoiseSweepResult:
     """Tune under increasing measurement noise; gains should degrade
-    gracefully, not collapse."""
+    gracefully, not collapse.  Noise levels are independent runs and fan
+    over ``cfg.jobs`` workers."""
     cfg = config or ExperimentConfig()
-    cluster = ClusterSpec.three_tier(1, 1, 1)
-    scenario = Scenario(
-        cluster=cluster, mix=STANDARD_MIXES[mix_name], population=cfg.population
+    results = ParallelExecutor(cfg.jobs).run(
+        [
+            RunSpec(
+                key=("sigma", sigma),
+                fn=_noise_point,
+                kwargs={"sigma": sigma, "cfg": cfg, "mix_name": mix_name},
+            )
+            for sigma in sigmas
+        ]
     )
-    rows = []
-    for sigma in sigmas:
-        backend = AnalyticBackend(
-            noise=NoiseModel(base_sigma=sigma, extreme_sigma=0.015,
-                             pressure_sigma=0.08)
-        )
-        base, tuned = _tuned_gain(
-            backend, scenario, cfg.iterations, cfg.baseline_iterations,
-            derive_seed(cfg.seed, "noise-sweep", mix_name, sigma),
-        )
-        rows.append((sigma, base, tuned, tuned / base - 1.0))
-    return NoiseSweepResult(mix_name=mix_name, rows=tuple(rows))
+    return NoiseSweepResult(
+        mix_name=mix_name,
+        rows=tuple(results[("sigma", s)] for s in sigmas),
+    )
 
 
 @dataclass(frozen=True)
@@ -142,6 +161,22 @@ class LoadSweepResult:
         return [g for _, _, _, g in self.rows]
 
 
+def _load_point(
+    population: int, cfg: ExperimentConfig, mix_name: str
+) -> tuple[int, float, float, float]:
+    """Worker: one load level's full tuning run."""
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    backend = AnalyticBackend()
+    scenario = Scenario(
+        cluster=cluster, mix=STANDARD_MIXES[mix_name], population=population
+    )
+    base, tuned = _tuned_gain(
+        backend, scenario, cfg.iterations, cfg.baseline_iterations,
+        derive_seed(cfg.seed, "load-sweep", mix_name, population),
+    )
+    return (population, base, tuned, tuned / base - 1.0)
+
+
 def run_load_sweep(
     config: ExperimentConfig | None = None,
     mix_name: str = "browsing",
@@ -151,19 +186,21 @@ def run_load_sweep(
 
     An unsaturated system is think-time-bound — every configuration
     delivers N/Z, so tuning cannot help; the experiment quantifies where
-    that stops being true.
+    that stops being true.  Load levels are independent runs and fan over
+    ``cfg.jobs`` workers.
     """
     cfg = config or ExperimentConfig()
-    cluster = ClusterSpec.three_tier(1, 1, 1)
-    backend = AnalyticBackend()
-    rows = []
-    for population in populations:
-        scenario = Scenario(
-            cluster=cluster, mix=STANDARD_MIXES[mix_name], population=population
-        )
-        base, tuned = _tuned_gain(
-            backend, scenario, cfg.iterations, cfg.baseline_iterations,
-            derive_seed(cfg.seed, "load-sweep", mix_name, population),
-        )
-        rows.append((population, base, tuned, tuned / base - 1.0))
-    return LoadSweepResult(mix_name=mix_name, rows=tuple(rows))
+    results = ParallelExecutor(cfg.jobs).run(
+        [
+            RunSpec(
+                key=("population", p),
+                fn=_load_point,
+                kwargs={"population": p, "cfg": cfg, "mix_name": mix_name},
+            )
+            for p in populations
+        ]
+    )
+    return LoadSweepResult(
+        mix_name=mix_name,
+        rows=tuple(results[("population", p)] for p in populations),
+    )

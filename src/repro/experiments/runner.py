@@ -3,14 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.harmony.parameter import Configuration
 from repro.model.analytic import AnalyticBackend
-from repro.model.base import PerformanceBackend, Scenario
+from repro.model.base import MemoizedBackend, PerformanceBackend, Scenario
 from repro.util.rng import derive_seed
 from repro.util.stats import RunningStats
 
-__all__ = ["ExperimentConfig", "remeasure", "make_backend"]
+__all__ = [
+    "ExperimentConfig",
+    "remeasure",
+    "make_backend",
+    "collect_cache_stats",
+    "merge_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +42,11 @@ class ExperimentConfig:
     baseline_iterations: int = 20
     #: Window (start fraction) used for "second 100 iterations" statistics.
     stats_window: float = 0.5
+    #: Worker processes for independent runs (1 = the legacy serial path).
+    #: Results are bit-identical at every setting; only wall-clock changes.
+    jobs: int = 1
+    #: Memoize measurements (the ``--no-cache`` switch turns this off).
+    memoize: bool = True
 
     def window_start(self) -> int:
         """First iteration of the evaluation window."""
@@ -45,9 +57,64 @@ class ExperimentConfig:
         return replace(self, iterations=iterations)
 
 
-def make_backend() -> AnalyticBackend:
-    """The default backend used by the experiment drivers."""
-    return AnalyticBackend()
+def make_backend(config: Optional[ExperimentConfig] = None) -> PerformanceBackend:
+    """The default backend used by the experiment drivers.
+
+    With memoization on (the default) the analytic backend is wrapped in a
+    :class:`~repro.model.base.MemoizedBackend`, so repeated evaluations of
+    one (scenario, configuration, seed) point are served from the cache.
+    Cached results are bit-identical to fresh ones, so this changes only
+    wall-clock time, never numbers.
+    """
+    if config is not None and not config.memoize:
+        # The true uncached path: no measurement memo, no solution memo.
+        return AnalyticBackend(solution_cache_size=0)
+    return MemoizedBackend(AnalyticBackend())
+
+
+def collect_cache_stats(backend: PerformanceBackend) -> Optional[dict[str, float]]:
+    """The backend's cache counters, if it keeps any.
+
+    Combines the measurement-cache counters of a
+    :class:`~repro.model.base.MemoizedBackend` with the inner analytic
+    backend's seed-independent solution-cache counters.  Returns None for
+    backends with no caches (e.g. ``--no-cache`` runs).
+    """
+    stats: dict[str, float] = {}
+    inner = backend
+    if isinstance(backend, MemoizedBackend):
+        if backend.enabled:
+            for k, v in backend.stats.as_dict().items():
+                stats[f"measurement_{k}"] = v
+        inner = backend.backend
+    if isinstance(inner, AnalyticBackend):
+        solution = inner.solution_cache_stats
+        if solution.lookups or solution.size:
+            for k, v in solution.as_dict().items():
+                stats[f"solution_{k}"] = v
+    return stats or None
+
+
+def merge_cache_stats(
+    parts: list[Optional[dict[str, float]]],
+) -> Optional[dict[str, float]]:
+    """Sum counters collected from several backends (one per worker).
+
+    Rates are recomputed from the summed hit/miss counts.
+    """
+    merged: dict[str, float] = {}
+    for part in parts:
+        for key, value in (part or {}).items():
+            merged[key] = merged.get(key, 0.0) + value
+    if not merged:
+        return None
+    for prefix in ("measurement", "solution"):
+        hits = merged.get(f"{prefix}_hits")
+        misses = merged.get(f"{prefix}_misses")
+        if hits is not None or misses is not None:
+            total = (hits or 0.0) + (misses or 0.0)
+            merged[f"{prefix}_hit_rate"] = (hits or 0.0) / total if total else 0.0
+    return merged
 
 
 def remeasure(
@@ -63,11 +130,21 @@ def remeasure(
     *configuration* (it is the luckiest draw among hundreds); re-measuring
     the chosen configuration on fresh seeds gives the honest number that
     experiment reports compare against baselines.
+
+    All draws are submitted as one measurement batch: backends that
+    amortize work across points (the analytic backend solves the
+    configuration once and re-draws only the noise) exploit that, and the
+    statistics fold in request order, so the result equals the plain
+    per-point loop bit for bit.
     """
+    measurements = backend.measure_batch(
+        scenario,
+        [
+            (configuration, derive_seed(seed, "remeasure", i))
+            for i in range(iterations)
+        ],
+    )
     stats = RunningStats()
-    for i in range(iterations):
-        m = backend.measure(
-            scenario, configuration, seed=derive_seed(seed, "remeasure", i)
-        )
+    for m in measurements:
         stats.add(m.wips)
     return stats

@@ -13,13 +13,19 @@ and checks the orderings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
 from repro.analysis.sensitivity import SensitivityReport, sensitivity_report
 from repro.cluster.topology import ClusterSpec
-from repro.experiments.runner import ExperimentConfig, make_backend
+from repro.experiments.runner import (
+    ExperimentConfig,
+    collect_cache_stats,
+    make_backend,
+    merge_cache_stats,
+)
 from repro.model.base import PerformanceBackend, Scenario
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
@@ -46,6 +52,10 @@ class SensitivityResult:
     """Per-mix sensitivity reports over the key parameters."""
 
     reports: Mapping[str, SensitivityReport]
+    #: Measurement/solution cache counters summed over all sweeps (None
+    #: when caching was disabled).  Diagnostic only: counters depend on
+    #: the jobs setting, the reports never do.
+    cache_stats: Optional[Mapping[str, float]] = field(default=None, compare=False)
 
     def effect(self, mix: str, name: str) -> float:
         """One parameter's effect size under one mix."""
@@ -64,6 +74,48 @@ class SensitivityResult:
             )
         return table
 
+    def cache_summary(self) -> str:
+        """One-line cache-counter report for experiment logs."""
+        if not self.cache_stats:
+            return "caches: disabled"
+        s = self.cache_stats
+        return (
+            "caches: measurement "
+            f"{int(s.get('measurement_hits', 0))} hits / "
+            f"{int(s.get('measurement_misses', 0))} misses "
+            f"({s.get('measurement_hit_rate', 0.0) * 100:.0f}% hit rate), "
+            "solution "
+            f"{int(s.get('solution_hits', 0))} hits / "
+            f"{int(s.get('solution_misses', 0))} misses "
+            f"({s.get('solution_hit_rate', 0.0) * 100:.0f}% hit rate)"
+        )
+
+
+def _sweep_mix(
+    mix_name: str,
+    cfg: ExperimentConfig,
+    points: int,
+    repeats: int,
+    backend: PerformanceBackend | None,
+) -> dict:
+    """Worker: the full key-parameter sweep under one mix."""
+    backend = backend or make_backend(cfg)
+    cluster = ClusterSpec.three_tier(1, 1, 1)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.population,
+    )
+    report = sensitivity_report(
+        backend,
+        scenario,
+        names=KEY_PARAMETERS,
+        points=points,
+        repeats=repeats,
+        seed=derive_seed(cfg.seed, "sensitivity", mix_name),
+    )
+    return {"report": report, "cache_stats": collect_cache_stats(backend)}
+
 
 def run(
     config: ExperimentConfig | None = None,
@@ -71,19 +123,41 @@ def run(
     points: int = 4,
     repeats: int = 3,
 ) -> SensitivityResult:
-    """Sweep the key parameters under every standard mix."""
+    """Sweep the key parameters under every standard mix.
+
+    The three per-mix sweeps are independent and fan over ``cfg.jobs``
+    workers; within each sweep the points go to the backend as one batch
+    (vectorized MVA + noise-repeat solution reuse).  Reports are
+    bit-identical at every jobs setting.
+    """
     cfg = config or ExperimentConfig()
-    backend = backend or make_backend()
-    cluster = ClusterSpec.three_tier(1, 1, 1)
-    reports = {}
-    for mix_name, mix in STANDARD_MIXES.items():
-        scenario = Scenario(cluster=cluster, mix=mix, population=cfg.population)
-        reports[mix_name] = sensitivity_report(
-            backend,
-            scenario,
-            names=KEY_PARAMETERS,
-            points=points,
-            repeats=repeats,
-            seed=derive_seed(cfg.seed, "sensitivity", mix_name),
+    executor = ParallelExecutor(cfg.jobs)
+    shared = backend if backend is not None else (
+        make_backend(cfg) if executor.jobs == 1 else None
+    )
+    results = executor.run(
+        [
+            RunSpec(
+                key=mix_name,
+                fn=_sweep_mix,
+                kwargs={
+                    "mix_name": mix_name,
+                    "cfg": cfg,
+                    "points": points,
+                    "repeats": repeats,
+                    "backend": shared,
+                },
+            )
+            for mix_name in STANDARD_MIXES
+        ]
+    )
+    if shared is not None:
+        cache_stats = collect_cache_stats(shared)
+    else:
+        cache_stats = merge_cache_stats(
+            [r["cache_stats"] for r in results.values()]
         )
-    return SensitivityResult(reports=reports)
+    return SensitivityResult(
+        reports={m: results[m]["report"] for m in STANDARD_MIXES},
+        cache_stats=cache_stats,
+    )

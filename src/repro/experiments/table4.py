@@ -24,6 +24,7 @@ from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
 from repro.harmony.history import TuningHistory
 from repro.model.base import PerformanceBackend, Scenario
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import derive_seed
@@ -94,6 +95,69 @@ class Table4Result:
         return table
 
 
+def _measure_baseline(
+    cfg: ExperimentConfig,
+    mix_name: str,
+    cluster: ClusterSpec,
+    backend: PerformanceBackend | None,
+) -> dict:
+    """Worker: the "None (no tuning)" row."""
+    backend = backend or make_backend(cfg)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.cluster_population,
+    )
+    probe = ClusterTuningSession(
+        backend, scenario, seed=derive_seed(cfg.seed, "table4-baseline")
+    )
+    stats = probe.measure_baseline(
+        iterations=max(cfg.baseline_iterations, 2)
+    ).window_stats(0)
+    return {"mean": stats.mean, "stddev": stats.stddev}
+
+
+def _run_method(
+    method: str,
+    cfg: ExperimentConfig,
+    mix_name: str,
+    cluster: ClusterSpec,
+    work_lines: int,
+    backend: PerformanceBackend | None,
+) -> dict:
+    """Worker: one tuning method's full run (improvement filled in later —
+    it needs the baseline row, which runs concurrently)."""
+    backend = backend or make_backend(cfg)
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.cluster_population,
+    )
+    scheme = make_scheme(scenario, method, work_lines=work_lines)
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=scheme,
+        seed=derive_seed(cfg.seed, "table4", method),
+    )
+    session.run(cfg.iterations)
+    history = session.history
+    best_stats = remeasure(
+        backend,
+        session.scenario,
+        history.best_configuration(),
+        seed=derive_seed(cfg.seed, "table4-best", method),
+        iterations=cfg.baseline_iterations,
+    )
+    return {
+        "wips": best_stats.mean,
+        "stddev": history.window_stats(cfg.window_start()).stddev,
+        "iterations_to_converge": history.iterations_to_converge(),
+        "tuned_dimensions": scheme.max_group_dimension,
+        "history": history,
+    }
+
+
 def run(
     config: ExperimentConfig | None = None,
     backend: PerformanceBackend | None = None,
@@ -101,57 +165,55 @@ def run(
     cluster: Optional[ClusterSpec] = None,
     work_lines: int = 2,
 ) -> Table4Result:
-    """Run the §III.B cluster-tuning comparison."""
+    """Run the §III.B cluster-tuning comparison.
+
+    The baseline probe and the three method runs are independent — one
+    four-spec plan fanned over ``cfg.jobs`` workers, results identical to
+    the serial loop at every jobs setting.
+    """
     cfg = config or ExperimentConfig()
-    backend = backend or make_backend()
     cluster = cluster or ClusterSpec.three_tier(2, 2, 2)
-    scenario = Scenario(
-        cluster=cluster,
-        mix=STANDARD_MIXES[mix_name],
-        population=cfg.cluster_population,
+    executor = ParallelExecutor(cfg.jobs)
+    shared = backend if backend is not None else (
+        make_backend(cfg) if executor.jobs == 1 else None
     )
 
-    probe = ClusterTuningSession(
-        backend, scenario, seed=derive_seed(cfg.seed, "table4-baseline")
+    common = {
+        "cfg": cfg,
+        "mix_name": mix_name,
+        "cluster": cluster,
+        "backend": shared,
+    }
+    results = executor.run(
+        [RunSpec(key="baseline", fn=_measure_baseline, kwargs=common)]
+        + [
+            RunSpec(
+                key=("method", method),
+                fn=_run_method,
+                kwargs={**common, "method": method, "work_lines": work_lines},
+            )
+            for method in METHODS
+        ]
     )
-    baseline = probe.measure_baseline(
-        iterations=max(cfg.baseline_iterations, 2)
-    ).window_stats(0)
 
+    baseline = results["baseline"]
     rows: dict[str, MethodRow] = {}
     histories: dict[str, TuningHistory] = {}
     for method in METHODS:
-        scheme = make_scheme(scenario, method, work_lines=work_lines)
-        session = ClusterTuningSession(
-            backend,
-            scenario,
-            scheme=scheme,
-            seed=derive_seed(cfg.seed, "table4", method),
-        )
-        session.run(cfg.iterations)
-        history = session.history
-        best = history.best_configuration()
-        best_stats = remeasure(
-            backend,
-            session.scenario,
-            best,
-            seed=derive_seed(cfg.seed, "table4-best", method),
-            iterations=cfg.baseline_iterations,
-        )
-        window = history.window_stats(cfg.window_start())
+        r = results[("method", method)]
         rows[method] = MethodRow(
             method=method,
-            wips=best_stats.mean,
-            stddev=window.stddev,
-            improvement=best_stats.mean / baseline.mean - 1.0,
-            iterations_to_converge=history.iterations_to_converge(),
-            tuned_dimensions=scheme.max_group_dimension,
+            wips=r["wips"],
+            stddev=r["stddev"],
+            improvement=r["wips"] / baseline["mean"] - 1.0,
+            iterations_to_converge=r["iterations_to_converge"],
+            tuned_dimensions=r["tuned_dimensions"],
         )
-        histories[method] = history
+        histories[method] = r["history"]
 
     return Table4Result(
-        baseline_wips=baseline.mean,
-        baseline_stddev=baseline.stddev,
+        baseline_wips=baseline["mean"],
+        baseline_stddev=baseline["stddev"],
         rows=rows,
         histories=histories,
     )

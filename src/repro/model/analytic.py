@@ -14,12 +14,24 @@ Solving one configuration proceeds as an outer fixed point:
 The result is deterministic; the configured :class:`NoiseModel` then turns
 the model throughput into one noisy "measured" WIPS per seed, exactly the
 signal the Harmony server consumes.
+
+Because step 2 dominates, the backend also exposes a batched path:
+:meth:`AnalyticBackend.solve_batch` runs the outer fixed point for many
+configurations in lockstep, submitting every active configuration's
+network to :func:`repro.model.mva.solve_mva_batch` as one vectorized
+solve per outer iteration.  Each configuration's trajectory is
+independent (converged ones are frozen), so batched solutions are
+bit-identical to scalar ones.  :meth:`AnalyticBackend.measure_batch`
+builds on it, deduplicating identical configurations (only the noise
+draw depends on the seed) and consulting a per-backend LRU solution
+cache keyed on ``(scenario fingerprint, configuration)``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 from repro.cluster.context import WorkloadContext
 from repro.tpcw.interactions import InteractionCategory
@@ -28,13 +40,14 @@ from repro.cluster.node import Role
 from repro.cluster.topology import ClusterSpec
 from repro.harmony.parameter import Configuration
 from repro.model.base import (
+    CacheStats,
     Measurement,
     PerformanceBackend,
     ResourceUtilization,
     Scenario,
 )
 from repro.model.demands import DemandSet, build_demands
-from repro.model.mva import Station, solve_mva
+from repro.model.mva import MvaNetwork, MvaResult, Station, solve_mva, solve_mva_batch
 from repro.model.noise import NoiseModel
 from repro.util.rng import spawn_rng
 
@@ -68,6 +81,37 @@ class AnalyticSolution:
         return self.throughput
 
 
+class _OuterState:
+    """Mutable per-configuration state of the outer fixed point."""
+
+    __slots__ = (
+        "configuration",
+        "conc",
+        "holding",
+        "x_prev",
+        "err",
+        "pool_diag",
+        "demand_set",
+        "mva",
+        "pool_names",
+        "done",
+    )
+
+    def __init__(
+        self, cluster: ClusterSpec, configuration: Mapping[str, int]
+    ) -> None:
+        self.configuration = configuration
+        self.conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
+        self.holding: dict[str, float] = {}
+        self.x_prev = 0.0
+        self.err = 0.0
+        self.pool_diag: dict[str, float] = {}
+        self.demand_set: DemandSet | None = None
+        self.mva: MvaResult | None = None
+        self.pool_names: dict[str, object] = {}
+        self.done = False
+
+
 class AnalyticBackend(PerformanceBackend):
     """MVA-based testbed substitute (fast path for tuning sweeps)."""
 
@@ -78,15 +122,25 @@ class AnalyticBackend(PerformanceBackend):
         max_outer: int = 40,
         damping: float = 0.5,
         tol: float = 2e-4,
+        solution_cache_size: int = 4096,
     ) -> None:
         if not 0.0 < damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
+        if solution_cache_size < 0:
+            raise ValueError("solution_cache_size must be >= 0 (0 disables)")
         self.noise = noise if noise is not None else NoiseModel()
         self.memory = memory or MemoryModel()
         self.max_outer = max_outer
         self.damping = damping
         self.tol = tol
+        self.solution_cache_size = solution_cache_size
         self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
+        # Deterministic-solution memo: (scenario fp, config) → solution.
+        # The solve is seed-independent (only the noise draw varies), so
+        # re-measuring a configuration on fresh seeds costs one solve.
+        self._solution_cache: OrderedDict[tuple, AnalyticSolution] = OrderedDict()
+        self._solution_hits = 0
+        self._solution_misses = 0
 
     # ------------------------------------------------------------------
     def _context(self, scenario: Scenario) -> WorkloadContext:
@@ -122,146 +176,202 @@ class AnalyticBackend(PerformanceBackend):
         which is small against the 7 s think time away from saturation and
         is the standard price of this flow-equivalent approximation.)
         """
-        conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
-        holding: dict[str, float] = {}
-        x_prev = 0.0
-        demand_set: DemandSet | None = None
-        mva = None
-        err = 0.0
-        pool_diag: dict[str, float] = {}
-
+        state = _OuterState(cluster, configuration)
         for _ in range(self.max_outer):
-            demand_set = build_demands(
-                cluster, configuration, ctx, conc, self.memory
-            )
-            stations = []
-            for nd in demand_set.nodes:
-                stations.append(Station(f"{nd.node_id}:cpu", nd.cpu, nd.cpu_servers))
-                stations.append(Station(f"{nd.node_id}:disk", nd.disk))
-                stations.append(Station(f"{nd.node_id}:nic", nd.nic))
-            pool_names = {}
-            for pool in demand_set.pools:
-                name = f"{pool.node_id}:{pool.kind}"
-                pool_names[name] = pool
-                stations.append(
-                    Station(
-                        name,
-                        pool.visits * holding.get(name, 0.02),
-                        pool.servers,
-                    )
-                )
-            mva = solve_mva(
+            stations = self._assemble_stations(state, cluster, ctx)
+            state.mva = solve_mva(
                 stations, population, think_time, extra_delay=NETWORK_RTT
             )
-            x = mva.throughput
-
-            # --- refresh pool holding times from downstream residence ------
-            fwd_dyn = demand_set.forward_dynamic
-            fwd_total = demand_set.forward_total
-            db_resid = 0.0
-            db_resid_bound = 0.0
-            for nd in demand_set.nodes:
-                if nd.role is not Role.DB:
-                    continue
-                db_resid += (
-                    mva.residence[f"{nd.node_id}:cpu"]
-                    + mva.residence[f"{nd.node_id}:disk"]
-                    + mva.residence[f"{nd.node_id}:nic"]
-                )
-                conns = next(
-                    p.servers
-                    for p in demand_set.pools
-                    if p.node_id == nd.node_id and p.kind == "dbconn"
-                )
-                db_resid_bound += (nd.cpu + nd.disk + nd.nic) * max(
-                    1.0, conns / nd.cpu_servers
-                )
-            # Same processor-sharing bound as the app pools: at most
-            # ``max_connections`` requests can be inside a database node.
-            db_resid = min(db_resid, db_resid_bound)
-            db_per_page = db_resid / fwd_dyn if fwd_dyn > 1e-9 else 0.0
-            app_resid = {}
-            app_demand = {}
-            app_cores = {}
-            for nd in demand_set.nodes:
-                if nd.role is not Role.APP:
-                    continue
-                app_resid[nd.node_id] = (
-                    mva.residence[f"{nd.node_id}:cpu"]
-                    + mva.residence[f"{nd.node_id}:disk"]
-                    + mva.residence[f"{nd.node_id}:nic"]
-                )
-                app_demand[nd.node_id] = nd.cpu + nd.disk + nd.nic
-                app_cores[nd.node_id] = nd.cpu_servers
-
-            err = 0.0
-            pool_diag = {}
-            pool_queue: dict[str, float] = {}
-            d = self.damping
-            holding_drift = 0.0
-            for name, pool in pool_names.items():
-                # The MVA piles *all* excess population onto the bottleneck
-                # station, so the raw residence overstates how long one of a
-                # pool's P threads actually holds local resources: with at
-                # most P requests inside the node, per-request residence is
-                # bounded by processor sharing among P threads.  Cap the
-                # MVA-derived holding by that bound — this is what makes a
-                # CPU-saturated node throttle at its CPU capacity instead of
-                # oscillating between CPU-limited and pool-limited regimes.
-                if pool.kind in ("http", "ajp"):
-                    visits = max(pool.visits, 1e-9)
-                    per_req = app_resid[pool.node_id] / visits
-                    d_req = app_demand[pool.node_id] / visits
-                    ps_bound = d_req * max(
-                        1.0, pool.servers / app_cores[pool.node_id]
-                    )
-                    local = min(per_req, ps_bound)
-                    if pool.kind == "http":
-                        dyn_frac = fwd_dyn / max(fwd_total, 1e-9)
-                        target = local + dyn_frac * db_per_page
-                    else:
-                        target = local + db_per_page
-                else:  # dbconn: holding is the database residence per page
-                    target = db_per_page
-                previous = holding.get(name, 0.02)
-                holding[name] = (1 - d) * previous + d * target
-                holding_drift = max(
-                    holding_drift,
-                    abs(holding[name] - previous) / max(holding[name], 1e-6),
-                )
-                # Backlog overflow → rejected requests → failed interactions.
-                q = mva.queue[name]
-                waiting = max(0.0, q - pool.servers)
-                backlog = pool.capacity - pool.servers
-                over = max(0.0, waiting - backlog)
-                reject = over / q if q > 1e-9 else 0.0
-                err += pool.visits * reject
-                pool_diag[f"{pool.node_id}.{pool.kind}.util"] = mva.utilization[name]
-                pool_diag[f"{pool.node_id}.{pool.kind}.reject"] = reject
-                pool_queue.setdefault(pool.node_id, 0.0)
-                pool_queue[pool.node_id] = max(pool_queue[pool.node_id], q)
-            err = min(err, 0.95)
-
-            # --- refresh concurrency estimates ----------------------------
-            for nd in demand_set.nodes:
-                q = (
-                    mva.queue[f"{nd.node_id}:cpu"]
-                    + mva.queue[f"{nd.node_id}:disk"]
-                    + mva.queue[f"{nd.node_id}:nic"]
-                )
-                target = max(pool_queue.get(nd.node_id, 0.0), q, 1.0)
-                conc[nd.node_id] = (1 - d) * conc[nd.node_id] + d * target
-
-            if (
-                abs(x - x_prev) <= self.tol * max(x, 1e-9)
-                and holding_drift <= 100 * self.tol
-            ):
-                x_prev = x
+            if self._refresh_state(state):
                 break
-            x_prev = x
+        return self._finalize_state(state)
 
+    def solve_batch(
+        self,
+        cluster: ClusterSpec,
+        configurations: Sequence[Mapping[str, int]],
+        ctx: WorkloadContext,
+        population: int,
+        think_time: float,
+    ) -> list[AnalyticSolution]:
+        """Solve many configurations of one scenario in lockstep.
+
+        Each outer iteration submits every still-active configuration's
+        network as one :func:`solve_mva_batch` call; configurations whose
+        outer fixed point has converged are frozen.  The per-configuration
+        trajectories are exactly those of :meth:`solve` (the batched MVA is
+        bit-identical per row), so the returned solutions equal the scalar
+        ones bit for bit.
+        """
+        states = [_OuterState(cluster, cfg) for cfg in configurations]
+        for _ in range(self.max_outer):
+            active = [st for st in states if not st.done]
+            if not active:
+                break
+            networks = [
+                MvaNetwork(
+                    tuple(self._assemble_stations(st, cluster, ctx)),
+                    population,
+                    think_time,
+                    NETWORK_RTT,
+                )
+                for st in active
+            ]
+            for st, mva in zip(active, solve_mva_batch(networks)):
+                st.mva = mva
+                if self._refresh_state(st):
+                    st.done = True
+        return [self._finalize_state(st) for st in states]
+
+    # ------------------------------------------------------------------
+    def _assemble_stations(
+        self, state: _OuterState, cluster: ClusterSpec, ctx: WorkloadContext
+    ) -> list[Station]:
+        """One outer iteration's network from the state's current iterate."""
+        state.demand_set = build_demands(
+            cluster, state.configuration, ctx, state.conc, self.memory
+        )
+        stations = []
+        for nd in state.demand_set.nodes:
+            stations.append(Station(f"{nd.node_id}:cpu", nd.cpu, nd.cpu_servers))
+            stations.append(Station(f"{nd.node_id}:disk", nd.disk))
+            stations.append(Station(f"{nd.node_id}:nic", nd.nic))
+        state.pool_names = {}
+        for pool in state.demand_set.pools:
+            name = f"{pool.node_id}:{pool.kind}"
+            state.pool_names[name] = pool
+            stations.append(
+                Station(
+                    name,
+                    pool.visits * state.holding.get(name, 0.02),
+                    pool.servers,
+                )
+            )
+        return stations
+
+    def _refresh_state(self, state: _OuterState) -> bool:
+        """Fold one MVA solution back into the outer iterate.
+
+        Returns True when the outer fixed point has converged.
+        """
+        demand_set = state.demand_set
+        mva = state.mva
         assert demand_set is not None and mva is not None
-        x = x_prev
+        holding = state.holding
+        conc = state.conc
+        x = mva.throughput
+
+        # --- refresh pool holding times from downstream residence ------
+        fwd_dyn = demand_set.forward_dynamic
+        fwd_total = demand_set.forward_total
+        db_resid = 0.0
+        db_resid_bound = 0.0
+        for nd in demand_set.nodes:
+            if nd.role is not Role.DB:
+                continue
+            db_resid += (
+                mva.residence[f"{nd.node_id}:cpu"]
+                + mva.residence[f"{nd.node_id}:disk"]
+                + mva.residence[f"{nd.node_id}:nic"]
+            )
+            conns = next(
+                p.servers
+                for p in demand_set.pools
+                if p.node_id == nd.node_id and p.kind == "dbconn"
+            )
+            db_resid_bound += (nd.cpu + nd.disk + nd.nic) * max(
+                1.0, conns / nd.cpu_servers
+            )
+        # Same processor-sharing bound as the app pools: at most
+        # ``max_connections`` requests can be inside a database node.
+        db_resid = min(db_resid, db_resid_bound)
+        db_per_page = db_resid / fwd_dyn if fwd_dyn > 1e-9 else 0.0
+        app_resid = {}
+        app_demand = {}
+        app_cores = {}
+        for nd in demand_set.nodes:
+            if nd.role is not Role.APP:
+                continue
+            app_resid[nd.node_id] = (
+                mva.residence[f"{nd.node_id}:cpu"]
+                + mva.residence[f"{nd.node_id}:disk"]
+                + mva.residence[f"{nd.node_id}:nic"]
+            )
+            app_demand[nd.node_id] = nd.cpu + nd.disk + nd.nic
+            app_cores[nd.node_id] = nd.cpu_servers
+
+        err = 0.0
+        pool_diag: dict[str, float] = {}
+        pool_queue: dict[str, float] = {}
+        d = self.damping
+        holding_drift = 0.0
+        for name, pool in state.pool_names.items():
+            # The MVA piles *all* excess population onto the bottleneck
+            # station, so the raw residence overstates how long one of a
+            # pool's P threads actually holds local resources: with at
+            # most P requests inside the node, per-request residence is
+            # bounded by processor sharing among P threads.  Cap the
+            # MVA-derived holding by that bound — this is what makes a
+            # CPU-saturated node throttle at its CPU capacity instead of
+            # oscillating between CPU-limited and pool-limited regimes.
+            if pool.kind in ("http", "ajp"):
+                visits = max(pool.visits, 1e-9)
+                per_req = app_resid[pool.node_id] / visits
+                d_req = app_demand[pool.node_id] / visits
+                ps_bound = d_req * max(
+                    1.0, pool.servers / app_cores[pool.node_id]
+                )
+                local = min(per_req, ps_bound)
+                if pool.kind == "http":
+                    dyn_frac = fwd_dyn / max(fwd_total, 1e-9)
+                    target = local + dyn_frac * db_per_page
+                else:
+                    target = local + db_per_page
+            else:  # dbconn: holding is the database residence per page
+                target = db_per_page
+            previous = holding.get(name, 0.02)
+            holding[name] = (1 - d) * previous + d * target
+            holding_drift = max(
+                holding_drift,
+                abs(holding[name] - previous) / max(holding[name], 1e-6),
+            )
+            # Backlog overflow → rejected requests → failed interactions.
+            q = mva.queue[name]
+            waiting = max(0.0, q - pool.servers)
+            backlog = pool.capacity - pool.servers
+            over = max(0.0, waiting - backlog)
+            reject = over / q if q > 1e-9 else 0.0
+            err += pool.visits * reject
+            pool_diag[f"{pool.node_id}.{pool.kind}.util"] = mva.utilization[name]
+            pool_diag[f"{pool.node_id}.{pool.kind}.reject"] = reject
+            pool_queue.setdefault(pool.node_id, 0.0)
+            pool_queue[pool.node_id] = max(pool_queue[pool.node_id], q)
+        state.err = min(err, 0.95)
+        state.pool_diag = pool_diag
+
+        # --- refresh concurrency estimates ----------------------------
+        for nd in demand_set.nodes:
+            q = (
+                mva.queue[f"{nd.node_id}:cpu"]
+                + mva.queue[f"{nd.node_id}:disk"]
+                + mva.queue[f"{nd.node_id}:nic"]
+            )
+            target = max(pool_queue.get(nd.node_id, 0.0), q, 1.0)
+            conc[nd.node_id] = (1 - d) * conc[nd.node_id] + d * target
+
+        converged = (
+            abs(x - state.x_prev) <= self.tol * max(x, 1e-9)
+            and holding_drift <= 100 * self.tol
+        )
+        state.x_prev = x
+        return converged
+
+    def _finalize_state(self, state: _OuterState) -> AnalyticSolution:
+        """Turn the converged (or exhausted) iterate into a solution."""
+        demand_set = state.demand_set
+        mva = state.mva
+        assert demand_set is not None and mva is not None
+        x = state.x_prev
 
         utilization: dict[str, ResourceUtilization] = {}
         max_penalty = 1.0
@@ -278,19 +388,70 @@ class AnalyticBackend(PerformanceBackend):
         # Per-node load facts for the §IV reconfiguration algorithm:
         # ``N_i`` (jobs resident on node i) and ``A_i`` (average process time).
         for nd in demand_set.nodes:
-            diagnostics[f"{nd.node_id}.jobs"] = conc[nd.node_id]
+            diagnostics[f"{nd.node_id}.jobs"] = state.conc[nd.node_id]
             diagnostics[f"{nd.node_id}.service_time"] = nd.cpu + nd.disk + nd.nic
             diagnostics[f"{nd.node_id}.memory_penalty"] = nd.memory_penalty
-        diagnostics.update(pool_diag)
+        diagnostics.update(state.pool_diag)
         diagnostics["forward_dynamic"] = demand_set.forward_dynamic
         diagnostics["forward_static"] = demand_set.forward_static
         return AnalyticSolution(
             throughput=x,
-            error_rate=err,
+            error_rate=state.err,
             response_time=mva.response_time,
             utilization=utilization,
             max_memory_penalty=max_penalty,
             diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    # Solution memoization (deterministic part only; noise is per seed)
+
+    def _solution_key(
+        self, scenario: Scenario, configuration: Mapping[str, int]
+    ) -> tuple:
+        return (scenario.fingerprint(), tuple(sorted(configuration.items())))
+
+    def _solution_get(self, key: tuple) -> Optional[AnalyticSolution]:
+        if self.solution_cache_size == 0:
+            return None
+        sol = self._solution_cache.get(key)
+        if sol is None:
+            self._solution_misses += 1
+            return None
+        self._solution_hits += 1
+        self._solution_cache.move_to_end(key)
+        return sol
+
+    def _solution_put(self, key: tuple, solution: AnalyticSolution) -> None:
+        if self.solution_cache_size == 0:
+            return
+        self._solution_cache[key] = solution
+        while len(self._solution_cache) > self.solution_cache_size:
+            self._solution_cache.popitem(last=False)
+
+    def _solve_cached(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        ctx: WorkloadContext,
+        think: float,
+    ) -> AnalyticSolution:
+        key = self._solution_key(scenario, configuration)
+        sol = self._solution_get(key)
+        if sol is None:
+            sol = self.solve(
+                scenario.cluster, configuration, ctx, scenario.population, think
+            )
+            self._solution_put(key, sol)
+        return sol
+
+    @property
+    def solution_cache_stats(self) -> CacheStats:
+        """Hit/miss/size counters of the deterministic-solution memo."""
+        return CacheStats(
+            hits=self._solution_hits,
+            misses=self._solution_misses,
+            size=len(self._solution_cache),
         )
 
     # ------------------------------------------------------------------
@@ -367,9 +528,7 @@ class AnalyticBackend(PerformanceBackend):
                 per_line_wips=per_line,
             )
 
-        sol = self.solve(
-            scenario.cluster, configuration, ctx, scenario.population, think
-        )
+        sol = self._solve_cached(scenario, configuration, ctx, think)
         wips = self.noise.apply(
             sol.effective_wips, extremeness, sol.max_memory_penalty, rng
         )
@@ -389,3 +548,78 @@ class AnalyticBackend(PerformanceBackend):
             utilization=sol.utilization,
             diagnostics=diagnostics,
         )
+
+    def measure_batch(
+        self,
+        scenario: Scenario,
+        requests: Sequence[tuple[Configuration, int]],
+    ) -> list[Measurement]:
+        """Measure many ``(configuration, seed)`` points in one MVA batch.
+
+        The deterministic solve depends only on the configuration, so the
+        distinct configurations are deduplicated, looked up in the solution
+        memo, and the misses submitted to :meth:`solve_batch` as a single
+        lockstep batch; each request then draws its own noise exactly as
+        :meth:`measure` would.  Results are bit-identical to the serial
+        loop.  Partitioned (work-line) scenarios fall back to the serial
+        path.
+        """
+        if scenario.work_lines:
+            return [
+                self.measure(scenario, cfg, seed=seed) for cfg, seed in requests
+            ]
+        ctx = self._context(scenario)
+        think = scenario.behavior.effective_mean_think_time
+
+        order: dict[Configuration, int] = {}
+        for cfg, _ in requests:
+            if cfg not in order:
+                order[cfg] = len(order)
+        distinct = list(order)
+        solutions: list[Optional[AnalyticSolution]] = [None] * len(distinct)
+        to_solve: list[int] = []
+        for i, cfg in enumerate(distinct):
+            sol = self._solution_get(self._solution_key(scenario, cfg))
+            if sol is None:
+                to_solve.append(i)
+            else:
+                solutions[i] = sol
+        if to_solve:
+            solved = self.solve_batch(
+                scenario.cluster,
+                [distinct[i] for i in to_solve],
+                ctx,
+                scenario.population,
+                think,
+            )
+            for i, sol in zip(to_solve, solved):
+                solutions[i] = sol
+                self._solution_put(
+                    self._solution_key(scenario, distinct[i]), sol
+                )
+
+        out = []
+        for cfg, seed in requests:
+            sol = solutions[order[cfg]]
+            assert sol is not None
+            extremeness = scenario.cluster.full_space().extremeness(cfg)
+            rng = spawn_rng(seed, "analytic-measure")
+            wips = self.noise.apply(
+                sol.effective_wips, extremeness, sol.max_memory_penalty, rng
+            )
+            diagnostics = dict(sol.diagnostics)
+            for category in InteractionCategory:
+                diagnostics[f"wips_{category.value}"] = (
+                    wips * scenario.mix.category_fraction(category)
+                )
+            out.append(
+                Measurement(
+                    wips=wips,
+                    raw_wips=sol.throughput,
+                    error_rate=sol.error_rate,
+                    response_time=sol.response_time,
+                    utilization=sol.utilization,
+                    diagnostics=diagnostics,
+                )
+            )
+        return out

@@ -5,13 +5,24 @@ Both backends (analytic and discrete-event) implement
 workload and the closed EB population) and a full configuration, produce a
 :class:`Measurement` — WIPS plus the per-node resource utilizations §IV's
 reconfiguration algorithm monitors.
+
+This module also hosts the measurement-memoization layer: a
+content-addressed :class:`MeasurementCache` keyed on ``(scenario
+fingerprint, configuration, seed)`` and the :class:`MemoizedBackend`
+wrapper that consults it, so repeated evaluations of the same point
+(simplex shrink re-evaluations, remeasure baselines, cross-workload matrix
+reuse) are never solved twice.  Measurements are deterministic per seed,
+so a cache hit returns the bit-identical measurement the backend would
+have produced.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.cluster.topology import ClusterSpec
 from repro.harmony.parameter import Configuration
@@ -19,7 +30,15 @@ from repro.tpcw.browser import BrowserBehavior
 from repro.tpcw.catalog import Catalog
 from repro.tpcw.interactions import WorkloadMix
 
-__all__ = ["Scenario", "ResourceUtilization", "Measurement", "PerformanceBackend"]
+__all__ = [
+    "Scenario",
+    "ResourceUtilization",
+    "Measurement",
+    "PerformanceBackend",
+    "CacheStats",
+    "MeasurementCache",
+    "MemoizedBackend",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,39 @@ class Scenario:
                     "work lines must cover every cluster node exactly once"
                 )
             object.__setattr__(self, "work_lines", frozen)
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that affects a measurement.
+
+        Covers the cluster layout and hardware, the workload mix weights,
+        the population, the catalog's object universe, the think-time
+        behaviour and any work-line partition — so two scenarios built
+        independently from the same inputs share cache entries, and any
+        difference that could change a measurement changes the key.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            assert self.behavior is not None
+            h = hashlib.sha256()
+            h.update(
+                repr(
+                    (
+                        self.cluster.fingerprint(),
+                        self.mix.fingerprint(),
+                        self.population,
+                        self.catalog.fingerprint(),
+                        (
+                            self.behavior.mix.fingerprint(),
+                            self.behavior.mean_think_time,
+                            self.behavior.max_think_time,
+                        ),
+                        self.work_lines,
+                    )
+                ).encode()
+            )
+            cached = h.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_mix(self, mix: WorkloadMix) -> "Scenario":
         """Same scenario under a different workload mix."""
@@ -146,3 +198,185 @@ class PerformanceBackend(abc.ABC):
         measurement noise / simulation randomness, so repeating a seed
         reproduces the measurement exactly.
         """
+
+    def measure_batch(
+        self,
+        scenario: Scenario,
+        requests: Sequence[tuple[Configuration, int]],
+    ) -> list[Measurement]:
+        """Measure many ``(configuration, seed)`` points on one scenario.
+
+        Results are returned in request order and are identical to calling
+        :meth:`measure` on each point.  Backends that can amortize work
+        across points override this (the analytic backend solves all
+        distinct configurations in one vectorized MVA batch); the default
+        is the plain serial loop.
+        """
+        return [self.measure(scenario, cfg, seed=seed) for cfg, seed in requests]
+
+
+# ----------------------------------------------------------------------
+# Measurement memoization
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/size counters of one measurement cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters as a flat mapping (for reports and JSON)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MeasurementCache:
+    """Content-addressed memoization of measurements.
+
+    Keys are ``(scenario fingerprint, configuration, seed)``; a hit returns
+    the exact :class:`Measurement` (immutable) the backend produced for
+    that point, which — backends being deterministic per seed — is
+    bit-identical to re-measuring.  Entries are evicted LRU beyond
+    ``max_entries``.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 100_000) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, Measurement] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key(
+        scenario: Scenario, configuration: Configuration, seed: int
+    ) -> tuple:
+        """The content-addressed cache key of one measurement point."""
+        return (
+            scenario.fingerprint(),
+            tuple(sorted(configuration.items())),
+            int(seed),
+        )
+
+    def lookup(
+        self, scenario: Scenario, configuration: Configuration, seed: int
+    ) -> Optional[Measurement]:
+        """The cached measurement for a point, or None (counts hit/miss)."""
+        key = self.key(scenario, configuration, seed)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int,
+        measurement: Measurement,
+    ) -> None:
+        """Record one measured point (evicting LRU beyond ``max_entries``)."""
+        self._entries[self.key(scenario, configuration, seed)] = measurement
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss/size counters."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, size=len(self._entries)
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+
+class MemoizedBackend(PerformanceBackend):
+    """A backend wrapper that memoizes measurements.
+
+    ``enabled=False`` makes the wrapper fully transparent (every call goes
+    to the inner backend, nothing is cached) — the switch experiment
+    drivers expose as ``--no-cache``.
+    """
+
+    def __init__(
+        self,
+        backend: PerformanceBackend,
+        cache: Optional[MeasurementCache] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.backend = backend
+        self.cache = cache if cache is not None else MeasurementCache()
+        self.enabled = enabled
+
+    def measure(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int = 0,
+    ) -> Measurement:
+        """Measure one point, serving repeats from the cache."""
+        if not self.enabled:
+            return self.backend.measure(scenario, configuration, seed=seed)
+        hit = self.cache.lookup(scenario, configuration, seed)
+        if hit is not None:
+            return hit
+        measurement = self.backend.measure(scenario, configuration, seed=seed)
+        self.cache.store(scenario, configuration, seed, measurement)
+        return measurement
+
+    def measure_batch(
+        self,
+        scenario: Scenario,
+        requests: Sequence[tuple[Configuration, int]],
+    ) -> list[Measurement]:
+        """Measure a batch, forwarding only cache misses to the backend."""
+        if not self.enabled:
+            return self.backend.measure_batch(scenario, requests)
+        results: list[Optional[Measurement]] = []
+        missing: list[tuple[int, Configuration, int]] = []
+        for i, (cfg, seed) in enumerate(requests):
+            hit = self.cache.lookup(scenario, cfg, seed)
+            results.append(hit)
+            if hit is None:
+                missing.append((i, cfg, seed))
+        if missing:
+            measured = self.backend.measure_batch(
+                scenario, [(cfg, seed) for _, cfg, seed in missing]
+            )
+            for (i, cfg, seed), m in zip(missing, measured):
+                self.cache.store(scenario, cfg, seed, m)
+                results[i] = m
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    @property
+    def stats(self) -> CacheStats:
+        """The underlying cache's counters."""
+        return self.cache.stats

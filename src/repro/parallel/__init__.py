@@ -1,0 +1,20 @@
+"""Parallel experiment engine: independent runs fanned over processes.
+
+Experiments in this repro decompose into independent *runs* — (scenario,
+method, strategy, seed, iterations) tuples whose results are then
+collated into figures and tables.  This package expresses that structure
+explicitly: a :class:`~repro.parallel.plan.RunSpec` names one run and the
+picklable function that performs it, and a
+:class:`~repro.parallel.executor.ParallelExecutor` fans a batch of specs
+over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Every run carries its own seed (derived deterministically with
+:func:`repro.util.rng.derive_seed`), so the same plan produces
+bit-identical results at every ``--jobs`` setting; ``jobs=1`` runs the
+specs in-process in submission order — exactly the legacy serial path.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_jobs
+from repro.parallel.plan import RunSpec, run_specs
+
+__all__ = ["RunSpec", "run_specs", "ParallelExecutor", "resolve_jobs"]

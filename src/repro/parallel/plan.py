@@ -1,0 +1,60 @@
+"""Run specifications: the unit of work the parallel engine schedules.
+
+A :class:`RunSpec` is one self-contained experiment run — a picklable
+function plus its keyword arguments, labelled by a hashable key the
+driver uses to collate results.  Specs never share mutable state: any
+randomness enters through an explicit seed argument derived with
+:func:`repro.util.rng.derive_seed`, which is what makes a plan's results
+independent of execution order and therefore of the ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping
+
+__all__ = ["RunSpec", "run_specs"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run: ``fn(**kwargs)``, collated under ``key``.
+
+    ``fn`` must be picklable (a module-level function, not a lambda or
+    closure) so the spec can cross a process boundary, and ``kwargs``
+    must contain everything the run needs — including its seed.
+    """
+
+    #: Hashable label the driver collates results by (unique per plan).
+    key: Hashable
+    #: Module-level function performing the run.
+    fn: Callable[..., Any]
+    #: Complete keyword arguments, seed included.
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kwargs, dict):
+            object.__setattr__(self, "kwargs", dict(self.kwargs))
+        name = getattr(self.fn, "__qualname__", "")
+        if "<lambda>" in name or "<locals>" in name:
+            raise ValueError(
+                f"RunSpec fn must be a module-level function (picklable); "
+                f"got {name!r}"
+            )
+
+    def execute(self) -> Any:
+        """Perform the run in the current process."""
+        return self.fn(**self.kwargs)
+
+
+def run_specs(specs: list[RunSpec]) -> None:
+    """Validate a plan: every spec's key must be unique.
+
+    Raises ``ValueError`` on duplicates — two specs with one key would
+    silently overwrite each other in the collated result map.
+    """
+    seen: set[Hashable] = set()
+    for spec in specs:
+        if spec.key in seen:
+            raise ValueError(f"duplicate RunSpec key {spec.key!r}")
+        seen.add(spec.key)

@@ -15,6 +15,8 @@ an LRU/LFU cache under Zipf traffic) and is fully vectorized.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.util.rng import spawn_rng
@@ -139,6 +141,23 @@ class Catalog:
         if len(self._hit_cache) < 100_000:
             self._hit_cache[key] = hit
         return hit
+
+    def fingerprint(self) -> str:
+        """Content hash of the object universe (for measurement caching).
+
+        Two catalogs with identical sizes/popularities fingerprint
+        identically regardless of how they were constructed; the digest is
+        computed once (the catalog is immutable) and cached.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(f"{self.scale}|{self.zipf_exponent!r}|".encode())
+            h.update(self._sizes.tobytes())
+            h.update(self._popularity.tobytes())
+            cached = h.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     def sample_object(self, rng: np.random.Generator) -> int:
         """Draw one object index according to popularity (for the DES)."""

@@ -115,6 +115,16 @@ class WorkloadMix:
             w for i, w in self.weights.items() if i.category is category
         )
 
+    def fingerprint(self) -> tuple:
+        """Content identity of the mix (for measurement caching).
+
+        The display name is excluded: two mixes with identical weights are
+        the same workload however they are labelled.
+        """
+        return tuple(
+            (i.value, self.weights[i]) for i in sorted(Interaction, key=lambda x: x.value)
+        )
+
     def __str__(self) -> str:
         return self.name
 

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
 from repro.model.analytic import AnalyticBackend
-from repro.model.base import Scenario
+from repro.model.base import MemoizedBackend, Scenario
 from repro.tpcw.interactions import SHOPPING_MIX
 
 
@@ -27,8 +27,26 @@ class TestExperimentConfig:
 
 
 class TestMakeBackend:
-    def test_returns_analytic(self):
-        assert isinstance(make_backend(), AnalyticBackend)
+    def test_returns_memoized_analytic(self):
+        backend = make_backend()
+        assert isinstance(backend, MemoizedBackend)
+        assert isinstance(backend.backend, AnalyticBackend)
+
+    def test_no_cache_returns_bare_analytic(self):
+        cfg = ExperimentConfig(memoize=False)
+        assert isinstance(make_backend(cfg), AnalyticBackend)
+
+    def test_memoized_matches_bare(self):
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=400)
+        cfg = cluster.default_configuration()
+        memoized = make_backend()
+        bare = make_backend(ExperimentConfig(memoize=False))
+        first = memoized.measure(scenario, cfg, seed=9)
+        again = memoized.measure(scenario, cfg, seed=9)
+        assert first == bare.measure(scenario, cfg, seed=9)
+        assert again is first  # served from the cache
+        assert memoized.stats.hits == 1
 
 
 class TestRemeasure:
