@@ -5,8 +5,6 @@ analytic solve, one simplex ask/tell step, one Erlang M/M/c/K evaluation,
 one cache-model evaluation, and one (short) DES iteration.
 """
 
-import numpy as np
-
 from repro.cluster.topology import ClusterSpec
 from repro.des.backend import SimulationBackend
 from repro.harmony.parameter import IntParameter, ParameterSpace
@@ -17,6 +15,7 @@ from repro.model.mva import Station, solve_mva
 from repro.model.noise import NoiseModel
 from repro.model.pools import mmck
 from repro.tpcw.catalog import Catalog
+from repro.util.rng import spawn_rng
 from repro.tpcw.interactions import SHOPPING_MIX
 from repro.util.units import MB
 
@@ -56,8 +55,8 @@ def test_simplex_step(benchmark):
     space = ParameterSpace(
         [IntParameter(f"x{i}", 50, 0, 100) for i in range(23)]
     )
-    simplex = NelderMeadSimplex(space, rng=np.random.default_rng(0))
-    rng = np.random.default_rng(1)
+    simplex = NelderMeadSimplex(space, rng=spawn_rng(0, "bench.simplex"))
+    rng = spawn_rng(0, "bench.objective")
 
     def step():
         cfg = simplex.ask()

@@ -18,6 +18,7 @@ Run:  python examples/custom_system.py
 import numpy as np
 
 from repro import HarmonyClient, HarmonyServer, IntParameter
+from repro.util.rng import spawn_rng
 
 PARAMETERS = [
     IntParameter("workers", default=4, low=1, high=64),
@@ -53,7 +54,7 @@ def main() -> None:
     dims = client.register(PARAMETERS)
     print(f"registered {dims} tunable parameters with the Harmony server")
 
-    rng = np.random.default_rng(99)
+    rng = spawn_rng(99, "example.batch-job")
     default_rate = np.mean(
         [run_batch_job({p.name: p.default for p in PARAMETERS}, rng)
          for _ in range(10)]

@@ -5,4 +5,10 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed the pipe; not an error.
+        sys.stderr.close()
+        code = 0
+    sys.exit(code)

@@ -13,6 +13,9 @@ Commands:
     Run one of the paper's experiment drivers and print its table(s).
 ``validate``
     Cross-check the analytic backend against the discrete-event backend.
+``lint``
+    Static determinism/reproducibility analysis (see docs/static_analysis.md);
+    exits nonzero when any rule fires.
 """
 
 from __future__ import annotations
@@ -133,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--time-scale", type=float, default=0.06,
         help="DES iteration scale (1.0 = the paper's 1200 s cycle)",
+    )
+
+    p = sub.add_parser(
+        "lint", help="static determinism/reproducibility analysis"
+    )
+    p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="fmt", help="report format (default: text)",
+    )
+    p.add_argument(
+        "--rules", action="store_true",
+        help="list every rule with its documentation and exit",
+    )
+    p.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    p.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule ids to skip (adds to pyproject ignores)",
+    )
+    p.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="project root holding pyproject.toml (default: auto-detect)",
     )
 
     return parser
@@ -279,12 +310,61 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.lint import (
+        ALL_RULES,
+        Analyzer,
+        find_root,
+        format_json,
+        format_rules,
+        format_text,
+        load_config,
+        rules_by_id,
+    )
+
+    if args.rules:
+        print(format_rules(ALL_RULES))
+        return 0
+
+    root = (
+        pathlib.Path(args.root).resolve() if args.root else find_root()
+    )
+    config = load_config(root)
+    known = set(rules_by_id())
+
+    def parse_ids(raw: Optional[str]) -> Optional[frozenset[str]]:
+        if not raw:
+            return None
+        ids = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+        unknown = ids - known
+        if unknown:
+            raise SystemExit(
+                f"repro lint: unknown rule ids: {', '.join(sorted(unknown))}"
+            )
+        return ids
+
+    config = config.merged(
+        select=parse_ids(args.select), ignore=parse_ids(args.ignore)
+    )
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        src = root / "src"
+        paths = [src if src.is_dir() else root]
+    result = Analyzer(ALL_RULES, config).lint_paths(paths, root)
+    print(format_json(result) if args.fmt == "json" else format_text(result))
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "baseline": _cmd_baseline,
     "tune": _cmd_tune,
     "sensitivity": _cmd_sensitivity,
     "experiment": _cmd_experiment,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 

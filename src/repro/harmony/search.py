@@ -19,6 +19,7 @@ import numpy as np
 from repro.harmony.constraints import ConstraintSet
 from repro.harmony.parameter import Configuration, ParameterSpace
 from repro.harmony.simplex import NelderMeadSimplex, SimplexOptions
+from repro.util.rng import spawn_rng
 
 __all__ = [
     "SearchStrategy",
@@ -119,7 +120,7 @@ class RandomSearch(SearchStrategy):
         constraints: Optional[ConstraintSet] = None,
     ) -> None:
         super().__init__(space, constraints)
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng if rng is not None else spawn_rng(0, "harmony.random")
         self._pending: Optional[Configuration] = self._feasible(
             start or space.default_configuration()
         )

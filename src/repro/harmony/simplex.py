@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.harmony.parameter import Configuration, ParameterSpace
+from repro.util.rng import spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harmony.constraints import ConstraintSet
@@ -116,7 +117,7 @@ class NelderMeadSimplex:
         self.space = space
         self.options = options or SimplexOptions()
         self.constraints = constraints
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng if rng is not None else spawn_rng(0, "harmony.simplex")
         start_cfg = start or space.default_configuration()
         space.validate(start_cfg)
         if constraints is not None and not constraints.satisfied(start_cfg):

@@ -1,0 +1,66 @@
+"""Text and JSON renderings of a lint run.
+
+The JSON schema (version 1, documented in docs/api.md) is the contract
+future tooling consumes — pre-commit hooks, the figure/table drivers,
+CI annotations.  Both reporters emit findings in the analyzer's sorted
+order, so output is byte-stable for identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.core import LintResult, Rule
+
+__all__ = ["format_text", "format_json", "format_rules", "JSON_SCHEMA_VERSION"]
+
+#: Bumped only on breaking changes to the JSON layout.
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(result: LintResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.severity}] {f.message}"
+        for f in result.findings
+    ]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    if result.findings:
+        lines.append("")
+    lines.append(
+        f"{len(result.findings)} {noun} in {result.files_checked} "
+        f"file{'s' if result.files_checked != 1 else ''} checked"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-oriented report (schema v1; see docs/api.md)."""
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "by_rule": by_rule,
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def format_rules(rules: Sequence[Rule]) -> str:
+    """Self-documentation for ``repro lint --rules``."""
+    blocks = []
+    for rule in sorted(rules, key=lambda r: r.id):
+        scope = (
+            ", ".join(rule.path_markers) if rule.path_markers else "all files"
+        )
+        header = f"{rule.id} {rule.name} [{rule.severity}] (scope: {scope})"
+        doc = "\n".join(f"    {line}" for line in rule.doc().splitlines())
+        blocks.append(f"{header}\n{doc}")
+    return "\n\n".join(blocks)

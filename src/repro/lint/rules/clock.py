@@ -1,0 +1,73 @@
+"""RPL002 — wall-clock reads inside deterministic subsystems.
+
+The simulation, DES, analytic-model and Harmony-search layers must be
+pure functions of (scenario, configuration, seed): the paper's tuning
+loop re-measures configurations and our memoization layer (PR 1) caches
+them, so a measurement that secretly depends on the host clock breaks
+cache-hit equivalence and bit-identical replay.  Timing real elapsed
+time is a benchmarking concern and belongs in ``benchmarks/`` or in
+reporting code, never in the modelled hot paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["WallClockRule"]
+
+#: Dotted call targets that read the host clock.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """Flag host-clock reads in ``sim/``, ``des/``, ``model/``, ``harmony/``.
+
+    Simulated time must advance only through the event loop /
+    iteration counter; host-clock reads make measurements depend on
+    machine load and wall time, which both the memoization cache and
+    the parallel engine assume away.
+    """
+
+    id = "RPL002"
+    name = "wall-clock-read"
+    severity = Severity.ERROR
+    path_markers = (
+        "repro/sim/",
+        "repro/des/",
+        "repro/model/",
+        "repro/harmony/",
+    )
+    path_excludes = ("benchmarks/",)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = module.imports.resolve(node.func)
+            if qual in CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"'{qual}' reads the host clock inside a deterministic "
+                    "subsystem; simulated time must come from the event "
+                    "loop / iteration counter (wall timing belongs in "
+                    "benchmarks/)",
+                )

@@ -1,0 +1,77 @@
+"""RPL008 — exception handlers that swallow failure silently.
+
+A bare ``except:`` (or ``except Exception: pass``) around solver or
+measurement code hides exactly the failures the tuning loop must see:
+MVA non-convergence, infeasible configurations, pool-solution overflow.
+A swallowed error turns into a silently wrong performance number, the
+simplex ranks it, and the whole session is quietly corrupted — the
+paper's bad-configuration handling (§III.A) works because failures are
+*reported* as penalty values, not suppressed.  Catch the narrowest
+exception you can and either handle it or convert it into an explicit
+penalty/NaN with a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+class SwallowedExceptionRule(Rule):
+    """Flag bare ``except:`` and ``except Exception/BaseException: pass``.
+
+    A bare handler is always reported (it also traps KeyboardInterrupt).
+    A broad handler is reported only when its body is just ``pass``/
+    ``...`` — i.e. the error is dropped on the floor.
+    """
+
+    id = "RPL008"
+    name = "swallowed-exception"
+    severity = Severity.WARNING
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' traps everything including "
+                    "KeyboardInterrupt; catch the specific exception",
+                )
+            elif self._is_broad(node.type) and self._body_is_noop(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "'except Exception: pass' swallows solver failures "
+                    "silently; handle the error or convert it into an "
+                    "explicit penalty value",
+                )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        return any(
+            isinstance(n, ast.Name) and n.id in _BROAD for n in names
+        )
+
+    @staticmethod
+    def _body_is_noop(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or bare `...`
+            return False
+        return True

@@ -1,0 +1,132 @@
+"""RPL005 — mutable default arguments; RPL006 — unpicklable parallel work.
+
+Two function-shape hazards:
+
+* A mutable default (``def f(xs=[])``) is evaluated once at definition
+  time and shared across calls — state leaks between supposedly
+  independent measurements, which is exactly the cross-run coupling the
+  parallel engine's "specs never share mutable state" contract forbids.
+* Work submitted to the parallel executor must survive pickling to reach
+  a worker process.  Lambdas and functions defined inside another
+  function don't pickle; :class:`repro.parallel.plan.RunSpec` rejects
+  them at runtime, but only on the ``jobs>1`` path — this rule catches
+  the mistake before it ships as a works-serially-only landmine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["MutableDefaultRule", "UnpicklableSubmitRule"]
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter")
+
+
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set literals (or constructor calls) as defaults.
+
+    Applies repo-wide: the shared-instance trap corrupts measurement
+    independence anywhere.  Use ``None`` plus an in-body default.
+    """
+
+    id = "RPL005"
+    name = "mutable-default"
+    severity = Severity.WARNING
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default {ast.unparse(default)!r} is shared "
+                        "across calls; default to None and create the "
+                        "container in the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+class UnpicklableSubmitRule(Rule):
+    """Flag lambdas/local functions handed to the parallel engine.
+
+    Checks the ``fn`` argument of ``RunSpec(...)`` (second positional or
+    keyword) and the first argument of any ``.submit(...)`` call: a
+    lambda expression, or a name bound by a ``def`` nested inside the
+    enclosing function, cannot cross the process boundary.
+    """
+
+    id = "RPL006"
+    name = "unpicklable-submit"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        local_defs = self._local_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn_arg = self._submitted_callable(node)
+            if fn_arg is None:
+                continue
+            if isinstance(fn_arg, ast.Lambda):
+                yield self.finding(
+                    module,
+                    fn_arg,
+                    "lambda submitted to the parallel engine cannot be "
+                    "pickled to a worker; use a module-level function",
+                )
+            elif isinstance(fn_arg, ast.Name) and fn_arg.id in local_defs:
+                yield self.finding(
+                    module,
+                    fn_arg,
+                    f"locally-defined function {fn_arg.id!r} submitted to "
+                    "the parallel engine cannot be pickled to a worker; "
+                    "move it to module level",
+                )
+
+    @staticmethod
+    def _submitted_callable(node: ast.Call) -> Optional[ast.expr]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "RunSpec":
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    return kw.value
+            if len(node.args) >= 2:
+                return node.args[1]
+            return None
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            return node.args[0] if node.args else None
+        return None
+
+    @staticmethod
+    def _local_function_names(tree: ast.Module) -> frozenset[str]:
+        """Names of functions defined inside another function."""
+        names: set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(inner.name)
+        return frozenset(names)

@@ -1,0 +1,64 @@
+"""RPL004 — exact float equality in model/solver code.
+
+The MVA fixed point, the M/M/c/K pool corrections and the Nelder–Mead
+simplex all work in floating point; comparing intermediate results with
+``==``/``!=`` against float literals encodes an exactness the arithmetic
+does not provide, and such comparisons behave differently across
+BLAS/vectorization paths (the batched solver of PR 1 must agree with the
+scalar one bit-for-bit *because* no logic branches on exact float
+equality).  Use ``math.isclose``/``np.isclose`` or compare against an
+explicit tolerance; genuinely exact sentinel checks (e.g. "was this
+input literally zero") get a ``# repro: noqa[RPL004]`` with a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["FloatEqualityRule"]
+
+
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` where an operand is a float literal.
+
+    Limited to ``model/`` and ``harmony/`` (the numeric solvers); a
+    float literal on either side of an equality comparison — including
+    a negated literal such as ``-1.0`` — is reported.
+    """
+
+    id = "RPL004"
+    name = "float-equality"
+    severity = Severity.WARNING
+    path_markers = ("repro/model/", "repro/harmony/")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            literal = next(
+                (o for o in operands if self._is_float_literal(o)), None
+            )
+            if literal is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"exact equality against float literal "
+                    f"{ast.unparse(literal)}; use math.isclose / an explicit "
+                    "tolerance (or noqa with a comment if exactness is the "
+                    "point)",
+                )
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)

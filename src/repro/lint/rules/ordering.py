@@ -1,0 +1,110 @@
+"""RPL003 — unsorted set/dict iteration in fingerprint-sensitive code.
+
+The measurement cache introduced in PR 1 keys on scenario fingerprints
+and serialized configurations; the parallel engine collates results by
+key.  Iterating a ``set`` (arbitrary order, salted per process) or a
+``dict``'s views (insertion order, which varies with construction path)
+while building those artifacts yields fingerprints that differ between
+processes or runs — silently defeating memoization and making JSON
+reports diff-unstable.  Wrap the iterable in ``sorted(...)`` or iterate
+an explicitly ordered sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["UnsortedIterationRule"]
+
+#: Substrings of function names that mark order-sensitive code anywhere.
+_SENSITIVE_FUNC_MARKERS = ("fingerprint", "cache_key", "to_json")
+
+
+class UnsortedIterationRule(Rule):
+    """Flag ``for``/comprehension iteration over sets or dict views.
+
+    Applies file-wide in serialization/collation paths (``util/
+    serialization.py``, ``util/tables.py``, ``parallel/``, the backend
+    cache modules) and, in any file, inside functions whose name
+    mentions ``fingerprint``/``cache_key``/``to_json``.  Iterables that
+    are ``set(...)``/``frozenset(...)`` calls, set literals, or
+    ``.keys()``/``.values()``/``.items()`` views are violations unless
+    directly wrapped in ``sorted(...)``.
+    """
+
+    id = "RPL003"
+    name = "unsorted-iteration"
+    severity = Severity.ERROR
+
+    #: Files where every statement is order-sensitive.
+    file_markers = (
+        "util/serialization.py",
+        "util/tables.py",
+        "repro/parallel/",
+        "model/base.py",
+        "model/analytic.py",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        whole_file = any(marker in module.path for marker in self.file_markers)
+        sensitive_spans = [] if whole_file else self._sensitive_spans(module)
+
+        for node in ast.walk(module.tree):
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            else:
+                continue
+            for iterable in iterables:
+                reason = self._unordered_reason(iterable)
+                if reason is None:
+                    continue
+                line = getattr(iterable, "lineno", 0)
+                if not whole_file and not any(
+                    lo <= line <= hi for lo, hi in sensitive_spans
+                ):
+                    continue
+                yield self.finding(
+                    module,
+                    iterable,
+                    f"iteration over {reason} has no stable order here; "
+                    "wrap it in sorted(...) so fingerprints, cache keys "
+                    "and reports are order-independent",
+                )
+
+    @staticmethod
+    def _sensitive_spans(module: ParsedModule) -> list[tuple[int, int]]:
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+                marker in node.name.lower()
+                for marker in _SENSITIVE_FUNC_MARKERS
+            ):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    @staticmethod
+    def _unordered_reason(node: ast.expr) -> Optional[str]:
+        """Describe why ``node`` iterates in unstable order, or None."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"'{func.id}(...)'"
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            # ``cfg.items()`` on a Mapping; sorted(cfg.items()) is the fix.
+            return f"'.{func.attr}()'"
+        return None

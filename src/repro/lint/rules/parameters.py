@@ -1,0 +1,173 @@
+"""RPL007 — ``IntParameter`` literals that contradict the Table 3 spec.
+
+Table 3 of the paper fixes, for each of the 24 cross-tier tunables, the
+default configuration and the best configuration Harmony found after
+200 iterations on each workload mix.  Our tuning ranges
+(``cluster/params.py``) must (a) be internally consistent — default on
+the step grid and inside ``[low, high]`` — and (b) stay wide enough to
+contain every tuned value the paper reports, otherwise the search is
+structurally unable to reproduce the paper's optima and the comparison
+tables silently lose meaning.  The spec below is a *static* mirror of
+Table 3 (defaults as corrected in ``cluster/params.py``: the printed
+8,388,600 / 65,535 are MySQL 3.23's 8,388,608 / 65,536 rounded), kept
+here so the rule needs no runtime import of the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["ParameterBoundsRule", "TABLE3_SPEC"]
+
+
+@dataclass(frozen=True)
+class _Spec:
+    """Per-parameter facts from Table 3 used by the check."""
+
+    default: int
+    #: Smallest / largest tuned value across the three workload mixes.
+    tuned_min: int
+    tuned_max: int
+
+
+#: name -> Table 3 spec (default; min/max of browsing/shopping/ordering
+#: tuned values).  Sorted alphabetically for diff-stability.
+TABLE3_SPEC: dict[str, _Spec] = {
+    "AJPacceptCount": _Spec(10, 76, 671),
+    "AJPmaxProcessors": _Spec(20, 86, 296),
+    "AJPminProcessors": _Spec(5, 6, 136),
+    "acceptCount": _Spec(10, 6, 136),
+    "binlog_cache_size": _Spec(32768, 63488, 284672),
+    "bufferSize": _Spec(2048, 2049, 6657),
+    "cache_mem": _Spec(8, 13, 21),
+    "cache_swap_high": _Spec(95, 96, 96),
+    "cache_swap_low": _Spec(90, 86, 91),
+    "delayed_insert_limit": _Spec(100, 200, 700),
+    "delayed_queue_size": _Spec(1000, 2600, 9100),
+    "join_buffer_size": _Spec(8388608, 407552, 407552),
+    "max_connections": _Spec(100, 201, 701),
+    "maxProcessors": _Spec(20, 11, 131),
+    "maximum_object_size": _Spec(4096, 4096, 5888),
+    "maximum_object_size_in_memory": _Spec(8, 6, 2560),
+    "minProcessors": _Spec(5, 1, 102),
+    "minimum_object_size": _Spec(0, 0, 306),
+    "net_buffer_length": _Spec(16384, 31744, 38912),
+    "store_objects_per_bucket": _Spec(20, 15, 105),
+    "table_cache": _Spec(64, 761, 905),
+    "thread_con": _Spec(10, 76, 91),
+    "thread_stack": _Spec(65536, 102400, 1018880),
+}
+
+
+class ParameterBoundsRule(Rule):
+    """Validate literal ``IntParameter(...)`` definitions against Table 3.
+
+    Only calls whose name/default/low/high/step arguments are all
+    literals are checked (dynamically built parameters are out of static
+    reach).  Internal-consistency violations (default off-grid or
+    out-of-range, inverted bounds, non-positive step) are reported for
+    any parameter; Table 3 parameters are additionally required to use
+    the paper's default and bounds containing the paper's tuned values.
+    """
+
+    id = "RPL007"
+    name = "parameter-bounds"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if callee != "IntParameter":
+                continue
+            fields = self._literal_fields(node)
+            if fields is None:
+                continue
+            yield from self._check_fields(module, node, *fields)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _literal_fields(
+        node: ast.Call,
+    ) -> Optional[tuple[str, int, int, int, int]]:
+        """Extract (name, default, low, high, step) if all literal."""
+        order = ("name", "default", "low", "high", "step")
+        values: dict[str, object] = {}
+        for position, arg in enumerate(node.args):
+            if position >= len(order):
+                return None
+            values[order[position]] = arg
+        for kw in node.keywords:
+            if kw.arg in order:
+                values[kw.arg] = kw.value
+        if not {"name", "default", "low", "high"} <= set(values):
+            return None
+        values.setdefault("step", ast.Constant(value=1))
+        literal: dict[str, object] = {}
+        for key, expr in values.items():
+            if not isinstance(expr, ast.Constant):
+                return None
+            literal[key] = expr.value
+        name = literal["name"]
+        rest = (literal["default"], literal["low"], literal["high"], literal["step"])
+        if not isinstance(name, str) or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in rest
+        ):
+            return None
+        return (name, *rest)  # type: ignore[return-value]
+
+    def _check_fields(
+        self,
+        module: ParsedModule,
+        node: ast.Call,
+        name: str,
+        default: int,
+        low: int,
+        high: int,
+        step: int,
+    ) -> Iterator[Finding]:
+        if step < 1:
+            yield self.finding(
+                module, node, f"{name}: step must be >= 1, got {step}"
+            )
+            return
+        if low > high:
+            yield self.finding(
+                module, node, f"{name}: low {low} > high {high}"
+            )
+            return
+        if not (low <= default <= high) or (default - low) % step != 0:
+            yield self.finding(
+                module,
+                node,
+                f"{name}: default {default} is not a legal grid value of "
+                f"range [{low}, {high}] step {step}",
+            )
+        spec = TABLE3_SPEC.get(name)
+        if spec is None:
+            return
+        if default != spec.default:
+            yield self.finding(
+                module,
+                node,
+                f"{name}: default {default} contradicts Table 3's default "
+                f"configuration value {spec.default}",
+            )
+        if low > spec.tuned_min or high < spec.tuned_max:
+            yield self.finding(
+                module,
+                node,
+                f"{name}: range [{low}, {high}] cannot contain Table 3's "
+                f"tuned values [{spec.tuned_min}, {spec.tuned_max}]; the "
+                "paper's reported optimum would be unreachable",
+            )

@@ -1,0 +1,80 @@
+"""RPL001 — unseeded or global random-number generation.
+
+Every random draw in the library must come from a
+:class:`numpy.random.Generator` seeded through
+:func:`repro.util.rng.derive_seed` (normally via ``spawn_rng`` or an
+``RngFactory``).  Module-level entry points — ``np.random.rand`` and
+friends, the stdlib ``random`` module, or ``default_rng()`` without a
+derived seed — draw from process-global or ad-hoc state, so results
+depend on import order, call order across threads/processes, or nothing
+at all, and the bit-identical replay guarantee (docs/performance.md) is
+gone.  ``util/rng.py`` is the one sanctioned construction site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["UnseededRandomRule"]
+
+
+class UnseededRandomRule(Rule):
+    """Flag module-level RNG calls and non-derived ``default_rng`` seeds.
+
+    Violations: any call into the stdlib ``random`` module; any call to
+    a ``numpy.random`` module-level function (``rand``, ``seed``,
+    ``shuffle``, ...); ``default_rng()`` with no argument or a literal
+    argument.  ``default_rng(derive_seed(...))`` — a call expression as
+    the seed — is allowed, and ``util/rng.py`` itself is exempt as the
+    sanctioned wrapper around numpy's constructors.
+    """
+
+    id = "RPL001"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    path_excludes = ("util/rng.py",)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = module.imports.resolve(node.func)
+            if qual is None:
+                continue
+            if qual == "random" or qual.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib '{qual}' draws from process-global state; "
+                    "use repro.util.rng.spawn_rng(seed, *labels) instead",
+                )
+            elif qual == "numpy.random.default_rng":
+                if not self._has_derived_seed(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        "default_rng() without a derived seed; construct "
+                        "generators with repro.util.rng.spawn_rng / "
+                        "RngFactory so streams are label-derived",
+                    )
+            elif qual.startswith("numpy.random."):
+                leaf = qual.rsplit(".", 1)[1]
+                if leaf[:1].islower():  # functions, not Generator/SeedSequence
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{qual}' uses numpy's global RNG state; draw from "
+                        "a Generator obtained via repro.util.rng.spawn_rng",
+                    )
+
+    @staticmethod
+    def _has_derived_seed(node: ast.Call) -> bool:
+        """True when the seed argument is computed (e.g. derive_seed(...))."""
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if not args:
+            return False
+        seed = args[0]
+        return not isinstance(seed, ast.Constant)

@@ -305,7 +305,7 @@ class AnalyticBackend(PerformanceBackend):
         pool_queue: dict[str, float] = {}
         d = self.damping
         holding_drift = 0.0
-        for name, pool in state.pool_names.items():
+        for name, pool in sorted(state.pool_names.items()):
             # The MVA piles *all* excess population onto the bottleneck
             # station, so the raw residence overstates how long one of a
             # pool's P threads actually holds local resources: with at
@@ -460,7 +460,11 @@ class AnalyticBackend(PerformanceBackend):
     ) -> Configuration:
         prefixes = tuple(f"{n}." for n in node_ids)
         return Configuration(
-            {k: v for k, v in configuration.items() if k.startswith(prefixes)}
+            {
+                k: v
+                for k, v in sorted(configuration.items())
+                if k.startswith(prefixes)
+            }
         )
 
     def measure(
@@ -514,7 +518,10 @@ class AnalyticBackend(PerformanceBackend):
                 utilization.update(sol.utilization)
                 max_penalty = max(max_penalty, sol.max_memory_penalty)
                 diagnostics.update(
-                    {f"{line_id}.{k}": v for k, v in sol.diagnostics.items()}
+                    {
+                        f"{line_id}.{k}": v
+                        for k, v in sorted(sol.diagnostics.items())
+                    }
                 )
             error_rate = err_acc / total_raw if total_raw > 0 else 0.0
             response = resp_acc / total_raw if total_raw > 0 else 0.0

@@ -62,8 +62,16 @@ class Scenario:
         if self.behavior is None:
             object.__setattr__(self, "behavior", BrowserBehavior(self.mix))
         if self.work_lines is not None:
-            frozen = {k: tuple(v) for k, v in self.work_lines.items()}
-            listed = [n for nodes in frozen.values() for n in nodes]
+            # Sorted so the partition is canonical: fingerprint() hashes
+            # repr(work_lines), and insertion order must not leak into it.
+            frozen = {k: tuple(v) for k, v in sorted(self.work_lines.items())}
+            listed = [
+                n
+                # Order-insensitive: both sides of the check below are
+                # sorted before comparison.
+                for nodes in frozen.values()  # repro: noqa[RPL003]
+                for n in nodes
+            ]
             if sorted(listed) != sorted(self.cluster.node_ids):
                 raise ValueError(
                     "work lines must cover every cluster node exactly once"

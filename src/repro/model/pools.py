@@ -60,7 +60,9 @@ def mmck(arrival_rate: float, holding_time: float, servers: int, capacity: int) 
         raise ValueError("capacity must be >= servers")
     if arrival_rate < 0 or holding_time < 0:
         raise ValueError("rates and times must be non-negative")
-    if arrival_rate == 0.0 or holding_time == 0.0:
+    # Exact sentinel check is the point: literal-zero inputs short-circuit
+    # to the empty-system solution.
+    if arrival_rate == 0.0 or holding_time == 0.0:  # repro: noqa[RPL004]
         return PoolResult(blocking=0.0, wait=0.0, busy=0.0, offered=0.0, servers=servers)
 
     c, k = servers, capacity

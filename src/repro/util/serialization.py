@@ -39,7 +39,7 @@ def configuration_from_json(text: str) -> Configuration:
     if not isinstance(data, dict):
         raise ValueError(f"expected a JSON object, got {type(data).__name__}")
     out = {}
-    for key, value in data.items():
+    for key, value in sorted(data.items()):
         if not isinstance(key, str):
             raise ValueError(f"parameter names must be strings, got {key!r}")
         if isinstance(value, bool) or not isinstance(value, int):

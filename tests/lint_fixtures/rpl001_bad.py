@@ -1,0 +1,16 @@
+# lint-path: src/repro/des/example.py
+"""RPL001 positive fixture: every RNG construction here is a violation."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw():
+    a = np.random.rand(3)  # global numpy state
+    b = np.random.seed(0)  # reseeds global state
+    c = random.random()  # stdlib global state
+    d = random.randint(1, 6)
+    e = default_rng()  # no seed at all
+    f = np.random.default_rng(42)  # literal, not derived
+    return a, b, c, d, e, f

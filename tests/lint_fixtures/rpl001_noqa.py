@@ -1,0 +1,9 @@
+# lint-path: src/repro/des/example.py
+"""RPL001 suppression fixture: violations acknowledged in place."""
+import numpy as np
+
+
+def draw():
+    a = np.random.rand(3)  # repro: noqa[RPL001]
+    b = np.random.default_rng()  # repro: noqa
+    return a, b

@@ -1,0 +1,14 @@
+# lint-path: src/repro/des/example.py
+"""RPL001 negative fixture: label-derived streams only."""
+from numpy.random import default_rng
+
+from repro.util.rng import RngFactory, derive_seed, spawn_rng
+
+
+def draw(seed):
+    rng = spawn_rng(seed, "fixture", 0)
+    factory = RngFactory(seed)
+    other = factory.get("browser", 1)
+    derived = default_rng(derive_seed(seed, "explicit"))  # call-derived seed
+    local = min(3, 5)  # a name called `random` would not resolve either
+    return rng, other, derived, local

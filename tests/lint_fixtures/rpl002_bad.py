@@ -1,0 +1,11 @@
+# lint-path: src/repro/sim/example.py
+"""RPL002 positive fixture: host-clock reads in a deterministic subsystem."""
+import time
+from datetime import datetime
+
+
+def step():
+    started = time.time()
+    mark = time.perf_counter()
+    stamp = datetime.now()
+    return started, mark, stamp

@@ -1,0 +1,7 @@
+# lint-path: src/repro/sim/example.py
+"""RPL002 suppression fixture."""
+import time
+
+
+def step():
+    return time.perf_counter()  # repro: noqa[RPL002] -- progress display only

@@ -1,0 +1,9 @@
+# lint-path: src/repro/sim/example.py
+"""RPL002 negative fixture: simulated time from the event loop only."""
+import time
+
+
+def step(clock):
+    now = clock.now()  # simulated clock object, not the time module
+    duration = time.strptime("12:00", "%H:%M")  # parsing, not clock reads
+    return now, duration

@@ -1,0 +1,11 @@
+# lint-path: src/repro/util/serialization.py
+"""RPL003 positive fixture: unordered iteration in a serialization path."""
+
+
+def dump(config, extras):
+    parts = []
+    for key, value in config.items():  # dict view, unsorted
+        parts.append(f"{key}={value}")
+    tags = [t for t in set(extras)]  # set(...) call
+    flags = {f for f in {"a", "b"}}  # set literal
+    return parts, tags, flags

@@ -1,0 +1,15 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL003 positive fixture: fingerprint function in a generic path."""
+import hashlib
+
+
+def fingerprint(payload):
+    h = hashlib.sha256()
+    for key in payload.keys():  # inside a fingerprint function: flagged
+        h.update(repr((key, payload[key])).encode())
+    return h.hexdigest()
+
+
+def unrelated(payload):
+    # Outside serialization paths and fingerprint functions: not flagged.
+    return [key for key in payload.keys()]

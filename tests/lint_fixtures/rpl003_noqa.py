@@ -1,0 +1,7 @@
+# lint-path: src/repro/util/serialization.py
+"""RPL003 suppression fixture."""
+
+
+def dump(config):
+    # Insertion order is canonical here by construction.
+    return [k for k in config.keys()]  # repro: noqa[RPL003]

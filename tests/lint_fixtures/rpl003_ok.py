@@ -1,0 +1,15 @@
+# lint-path: src/repro/util/serialization.py
+"""RPL003 negative fixture: explicitly ordered iteration."""
+
+
+def dump(config, extras):
+    parts = []
+    for key, value in sorted(config.items()):
+        parts.append(f"{key}={value}")
+    tags = [t for t in sorted(set(extras))]
+    rows = [r for r in config_rows(config)]  # plain call: no view involved
+    return parts, tags, rows
+
+
+def config_rows(config):
+    return sorted(config.items())

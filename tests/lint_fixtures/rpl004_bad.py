@@ -1,0 +1,10 @@
+# lint-path: src/repro/model/example.py
+"""RPL004 positive fixture: exact float equality in solver code."""
+
+
+def converged(residual, rate):
+    if residual == 0.5:
+        return True
+    if rate != -1.0:
+        return False
+    return 2.5 == residual

@@ -1,0 +1,7 @@
+# lint-path: src/repro/model/example.py
+"""RPL004 suppression fixture."""
+
+
+def short_circuit(rate):
+    # Exactness deliberate: literal zero means "input absent".
+    return rate == 0.0  # repro: noqa[RPL004]

@@ -1,0 +1,11 @@
+# lint-path: src/repro/model/example.py
+"""RPL004 negative fixture: tolerances and integer equality."""
+import math
+
+
+def converged(residual, iterations):
+    if math.isclose(residual, 0.5, abs_tol=1e-12):
+        return True
+    if iterations == 200:  # integer equality is fine
+        return True
+    return residual < 1e-9  # ordering comparisons are fine

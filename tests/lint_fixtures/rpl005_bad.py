@@ -1,0 +1,15 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL005 positive fixture: mutable defaults shared across calls."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def label(item, *, tags={}, seen=set()):
+    return item, tags, seen
+
+
+def build(rows=list()):
+    return rows

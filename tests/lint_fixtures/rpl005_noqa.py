@@ -1,0 +1,6 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL005 suppression fixture."""
+
+
+def memo(key, cache={}):  # repro: noqa[RPL005] -- deliberate shared cache
+    return cache.setdefault(key, key * 2)

@@ -1,0 +1,13 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL005 negative fixture: None defaults, immutable defaults."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def label(item, *, tags=(), name="x", count=0):
+    return item, tags, name, count

@@ -1,0 +1,16 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL006 positive fixture: unpicklable callables handed to the engine."""
+from repro.parallel.plan import RunSpec
+
+
+def build_plan(seeds):
+    def local_run(seed):
+        return seed * 2
+
+    specs = [RunSpec(key=s, fn=lambda: s, kwargs={}) for s in seeds]
+    specs.append(RunSpec(0, local_run, {"seed": 0}))
+    return specs
+
+
+def submit_all(pool, seeds):
+    return [pool.submit(lambda s: s + 1, s) for s in seeds]

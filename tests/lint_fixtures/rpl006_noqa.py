@@ -1,0 +1,10 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL006 suppression fixture (e.g. a thread-pool submit, which can
+take a closure because nothing crosses a process boundary)."""
+
+
+def submit_all(thread_pool, seeds):
+    return [
+        thread_pool.submit(lambda s=s: s + 1)  # repro: noqa[RPL006]
+        for s in seeds
+    ]

@@ -1,0 +1,15 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL006 negative fixture: module-level functions only."""
+from repro.parallel.plan import RunSpec
+
+
+def run_one(seed):
+    return seed * 2
+
+
+def build_plan(seeds):
+    return [RunSpec(key=s, fn=run_one, kwargs={"seed": s}) for s in seeds]
+
+
+def submit_all(pool, seeds):
+    return [pool.submit(run_one, s) for s in seeds]

@@ -1,0 +1,14 @@
+# lint-path: src/repro/cluster/example.py
+"""RPL007 positive fixture: parameter literals contradicting Table 3."""
+from repro.harmony.parameter import IntParameter
+
+PARAMS = (
+    # Range too narrow: the ordering mix tuned cache_mem to 21.
+    IntParameter("cache_mem", default=8, low=4, high=20, step=1),
+    # Wrong default: Table 3's default configuration uses 100.
+    IntParameter("max_connections", default=150, low=10, high=1000, step=10),
+    # Default off the step grid.
+    IntParameter("table_cache", default=65, low=16, high=1024, step=16),
+    # Inverted bounds (internal consistency, any parameter name).
+    IntParameter("custom_knob", default=5, low=10, high=4, step=1),
+)

@@ -1,0 +1,9 @@
+# lint-path: src/repro/cluster/example.py
+"""RPL007 suppression fixture (e.g. a deliberately narrowed study range).
+
+The pragma must sit on the line the call starts on.
+"""
+from repro.harmony.parameter import IntParameter
+
+# An ablation uses a truncated range on purpose:
+NARROW = IntParameter("cache_mem", default=8, low=4, high=16)  # repro: noqa[RPL007]

@@ -1,0 +1,17 @@
+# lint-path: src/repro/cluster/example.py
+"""RPL007 negative fixture: Table 3-consistent definitions."""
+from repro.harmony.parameter import IntParameter
+
+
+def bound():
+    return 256
+
+
+PARAMS = (
+    IntParameter("cache_mem", default=8, low=4, high=256, step=1),
+    IntParameter("max_connections", default=100, low=10, high=1000, step=10),
+    # Not a Table 3 name: only internal consistency is required.
+    IntParameter("custom_knob", default=5, low=1, high=64, step=1),
+    # Non-literal bounds are out of static reach: skipped, not flagged.
+    IntParameter("dynamic_knob", default=8, low=4, high=bound(), step=1),
+)

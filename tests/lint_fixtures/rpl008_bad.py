@@ -1,0 +1,17 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL008 positive fixture: swallowed failures."""
+
+
+def solve(solver):
+    try:
+        return solver.run()
+    except:  # bare: traps KeyboardInterrupt too
+        return None
+
+
+def probe(solver):
+    try:
+        return solver.run()
+    except Exception:
+        pass
+    return None

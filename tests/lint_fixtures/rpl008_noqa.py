@@ -1,0 +1,9 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL008 suppression fixture."""
+
+
+def best_effort_cleanup(path):
+    try:
+        path.unlink()
+    except Exception:  # repro: noqa[RPL008] -- cleanup is best-effort
+        pass

@@ -1,0 +1,18 @@
+# lint-path: src/repro/anywhere/example.py
+"""RPL008 negative fixture: narrow catches, handled broad catches."""
+import math
+
+
+def solve(solver, log):
+    try:
+        return solver.run()
+    except ValueError:
+        return math.nan  # explicit penalty for infeasible configurations
+
+
+def probe(solver, log):
+    try:
+        return solver.run()
+    except Exception as exc:
+        log.warning("solver failed: %s", exc)  # reported, not swallowed
+        raise
