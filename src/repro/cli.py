@@ -100,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save-history", metavar="FILE", help="write history JSON Lines"
     )
+    p.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=False,
+        help=(
+            "prefetch the strategy's lookahead frontier in batched solves "
+            "(results are bit-identical; only wall-clock changes)"
+        ),
+    )
+    p.add_argument(
+        "--jobs", type=_jobs_argument, default=1, metavar="N",
+        help=(
+            "worker processes fanning out the speculative frontier "
+            "(default 1; 0 = all cores; needs --speculate)"
+        ),
+    )
 
     p = sub.add_parser("sensitivity", help="one-at-a-time parameter sweeps")
     _add_scenario_arguments(p)
@@ -127,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-cache", action="store_true",
         help="disable measurement memoization (results are identical)",
+    )
+    p.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=False,
+        help=(
+            "prefetch each tuning step's lookahead frontier in batched "
+            "solves (results are bit-identical; only wall-clock changes)"
+        ),
     )
 
     p = sub.add_parser(
@@ -184,6 +205,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.parallel import resolve_jobs
     from repro.tuning.session import ClusterTuningSession, make_scheme
     from repro.util.serialization import save_configuration, save_history
 
@@ -194,6 +216,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         scheme=make_scheme(scenario, args.method),
         strategy=args.strategy,
         seed=args.seed,
+        speculate=args.speculate,
+        speculate_jobs=resolve_jobs(args.jobs) if args.speculate else 1,
     )
     baseline = session.measure_baseline().window_stats(0)
     print(f"baseline: {baseline.mean:.1f} WIPS")
@@ -235,6 +259,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=resolve_jobs(args.jobs),
         memoize=not args.no_cache,
+        speculate=args.speculate,
     )
     if args.name == "table1":
         from repro.experiments import table1

@@ -97,6 +97,27 @@ class AppServerModel:
         forwarding fractions; ``concurrency`` is the solver's estimate of
         simultaneous in-flight requests at this node.
         """
+        return self.partial(cfg, ctx, dynamic_pages, static_requests)(
+            concurrency
+        )
+
+    def partial(
+        self,
+        cfg: Mapping[str, int],
+        ctx: WorkloadContext,
+        dynamic_pages: float,
+        static_requests: float,
+    ):
+        """Partially evaluate ``cfg``: returns ``concurrency → evaluation``.
+
+        Concurrency drives only thread churn and the context-switch
+        inflation; everything else — static service, memory, the pools —
+        is fixed per configuration, and the forwarding visits themselves
+        never depend on concurrency.  The returned callable finishes the
+        CPU accumulation exactly where :meth:`evaluate` always has (the
+        spawn term is the final addend before the context-switch factor),
+        so results are bit-identical.
+        """
         if dynamic_pages < 0 or static_requests < 0:
             raise ValueError("visit counts must be non-negative")
         profile = ctx.profile
@@ -105,32 +126,23 @@ class AppServerModel:
 
         # --- thread churn (minProcessors) ---------------------------------
         warm = float(cfg["minProcessors"])
-        needed = max(concurrency, 1.0)
-        spawn_prob = ctx.burstiness * max(0.0, needed - warm) / needed
-        spawn_rate = spawn_prob * requests * 0.25  # threads linger; not every
-        # request spawns — churn is a fraction of arrivals during bursts.
+        burstiness = ctx.burstiness
 
         # --- CPU -------------------------------------------------------------
         # ``profile.app_cpu`` is already the unconditional per-interaction
         # expectation (see :func:`repro.tpcw.mix.expected_profile`); the
         # visit-count terms use the explicit per-interaction visits.
         syscalls_per_page = math.ceil(profile.response_bytes / cfg["bufferSize"])
-        cpu = requests * self.PARSE_CPU
-        cpu += static_requests * (
+        cpu_base = requests * self.PARSE_CPU
+        cpu_base += static_requests * (
             self.STATIC_SERVE_CPU + mean_obj / self.FILE_COPY_RATE
         )
-        cpu += profile.app_cpu
-        cpu += dynamic_pages * (
+        cpu_base += profile.app_cpu
+        cpu_base += dynamic_pages * (
             self.AJP_RELAY_CPU + syscalls_per_page * self.WRITE_SYSCALL_CPU
         )
-        cpu += spawn_rate * self.SPAWN_CPU
-        # Context switching once runnable threads exceed the cores.
-        runnable = min(needed, float(cfg["maxProcessors"]))
-        cs_factor = 1.0 + self.CONTEXT_SWITCH_COEF * max(
-            0.0, runnable - self.node.cpu_cores
-        )
-        cpu *= cs_factor
-        cpu = self.node.cpu_seconds(cpu)
+        max_processors = float(cfg["maxProcessors"])
+        cpu_cores = self.node.cpu_cores
 
         # --- disk -------------------------------------------------------------
         disk = static_requests * self.STATIC_DISK_ACCESS_PROB * self.node.disk_seconds(
@@ -149,15 +161,32 @@ class AppServerModel:
             + http_threads * (self.HTTP_THREAD_MEMORY + cfg["bufferSize"])
             + ajp_threads * self.AJP_THREAD_MEMORY
         )
+        http_pool = (int(cfg["maxProcessors"]), int(cfg["acceptCount"]))
+        ajp_pool = (int(cfg["AJPmaxProcessors"]), int(cfg["AJPacceptCount"]))
 
-        return AppServerEvaluation(
-            cpu_demand=cpu,
-            disk_demand=disk,
-            nic_bytes=nic,
-            memory_bytes=memory,
-            dynamic_pages=dynamic_pages,
-            static_requests=static_requests,
-            http_pool=(int(cfg["maxProcessors"]), int(cfg["acceptCount"])),
-            ajp_pool=(int(cfg["AJPmaxProcessors"]), int(cfg["AJPacceptCount"])),
-            spawn_rate=spawn_rate,
-        )
+        def build(concurrency: float = 8.0) -> AppServerEvaluation:
+            needed = max(concurrency, 1.0)
+            spawn_prob = burstiness * max(0.0, needed - warm) / needed
+            spawn_rate = spawn_prob * requests * 0.25  # threads linger; not
+            # every request spawns — churn is a fraction of arrivals
+            # during bursts.
+            cpu = cpu_base + spawn_rate * self.SPAWN_CPU
+            # Context switching once runnable threads exceed the cores.
+            runnable = min(needed, max_processors)
+            cs_factor = 1.0 + self.CONTEXT_SWITCH_COEF * max(
+                0.0, runnable - cpu_cores
+            )
+            cpu *= cs_factor
+            return AppServerEvaluation(
+                cpu_demand=self.node.cpu_seconds(cpu),
+                disk_demand=disk,
+                nic_bytes=nic,
+                memory_bytes=memory,
+                dynamic_pages=dynamic_pages,
+                static_requests=static_requests,
+                http_pool=http_pool,
+                ajp_pool=ajp_pool,
+                spawn_rate=spawn_rate,
+            )
+
+        return build

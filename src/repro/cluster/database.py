@@ -108,6 +108,22 @@ class DatabaseModel:
         ``concurrency`` is the solver's estimate of simultaneously open
         connections (drives churn and lazy-allocation sizing).
         """
+        return self.partial(cfg, ctx, dynamic_pages)(concurrency)
+
+    def partial(
+        self,
+        cfg: Mapping[str, int],
+        ctx: WorkloadContext,
+        dynamic_pages: float,
+    ):
+        """Partially evaluate ``cfg``: returns ``concurrency → evaluation``.
+
+        Concurrency enters only through connection churn (one CPU addend);
+        the cache models, disk profile and memory are fixed per
+        configuration.  The returned callable adds the churn term at the
+        same position in the CPU sum as :meth:`evaluate` always has, so
+        results are bit-identical.
+        """
         if dynamic_pages < 0:
             raise ValueError("dynamic_pages must be non-negative")
         profile = ctx.profile
@@ -123,11 +139,6 @@ class DatabaseModel:
 
         # --- table cache -----------------------------------------------------
         table_miss = math.exp(-cfg["table_cache"] / self.TABLE_WORKING_SET)
-
-        # --- connection churn --------------------------------------------------
-        conn_level = max(concurrency, 1.0)
-        cache_hit = min(1.0, cfg["thread_con"] / conn_level)
-        churn = self.CONN_CHURN_PER_PAGE * dynamic_pages * (1.0 - cache_hit)
 
         # --- join buffer ---------------------------------------------------------
         jb = float(cfg["join_buffer_size"])
@@ -160,16 +171,16 @@ class DatabaseModel:
         # Result-transfer syscalls per interaction: the whole result volume
         # pushed through net_buffer_length-sized writes.
         syscalls = math.ceil(max(profile.db_result_bytes, 1.0) / cfg["net_buffer_length"])
-        cpu = (
+        # Churn (the only concurrency-dependent addend) joins the sum in
+        # the returned callable, at its original position in the chain.
+        cpu_base = (
             reads * self.QUERY_CPU * reader_factor
             + heavy * self.HEAVY_QUERY_CPU * join_factor * stack_factor
             + writes * self.WRITE_CPU
             + inserts * self.INSERT_CPU
             + queries * table_miss * self.TABLE_OPEN_CPU
-            + churn * self.CONN_SETUP_CPU
-            + syscalls * self.WRITE_SYSCALL_CPU
         )
-        cpu = self.node.cpu_seconds(cpu)
+        syscall_cpu = syscalls * self.WRITE_SYSCALL_CPU
 
         # --- disk ----------------------------------------------------------------------
         disk = reads * self.READ_MISS_PROB * self.node.disk_seconds(
@@ -200,12 +211,23 @@ class DatabaseModel:
         join_memory = conns * self.JOIN_EAGER_FRACTION * jb
         memory = self.BASE_MEMORY + self.KEY_BUFFER + conns * per_conn + join_memory
 
-        return DatabaseEvaluation(
-            cpu_demand=cpu,
-            disk_demand=disk,
-            nic_bytes=nic,
-            memory_bytes=memory,
-            connection_limit=int(cfg["max_connections"]),
-            table_miss=table_miss,
-            binlog_spill=binlog_spill,
-        )
+        thread_con = cfg["thread_con"]
+        connection_limit = int(cfg["max_connections"])
+
+        def build(concurrency: float = 8.0) -> DatabaseEvaluation:
+            # --- connection churn --------------------------------------
+            conn_level = max(concurrency, 1.0)
+            cache_hit = min(1.0, thread_con / conn_level)
+            churn = self.CONN_CHURN_PER_PAGE * dynamic_pages * (1.0 - cache_hit)
+            cpu = cpu_base + churn * self.CONN_SETUP_CPU + syscall_cpu
+            return DatabaseEvaluation(
+                cpu_demand=self.node.cpu_seconds(cpu),
+                disk_demand=disk,
+                nic_bytes=nic,
+                memory_bytes=memory,
+                connection_limit=connection_limit,
+                table_miss=table_miss,
+                binlog_spill=binlog_spill,
+            )
+
+        return build

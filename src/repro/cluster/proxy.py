@@ -98,6 +98,17 @@ class ProxyModel:
         ``concurrency`` is the solver's estimate of simultaneous in-flight
         requests at this node (sizes the connection buffers).
         """
+        return self.partial(cfg, ctx)(concurrency)
+
+    def partial(self, cfg: Mapping[str, int], ctx: WorkloadContext):
+        """Partially evaluate ``cfg``: returns ``concurrency → evaluation``.
+
+        Only the connection buffers depend on the concurrency estimate, so
+        a solver iterating concurrency (the analytic backend's outer fixed
+        point) can pay the cache-model work once per configuration.  The
+        returned callable performs the remaining operations exactly as
+        :meth:`evaluate` always has — results are bit-identical.
+        """
         profile = ctx.profile
         cache_mem_bytes = cfg["cache_mem"] * MB
         min_obj = cfg["minimum_object_size"] * KB
@@ -178,22 +189,28 @@ class ProxyModel:
             self.DISK_CACHE_BYTES / max(mean_obj, 1.0),
         )
         buckets = cached_objects / max(cfg["store_objects_per_bucket"], 1)
-        memory = (
+        # The concurrency-dependent connection buffers are the final
+        # addition, so hoisting this prefix preserves the sum bit for bit.
+        memory_base = (
             self.BASE_MEMORY
             + cache_mem_bytes
             + cached_objects * self.INDEX_ENTRY_BYTES
             + buckets * self.BUCKET_BYTES
-            + concurrency * self.CONNECTION_BUFFER
         )
+        connection_buffer = self.CONNECTION_BUFFER
+        forward_static_total = forward_static + forward_static_pages
 
-        return ProxyEvaluation(
-            cpu_demand=cpu,
-            disk_demand=disk,
-            nic_bytes=nic,
-            memory_bytes=memory,
-            forward_pages=forward_pages,
-            forward_dynamic=forward_dynamic,
-            forward_static=forward_static + forward_static_pages,
-            mem_hit=mem_hit,
-            disk_hit=disk_hit,
-        )
+        def build(concurrency: float = 8.0) -> ProxyEvaluation:
+            return ProxyEvaluation(
+                cpu_demand=cpu,
+                disk_demand=disk,
+                nic_bytes=nic,
+                memory_bytes=memory_base + concurrency * connection_buffer,
+                forward_pages=forward_pages,
+                forward_dynamic=forward_dynamic,
+                forward_static=forward_static_total,
+                mem_hit=mem_hit,
+                disk_hit=disk_hit,
+            )
+
+        return build

@@ -34,6 +34,18 @@ __all__ = ["NodeSim", "ProxyServerSim", "AppServerSim", "DbServerSim"]
 class NodeSim:
     """Shared per-node machinery: CPU, disk, NIC byte accounting."""
 
+    __slots__ = (
+        "env",
+        "node_id",
+        "spec",
+        "memory_penalty",
+        "memory_bytes",
+        "cpu",
+        "disk",
+        "nic_bytes",
+        "latency",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -90,6 +102,8 @@ class NodeSim:
 
 class ProxyServerSim(NodeSim):
     """Tier 1: the Squid model, executed per request."""
+
+    __slots__ = ("cfg", "ctx", "model", "mem_hit", "disk_hit", "lookup_cpu", "mean_obj")
 
     def __init__(self, env, node_id, spec, cfg: dict, ctx: WorkloadContext,
                  memory_penalty: float = 1.0, memory_bytes: float = 0.0) -> None:
@@ -162,6 +176,8 @@ class ProxyServerSim(NodeSim):
 
 class AppServerSim(NodeSim):
     """Tier 2: the Tomcat model, executed per request."""
+
+    __slots__ = ("cfg", "ctx", "model", "http_pool", "ajp_pool", "mean_obj")
 
     def __init__(self, env, node_id, spec, cfg: dict, ctx: WorkloadContext,
                  memory_penalty: float = 1.0, memory_bytes: float = 0.0) -> None:
@@ -246,6 +262,18 @@ class AppServerSim(NodeSim):
 
 class DbServerSim(NodeSim):
     """Tier 3: the MySQL model, executed per page's worth of queries."""
+
+    __slots__ = (
+        "cfg",
+        "ctx",
+        "model",
+        "conn_pool",
+        "table_miss",
+        "binlog_spill",
+        "join_factor",
+        "batch",
+        "reader_factor",
+    )
 
     def __init__(self, env, node_id, spec, cfg: dict, ctx: WorkloadContext,
                  memory_penalty: float = 1.0, memory_bytes: float = 0.0,

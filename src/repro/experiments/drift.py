@@ -114,6 +114,7 @@ def run(
         backend, scenario,
         scheme=make_scheme(scenario, "default"),
         seed=derive_seed(cfg.seed, "drift"),
+        speculate=cfg.speculate,
     )
     adaptive = AdaptiveTuningSession(inner)
 

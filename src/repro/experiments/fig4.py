@@ -154,6 +154,7 @@ def _tune_mix(
         scenario,
         scheme=make_scheme(scenario, "default"),
         seed=seed,
+        speculate=cfg.speculate,
     )
     baseline = session.measure_baseline(
         iterations=cfg.baseline_iterations

@@ -117,6 +117,7 @@ def run(
         scenario,
         scheme=make_scheme(scenario, "default"),
         seed=derive_seed(cfg.seed, "fig5"),
+        speculate=cfg.speculate,
     )
     adaptive = AdaptiveTuningSession(session)
 

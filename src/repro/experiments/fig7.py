@@ -123,6 +123,7 @@ def _run_experiment(
         scenario,
         scheme=make_scheme(scenario, "duplication"),
         seed=seed,
+        speculate=cfg.speculate,
     )
     reconfigurator = Reconfigurator(policy)
 

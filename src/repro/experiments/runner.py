@@ -47,6 +47,9 @@ class ExperimentConfig:
     jobs: int = 1
     #: Memoize measurements (the ``--no-cache`` switch turns this off).
     memoize: bool = True
+    #: Speculatively prefetch the tuning loop's lookahead frontier
+    #: (the ``--speculate`` switch; results are bit-identical either way).
+    speculate: bool = False
 
     def window_start(self) -> int:
         """First iteration of the evaluation window."""

@@ -139,6 +139,7 @@ def _run_method(
         scenario,
         scheme=scheme,
         seed=derive_seed(cfg.seed, "table4", method),
+        speculate=cfg.speculate,
     )
     session.run(cfg.iterations)
     history = session.history

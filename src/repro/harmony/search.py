@@ -12,6 +12,7 @@ simplex kernel internally minimizes, so :class:`SimplexStrategy` negates.
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Optional
 
 import numpy as np
@@ -62,6 +63,37 @@ class SearchStrategy(abc.ABC):
     def ask(self) -> Configuration:
         """Next configuration to measure (stable until tell())."""
 
+    def speculate(self) -> list[Configuration]:
+        """Ordered forecast of the strategy's certain next asks.
+
+        Entry *k* is the configuration this strategy will ask *k* steps
+        ahead, as far as that is determined regardless of pending
+        measurement values (e.g. the tail of a fixed probe or vertex
+        queue).  The speculative layer (:mod:`repro.harmony.speculate`)
+        zips the per-group forecasts positionally into future full
+        configurations and warms the backend's deterministic caches for
+        them in one batch per step.  The contract is advisory only: the
+        strategy state must not change and no randomness may be consumed;
+        a wrong or unused entry is wasted warmth, never observable.  The
+        default speculates nothing, which is always correct.
+        """
+        return []
+
+    def speculate_alternatives(self) -> list[Configuration]:
+        """Unordered alternatives for the next ask beyond the forecast.
+
+        Where :meth:`speculate` ends because the next ask depends on a
+        pending value, the strategy may still know the *finite set* of
+        configurations that ask could be (e.g. a simplex's reflection vs.
+        contraction candidates).  At most one of them will be committed —
+        they are alternatives, not a sequence — so the speculative layer
+        only uses them where a single fragment's warmth is useful on its
+        own (per-line caching under partitioning, or single-group
+        schemes).  Same advisory contract as :meth:`speculate`; the
+        default knows no alternatives.
+        """
+        return []
+
     def tell(self, config: Configuration, performance: float) -> None:
         """Report measured performance (higher is better)."""
         self._evaluations += 1
@@ -104,6 +136,27 @@ class SimplexStrategy(SearchStrategy):
         """Next configuration from the simplex kernel."""
         return self._simplex.ask()
 
+    def speculate(self) -> list[Configuration]:
+        """The certain part of the simplex's candidate tree, in ask order.
+
+        During the value-independent stretches — the initial k+1 vertex
+        sweep and the k-vertex shrink queues, the bulk of a tuning run's
+        asks — every remaining queue entry is guaranteed to be asked, so
+        the whole queue is returned and prefetched as one deep batch.
+        """
+        return self._simplex.speculative_frontier(certain_only=True)
+
+    def speculate_alternatives(self) -> list[Configuration]:
+        """The benign value-conditional candidates for the next ask.
+
+        Rank-variant reflections, contraction points, the first shrink
+        vertex and post-queue reflections — everything
+        :meth:`~repro.harmony.simplex.NelderMeadSimplex.speculative_branch_candidates`
+        deems worth prefetching (the expansion overshoot is excluded
+        there: rarely taken, slow to solve).
+        """
+        return self._simplex.speculative_branch_candidates()
+
     def _tell(self, config: Configuration, performance: float) -> None:
         objective = -performance if np.isfinite(performance) else float("inf")
         self._simplex.tell(config, objective)
@@ -132,6 +185,16 @@ class RandomSearch(SearchStrategy):
                 self.space.random_configuration(self._rng)
             )
         return self._pending
+
+    def speculate(self) -> list[Configuration]:
+        """The exact next sample, drawn from a cloned generator.
+
+        ``_rng`` has already advanced past any pending draw, so cloning it
+        and sampling once reproduces the next ask bit-for-bit without
+        consuming the real stream.
+        """
+        rng = copy.deepcopy(self._rng)
+        return [self._feasible(self.space.random_configuration(rng))]
 
     def _tell(self, config: Configuration, performance: float) -> None:
         self._pending = None
@@ -180,6 +243,33 @@ class CoordinateDescent(SearchStrategy):
         self._probes = probes
         self._probe_results = []
 
+    def _probes_for(
+        self, incumbent: Configuration, dim: int
+    ) -> list[Configuration]:
+        """The probe list ask() would build for ``incumbent`` at ``dim``.
+
+        Pure replica of :meth:`_make_probes` plus ask()'s degenerate-
+        dimension skip loop — used by :meth:`speculate` so prediction and
+        execution cannot drift apart.
+        """
+        for _ in range(self.space.dimension):
+            param = self.space.parameters[dim]
+            value = incumbent[param.name]
+            delta = param.step * self._step_multiplier
+            probes: list[Configuration] = []
+            for candidate in (value + delta, value - delta):
+                clamped = param.clamp(candidate)
+                if clamped != value:
+                    probe = self._feasible(
+                        incumbent.replace(**{param.name: clamped})
+                    )
+                    if probe != incumbent and probe not in probes:
+                        probes.append(probe)
+            if probes:
+                return probes
+            dim = (dim + 1) % self.space.dimension
+        return []
+
     def ask(self) -> Configuration:
         """The incumbent first, then its per-dimension probes."""
         if self._pending is not None:
@@ -191,6 +281,45 @@ class CoordinateDescent(SearchStrategy):
                 self._make_probes()
         self._pending = self._probes[len(self._probe_results)]
         return self._pending
+
+    def speculate(self) -> list[Configuration]:
+        """The unmeasured tail of this dimension's probe list, in order.
+
+        Every probe of a dimension is asked regardless of measured values
+        (the move decision happens only once all are in), so the remaining
+        probes are a certain forecast of the next asks.
+        """
+        if not self._probes:
+            # Between dimensions (or before the incumbent measurement):
+            # the next asks are the current dimension's full probe list.
+            return self._probes_for(self._incumbent, self._dim)
+        ahead = len(self._probe_results) + (1 if self._pending is not None else 0)
+        return list(self._probes[ahead:])
+
+    def speculate_alternatives(self) -> list[Configuration]:
+        """The next dimension's probes, for each possible incumbent.
+
+        Only non-empty while the current dimension's last probe is in
+        flight: the move decision then branches on who the incumbent will
+        be — it stays, moves to the best probe measured so far, or moves
+        to the pending probe — and each hypothesis implies a probe list
+        for the next dimension.
+        """
+        ahead = len(self._probe_results) + (1 if self._pending is not None else 0)
+        if not self._probes or ahead < len(self._probes):
+            return []
+        next_dim = (self._dim + 1) % self.space.dimension
+        candidates = [self._incumbent]
+        if self._probe_results and self._incumbent_perf is not None:
+            best_cfg, best_perf = max(self._probe_results, key=lambda cv: cv[1])
+            if best_perf > self._incumbent_perf and best_cfg not in candidates:
+                candidates.append(best_cfg)
+        if self._pending is not None and self._pending not in candidates:
+            candidates.append(self._pending)
+        out: list[Configuration] = []
+        for cand in candidates:
+            out.extend(self._probes_for(cand, next_dim))
+        return out
 
     def _tell(self, config: Configuration, performance: float) -> None:
         self._pending = None

@@ -46,7 +46,7 @@ from repro.model.base import (
     ResourceUtilization,
     Scenario,
 )
-from repro.model.demands import DemandSet, build_demands
+from repro.model.demands import DemandBuilder, DemandSet
 from repro.model.mva import MvaNetwork, MvaResult, Station, solve_mva, solve_mva_batch
 from repro.model.noise import NoiseModel
 from repro.util.rng import spawn_rng
@@ -81,11 +81,102 @@ class AnalyticSolution:
         return self.throughput
 
 
+class _SolvePlan:
+    """Invariant per-solve scaffolding derived from the first demand set.
+
+    The node and pool sets — and with them the station names, the
+    concurrency-independent station demands (app/db disk and NIC), and
+    the refresh loop's pool/core ratios — are fixed for a whole solve.
+    Deriving them once per state instead of every outer round changes
+    only where they are computed, never their values, so solver results
+    stay bit-identical.
+    """
+
+    __slots__ = (
+        "node_names",
+        "fixed_stations",
+        "pool_entries",
+        "sorted_pools",
+        "db_refresh",
+        "app_refresh",
+        "dyn_frac",
+    )
+
+    def __init__(self, demand_set: DemandSet) -> None:
+        node_names: list[tuple[str, str, str]] = []
+        fixed: list[tuple[Station, Station] | None] = []
+        app_cores: dict[str, int] = {}
+        for nd in demand_set.nodes:
+            names = (
+                f"{nd.node_id}:cpu",
+                f"{nd.node_id}:disk",
+                f"{nd.node_id}:nic",
+            )
+            node_names.append(names)
+            if nd.role is Role.PROXY:
+                # Proxy disk demand tracks the memory penalty, which moves
+                # with the concurrency iterate — rebuild those per round.
+                fixed.append(None)
+            else:
+                fixed.append(
+                    (Station(names[1], nd.disk), Station(names[2], nd.nic))
+                )
+            if nd.role is Role.APP:
+                app_cores[nd.node_id] = nd.cpu_servers
+        self.node_names = node_names
+        self.fixed_stations = fixed
+        pool_entries = [
+            (f"{pool.node_id}:{pool.kind}", pool) for pool in demand_set.pools
+        ]
+        self.pool_entries = pool_entries
+        db_conns = {
+            pool.node_id: pool.servers
+            for _, pool in pool_entries
+            if pool.kind == "dbconn"
+        }
+        # The refresh loop walks pools in name order; precompute the
+        # per-pool processor-sharing ratio (servers per core) it applies.
+        self.sorted_pools = [
+            (
+                name,
+                pool,
+                max(pool.visits, 1e-9),
+                max(1.0, pool.servers / app_cores[pool.node_id])
+                if pool.kind in ("http", "ajp")
+                else 0.0,
+            )
+            for name, pool in sorted(pool_entries, key=lambda entry: entry[0])
+        ]
+        db_refresh = []
+        app_refresh = []
+        for i, nd in enumerate(demand_set.nodes):
+            cpu_n, disk_n, nic_n = node_names[i]
+            if nd.role is Role.DB:
+                db_refresh.append(
+                    (
+                        i,
+                        cpu_n,
+                        disk_n,
+                        nic_n,
+                        max(1.0, db_conns[nd.node_id] / nd.cpu_servers),
+                    )
+                )
+            elif nd.role is Role.APP:
+                app_refresh.append((i, nd.node_id, cpu_n, disk_n, nic_n))
+        self.db_refresh = db_refresh
+        self.app_refresh = app_refresh
+        self.dyn_frac = demand_set.forward_dynamic / max(
+            demand_set.forward_total, 1e-9
+        )
+
+
 class _OuterState:
     """Mutable per-configuration state of the outer fixed point."""
 
     __slots__ = (
         "configuration",
+        "builder",
+        "plan",
         "conc",
         "holding",
         "x_prev",
@@ -93,7 +184,6 @@ class _OuterState:
         "pool_diag",
         "demand_set",
         "mva",
-        "pool_names",
         "done",
     )
 
@@ -101,6 +191,10 @@ class _OuterState:
         self, cluster: ClusterSpec, configuration: Mapping[str, int]
     ) -> None:
         self.configuration = configuration
+        # Per-solve partial evaluation of the demand derivation; created on
+        # first assembly (needs the workload context the backend supplies).
+        self.builder: DemandBuilder | None = None
+        self.plan: _SolvePlan | None = None
         self.conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
         self.holding: dict[str, float] = {}
         self.x_prev = 0.0
@@ -108,7 +202,6 @@ class _OuterState:
         self.pool_diag: dict[str, float] = {}
         self.demand_set: DemandSet | None = None
         self.mva: MvaResult | None = None
-        self.pool_names: dict[str, object] = {}
         self.done = False
 
 
@@ -123,17 +216,30 @@ class AnalyticBackend(PerformanceBackend):
         damping: float = 0.5,
         tol: float = 2e-4,
         solution_cache_size: int = 4096,
+        prefetch_outer_budget: Optional[int] = None,
     ) -> None:
         if not 0.0 < damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
         if solution_cache_size < 0:
             raise ValueError("solution_cache_size must be >= 0 (0 disables)")
+        if prefetch_outer_budget is not None and prefetch_outer_budget < 1:
+            raise ValueError("prefetch_outer_budget must be >= 1 (None = full)")
         self.noise = noise if noise is not None else NoiseModel()
         self.memory = memory or MemoryModel()
         self.max_outer = max_outer
         self.damping = damping
         self.tol = tol
         self.solution_cache_size = solution_cache_size
+        # Speculative prefetches abandon rows whose outer fixed point has
+        # not converged within this many rounds (None = run to max_outer).
+        # Abandoned rows are simply not cached; if later committed they
+        # solve at the ordinary serial price, so results are unaffected.
+        # Off by default: the TPC-W fixed point usually *exhausts*
+        # max_outer rather than converging (the exhausted last iterate is
+        # the solution), so a budget below max_outer abandons nearly every
+        # row — the knob only pays on models where early convergence is
+        # the norm and stragglers the exception.
+        self.prefetch_outer_budget = prefetch_outer_budget
         self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
         # Deterministic-solution memo: (scenario fp, config) → solution.
         # The solve is seed-independent (only the noise draw varies), so
@@ -203,9 +309,51 @@ class AnalyticBackend(PerformanceBackend):
         bit-identical per row), so the returned solutions equal the scalar
         ones bit for bit.
         """
-        states = [_OuterState(cluster, cfg) for cfg in configurations]
-        for _ in range(self.max_outer):
-            active = [st for st in states if not st.done]
+        return self.solve_tasks(
+            [(cluster, cfg, population) for cfg in configurations],
+            ctx,
+            think_time,
+        )
+
+    def solve_tasks(
+        self,
+        tasks: Sequence[tuple[ClusterSpec, Mapping[str, int], int]],
+        ctx: WorkloadContext,
+        think_time: float,
+        outer_budget: Optional[int] = None,
+    ) -> list[Optional[AnalyticSolution]]:
+        """Solve heterogeneous ``(cluster, configuration, population)`` tasks
+        in lockstep — one :func:`solve_mva_batch` call per outer iteration.
+
+        This generalizes :meth:`solve_batch` to tasks on *different*
+        (sub-)clusters and populations, which is what a partitioned
+        scenario's work lines and a speculative cross-group frontier need.
+        Each task's trajectory is independent and bit-identical to
+        :meth:`solve` on the same task.
+
+        Every size runs through :func:`solve_mva_batch`: its python
+        finisher takes over once at most two rows remain active, so even
+        one- and two-task sets beat the scalar solver (the array kernel's
+        per-iteration overhead used to lose below ≈3 rows).  Identical
+        results either way — the engines are bit-identical by contract.
+
+        ``outer_budget`` caps the outer rounds *without* compromising
+        results: a task whose fixed point converges within the budget
+        yields the exact :meth:`solve` solution (the convergence round is
+        intrinsic to the task — lockstep freezing changes which rounds
+        run, never their values), and a task that does not is returned as
+        ``None`` rather than as a different iterate.  Prefetch paths use
+        this to abandon straggler speculation cheaply; measurement paths
+        leave it ``None`` (run to ``max_outer``, every entry solved).
+        """
+        rounds = self.max_outer if outer_budget is None else min(
+            outer_budget, self.max_outer
+        )
+        budgeted = rounds < self.max_outer
+        states = [_OuterState(cluster, cfg) for cluster, cfg, _ in tasks]
+        pairs = list(zip(states, tasks))
+        for _ in range(rounds):
+            active = [(st, t) for st, t in pairs if not st.done]
             if not active:
                 break
             networks = [
@@ -215,35 +363,47 @@ class AnalyticBackend(PerformanceBackend):
                     think_time,
                     NETWORK_RTT,
                 )
-                for st in active
+                for st, (cluster, _, population) in active
             ]
-            for st, mva in zip(active, solve_mva_batch(networks)):
+            for (st, _), mva in zip(active, solve_mva_batch(networks)):
                 st.mva = mva
                 if self._refresh_state(st):
                     st.done = True
-        return [self._finalize_state(st) for st in states]
+        return [
+            None if budgeted and not st.done else self._finalize_state(st)
+            for st in states
+        ]
 
     # ------------------------------------------------------------------
     def _assemble_stations(
         self, state: _OuterState, cluster: ClusterSpec, ctx: WorkloadContext
     ) -> list[Station]:
         """One outer iteration's network from the state's current iterate."""
-        state.demand_set = build_demands(
-            cluster, state.configuration, ctx, state.conc, self.memory
-        )
+        if state.builder is None:
+            state.builder = DemandBuilder(
+                cluster, state.configuration, ctx, self.memory
+            )
+        demand_set = state.builder.build(state.conc)
+        state.demand_set = demand_set
+        plan = state.plan
+        if plan is None:
+            plan = state.plan = _SolvePlan(demand_set)
         stations = []
-        for nd in state.demand_set.nodes:
-            stations.append(Station(f"{nd.node_id}:cpu", nd.cpu, nd.cpu_servers))
-            stations.append(Station(f"{nd.node_id}:disk", nd.disk))
-            stations.append(Station(f"{nd.node_id}:nic", nd.nic))
-        state.pool_names = {}
-        for pool in state.demand_set.pools:
-            name = f"{pool.node_id}:{pool.kind}"
-            state.pool_names[name] = pool
+        holding = state.holding
+        for nd, names, fixed in zip(
+            demand_set.nodes, plan.node_names, plan.fixed_stations
+        ):
+            stations.append(Station(names[0], nd.cpu, nd.cpu_servers))
+            if fixed is None:
+                stations.append(Station(names[1], nd.disk))
+                stations.append(Station(names[2], nd.nic))
+            else:
+                stations.extend(fixed)
+        for name, pool in plan.pool_entries:
             stations.append(
                 Station(
                     name,
-                    pool.visits * state.holding.get(name, 0.02),
+                    pool.visits * holding.get(name, 0.02),
                     pool.servers,
                 )
             )
@@ -256,56 +416,43 @@ class AnalyticBackend(PerformanceBackend):
         """
         demand_set = state.demand_set
         mva = state.mva
-        assert demand_set is not None and mva is not None
+        plan = state.plan
+        assert demand_set is not None and mva is not None and plan is not None
         holding = state.holding
         conc = state.conc
         x = mva.throughput
+        nodes = demand_set.nodes
+        residence = mva.residence
 
         # --- refresh pool holding times from downstream residence ------
         fwd_dyn = demand_set.forward_dynamic
-        fwd_total = demand_set.forward_total
         db_resid = 0.0
         db_resid_bound = 0.0
-        for nd in demand_set.nodes:
-            if nd.role is not Role.DB:
-                continue
+        for i, cpu_n, disk_n, nic_n, conn_ratio in plan.db_refresh:
+            nd = nodes[i]
             db_resid += (
-                mva.residence[f"{nd.node_id}:cpu"]
-                + mva.residence[f"{nd.node_id}:disk"]
-                + mva.residence[f"{nd.node_id}:nic"]
+                residence[cpu_n] + residence[disk_n] + residence[nic_n]
             )
-            conns = next(
-                p.servers
-                for p in demand_set.pools
-                if p.node_id == nd.node_id and p.kind == "dbconn"
-            )
-            db_resid_bound += (nd.cpu + nd.disk + nd.nic) * max(
-                1.0, conns / nd.cpu_servers
-            )
+            db_resid_bound += (nd.cpu + nd.disk + nd.nic) * conn_ratio
         # Same processor-sharing bound as the app pools: at most
         # ``max_connections`` requests can be inside a database node.
         db_resid = min(db_resid, db_resid_bound)
         db_per_page = db_resid / fwd_dyn if fwd_dyn > 1e-9 else 0.0
         app_resid = {}
         app_demand = {}
-        app_cores = {}
-        for nd in demand_set.nodes:
-            if nd.role is not Role.APP:
-                continue
-            app_resid[nd.node_id] = (
-                mva.residence[f"{nd.node_id}:cpu"]
-                + mva.residence[f"{nd.node_id}:disk"]
-                + mva.residence[f"{nd.node_id}:nic"]
+        for i, node_id, cpu_n, disk_n, nic_n in plan.app_refresh:
+            nd = nodes[i]
+            app_resid[node_id] = (
+                residence[cpu_n] + residence[disk_n] + residence[nic_n]
             )
-            app_demand[nd.node_id] = nd.cpu + nd.disk + nd.nic
-            app_cores[nd.node_id] = nd.cpu_servers
+            app_demand[node_id] = nd.cpu + nd.disk + nd.nic
 
         err = 0.0
         pool_diag: dict[str, float] = {}
         pool_queue: dict[str, float] = {}
         d = self.damping
         holding_drift = 0.0
-        for name, pool in sorted(state.pool_names.items()):
+        for name, pool, visits, ps_ratio in plan.sorted_pools:
             # The MVA piles *all* excess population onto the bottleneck
             # station, so the raw residence overstates how long one of a
             # pool's P threads actually holds local resources: with at
@@ -315,16 +462,12 @@ class AnalyticBackend(PerformanceBackend):
             # CPU-saturated node throttle at its CPU capacity instead of
             # oscillating between CPU-limited and pool-limited regimes.
             if pool.kind in ("http", "ajp"):
-                visits = max(pool.visits, 1e-9)
                 per_req = app_resid[pool.node_id] / visits
                 d_req = app_demand[pool.node_id] / visits
-                ps_bound = d_req * max(
-                    1.0, pool.servers / app_cores[pool.node_id]
-                )
+                ps_bound = d_req * ps_ratio
                 local = min(per_req, ps_bound)
                 if pool.kind == "http":
-                    dyn_frac = fwd_dyn / max(fwd_total, 1e-9)
-                    target = local + dyn_frac * db_per_page
+                    target = local + plan.dyn_frac * db_per_page
                 else:
                     target = local + db_per_page
             else:  # dbconn: holding is the database residence per page
@@ -422,12 +565,45 @@ class AnalyticBackend(PerformanceBackend):
         self._solution_cache.move_to_end(key)
         return sol
 
+    def _solution_peek(self, key: tuple) -> Optional[AnalyticSolution]:
+        """Cache probe without touching counters or LRU order.
+
+        Used by prefetching, whose probes would otherwise distort the
+        hit/miss statistics reported for real measurements.
+        """
+        if self.solution_cache_size == 0:
+            return None
+        return self._solution_cache.get(key)
+
     def _solution_put(self, key: tuple, solution: AnalyticSolution) -> None:
         if self.solution_cache_size == 0:
             return
         self._solution_cache[key] = solution
         while len(self._solution_cache) > self.solution_cache_size:
             self._solution_cache.popitem(last=False)
+
+    def export_solutions(self) -> list[tuple[tuple, AnalyticSolution]]:
+        """Snapshot of the deterministic-solution memo.
+
+        Worker processes solving a speculative frontier chunk export their
+        (fresh, thus exactly-the-chunk) memo; the parent absorbs it.
+        Solutions are deterministic, so shipping them across processes is
+        bit-safe.
+        """
+        return list(self._solution_cache.items())
+
+    def absorb_solutions(
+        self, items: Sequence[tuple[tuple, AnalyticSolution]]
+    ) -> int:
+        """Merge solutions solved elsewhere; returns how many were new."""
+        if self.solution_cache_size == 0:
+            return 0
+        added = 0
+        for key, sol in items:
+            if key not in self._solution_cache:
+                self._solution_put(key, sol)
+                added += 1
+        return added
 
     def _solve_cached(
         self,
@@ -467,6 +643,84 @@ class AnalyticBackend(PerformanceBackend):
             }
         )
 
+    def _line_tasks(
+        self, scenario: Scenario, configuration: Configuration
+    ) -> list[tuple[str, tuple, ClusterSpec, Configuration, int]]:
+        """The per-work-line solve tasks of one partitioned measurement.
+
+        Each entry is ``(line_id, solution key, sub-cluster, sub-config,
+        sub-population)`` in sorted line order.  A line's solve depends only
+        on its own sub-configuration, so the solution key is per line —
+        this is what lets speculative frontiers that vary one group's
+        fragment reuse every other line's solution.
+        """
+        lines = scenario.work_lines
+        assert lines is not None
+        share = scenario.population // len(lines)
+        remainder = scenario.population - share * len(lines)
+        tasks = []
+        for i, (line_id, node_ids) in enumerate(sorted(lines.items())):
+            placements = [scenario.cluster.placement(n) for n in node_ids]
+            sub_cluster = ClusterSpec(placements, name=line_id)
+            sub_pop = max(share + (1 if i < remainder else 0), 1)
+            sub_cfg = self._subset_config(configuration, list(node_ids))
+            key = (
+                scenario.fingerprint(),
+                line_id,
+                sub_pop,
+                tuple(sorted(sub_cfg.items())),
+            )
+            tasks.append((line_id, key, sub_cluster, sub_cfg, sub_pop))
+        return tasks
+
+    def _measure_partitioned(
+        self,
+        scenario: Scenario,
+        seed: int,
+        extremeness: float,
+        tasks: Sequence[tuple[str, tuple, ClusterSpec, Configuration, int]],
+        solutions: Mapping[tuple, AnalyticSolution],
+    ) -> Measurement:
+        """Aggregate per-line solutions into one partitioned measurement."""
+        per_line: dict[str, float] = {}
+        utilization: dict[str, ResourceUtilization] = {}
+        total_raw = 0.0
+        total_wips = 0.0
+        err_acc = 0.0
+        resp_acc = 0.0
+        diagnostics: dict[str, float] = {}
+        for line_id, key, _, _, _ in tasks:
+            sol = solutions[key]
+            noisy = self.noise.apply(
+                sol.effective_wips,
+                extremeness,
+                sol.max_memory_penalty,
+                spawn_rng(seed, "line", line_id),
+            )
+            per_line[line_id] = noisy
+            total_raw += sol.throughput
+            total_wips += noisy
+            err_acc += sol.error_rate * sol.throughput
+            resp_acc += sol.response_time * sol.throughput
+            utilization.update(sol.utilization)
+            diagnostics.update(
+                {
+                    f"{line_id}.{k}": v
+                    for k, v in sorted(sol.diagnostics.items())
+                }
+            )
+        error_rate = err_acc / total_raw if total_raw > 0 else 0.0
+        response = resp_acc / total_raw if total_raw > 0 else 0.0
+        return Measurement(
+            wips=total_wips,
+            raw_wips=total_raw,
+            error_rate=error_rate,
+            response_time=response,
+            utilization=utilization,
+            diagnostics=diagnostics,
+            per_line_wips=per_line,
+        )
+
     def measure(
         self,
         scenario: Scenario,
@@ -480,59 +734,16 @@ class AnalyticBackend(PerformanceBackend):
         rng = spawn_rng(seed, "analytic-measure")
 
         if scenario.work_lines:
-            lines = scenario.work_lines
-            per_line: dict[str, float] = {}
-            utilization: dict[str, ResourceUtilization] = {}
-            total_raw = 0.0
-            total_wips = 0.0
-            err_acc = 0.0
-            resp_acc = 0.0
-            max_penalty = 1.0
-            diagnostics: dict[str, float] = {}
-            share = scenario.population // len(lines)
-            remainder = scenario.population - share * len(lines)
-            for i, (line_id, node_ids) in enumerate(sorted(lines.items())):
-                placements = [
-                    scenario.cluster.placement(n) for n in node_ids
-                ]
-                sub_cluster = ClusterSpec(placements, name=line_id)
-                sub_pop = share + (1 if i < remainder else 0)
-                sol = self.solve(
-                    sub_cluster,
-                    self._subset_config(configuration, list(node_ids)),
-                    ctx,
-                    max(sub_pop, 1),
-                    think,
-                )
-                noisy = self.noise.apply(
-                    sol.effective_wips,
-                    extremeness,
-                    sol.max_memory_penalty,
-                    spawn_rng(seed, "line", line_id),
-                )
-                per_line[line_id] = noisy
-                total_raw += sol.throughput
-                total_wips += noisy
-                err_acc += sol.error_rate * sol.throughput
-                resp_acc += sol.response_time * sol.throughput
-                utilization.update(sol.utilization)
-                max_penalty = max(max_penalty, sol.max_memory_penalty)
-                diagnostics.update(
-                    {
-                        f"{line_id}.{k}": v
-                        for k, v in sorted(sol.diagnostics.items())
-                    }
-                )
-            error_rate = err_acc / total_raw if total_raw > 0 else 0.0
-            response = resp_acc / total_raw if total_raw > 0 else 0.0
-            return Measurement(
-                wips=total_wips,
-                raw_wips=total_raw,
-                error_rate=error_rate,
-                response_time=response,
-                utilization=utilization,
-                diagnostics=diagnostics,
-                per_line_wips=per_line,
+            tasks = self._line_tasks(scenario, configuration)
+            solutions: dict[tuple, AnalyticSolution] = {}
+            for _, key, sub_cluster, sub_cfg, sub_pop in tasks:
+                sol = self._solution_get(key)
+                if sol is None:
+                    sol = self.solve(sub_cluster, sub_cfg, ctx, sub_pop, think)
+                    self._solution_put(key, sol)
+                solutions[key] = sol
+            return self._measure_partitioned(
+                scenario, seed, extremeness, tasks, solutions
             )
 
         sol = self._solve_cached(scenario, configuration, ctx, think)
@@ -568,15 +779,43 @@ class AnalyticBackend(PerformanceBackend):
         memo, and the misses submitted to :meth:`solve_batch` as a single
         lockstep batch; each request then draws its own noise exactly as
         :meth:`measure` would.  Results are bit-identical to the serial
-        loop.  Partitioned (work-line) scenarios fall back to the serial
-        path.
+        loop.  Partitioned (work-line) scenarios decompose into per-line
+        tasks, deduplicate them across requests, and solve the cold ones in
+        one :meth:`solve_tasks` batch.
         """
-        if scenario.work_lines:
-            return [
-                self.measure(scenario, cfg, seed=seed) for cfg, seed in requests
-            ]
         ctx = self._context(scenario)
         think = scenario.behavior.effective_mean_think_time
+        if scenario.work_lines:
+            task_lists: dict[Configuration, list] = {}
+            solutions: dict[tuple, AnalyticSolution] = {}
+            cold: OrderedDict[tuple, tuple] = OrderedDict()
+            for cfg, _ in requests:
+                if cfg in task_lists:
+                    continue
+                tasks = self._line_tasks(scenario, cfg)
+                task_lists[cfg] = tasks
+                for _, key, sub_cluster, sub_cfg, sub_pop in tasks:
+                    if key in solutions or key in cold:
+                        continue
+                    sol = self._solution_get(key)
+                    if sol is None:
+                        cold[key] = (sub_cluster, sub_cfg, sub_pop)
+                    else:
+                        solutions[key] = sol
+            if cold:
+                solved = self.solve_tasks(list(cold.values()), ctx, think)
+                for key, sol in zip(cold, solved):
+                    self._solution_put(key, sol)
+                    solutions[key] = sol
+            out = []
+            for cfg, seed in requests:
+                extremeness = scenario.cluster.full_space().extremeness(cfg)
+                out.append(
+                    self._measure_partitioned(
+                        scenario, seed, extremeness, task_lists[cfg], solutions
+                    )
+                )
+            return out
 
         order: dict[Configuration, int] = {}
         for cfg, _ in requests:
@@ -630,3 +869,55 @@ class AnalyticBackend(PerformanceBackend):
                 )
             )
         return out
+
+    def prefetch_configs(
+        self,
+        scenario: Scenario,
+        configurations: Sequence[Configuration],
+    ) -> int:
+        """Warm the solution memo for a speculative frontier in one batch.
+
+        The deterministic solve needs no seed, so a frontier can be solved
+        before anyone commits to measuring it: later :meth:`measure` calls
+        for any of these configurations (under *any* seed) hit the memo.
+        Partitioned scenarios decompose into per-line tasks first, so a
+        frontier that varies one group's fragment costs one sub-solve per
+        *new* fragment, not per full configuration.  Cache probes bypass
+        the hit/miss counters (see :meth:`_solution_peek`), and nothing
+        here affects measured values — only their latency.  Straggler
+        tasks whose fixed point misses ``prefetch_outer_budget`` rounds
+        are abandoned uncached (see :meth:`solve_tasks`) instead of
+        burning the full ``max_outer`` on a solution nobody may ask for.
+        Returns the number of cold solves completed and cached.
+        """
+        if self.solution_cache_size == 0 or not configurations:
+            return 0
+        ctx = self._context(scenario)
+        think = scenario.behavior.effective_mean_think_time
+        cold: OrderedDict[tuple, tuple] = OrderedDict()
+        if scenario.work_lines:
+            for cfg in configurations:
+                for _, key, sub_cluster, sub_cfg, sub_pop in self._line_tasks(
+                    scenario, cfg
+                ):
+                    if key not in cold and self._solution_peek(key) is None:
+                        cold[key] = (sub_cluster, sub_cfg, sub_pop)
+        else:
+            for cfg in configurations:
+                key = self._solution_key(scenario, cfg)
+                if key not in cold and self._solution_peek(key) is None:
+                    cold[key] = (scenario.cluster, cfg, scenario.population)
+        if not cold:
+            return 0
+        solved = self.solve_tasks(
+            list(cold.values()),
+            ctx,
+            think,
+            outer_budget=self.prefetch_outer_budget,
+        )
+        stored = 0
+        for key, sol in zip(cold, solved):
+            if sol is not None:
+                self._solution_put(key, sol)
+                stored += 1
+        return stored

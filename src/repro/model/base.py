@@ -36,6 +36,7 @@ __all__ = [
     "Measurement",
     "PerformanceBackend",
     "CacheStats",
+    "SpeculationStats",
     "MeasurementCache",
     "MemoizedBackend",
 ]
@@ -222,6 +223,23 @@ class PerformanceBackend(abc.ABC):
         """
         return [self.measure(scenario, cfg, seed=seed) for cfg, seed in requests]
 
+    def prefetch_configs(
+        self,
+        scenario: Scenario,
+        configurations: Sequence[Configuration],
+    ) -> int:
+        """Warm any deterministic caches for configurations likely to be
+        measured soon.  Returns the number of cold solves performed.
+
+        Purely advisory: a backend with nothing seed-independent to cache
+        (the DES backend) ignores the hint, and measurements after a
+        prefetch are bit-identical to measurements without one — the only
+        effect is that later :meth:`measure` calls may hit a warm cache.
+        The analytic backend overrides this to solve the whole frontier in
+        one vectorized MVA batch.
+        """
+        return 0
+
 
 # ----------------------------------------------------------------------
 # Measurement memoization
@@ -229,11 +247,26 @@ class PerformanceBackend(abc.ABC):
 
 @dataclass
 class CacheStats:
-    """Hit/miss/size counters of one measurement cache."""
+    """Hit/miss/size counters of one measurement cache.
+
+    Misses are sliced by *why* they missed.  Measurement-cache keys include
+    the seed (they must: noise makes measurements seed-dependent), so a
+    tuning loop that derives a fresh seed per iteration can never hit —
+    every lookup asks for a configuration/seed pair nobody measured.  Such
+    ``seed_cold_misses`` (the configuration was cached under *other* seeds)
+    are cold by design; ``config_cold_misses`` (the configuration has never
+    been cached at all) are the only sign a cache might actually be broken.
+    A fig4-style run reporting ``hit_rate: 0.0`` with all misses seed-cold
+    is therefore working exactly as specified.
+    """
 
     hits: int = 0
     misses: int = 0
     size: int = 0
+    #: Misses where the configuration was cached, but under different seeds.
+    seed_cold_misses: int = 0
+    #: Misses where the configuration was never cached under any seed.
+    config_cold_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -245,12 +278,81 @@ class CacheStats:
         """Fraction of lookups served from the cache (0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def config_hit_rate(self) -> float:
+        """Hit rate with by-design seed misses excluded.
+
+        ``hits / (hits + config_cold_misses)`` — "of the lookups the cache
+        could possibly have served, how many did it serve?".  This is the
+        number to alarm on; :attr:`hit_rate` legitimately reads 0.0 under
+        per-iteration seeding.
+        """
+        servable = self.hits + self.config_cold_misses
+        return self.hits / servable if servable else 0.0
+
     def as_dict(self) -> dict[str, float]:
         """Counters as a flat mapping (for reports and JSON)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "size": self.size,
+            "hit_rate": self.hit_rate,
+            "seed_cold_misses": self.seed_cold_misses,
+            "config_cold_misses": self.config_cold_misses,
+            "config_hit_rate": self.config_hit_rate,
+        }
+
+
+@dataclass
+class SpeculationStats:
+    """Accounting of one speculative evaluator's predictions.
+
+    Units: ``planned``/``hits``/``misses`` count per-group candidate
+    fragments; ``batched`` counts fused full configurations submitted to
+    the backend; ``solves`` counts cold deterministic solves the prefetches
+    actually performed (per work line for partitioned scenarios).  Waste is
+    bounded by the frontier size per step: each step adds at most
+    ``len(frontier)`` to ``planned`` and at least one of those candidates
+    is the committed ask whenever the prediction was exact.
+    """
+
+    #: Candidate fragments speculated (post-dedupe, per group, per step).
+    planned: int = 0
+    #: Committed asks that were in the previous step's speculated frontier.
+    hits: int = 0
+    #: Committed asks the previous frontier did not contain.
+    misses: int = 0
+    #: Fused full configurations submitted for prefetching.
+    batched: int = 0
+    #: Cold deterministic solves performed by prefetches.
+    solves: int = 0
+
+    @property
+    def waste(self) -> int:
+        """Speculated candidates that were never committed."""
+        return max(self.planned - self.hits, 0)
+
+    @property
+    def waste_ratio(self) -> float:
+        """Fraction of speculated candidates never committed."""
+        return self.waste / self.planned if self.planned else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of committed asks the speculation predicted."""
+        committed = self.hits + self.misses
+        return self.hits / committed if committed else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters as a flat mapping (for reports and JSON)."""
+        return {
+            "planned": self.planned,
+            "hits": self.hits,
+            "misses": self.misses,
+            "batched": self.batched,
+            "solves": self.solves,
+            "waste": self.waste,
+            "waste_ratio": self.waste_ratio,
             "hit_rate": self.hit_rate,
         }
 
@@ -272,6 +374,11 @@ class MeasurementCache:
         self._entries: OrderedDict[tuple, Measurement] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._seed_cold_misses = 0
+        self._config_cold_misses = 0
+        #: (fingerprint, configuration) → number of live seeds cached for it;
+        #: used to slice misses into "cold by design" vs "cache broken".
+        self._config_seeds: dict[tuple, int] = {}
 
     @staticmethod
     def key(
@@ -292,6 +399,10 @@ class MeasurementCache:
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
+            if key[:2] in self._config_seeds:
+                self._seed_cold_misses += 1
+            else:
+                self._config_cold_misses += 1
             return None
         self._hits += 1
         self._entries.move_to_end(key)
@@ -305,16 +416,30 @@ class MeasurementCache:
         measurement: Measurement,
     ) -> None:
         """Record one measured point (evicting LRU beyond ``max_entries``)."""
-        self._entries[self.key(scenario, configuration, seed)] = measurement
+        key = self.key(scenario, configuration, seed)
+        if key not in self._entries:
+            base = key[:2]
+            self._config_seeds[base] = self._config_seeds.get(base, 0) + 1
+        self._entries[key] = measurement
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                base = evicted[:2]
+                remaining = self._config_seeds.get(base, 0) - 1
+                if remaining > 0:
+                    self._config_seeds[base] = remaining
+                else:
+                    self._config_seeds.pop(base, None)
 
     @property
     def stats(self) -> CacheStats:
-        """Current hit/miss/size counters."""
+        """Current hit/miss/size counters (misses sliced by cause)."""
         return CacheStats(
-            hits=self._hits, misses=self._misses, size=len(self._entries)
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            seed_cold_misses=self._seed_cold_misses,
+            config_cold_misses=self._config_cold_misses,
         )
 
     def __len__(self) -> int:
@@ -323,6 +448,7 @@ class MeasurementCache:
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._entries.clear()
+        self._config_seeds.clear()
 
 
 class MemoizedBackend(PerformanceBackend):
@@ -383,6 +509,19 @@ class MemoizedBackend(PerformanceBackend):
                 results[i] = m
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def prefetch_configs(
+        self,
+        scenario: Scenario,
+        configurations: Sequence[Configuration],
+    ) -> int:
+        """Forward prefetch hints to the inner backend.
+
+        The measurement cache itself is seed-addressed and cannot be warmed
+        without seeds; the deterministic (seed-independent) caches live in
+        the inner backend.
+        """
+        return self.backend.prefetch_configs(scenario, configurations)
 
     @property
     def stats(self) -> CacheStats:

@@ -11,7 +11,7 @@ in the same tier".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro.cluster.appserver import AppServerModel
@@ -22,7 +22,13 @@ from repro.cluster.node import Role
 from repro.cluster.proxy import ProxyModel
 from repro.cluster.topology import ClusterSpec
 
-__all__ = ["NodeDemand", "PoolSpec", "DemandSet", "build_demands"]
+__all__ = [
+    "NodeDemand",
+    "PoolSpec",
+    "DemandSet",
+    "DemandBuilder",
+    "build_demands",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,210 @@ class DemandSet:
 DB_BACKLOG = 10
 
 
+class DemandBuilder:
+    """Partially-evaluated :func:`build_demands` for one ``(cluster, config)``.
+
+    The analytic backend's outer fixed point re-derives the demand set
+    every round with only the per-node *concurrency* estimates changed.
+    The node lists, per-node configuration slices and model partial
+    evaluations (see the models' ``partial`` methods) are fixed for the
+    whole solve, as is everything downstream of them that concurrency
+    cannot reach: the proxy forwarding fractions, the pool specs, and —
+    for app and database nodes, whose memory footprint is
+    concurrency-independent — the memory penalties and disk/NIC demands.
+
+    :meth:`build` performs exactly the operations of
+    :func:`build_demands` in the same order on the same values, so the
+    demand sets (and therefore the solver's results) are bit-identical —
+    hoisting changes where invariants are computed, never what they are.
+    """
+
+    __slots__ = (
+        "cluster",
+        "config",
+        "ctx",
+        "memory_model",
+        "forward_dynamic",
+        "forward_static",
+        "_proxies",
+        "_apps",
+        "_dbs",
+        "_pools",
+        "_base_diag",
+        "_db_diag",
+        "_share_p",
+        "_share_a",
+        "_share_d",
+    )
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        config: Mapping[str, int],
+        ctx: WorkloadContext,
+        memory_model: MemoryModel | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.ctx = ctx
+        memory_model = memory_model or MemoryModel()
+        self.memory_model = memory_model
+
+        # --- proxy tier: partials + invariant forwarding fractions -------
+        proxy_ids = cluster.nodes_in(Role.PROXY)
+        share_p = 1.0 / len(proxy_ids)
+        self._share_p = share_p
+        self._proxies = []
+        fwd_dynamic = 0.0
+        fwd_static = 0.0
+        self._base_diag: dict[str, float] = {}
+        for node_id in proxy_ids:
+            spec = cluster.placement(node_id).spec
+            cfg = cluster.node_config(config, node_id)
+            part = ProxyModel(spec).partial(cfg, ctx)
+            probe = part()  # forwards/diagnostics are concurrency-free
+            self._proxies.append((node_id, spec, part))
+            fwd_dynamic += share_p * probe.forward_dynamic
+            fwd_static += share_p * probe.forward_static
+            self._base_diag[f"{node_id}.mem_hit"] = probe.mem_hit
+            self._base_diag[f"{node_id}.disk_hit"] = probe.disk_hit
+        self.forward_dynamic = fwd_dynamic
+        self.forward_static = fwd_static
+
+        # --- app tier: only the CPU demand tracks concurrency ------------
+        app_ids = cluster.nodes_in(Role.APP)
+        share_a = 1.0 / len(app_ids)
+        self._share_a = share_a
+        self._apps = []
+        self._pools: list[PoolSpec] = []
+        for node_id in app_ids:
+            spec = cluster.placement(node_id).spec
+            cfg = cluster.node_config(config, node_id)
+            part = AppServerModel(spec).partial(
+                cfg, ctx, dynamic_pages=fwd_dynamic, static_requests=fwd_static
+            )
+            probe = part()
+            penalty = memory_model.penalty(probe.memory_bytes, spec.memory_bytes)
+            invariant = NodeDemand(
+                node_id=node_id,
+                role=Role.APP,
+                cpu=0.0,  # placeholder; rebuilt per round
+                disk=share_a * probe.disk_demand * penalty,
+                nic=share_a * spec.nic_seconds(probe.nic_bytes),
+                cpu_servers=spec.cpu_cores,
+                memory_bytes=probe.memory_bytes,
+                memory_capacity=spec.memory_bytes,
+                memory_penalty=penalty,
+            )
+            self._apps.append((node_id, part, penalty, invariant))
+            http_servers, http_backlog = probe.http_pool
+            ajp_servers, ajp_backlog = probe.ajp_pool
+            self._pools.append(
+                PoolSpec(
+                    node_id=node_id,
+                    kind="http",
+                    servers=http_servers,
+                    capacity=http_servers + http_backlog,
+                    visits=share_a * (fwd_dynamic + fwd_static),
+                )
+            )
+            self._pools.append(
+                PoolSpec(
+                    node_id=node_id,
+                    kind="ajp",
+                    servers=ajp_servers,
+                    capacity=ajp_servers + ajp_backlog,
+                    visits=share_a * fwd_dynamic,
+                )
+            )
+
+        # --- db tier: only the CPU demand tracks concurrency -------------
+        db_ids = cluster.nodes_in(Role.DB)
+        share_d = 1.0 / len(db_ids)
+        self._share_d = share_d
+        self._dbs = []
+        self._db_diag: dict[str, float] = {}
+        for node_id in db_ids:
+            spec = cluster.placement(node_id).spec
+            cfg = cluster.node_config(config, node_id)
+            part = DatabaseModel(spec).partial(cfg, ctx, dynamic_pages=fwd_dynamic)
+            probe = part()
+            penalty = memory_model.penalty(probe.memory_bytes, spec.memory_bytes)
+            invariant = NodeDemand(
+                node_id=node_id,
+                role=Role.DB,
+                cpu=0.0,  # placeholder; rebuilt per round
+                disk=share_d * probe.disk_demand * penalty,
+                nic=share_d * spec.nic_seconds(probe.nic_bytes),
+                cpu_servers=spec.cpu_cores,
+                memory_bytes=probe.memory_bytes,
+                memory_capacity=spec.memory_bytes,
+                memory_penalty=penalty,
+            )
+            self._dbs.append((node_id, part, penalty, invariant))
+            self._pools.append(
+                PoolSpec(
+                    node_id=node_id,
+                    kind="dbconn",
+                    servers=probe.connection_limit,
+                    capacity=probe.connection_limit + DB_BACKLOG,
+                    visits=share_d * fwd_dynamic,
+                )
+            )
+            self._db_diag[f"{node_id}.table_miss"] = probe.table_miss
+            self._db_diag[f"{node_id}.binlog_spill"] = probe.binlog_spill
+        # Pools are immutable and concurrency-free: one tuple, every round.
+        self._pools = tuple(self._pools)
+
+    def build(self, concurrency: Mapping[str, float]) -> DemandSet:
+        """Demand set under the current concurrency estimates."""
+        memory_model = self.memory_model
+        nodes: list[NodeDemand] = []
+        diagnostics = dict(self._base_diag)
+
+        share_p = self._share_p
+        for node_id, spec, part in self._proxies:
+            ev = part(concurrency.get(node_id, 8.0))
+            penalty = memory_model.penalty(ev.memory_bytes, spec.memory_bytes)
+            nodes.append(
+                NodeDemand(
+                    node_id=node_id,
+                    role=Role.PROXY,
+                    cpu=share_p * ev.cpu_demand * penalty,
+                    disk=share_p * ev.disk_demand * penalty,
+                    nic=share_p * spec.nic_seconds(ev.nic_bytes),
+                    cpu_servers=spec.cpu_cores,
+                    memory_bytes=ev.memory_bytes,
+                    memory_capacity=spec.memory_bytes,
+                    memory_penalty=penalty,
+                )
+            )
+
+        share_a = self._share_a
+        for node_id, part, penalty, invariant in self._apps:
+            ev = part(concurrency.get(node_id, 8.0))
+            nodes.append(
+                replace(invariant, cpu=share_a * ev.cpu_demand * penalty)
+            )
+            diagnostics[f"{node_id}.spawn_rate"] = ev.spawn_rate
+
+        share_d = self._share_d
+        for node_id, part, penalty, invariant in self._dbs:
+            ev = part(concurrency.get(node_id, 8.0))
+            nodes.append(
+                replace(invariant, cpu=share_d * ev.cpu_demand * penalty)
+            )
+        diagnostics.update(self._db_diag)
+
+        return DemandSet(
+            nodes=tuple(nodes),
+            pools=self._pools,
+            forward_dynamic=self.forward_dynamic,
+            forward_static=self.forward_static,
+            diagnostics=diagnostics,
+        )
+
+
 def build_demands(
     cluster: ClusterSpec,
     config: Mapping[str, int],
@@ -87,135 +297,9 @@ def build_demands(
 
     ``concurrency`` maps node id → the solver's current estimate of
     simultaneous in-flight requests at that node (the outer fixed point of
-    :class:`repro.model.analytic.AnalyticBackend` refines it).
+    :class:`repro.model.analytic.AnalyticBackend` refines it).  Callers
+    that rebuild demands for many concurrency iterates of one
+    configuration should hold a :class:`DemandBuilder` instead — this
+    convenience wrapper prices the invariant setup on every call.
     """
-    memory_model = memory_model or MemoryModel()
-    proxies = cluster.nodes_in(Role.PROXY)
-    apps = cluster.nodes_in(Role.APP)
-    dbs = cluster.nodes_in(Role.DB)
-
-    nodes: list[NodeDemand] = []
-    pools: list[PoolSpec] = []
-    diagnostics: dict[str, float] = {}
-
-    # --- proxy tier ------------------------------------------------------
-    fwd_dynamic = 0.0
-    fwd_static = 0.0
-    share_p = 1.0 / len(proxies)
-    for node_id in proxies:
-        placement = cluster.placement(node_id)
-        cfg = cluster.node_config(config, node_id)
-        ev = ProxyModel(placement.spec).evaluate(
-            cfg, ctx, concurrency.get(node_id, 8.0)
-        )
-        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
-        nodes.append(
-            NodeDemand(
-                node_id=node_id,
-                role=Role.PROXY,
-                cpu=share_p * ev.cpu_demand * penalty,
-                disk=share_p * ev.disk_demand * penalty,
-                nic=share_p * placement.spec.nic_seconds(ev.nic_bytes),
-                cpu_servers=placement.spec.cpu_cores,
-                memory_bytes=ev.memory_bytes,
-                memory_capacity=placement.spec.memory_bytes,
-                memory_penalty=penalty,
-            )
-        )
-        fwd_dynamic += share_p * ev.forward_dynamic
-        fwd_static += share_p * ev.forward_static
-        diagnostics[f"{node_id}.mem_hit"] = ev.mem_hit
-        diagnostics[f"{node_id}.disk_hit"] = ev.disk_hit
-
-    # --- application tier ---------------------------------------------------
-    share_a = 1.0 / len(apps)
-    for node_id in apps:
-        placement = cluster.placement(node_id)
-        cfg = cluster.node_config(config, node_id)
-        ev = AppServerModel(placement.spec).evaluate(
-            cfg,
-            ctx,
-            dynamic_pages=fwd_dynamic,
-            static_requests=fwd_static,
-            concurrency=concurrency.get(node_id, 8.0),
-        )
-        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
-        nodes.append(
-            NodeDemand(
-                node_id=node_id,
-                role=Role.APP,
-                cpu=share_a * ev.cpu_demand * penalty,
-                disk=share_a * ev.disk_demand * penalty,
-                nic=share_a * placement.spec.nic_seconds(ev.nic_bytes),
-                cpu_servers=placement.spec.cpu_cores,
-                memory_bytes=ev.memory_bytes,
-                memory_capacity=placement.spec.memory_bytes,
-                memory_penalty=penalty,
-            )
-        )
-        http_servers, http_backlog = ev.http_pool
-        ajp_servers, ajp_backlog = ev.ajp_pool
-        pools.append(
-            PoolSpec(
-                node_id=node_id,
-                kind="http",
-                servers=http_servers,
-                capacity=http_servers + http_backlog,
-                visits=share_a * (fwd_dynamic + fwd_static),
-            )
-        )
-        pools.append(
-            PoolSpec(
-                node_id=node_id,
-                kind="ajp",
-                servers=ajp_servers,
-                capacity=ajp_servers + ajp_backlog,
-                visits=share_a * fwd_dynamic,
-            )
-        )
-        diagnostics[f"{node_id}.spawn_rate"] = ev.spawn_rate
-
-    # --- database tier ------------------------------------------------------
-    share_d = 1.0 / len(dbs)
-    for node_id in dbs:
-        placement = cluster.placement(node_id)
-        cfg = cluster.node_config(config, node_id)
-        ev = DatabaseModel(placement.spec).evaluate(
-            cfg,
-            ctx,
-            dynamic_pages=fwd_dynamic,
-            concurrency=concurrency.get(node_id, 8.0),
-        )
-        penalty = memory_model.penalty(ev.memory_bytes, placement.spec.memory_bytes)
-        nodes.append(
-            NodeDemand(
-                node_id=node_id,
-                role=Role.DB,
-                cpu=share_d * ev.cpu_demand * penalty,
-                disk=share_d * ev.disk_demand * penalty,
-                nic=share_d * placement.spec.nic_seconds(ev.nic_bytes),
-                cpu_servers=placement.spec.cpu_cores,
-                memory_bytes=ev.memory_bytes,
-                memory_capacity=placement.spec.memory_bytes,
-                memory_penalty=penalty,
-            )
-        )
-        pools.append(
-            PoolSpec(
-                node_id=node_id,
-                kind="dbconn",
-                servers=ev.connection_limit,
-                capacity=ev.connection_limit + DB_BACKLOG,
-                visits=share_d * fwd_dynamic,
-            )
-        )
-        diagnostics[f"{node_id}.table_miss"] = ev.table_miss
-        diagnostics[f"{node_id}.binlog_spill"] = ev.binlog_spill
-
-    return DemandSet(
-        nodes=tuple(nodes),
-        pools=tuple(pools),
-        forward_dynamic=fwd_dynamic,
-        forward_static=fwd_static,
-        diagnostics=diagnostics,
-    )
+    return DemandBuilder(cluster, config, ctx, memory_model).build(concurrency)

@@ -174,6 +174,81 @@ class MvaNetwork:
             raise ValueError("delays must be non-negative")
 
 
+#: Active-row count at or below which the vectorized loop hands the rest
+#: of the solve to the per-row python finisher.  A fixed-point iteration
+#: on one or two rows of a dozen stations is dominated by per-call array
+#: overhead, not arithmetic — the straggler tail of a large batch (the
+#: last rows to converge) otherwise costs more per row than the bulk.
+_PYTHON_TAIL_MAX = 2
+
+
+def _finish_rows_python(
+    idx: np.ndarray,
+    w_qd: np.ndarray,
+    w_N: np.ndarray,
+    w_z: np.ndarray,
+    w_x: np.ndarray,
+    w_queue: np.ndarray,
+    guard_div: bool,
+    start_it: int,
+    tol: float,
+    max_iter: int,
+    x: np.ndarray,
+    queue: np.ndarray,
+    iters: np.ndarray,
+    active: np.ndarray,
+) -> None:
+    """Continue the still-active rows one at a time, scalar python.
+
+    Runs the same IEEE-double operations the vectorized loop would: the
+    per-row arithmetic is element-wise (python floats are the same
+    binary64), and the residence sum goes through the same numpy
+    reduction.  Only the engine changes, never the math — results are
+    bit-identical to letting the array loop finish.
+    """
+    for pos in range(len(idx)):
+        row = int(idx[pos])
+        qd = w_qd[pos].tolist()
+        n = len(qd)
+        N = float(w_N[pos])
+        z = float(w_z[pos])
+        nm1 = N - 1.0
+        x_r = float(w_x[pos])
+        q = w_queue[pos].tolist()
+        # The residence sum must go through the numpy reduction (pairwise
+        # summation — a plain python sum() associates differently), so the
+        # python-computed elements are bulk-copied into one array per
+        # iteration.  Element values are exact either way: python floats
+        # are the same binary64 the array holds.
+        res = np.empty(n)
+        for it in range(start_it, max_iter + 1):
+            res_l = [a * (1.0 + (b * nm1) / N) for a, b in zip(qd, q)]
+            res[:] = res_l
+            total = z + float(res.sum())
+            if guard_div and total <= 0:
+                x_new = float("inf")
+            else:
+                x_new = N / total
+            q_new = [x_new * r for r in res_l]
+            converged = abs(x_new - x_r) <= tol * max(x_new, 1e-12)
+            if converged:
+                for a, b in zip(q_new, q):
+                    if not abs(a - b) <= tol * max(a, 1e-9):
+                        converged = False
+                        break
+            x_r, q = x_new, q_new
+            if converged:
+                x[row] = x_r
+                queue[row] = q
+                iters[row] = it
+                active[row] = False
+                break
+        if active[row]:  # exhausted max_iter
+            x[row] = x_r
+            queue[row] = q
+            iters[row] = max_iter
+
+
 def _solve_batch_group(
     networks: Sequence[MvaNetwork],
     tol: float,
@@ -184,7 +259,9 @@ def _solve_batch_group(
     Every row executes exactly the scalar solver's floating-point
     operations (same operation order, same dtype), with converged rows
     frozen by masking, so each row's result is bit-identical to
-    :func:`solve_mva` on that network alone.
+    :func:`solve_mva` on that network alone.  The iteration body writes
+    into preallocated ping-pong buffers (``out=`` ufunc calls): same
+    operations, no per-iteration allocations.
     """
     B = len(networks)
     n = len(networks[0].stations)
@@ -216,21 +293,72 @@ def _solve_batch_group(
     idx = np.arange(B)
     w_qd, w_N, w_z = q_demand, N, z
     w_queue, w_x = queue.copy(), x.copy()
+    # Loop invariants, rebuilt only when compaction changes the row set.
+    # ``(Ncol - 1.0)`` hoisted out of the loop is the same value it was
+    # inside it, so per-element arithmetic (and bit-identity with the
+    # scalar solver) is untouched.
+    w_Ncol = w_N[:, None]
+    w_Nm1 = w_Ncol - 1.0
+    # ``total`` >= z element-wise (residence is non-negative), so when every
+    # row has positive delay the guarded division can never hit 0 and the
+    # compare/select pair is dead weight; np.where(total > 0, a, inf) == a.
+    guard_div = not bool((w_z > 0).all())
+    # Ping-pong/scratch buffers for the iteration body, rebuilt on
+    # compaction.  ``scratch`` receives the new residence/queue, ``w_x2``
+    # the new throughput; the roles swap each iteration.  Batches small
+    # enough to go straight to the python finisher never need them.
+    if B > _PYTHON_TAIL_MAX:
+        scratch = np.empty_like(w_queue)
+        qtest = np.empty_like(w_queue)
+        qthr = np.empty_like(w_queue)
+        w_x2 = np.empty_like(w_x)
+        total = np.empty_like(w_x)
+        xdiff = np.empty_like(w_x)
+        xthr = np.empty_like(w_x)
+    finished_python = False
     with np.errstate(divide="ignore", invalid="ignore"):
         for it in range(1, max_iter + 1):
-            Ncol = w_N[:, None]
-            residence = w_qd * (1.0 + w_queue * (Ncol - 1.0) / Ncol)
-            total = w_z + residence.sum(axis=1)
-            x_new = np.where(total > 0, w_N / total, np.inf)
-            queue_new = x_new[:, None] * residence
-            conv = (
-                np.abs(x_new - w_x) <= tol * np.maximum(x_new, 1e-12)
-            ) & (
-                np.abs(queue_new - w_queue)
-                <= tol * np.maximum(queue_new, 1e-9)
-            ).all(axis=1)
-            w_x, w_queue = x_new, queue_new
-            if conv.any():
+            if len(idx) <= _PYTHON_TAIL_MAX:
+                # The tail: so few rows that array-call overhead dominates.
+                _finish_rows_python(
+                    idx, w_qd, w_N, w_z, w_x, w_queue,
+                    guard_div, it, tol, max_iter, x, queue, iters, active,
+                )
+                finished_python = True
+                break
+            # residence = w_qd * (1.0 + (w_queue * w_Nm1) / w_Ncol)
+            np.multiply(w_queue, w_Nm1, out=scratch)
+            np.divide(scratch, w_Ncol, out=scratch)
+            np.add(scratch, 1.0, out=scratch)
+            np.multiply(scratch, w_qd, out=scratch)
+            # total = w_z + residence.sum(axis=1)
+            scratch.sum(axis=1, out=total)
+            np.add(total, w_z, out=total)
+            if guard_div:
+                x_new = np.where(total > 0, w_N / total, np.inf)
+                w_x2[:] = x_new
+            else:
+                np.divide(w_N, total, out=w_x2)
+            # queue_new = x_new[:, None] * residence (in place over scratch)
+            np.multiply(scratch, w_x2[:, None], out=scratch)
+            # Throughput test first; the (more expensive) queue test only
+            # runs for iterations where some row is actually a candidate.
+            np.subtract(w_x2, w_x, out=xdiff)
+            np.abs(xdiff, out=xdiff)
+            np.maximum(w_x2, 1e-12, out=xthr)
+            np.multiply(xthr, tol, out=xthr)
+            conv = xdiff <= xthr
+            any_conv = bool(conv.any())
+            if any_conv:
+                np.subtract(scratch, w_queue, out=qtest)
+                np.abs(qtest, out=qtest)
+                np.maximum(scratch, 1e-9, out=qthr)
+                np.multiply(qthr, tol, out=qthr)
+                conv &= (qtest <= qthr).all(axis=1)
+                any_conv = bool(conv.any())
+            w_x, w_x2 = w_x2, w_x
+            w_queue, scratch = scratch, w_queue
+            if any_conv:
                 done = idx[conv]
                 x[done] = w_x[conv]
                 queue[done] = w_queue[conv]
@@ -242,11 +370,21 @@ def _solve_batch_group(
                 idx = idx[keep]
                 w_qd, w_N, w_z = w_qd[keep], w_N[keep], w_z[keep]
                 w_x, w_queue = w_x[keep], w_queue[keep]
+                w_Ncol = w_N[:, None]
+                w_Nm1 = w_Ncol - 1.0
+                scratch = np.empty_like(w_queue)
+                qtest = np.empty_like(w_queue)
+                qthr = np.empty_like(w_queue)
+                w_x2 = np.empty_like(w_x)
+                total = np.empty_like(w_x)
+                xdiff = np.empty_like(w_x)
+                xthr = np.empty_like(w_x)
     if active.any():
-        x[idx] = w_x
-        queue[idx] = w_queue
-        iters[idx] = max_iter
-        for i in idx:
+        if not finished_python:
+            x[idx] = w_x
+            queue[idx] = w_queue
+            iters[idx] = max_iter
+        for i in np.nonzero(active)[0]:
             warnings.warn(
                 f"MVA fixed point did not converge within {max_iter} "
                 f"iterations (N={networks[i].population}, {n} stations); "

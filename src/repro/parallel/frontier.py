@@ -1,0 +1,109 @@
+"""Frontier scheduling: warm a speculative batch across worker processes.
+
+:func:`prefetch_frontier` is the bridge between the speculative evaluator
+(:mod:`repro.harmony.speculate`) and the parallel engine.  With ``jobs=1``
+(or a backend with nothing to warm) it is exactly
+``backend.prefetch_configs`` — the in-process batched solve.  With
+``jobs>1`` the frontier is split round-robin into per-worker chunks; each
+worker solves its chunk on a *fresh* analytic backend built from the
+parent's solver settings and ships the resulting deterministic solutions
+back, which the parent absorbs into its own solution memo.
+
+Solutions are deterministic functions of (scenario, configuration, solver
+settings) — no seeds, no shared state — so the absorbed entries are
+bit-identical to what the parent would have solved itself, and results
+are independent of the ``jobs`` setting, chunk assignment, and completion
+order.  Prefetching only ever changes *when* a solution is computed, never
+what any later measurement observes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.memory import MemoryModel
+from repro.harmony.parameter import Configuration
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import MemoizedBackend, PerformanceBackend, Scenario
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.plan import RunSpec
+
+__all__ = ["prefetch_frontier"]
+
+
+def _prefetch_chunk(
+    scenario: Scenario,
+    configurations: Sequence[Configuration],
+    memory: MemoryModel,
+    max_outer: int,
+    damping: float,
+    tol: float,
+    cache_size: int,
+    outer_budget: Optional[int],
+):
+    """Worker entry point: solve one frontier chunk on a fresh backend.
+
+    The fresh backend starts cold, so its exported memo is exactly the
+    chunk's solutions (the noise model is irrelevant — prefetching never
+    draws noise).
+    """
+    backend = AnalyticBackend(
+        memory=memory,
+        max_outer=max_outer,
+        damping=damping,
+        tol=tol,
+        solution_cache_size=cache_size,
+        prefetch_outer_budget=outer_budget,
+    )
+    backend.prefetch_configs(scenario, configurations)
+    return backend.export_solutions()
+
+
+def prefetch_frontier(
+    backend: PerformanceBackend,
+    scenario: Scenario,
+    configurations: Sequence[Configuration],
+    jobs: int = 1,
+    executor: Optional[ParallelExecutor] = None,
+) -> int:
+    """Warm ``backend``'s deterministic caches for a candidate frontier.
+
+    Returns the number of cold solutions added.  Fans the frontier over
+    ``jobs`` worker processes when the backend is analytic (directly or
+    under a :class:`MemoizedBackend` wrapper) and the frontier is worth
+    splitting; otherwise delegates to the backend's own batched prefetch,
+    which is a no-op for backends with no deterministic cache (DES).
+    """
+    inner = backend.backend if isinstance(backend, MemoizedBackend) else backend
+    if (
+        jobs <= 1
+        or not isinstance(inner, AnalyticBackend)
+        or inner.solution_cache_size == 0
+        or len(configurations) < 2
+    ):
+        return backend.prefetch_configs(scenario, configurations)
+    chunks = [list(configurations[i::jobs]) for i in range(jobs)]
+    chunks = [c for c in chunks if c]
+    specs = [
+        RunSpec(
+            key=i,
+            fn=_prefetch_chunk,
+            kwargs=dict(
+                scenario=scenario,
+                configurations=chunk,
+                memory=inner.memory,
+                max_outer=inner.max_outer,
+                damping=inner.damping,
+                tol=inner.tol,
+                cache_size=inner.solution_cache_size,
+                outer_budget=inner.prefetch_outer_budget,
+            ),
+        )
+        for i, chunk in enumerate(chunks)
+    ]
+    runner = executor if executor is not None else ParallelExecutor(jobs)
+    results = runner.run(specs)
+    added = 0
+    for key in sorted(results):
+        added += inner.absorb_solutions(results[key])
+    return added

@@ -120,6 +120,8 @@ class Timeout(Event):
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []

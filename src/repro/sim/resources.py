@@ -44,6 +44,19 @@ class AcquireRequest(Event):
 class Resource:
     """``capacity`` servers with a FIFO waiting room of ``queue_limit``."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "_capacity",
+        "_queue_limit",
+        "_in_service",
+        "_waiting",
+        "_rejected",
+        "_granted",
+        "busy_stats",
+        "queue_stats",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -101,8 +101,16 @@ class Catalog:
         return float(self._sizes.sum())
 
     def mean_object_bytes(self) -> float:
-        """Request-weighted mean object size (what a served byte stream sees)."""
-        return float(np.dot(self._popularity, self._sizes))
+        """Request-weighted mean object size (what a served byte stream sees).
+
+        Computed once — the universe is immutable and the server models ask
+        for this on every demand derivation.
+        """
+        cached = getattr(self, "_mean_object_bytes", None)
+        if cached is None:
+            cached = float(np.dot(self._popularity, self._sizes))
+            self._mean_object_bytes = cached
+        return cached
 
     # -- cache modelling ---------------------------------------------------
     def admissible_mask(

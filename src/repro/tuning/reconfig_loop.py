@@ -74,6 +74,18 @@ class ReconfigurationLoop:
         """Every reconfiguration executed so far."""
         return list(self._moves)
 
+    @property
+    def speculation_stats(self):
+        """The wrapped session's speculation counters (None when serial).
+
+        The loop needs no speculation logic of its own: each
+        :meth:`step` delegates to the session's batched step path, and
+        ``session.set_cluster`` (called on every executed move) resets the
+        evaluator's plan so stale frontiers from the pre-move layout are
+        never scored or prefetched against the new one.
+        """
+        return self.session.speculation_stats
+
     # ------------------------------------------------------------------
     def _smoothed(self) -> Measurement:
         """Average the recent window's utilizations into one measurement.

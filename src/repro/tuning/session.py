@@ -31,7 +31,13 @@ from repro.harmony.scaling import (
 )
 from repro.harmony.server import HarmonyServer
 from repro.harmony.simplex import SimplexOptions
-from repro.model.base import Measurement, PerformanceBackend, Scenario
+from repro.harmony.speculate import SpeculativeEvaluator
+from repro.model.base import (
+    Measurement,
+    PerformanceBackend,
+    Scenario,
+    SpeculationStats,
+)
 from repro.tuning.iteration import IterationRunner, IterationSpec
 
 __all__ = ["ClusterTuningSession", "make_scheme"]
@@ -77,6 +83,8 @@ class ClusterTuningSession:
         iteration_spec: Optional[IterationSpec] = None,
         simplex_options: Optional[SimplexOptions] = None,
         on_measure_error: str = "raise",
+        speculate: bool = False,
+        speculate_jobs: int = 1,
     ) -> None:
         if on_measure_error not in ("raise", "penalize"):
             raise ValueError(
@@ -99,6 +107,21 @@ class ClusterTuningSession:
             backend, self.scenario, seed=seed, spec=iteration_spec
         )
         self.history = TuningHistory()
+        # Speculative lookahead: enumerate each group's possible next asks
+        # and warm the backend's deterministic caches in one batch per
+        # step.  Purely a prefetch — the ask/tell sequence, RNG streams
+        # and measurements are bit-identical with it on or off.
+        self.speculator: Optional[SpeculativeEvaluator] = None
+        if speculate:
+            self.speculator = SpeculativeEvaluator(
+                backend,
+                self.scheme,
+                {
+                    g.group_id: self.server.sessions[g.group_id].strategy
+                    for g in self.scheme.groups
+                },
+                jobs=speculate_jobs,
+            )
 
     def _align_scenario(self, scenario: Scenario) -> Scenario:
         """Attach the partition's work lines to the scenario if needed."""
@@ -125,10 +148,17 @@ class ClusterTuningSession:
         """Completed tuning iterations."""
         return len(self.history)
 
+    @property
+    def speculation_stats(self) -> Optional[SpeculationStats]:
+        """The speculative evaluator's counters (None when not speculating)."""
+        return self.speculator.stats if self.speculator is not None else None
+
     def set_mix(self, mix) -> None:
         """Switch the offered workload mix (tuner state is kept)."""
         self.scenario = self.scenario.with_mix(mix)
         self.runner.scenario = self.scenario
+        if self.speculator is not None:
+            self.speculator.reset()
 
     def set_cluster(self, new_cluster) -> None:
         """Re-bind the session to a reconfigured cluster (§IV moves).
@@ -157,6 +187,11 @@ class ClusterTuningSession:
         self.scheme = new_scheme
         self.scenario = self.scenario.with_cluster(new_cluster)
         self.runner.scenario = self.scenario
+        if self.speculator is not None:
+            # Plans made for the old layout would mis-score the next step;
+            # warmed solutions for the old scenario are merely unused.
+            self.speculator.scheme = new_scheme
+            self.speculator.reset()
 
     def group_history(self, group_id: str) -> TuningHistory:
         """One group's tuning history (its own fetch/report stream)."""
@@ -184,6 +219,11 @@ class ClusterTuningSession:
         for group in self.scheme.groups:
             fragments[group.group_id] = self.server.fetch(group.group_id)
         full = self.scheme.combine(fragments)
+        if self.speculator is not None:
+            # Warm the deterministic caches for this step's configuration
+            # plus every candidate the strategies could ask next, in one
+            # fused batch.  Prefetching never changes measured values.
+            self.speculator.prefetch(self.scenario, fragments)
         try:
             measurement = self.runner.run(full)
         except Exception:

@@ -174,3 +174,29 @@ class TestNavigationMode:
         m = nav.measure(sc, cluster.default_configuration(), seed=13)
         share = m.diagnostics["wips_browse"] / m.wips
         assert share == pytest.approx(0.95, abs=0.04)
+
+
+class TestGoldenRegression:
+    """Exact golden values captured before the ``__slots__``/heap micro-perf
+    pass over the simulation kernel — the DES must keep producing the same
+    event sequences bit for bit (same RNG draws in the same order), so any
+    drift here means a behavioural change snuck into a "pure" optimization.
+    """
+
+    GOLDENS = [
+        # (mix, population, seed) -> (wips, raw_wips, error_rate, response_time)
+        (SHOPPING_MIX, 60, 123, (8.6, 8.6, 0.0, 0.0470117644722249)),
+        (ORDERING_MIX, 40, 7, (5.35, 5.35, 0.0, 0.04753151824332001)),
+    ]
+
+    @pytest.mark.parametrize(
+        "mix,population,seed,expected",
+        GOLDENS,
+        ids=[f"{m.name}-{p}-{s}" for m, p, s, _ in GOLDENS],
+    )
+    def test_exact_goldens(self, mix, population, seed, expected):
+        des = SimulationBackend(time_scale=0.02)
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        sc = Scenario(cluster=cluster, mix=mix, population=population)
+        m = des.measure(sc, cluster.default_configuration(), seed=seed)
+        assert (m.wips, m.raw_wips, m.error_rate, m.response_time) == expected
