@@ -33,7 +33,7 @@ __all__ = ["main", "build_parser"]
 
 EXPERIMENTS = (
     "table1", "fig4", "fig5", "table4", "fig7", "sensitivity",
-    "drift", "price",
+    "drift", "price", "chaos",
 )
 
 
@@ -114,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 1; 0 = all cores; needs --speculate)"
         ),
     )
+    p.add_argument(
+        "--faults", metavar="PLAN.json",
+        help="inject failures from a fault-plan JSON file (see docs/robustness.md)",
+    )
+    p.add_argument(
+        "--resilience", action="store_true",
+        help=(
+            "handle failed measurements with the resilience policy "
+            "(retry + backoff + quarantine) instead of raising"
+        ),
+    )
 
     p = sub.add_parser("sensitivity", help="one-at-a-time parameter sweeps")
     _add_scenario_arguments(p)
@@ -147,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "prefetch each tuning step's lookahead frontier in batched "
             "solves (results are bit-identical; only wall-clock changes)"
+        ),
+    )
+    p.add_argument(
+        "--faults", metavar="PLAN.json",
+        help=(
+            "fault-plan JSON for the chaos experiment "
+            "(default: crash one app node mid-run)"
+        ),
+    )
+    p.add_argument(
+        "--resilience", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "retry/quarantine/rollback policy for the chaos experiment's "
+            "resilient arm (--no-resilience degrades it to penalty-only)"
         ),
     )
 
@@ -210,18 +235,40 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.util.serialization import save_configuration, save_history
 
     scenario = _scenario(args)
+    backend = AnalyticBackend()
+    resilience = None
+    if args.faults:
+        from repro.faults import FaultPlan, FaultyBackend
+
+        backend = FaultyBackend(backend, FaultPlan.load(args.faults))
+    if args.resilience:
+        from repro.faults import ResiliencePolicy
+
+        resilience = ResiliencePolicy()
     session = ClusterTuningSession(
-        AnalyticBackend(),
+        backend,
         scenario,
         scheme=make_scheme(scenario, args.method),
         strategy=args.strategy,
         seed=args.seed,
+        resilience=resilience,
+        on_measure_error="penalize" if args.faults else "raise",
         speculate=args.speculate,
         speculate_jobs=resolve_jobs(args.jobs) if args.speculate else 1,
     )
     baseline = session.measure_baseline().window_stats(0)
     print(f"baseline: {baseline.mean:.1f} WIPS")
     session.run(args.iterations)
+    if args.faults:
+        fault_stats = backend.stats.as_dict()
+        injected = ", ".join(f"{k}={v}" for k, v in fault_stats.items() if v)
+        print(f"faults: {injected or 'none fired'}")
+    if resilience is not None:
+        rs = session.resilience_stats
+        print(
+            f"resilience: {rs.retries} retries, {rs.backoff_ticks} backoff "
+            f"ticks, {rs.quarantined} quarantined, {rs.rollbacks} rollbacks"
+        )
     best = session.history.best()
     print(
         f"best after {args.iterations} iterations: "
@@ -309,6 +356,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for mix in ("browsing", "ordering"):
             print(price_performance.run(cfg, mix_name=mix).to_table())
             print()
+    elif args.name == "chaos":
+        from repro.experiments import chaos
+        from repro.faults import FaultPlan, ResiliencePolicy
+
+        plan = FaultPlan.load(args.faults) if args.faults else None
+        policy = None
+        if not args.resilience:
+            # Ablation: keep the reconfiguration loop but strip the
+            # retry/quarantine/rollback machinery down to penalty-only.
+            policy = ResiliencePolicy(
+                max_retries=0, quarantine_after=0, rollback_after=0
+            )
+        result = chaos.run(cfg, plan=plan, resilience=policy)
+        print(result.to_table())
+        print()
+        print(result.chart())
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.name)
     return 0

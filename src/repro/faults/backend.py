@@ -1,0 +1,262 @@
+"""FaultyBackend: apply a fault plan to *any* performance backend.
+
+The wrapper advances one virtual tick per :meth:`measure` call (the
+tuning loop runs one measurement per iteration, so ticks line up with
+iterations) and consults the :class:`~repro.faults.injector.FaultInjector`:
+
+* ``fail``/``timeout`` ticks raise :class:`TransientMeasurementError` /
+  :class:`MeasurementTimeout` without touching the inner backend — a
+  *retry* is a new measure() call on a later tick, which may succeed.
+* Crashed nodes are **removed from the measured cluster** (their
+  parameters are dropped from the configuration), so the measurement's
+  utilizations genuinely lack the node and the surviving tier peers absorb
+  its load — exactly the signal §IV's reconfiguration algorithm watches.
+* Degraded nodes keep serving with their service rates (CPU speed, disk,
+  NIC) scaled down by the plan's factor.
+
+A crash that would empty a tier raises :class:`ClusterOutageError` (the
+site is down; no measurement is possible).  Everything is deterministic:
+the wrapper holds no RNG of its own and the injector's verdicts are pure
+functions of (plan, tick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import ClusterSpec, NodePlacement
+from repro.faults.injector import FaultInjector, FaultState
+from repro.faults.plan import FaultPlan
+from repro.harmony.parameter import Configuration
+from repro.model.base import Measurement, PerformanceBackend, Scenario
+
+__all__ = [
+    "MeasurementFault",
+    "TransientMeasurementError",
+    "MeasurementTimeout",
+    "ClusterOutageError",
+    "FaultStats",
+    "FaultyBackend",
+    "degrade_spec",
+]
+
+
+class MeasurementFault(RuntimeError):
+    """Base class for injected measurement failures."""
+
+
+class TransientMeasurementError(MeasurementFault):
+    """The measurement harness wedged; retrying later may succeed."""
+
+
+class MeasurementTimeout(MeasurementFault):
+    """The measurement did not complete within its window."""
+
+
+class ClusterOutageError(MeasurementFault):
+    """Crashes emptied a whole tier; the service is down."""
+
+
+@dataclass
+class FaultStats:
+    """Counters of what the wrapper actually injected."""
+
+    #: measure() calls served (ticks consumed).
+    measurements: int = 0
+    #: Ticks that raised a transient failure.
+    transient_failures: int = 0
+    #: Ticks that raised a timeout.
+    timeouts: int = 0
+    #: Ticks that raised a whole-tier outage.
+    outages: int = 0
+    #: Ticks measured on a cluster with at least one node missing/degraded.
+    degraded_measurements: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a flat mapping (for reports and JSON)."""
+        return {
+            "measurements": self.measurements,
+            "transient_failures": self.transient_failures,
+            "timeouts": self.timeouts,
+            "outages": self.outages,
+            "degraded_measurements": self.degraded_measurements,
+        }
+
+
+def degrade_spec(spec: NodeSpec, factor: float) -> NodeSpec:
+    """A node spec with every service rate scaled by ``factor``.
+
+    Access latency scales inversely (a slow disk takes *longer* per seek);
+    core count and memory are unchanged — a slow node, not a smaller one.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    return replace(
+        spec,
+        cpu_speed=spec.cpu_speed * factor,
+        disk_access_time=spec.disk_access_time / factor,
+        disk_transfer_rate=spec.disk_transfer_rate * factor,
+        nic_rate=spec.nic_rate * factor,
+    )
+
+
+class FaultyBackend(PerformanceBackend):
+    """Apply a :class:`FaultPlan` to measurements of any inner backend."""
+
+    def __init__(
+        self,
+        backend: PerformanceBackend,
+        plan: FaultPlan | FaultInjector,
+    ) -> None:
+        self.backend = backend
+        self.injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+        self.stats = FaultStats()
+        self._tick = 0
+        # (cluster fingerprint, down, degraded) → degraded ClusterSpec.
+        self._cluster_memo: dict[tuple, ClusterSpec] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The fault plan being applied."""
+        return self.injector.plan
+
+    @property
+    def tick(self) -> int:
+        """Virtual time: measure() calls served so far."""
+        return self._tick
+
+    def advance(self, ticks: int) -> None:
+        """Let ``ticks`` of virtual time pass without measuring.
+
+        This is what a resilience policy's backoff *is*: waiting on the
+        fault timeline so a transient window can clear before the retry.
+        """
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        self._tick += ticks
+
+    # ------------------------------------------------------------------
+    def degraded_cluster(
+        self, cluster: ClusterSpec, state: FaultState
+    ) -> ClusterSpec:
+        """``cluster`` with the state's crashes and slowdowns applied."""
+        key = (cluster.fingerprint(), state.down, state.degraded)
+        memo = self._cluster_memo.get(key)
+        if memo is not None:
+            return memo
+        factors = dict(state.degraded)
+        placements = []
+        for p in cluster.placements:
+            if p.node_id in state.down:
+                continue
+            factor = factors.get(p.node_id)
+            if factor is not None:
+                p = NodePlacement(p.node_id, p.role, degrade_spec(p.spec, factor))
+            placements.append(p)
+        try:
+            degraded = ClusterSpec(placements, name=cluster.name)
+        except ValueError as err:
+            # A tier lost its last node: total outage, not a layout.
+            raise ClusterOutageError(str(err)) from None
+        self._cluster_memo[key] = degraded
+        return degraded
+
+    def apply_state(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        state: FaultState,
+    ) -> tuple[Scenario, Configuration]:
+        """The (scenario, configuration) actually measured under ``state``.
+
+        Crashed nodes' parameters are dropped from the configuration;
+        work-line partitions are dropped too (lines are tied to the full
+        layout — the per-line WIPS signal degrades to the global one while
+        nodes are missing).  Degradation-only states keep the partition.
+        """
+        if not state.degrades_cluster:
+            return scenario, configuration
+        cluster = self.degraded_cluster(scenario.cluster, state)
+        if state.down:
+            surviving = set(cluster.node_ids)
+            configuration = Configuration(
+                {
+                    name: value
+                    for name, value in configuration.items()
+                    if name.split(".", 1)[0] in surviving
+                }
+            )
+            return scenario.with_cluster(cluster), configuration
+        # Degradations keep every node (and any partition) in place.
+        return (
+            Scenario(
+                cluster=cluster,
+                mix=scenario.mix,
+                population=scenario.population,
+                catalog=scenario.catalog,
+                behavior=scenario.behavior,
+                work_lines=scenario.work_lines,
+            ),
+            configuration,
+        )
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int = 0,
+    ) -> Measurement:
+        """Measure one point under the fault state of the current tick."""
+        tick = self._tick
+        self._tick += 1
+        self.stats.measurements += 1
+        state = self.injector.state_at(tick)
+        if state.timeout:
+            self.stats.timeouts += 1
+            raise MeasurementTimeout(f"measurement timed out (tick {tick})")
+        if state.fail:
+            self.stats.transient_failures += 1
+            raise TransientMeasurementError(
+                f"transient measurement failure (tick {tick})"
+            )
+        if not state.degrades_cluster:
+            return self.backend.measure(scenario, configuration, seed=seed)
+        self.stats.degraded_measurements += 1
+        try:
+            faulted_scenario, faulted_config = self.apply_state(
+                scenario, configuration, state
+            )
+        except ClusterOutageError:
+            self.stats.outages += 1
+            raise
+        return self.backend.measure(faulted_scenario, faulted_config, seed=seed)
+
+    def measure_batch(
+        self,
+        scenario: Scenario,
+        requests: Sequence[tuple[Configuration, int]],
+    ) -> list[Measurement]:
+        """Measure a batch point by point — each point is one tick.
+
+        Batching across a fault boundary could hide a mid-batch crash, so
+        the wrapper deliberately forgoes the inner backend's amortized
+        path; chaos runs trade that speed for fault fidelity.
+        """
+        return [self.measure(scenario, cfg, seed=seed) for cfg, seed in requests]
+
+    def prefetch_configs(
+        self,
+        scenario: Scenario,
+        configurations: Sequence[Configuration],
+    ) -> int:
+        """Forward the advisory prefetch; prefetches consume no ticks.
+
+        Speculative warmth is computed for the *nominal* cluster — while
+        nodes are down the warmed solutions simply go unused (the degraded
+        scenario has a different fingerprint), which costs latency, never
+        correctness.
+        """
+        return self.backend.prefetch_configs(scenario, configurations)

@@ -1,0 +1,153 @@
+"""The fault injector: plan → per-tick cluster/measurement state.
+
+:meth:`FaultInjector.state_at` is a *pure function* of (plan, tick): it
+folds every scheduled event up to the tick into a :class:`FaultState`
+(which nodes are down, which are degraded and by how much, whether the
+measurement at this tick fails or times out).  Random transient failures
+draw one independent stream per tick — ``spawn_rng(seed, "faults",
+"transient", tick)`` — so the verdict at tick *t* never depends on how
+many retries happened before it, which is what makes resilience
+trajectories golden-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.util.rng import spawn_rng
+
+__all__ = ["FaultState", "FaultInjector"]
+
+#: A clean tick: nothing down, nothing degraded, measurement succeeds.
+_CLEAN_KEY = (frozenset(), (), False, False)
+
+
+@dataclass(frozen=True)
+class FaultState:
+    """Everything injected at one tick."""
+
+    #: Nodes currently crashed (their capacity is gone).
+    down: frozenset[str] = frozenset()
+    #: (node, service-rate factor) pairs, sorted by node, factor in (0, 1).
+    degraded: tuple[tuple[str, float], ...] = ()
+    #: The measurement at this tick fails transiently.
+    fail: bool = False
+    #: The measurement at this tick times out.
+    timeout: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the tick is fault-free."""
+        return (
+            not self.down and not self.degraded
+            and not self.fail and not self.timeout
+        )
+
+    @property
+    def degrades_cluster(self) -> bool:
+        """True when the measured cluster differs from the nominal one."""
+        return bool(self.down or self.degraded)
+
+
+def _expand(events: tuple[FaultEvent, ...]) -> list[FaultEvent]:
+    """Rewrite flap events into their crash/recover pairs.
+
+    Expansion order is (tick, original index), so two events landing on
+    the same tick apply in plan order — deterministic by construction.
+    """
+    expanded: list[tuple[int, int, FaultEvent]] = []
+    for idx, event in enumerate(events):
+        if event.kind != "flap":
+            expanded.append((event.at, idx, event))
+            continue
+        assert event.period is not None and event.cycles is not None
+        for cycle in range(event.cycles):
+            down_at = event.at + 2 * cycle * event.period
+            up_at = down_at + event.period
+            expanded.append(
+                (down_at, idx, FaultEvent("crash", down_at, node=event.node))
+            )
+            expanded.append(
+                (up_at, idx, FaultEvent("recover", up_at, node=event.node))
+            )
+    expanded.sort(key=lambda entry: (entry[0], entry[1]))
+    return [event for _, _, event in expanded]
+
+
+class FaultInjector:
+    """Evaluate a :class:`FaultPlan` on the virtual (tick) timeline."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._events = _expand(plan.events)
+        # FaultState values are shared across ticks with identical content
+        # so FaultyBackend can key its degraded-cluster memo on them.
+        self._state_cache: dict[tuple, FaultState] = {}
+        self._scheduled_cache: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _transient(self, tick: int) -> bool:
+        """The seeded random transient-failure verdict for one tick."""
+        if self.plan.transient_rate <= 0.0:
+            return False
+        rng = spawn_rng(self.plan.seed, "faults", "transient", tick)
+        return bool(rng.random() < self.plan.transient_rate)
+
+    def _scheduled(self, tick: int) -> tuple:
+        """(down, degraded, fail, timeout) from the scheduled events."""
+        cached = self._scheduled_cache.get(tick)
+        if cached is not None:
+            return cached
+        down: set[str] = set()
+        degraded: dict[str, float] = {}
+        fail = False
+        timeout = False
+        for event in self._events:
+            if event.at > tick:
+                break
+            if event.kind == "crash":
+                down.add(event.node)  # type: ignore[arg-type]
+            elif event.kind == "recover":
+                down.discard(event.node)  # type: ignore[arg-type]
+            elif event.kind == "degrade":
+                assert event.node is not None and event.factor is not None
+                if event.factor < 1.0:
+                    degraded[event.node] = event.factor
+                else:
+                    degraded.pop(event.node, None)
+            elif event.kind == "restore":
+                degraded.pop(event.node, None)
+            elif event.kind == "fail":
+                fail = fail or event.at <= tick < event.at + event.count
+            elif event.kind == "timeout":
+                timeout = timeout or event.at <= tick < event.at + event.count
+        result = (
+            frozenset(down),
+            tuple(sorted(degraded.items())),
+            fail,
+            timeout,
+        )
+        self._scheduled_cache[tick] = result
+        return result
+
+    def state_at(self, tick: int) -> FaultState:
+        """The injected fault state at one tick (pure, deterministic)."""
+        if tick < 0:
+            raise ValueError(f"tick must be >= 0, got {tick}")
+        down, degraded, fail, timeout = self._scheduled(tick)
+        fail = fail or self._transient(tick)
+        key = (down, degraded, fail, timeout)
+        state = self._state_cache.get(key)
+        if state is None:
+            state = FaultState(
+                down=down, degraded=degraded, fail=fail, timeout=timeout
+            )
+            self._state_cache[key] = state
+        return state
+
+    def schedule(self, ticks: int) -> list[FaultState]:
+        """The first ``ticks`` states, in order (for golden tests/reports)."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        return [self.state_at(t) for t in range(ticks)]

@@ -1,0 +1,273 @@
+"""Fault plans: the declarative, seedable schedule of injected failures.
+
+A :class:`FaultPlan` is a list of :class:`FaultEvent`\\ s on a *virtual*
+timeline — ticks, one per measurement iteration — plus an optional seeded
+rate of random transient failures.  Plans are plain data: JSON round-trip
+(:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`), validated on
+construction, and hashable into a :meth:`fingerprint` so runs under a plan
+are content-addressable like everything else in the repo.
+
+Event kinds (the fault model of docs/robustness.md):
+
+``crash`` / ``recover``
+    Node leaves / rejoins its tier.  A crashed node's capacity is removed
+    from the measured cluster, which is what the §IV reconfiguration
+    algorithm reacts to.
+``degrade`` / ``restore``
+    Slow-node fault: the node's service rates (CPU speed, disk, NIC) are
+    scaled by ``factor`` ∈ (0, 1] until restored.
+``fail``
+    ``count`` consecutive measurements starting at ``at`` fail transiently
+    (the harness wedged; a retry later can succeed).
+``timeout``
+    ``count`` consecutive measurements starting at ``at`` time out (same
+    handling as ``fail`` but distinguishable in reports).
+``flap``
+    The node alternates crash/recover every ``period`` ticks for
+    ``cycles`` down/up cycles.
+
+No wall clock anywhere: ticks are measurement indexes, so the same plan
+and seed reproduce the same fault trajectory bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultEvent", "FaultPlan", "EVENT_KINDS"]
+
+#: Every recognised event kind.
+EVENT_KINDS = (
+    "crash",
+    "recover",
+    "degrade",
+    "restore",
+    "fail",
+    "timeout",
+    "flap",
+)
+
+#: Kinds that target a node.
+_NODE_KINDS = frozenset({"crash", "recover", "degrade", "restore", "flap"})
+#: Kinds that fail measurements outright.
+_MEASUREMENT_KINDS = frozenset({"fail", "timeout"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault on the virtual (tick) timeline."""
+
+    kind: str
+    #: Tick (measurement index) the event takes effect at.
+    at: int
+    #: Target node for node-scoped kinds; None for measurement kinds.
+    node: Optional[str] = None
+    #: Service-rate multiplier for ``degrade`` (0 < factor <= 1).
+    factor: Optional[float] = None
+    #: Consecutive ticks affected (``fail``/``timeout``), default 1.
+    count: int = 1
+    #: Half-cycle length in ticks (``flap``).
+    period: Optional[int] = None
+    #: Number of down/up cycles (``flap``).
+    cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {EVENT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"event tick must be >= 0, got {self.at}")
+        if self.kind in _NODE_KINDS and not self.node:
+            raise ValueError(f"{self.kind!r} events need a target node")
+        if self.kind in _MEASUREMENT_KINDS and self.node is not None:
+            raise ValueError(f"{self.kind!r} events take no node")
+        if self.kind == "degrade":
+            if self.factor is None or not 0.0 < self.factor <= 1.0:
+                raise ValueError(
+                    f"degrade needs a factor in (0, 1], got {self.factor}"
+                )
+        elif self.factor is not None:
+            raise ValueError(f"{self.kind!r} events take no factor")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind == "flap":
+            if self.period is None or self.period < 1:
+                raise ValueError(f"flap needs a period >= 1, got {self.period}")
+            if self.cycles is None or self.cycles < 1:
+                raise ValueError(f"flap needs cycles >= 1, got {self.cycles}")
+        elif self.period is not None or self.cycles is not None:
+            raise ValueError(f"{self.kind!r} events take no period/cycles")
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (omits unset optionals)."""
+        out: dict = {"kind": self.kind, "at": self.at}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.factor is not None:
+            out["factor"] = self.factor
+        if self.count != 1:
+            out["count"] = self.count
+        if self.period is not None:
+            out["period"] = self.period
+        if self.cycles is not None:
+            out["cycles"] = self.cycles
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Parse one event object (strict: unknown keys are errors)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"fault event must be an object, got {data!r}")
+        known = {"kind", "at", "node", "factor", "count", "period", "cycles"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault event keys: {sorted(unknown)}")
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                at=int(data["at"]),
+                node=data.get("node"),
+                factor=(
+                    float(data["factor"]) if data.get("factor") is not None else None
+                ),
+                count=int(data.get("count", 1)),
+                period=(
+                    int(data["period"]) if data.get("period") is not None else None
+                ),
+                cycles=(
+                    int(data["cycles"]) if data.get("cycles") is not None else None
+                ),
+            )
+        except KeyError as err:
+            raise ValueError(f"fault event missing field {err.args[0]!r}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    ``seed`` drives the random transient-failure stream (one independent
+    draw per tick, so the stream does not depend on retry history);
+    ``transient_rate`` is the per-tick probability of a spurious
+    measurement failure on top of the scheduled events.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    transient_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if not 0.0 <= self.transient_rate < 1.0:
+            raise ValueError(
+                f"transient_rate must be in [0, 1), got {self.transient_rate}"
+            )
+
+    # -- identity -------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the plan (events + seed + transient rate)."""
+        h = hashlib.sha256()
+        h.update(
+            repr(
+                (
+                    tuple(sorted(
+                        tuple(sorted(e.to_dict().items())) for e in self.events
+                    )),
+                    self.seed,
+                    self.transient_rate,
+                )
+            ).encode()
+        )
+        return h.hexdigest()
+
+    @property
+    def horizon(self) -> int:
+        """First tick after which no *scheduled* event changes state."""
+        last = 0
+        for e in self.events:
+            if e.kind == "flap":
+                assert e.period is not None and e.cycles is not None
+                last = max(last, e.at + 2 * e.period * e.cycles)
+            else:
+                last = max(last, e.at + e.count)
+        return last
+
+    def nodes(self) -> tuple[str, ...]:
+        """Every node the plan touches, sorted."""
+        return tuple(sorted({e.node for e in self.events if e.node is not None}))
+
+    # -- JSON -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready mapping."""
+        return {
+            "seed": self.seed,
+            "transient_rate": self.transient_rate,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the plan as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Parse a plan mapping (strict: unknown keys are errors)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be an object, got {data!r}")
+        unknown = set(data) - {"seed", "transient_rate", "events"}
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise ValueError("events must be a list")
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in events),
+            seed=int(data.get("seed", 0)),
+            transient_rate=float(data.get("transient_rate", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"invalid fault plan JSON: {err}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path) -> None:
+        """Write the plan to a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def node_crash(
+        cls,
+        node: str,
+        at: int,
+        recover_at: Optional[int] = None,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """The canonical chaos scenario: one node crash, optional recovery."""
+        events: list[FaultEvent] = [FaultEvent("crash", at, node=node)]
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ValueError("recover_at must come after the crash tick")
+            events.append(FaultEvent("recover", recover_at, node=node))
+        return cls(
+            events=tuple(events), seed=seed, transient_rate=transient_rate
+        )

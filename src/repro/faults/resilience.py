@@ -1,0 +1,131 @@
+"""Resilience policies: how the tuning session treats failed measurements.
+
+A :class:`ResiliencePolicy` replaces the old report-as-zero path: a failed
+measurement is retried a bounded number of times with a deterministic
+*virtual-time* backoff (ticks on the fault timeline, never the wall
+clock), and only when retries are exhausted does one of the terminal
+responses apply:
+
+``penalty``
+    Report the worst performance observed so far (BestConfig's rule: a
+    failed trial must not look *better* than any real one, but reporting
+    an artificial 0.0 would let one transient failure steer the simplex
+    permanently).
+``skip``
+    Report nothing.  Strategy ``ask()`` is idempotent until ``tell()``,
+    so the next step re-asks the same configuration — the failure is
+    attributed to the environment, not the configuration.
+``substitute``
+    Report the last successfully measured performance, leaving the
+    search neutral about the configuration.
+
+Independently of the terminal response, configurations whose retries
+exhaust repeatedly are *quarantined* (auto-penalized without wasting
+measurements), and after enough consecutive failed steps the session
+*rolls back*: it measures and deploys the best-known configuration while
+the failing candidate is penalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ON_EXHAUSTED", "ResiliencePolicy", "ResilienceStats", "backoff_delay"]
+
+#: Terminal responses once retries are exhausted.
+ON_EXHAUSTED = ("penalty", "skip", "substitute")
+
+
+def backoff_delay(attempt: int, base: int = 1, cap: int = 8) -> int:
+    """Virtual ticks to wait before retry ``attempt`` (1-based).
+
+    Capped exponential: ``min(cap, base * 2**(attempt-1))``.  Purely a
+    function of the attempt number — no jitter, no clock — so retry
+    timelines are reproducible.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    if base < 0 or cap < 0:
+        raise ValueError("base and cap must be non-negative")
+    return min(cap, base * 2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How a tuning session responds to measurement failures."""
+
+    #: Retries per step before the terminal response applies.
+    max_retries: int = 2
+    #: Backoff schedule: wait min(cap, base * 2**(attempt-1)) virtual ticks.
+    backoff_base: int = 1
+    backoff_cap: int = 8
+    #: Terminal response once retries are exhausted (see module docs).
+    on_exhausted: str = "penalty"
+    #: Quarantine a configuration after this many exhausted steps on it
+    #: (0 disables quarantine).
+    quarantine_after: int = 2
+    #: Roll back to the best-known configuration after this many
+    #: *consecutive* exhausted steps (0 disables rollback).
+    rollback_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.on_exhausted not in ON_EXHAUSTED:
+            raise ValueError(
+                f"on_exhausted must be one of {ON_EXHAUSTED}, "
+                f"got {self.on_exhausted!r}"
+            )
+        if self.quarantine_after < 0:
+            raise ValueError(
+                f"quarantine_after must be >= 0, got {self.quarantine_after}"
+            )
+        if self.rollback_after < 0:
+            raise ValueError(
+                f"rollback_after must be >= 0, got {self.rollback_after}"
+            )
+
+    def delay(self, attempt: int) -> int:
+        """The backoff before retry ``attempt`` under this policy."""
+        return backoff_delay(attempt, self.backoff_base, self.backoff_cap)
+
+
+@dataclass
+class ResilienceStats:
+    """What the policy actually did during a session."""
+
+    #: Individual failed measurement attempts (including retries).
+    failures: int = 0
+    #: Retry attempts issued.
+    retries: int = 0
+    #: Virtual ticks spent waiting in backoff.
+    backoff_ticks: int = 0
+    #: Steps whose retries were exhausted.
+    exhausted_steps: int = 0
+    #: Steps resolved by each terminal response.
+    penalties: int = 0
+    skips: int = 0
+    substitutions: int = 0
+    #: Steps answered from quarantine without measuring.
+    quarantine_hits: int = 0
+    #: Configurations currently quarantined.
+    quarantined: int = 0
+    #: Rollback measurements of the best-known configuration.
+    rollbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a flat mapping (for reports and JSON)."""
+        return {
+            "failures": self.failures,
+            "retries": self.retries,
+            "backoff_ticks": self.backoff_ticks,
+            "exhausted_steps": self.exhausted_steps,
+            "penalties": self.penalties,
+            "skips": self.skips,
+            "substitutions": self.substitutions,
+            "quarantine_hits": self.quarantine_hits,
+            "quarantined": self.quarantined,
+            "rollbacks": self.rollbacks,
+        }

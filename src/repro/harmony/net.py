@@ -33,6 +33,7 @@ import socketserver
 import threading
 from typing import Iterator, Mapping, Optional, Sequence
 
+from repro.faults.resilience import backoff_delay
 from repro.harmony.parameter import Configuration, IntParameter
 from repro.harmony.protocol import (
     ErrorReply,
@@ -71,6 +72,7 @@ class _Handler(socketserver.StreamRequestHandler):
             else:
                 with server.dispatch_lock:
                     reply = server.harmony.handle(message)
+                    server.note_activity(message.client_id)
             self.wfile.write((encode(reply) + "\n").encode("utf-8"))
             self.wfile.flush()
 
@@ -86,10 +88,47 @@ class HarmonyTCPServer(socketserver.ThreadingTCPServer):
         harmony: Optional[HarmonyServer] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        stale_after: Optional[int] = None,
     ) -> None:
+        if stale_after is not None and stale_after < 1:
+            raise ValueError("stale_after must be >= 1 (or None to disable)")
         self.harmony = harmony or HarmonyServer()
         self.dispatch_lock = threading.Lock()
+        #: Requests dispatched with no word from a client before its
+        #: session is reaped (None disables reaping).  Measured in
+        #: dispatched requests, not wall time: a busy server ages quiet
+        #: clients out, an idle one holds them forever — deterministic.
+        self.stale_after = stale_after
+        self._dispatched = 0
+        self._last_seen: dict[str, int] = {}
+        self.reaped: list[str] = []
         super().__init__((host, port), _Handler)
+
+    def note_activity(self, client_id: str) -> None:
+        """Record one dispatched request (call with the dispatch lock held)."""
+        self._dispatched += 1
+        self._last_seen[client_id] = self._dispatched
+        if self.stale_after is not None:
+            self._reap_stale()
+
+    def _reap_stale(self) -> None:
+        horizon = self._dispatched - self.stale_after
+        for client_id, seen in list(self._last_seen.items()):
+            if seen > horizon:
+                continue
+            if client_id in self.harmony.sessions:
+                self.harmony.unregister(client_id)
+                self.reaped.append(client_id)
+            del self._last_seen[client_id]
+
+    def cleanup_stale(self) -> list[str]:
+        """Reap quiet clients now; returns the ids removed this call."""
+        if self.stale_after is None:
+            return []
+        with self.dispatch_lock:
+            before = len(self.reaped)
+            self._reap_stale()
+            return self.reaped[before:]
 
     @property
     def address(self) -> tuple[str, int]:
@@ -111,18 +150,61 @@ class HarmonyTCPServer(socketserver.ThreadingTCPServer):
 
 
 class RemoteHarmonyClient:
-    """The minimal tunable-application API, over a TCP connection."""
+    """The minimal tunable-application API, over a TCP connection.
+
+    The client survives the transport, not just uses it: a dropped
+    connection is retried up to ``max_retries`` times with a capped
+    deterministic backoff (``backoff_delay`` — counted, and handed to the
+    injectable ``sleep`` if one is given; there is no built-in wall-clock
+    wait, so the retry schedule is reproducible and lint-clean).  Reports
+    carry sequence numbers, so a resend after a lost acknowledgement is
+    deduplicated server-side instead of being told to the strategy twice.
+    """
 
     def __init__(self, host: str, port: int, client_id: str,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0, max_retries: int = 2,
+                 backoff_base: int = 1, backoff_cap: int = 8,
+                 sleep=None) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.client_id = client_id
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._registered = False
         self._iterations = 0
+        self._seq = 0
+        #: Reconnect attempts performed over the client's lifetime.
+        self.retries = 0
+        #: Backoff waits accumulated (virtual units fed to ``sleep``).
+        self.backoff_total = 0
+        self._connect()
 
     # -- plumbing ---------------------------------------------------------
-    def _call(self, message):
+    def _connect(self) -> None:
+        """(Re)open the connection, never leaking a half-built socket."""
+        self.close()
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        try:
+            file = sock.makefile("rwb")
+        except Exception:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise
+        self._sock = sock
+        self._file = file
+
+    def _roundtrip(self, message):
+        if self._file is None:
+            raise ConnectionError("harmony client is not connected")
         self._file.write((encode(message) + "\n").encode("utf-8"))
         self._file.flush()
         line = self._file.readline()
@@ -133,12 +215,40 @@ class RemoteHarmonyClient:
             raise RuntimeError(f"harmony server error: {reply.error}")
         return reply
 
+    def _call(self, message):
+        """One request/reply exchange, with retry + reconnect on drops."""
+        self._last_call_retried = False
+        attempt = 0
+        while True:
+            try:
+                if self._file is None:
+                    self._connect()
+                return self._roundtrip(message)
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self.retries += 1
+                self._last_call_retried = True
+                delay = backoff_delay(
+                    attempt, self.backoff_base, self.backoff_cap
+                )
+                self.backoff_total += delay
+                if self._sleep is not None:
+                    self._sleep(delay)
+
     def close(self) -> None:
-        """Close the connection (the server keeps the session state)."""
-        with contextlib.suppress(OSError):
-            self._file.close()
-        with contextlib.suppress(OSError):
-            self._sock.close()
+        """Release the connection (idempotent; server keeps session state)."""
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        if file is not None:
+            with contextlib.suppress(OSError):
+                file.close()
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
 
     def __enter__(self) -> "RemoteHarmonyClient":
         return self
@@ -163,10 +273,22 @@ class RemoteHarmonyClient:
         strategy: str = "simplex",
         start: Optional[Mapping[str, int]] = None,
     ) -> int:
-        """Declare tunable parameters; returns the space dimension."""
-        reply = self._call(
-            RegisterRequest(self.client_id, tuple(parameters), strategy, start)
-        )
+        """Declare tunable parameters; returns the space dimension.
+
+        Safe under retry: if the registration landed but its reply was
+        lost, the resend's "already registered" error is the proof of
+        success and is treated as one.
+        """
+        params = tuple(parameters)
+        try:
+            reply = self._call(
+                RegisterRequest(self.client_id, params, strategy, start)
+            )
+        except RuntimeError as err:
+            if self._last_call_retried and "already registered" in str(err):
+                self._registered = True
+                return len(params)
+            raise
         assert isinstance(reply, RegisterReply)
         self._registered = True
         return reply.dimension
@@ -178,8 +300,15 @@ class RemoteHarmonyClient:
         return reply.configuration
 
     def report(self, performance: float) -> int:
-        """Report measured performance; returns iterations completed."""
-        reply = self._call(ReportRequest(self.client_id, performance))
+        """Report measured performance; returns iterations completed.
+
+        Each report carries a fresh sequence number, so a resend after a
+        dropped connection cannot be recorded twice by the server.
+        """
+        self._seq += 1
+        reply = self._call(
+            ReportRequest(self.client_id, performance, seq=self._seq)
+        )
         assert isinstance(reply, ReportReply)
         self._iterations = reply.iterations
         return reply.iterations

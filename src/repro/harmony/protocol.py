@@ -76,9 +76,16 @@ class FetchReply(Reply):
 
 @dataclass(frozen=True)
 class ReportRequest(Message):
-    """Report the performance observed under the fetched configuration."""
+    """Report the performance observed under the fetched configuration.
+
+    ``seq`` makes the report idempotent over unreliable transport: a
+    client that resends after a lost acknowledgement carries the same
+    sequence number, and the server answers from its cache instead of
+    telling the strategy twice.
+    """
 
     performance: float = 0.0
+    seq: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,11 @@ class TuningSession:
         self.strategy = strategy
         self.history = TuningHistory()
         self._outstanding: Optional[Configuration] = None
+        # Idempotent reports: the last acknowledged sequence number and
+        # the reply it produced, so a resent report is answered from
+        # cache instead of being told to the strategy twice.
+        self.last_report_seq: Optional[int] = None
+        self.last_report_iterations: int = 0
 
     @property
     def iterations(self) -> int:
@@ -212,11 +217,26 @@ class HarmonyServer:
                     raise ValueError(
                         f"non-finite performance {message.performance!r}"
                     )
+                session = self._session(message.client_id)
+                if (
+                    message.seq is not None
+                    and message.seq == session.last_report_seq
+                    and session._outstanding is None
+                ):
+                    # Duplicate delivery (a client retry after a lost
+                    # acknowledgement): the original already consumed the
+                    # outstanding fetch, so answer from cache and do not
+                    # tell the strategy twice.  A *new* client reusing the
+                    # session (and its seq numbering) has fetched again,
+                    # which is what distinguishes it from a resend.
+                    return ReportReply(
+                        message.client_id, session.last_report_iterations
+                    )
                 self.report(message.client_id, message.performance)
-                return ReportReply(
-                    message.client_id,
-                    self._session(message.client_id).iterations,
-                )
+                if message.seq is not None:
+                    session.last_report_seq = message.seq
+                    session.last_report_iterations = session.iterations
+                return ReportReply(message.client_id, session.iterations)
             if isinstance(message, UnregisterRequest):
                 best = self.unregister(message.client_id)
                 return UnregisterReply(message.client_id, best)

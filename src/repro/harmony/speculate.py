@@ -172,13 +172,19 @@ class SpeculativeEvaluator:
                     batch.append(self.scheme.combine({**fragments, gid: cand}))
         self.stats.planned += planned
         self.stats.batched += len(batch)
-        self.stats.solves += prefetch_frontier(
-            self.backend,
-            scenario,
-            batch,
-            jobs=self.jobs,
-            executor=self._executor,
-        )
+        try:
+            self.stats.solves += prefetch_frontier(
+                self.backend,
+                scenario,
+                batch,
+                jobs=self.jobs,
+                executor=self._executor,
+            )
+        except Exception:  # repro: noqa[RPL008] - advisory warm-up only
+            # A failed prefetch (a worker dying, a backend fault mid-warm)
+            # costs cache warmth, never correctness: the committed measure
+            # path solves cold exactly what the prefetch would have.
+            self.stats.prefetch_failures += 1
         self._planned = {
             gid: set(plans[gid]) | set(alts[gid]) for gid in plans
         }

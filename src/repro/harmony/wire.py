@@ -102,6 +102,8 @@ def encode(message: Union[Message, Reply]) -> str:
         base["configuration"] = _encode_configuration(message.configuration)
     elif isinstance(message, ReportRequest):
         base["performance"] = message.performance
+        if message.seq is not None:
+            base["seq"] = message.seq
     elif isinstance(message, ReportReply):
         base["iterations"] = message.iterations
     elif isinstance(message, UnregisterRequest):
@@ -153,7 +155,10 @@ def decode(line: str) -> Union[Message, Reply]:
         perf = data.get("performance")
         if not isinstance(perf, (int, float)) or isinstance(perf, bool):
             raise WireError(f"performance must be a number, got {perf!r}")
-        return ReportRequest(client_id, float(perf))
+        seq = data.get("seq")
+        if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+            raise WireError(f"seq must be an integer, got {seq!r}")
+        return ReportRequest(client_id, float(perf), seq=seq)
     if kind == "ReportReply":
         return ReportReply(client_id, int(data.get("iterations", 0)))
     if kind == "UnregisterRequest":

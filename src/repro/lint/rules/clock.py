@@ -38,7 +38,11 @@ CLOCK_CALLS = frozenset(
 
 
 class WallClockRule(Rule):
-    """Flag host-clock reads in ``sim/``, ``des/``, ``model/``, ``harmony/``.
+    """Flag host-clock reads in the deterministic subsystems.
+
+    Covers ``sim/``, ``des/``, ``model/``, ``harmony/``, ``faults/`` and
+    ``tuning/`` — in particular, fault timelines and retry backoff must
+    run on virtual ticks, never the host clock.
 
     Simulated time must advance only through the event loop /
     iteration counter; host-clock reads make measurements depend on
@@ -54,6 +58,8 @@ class WallClockRule(Rule):
         "repro/des/",
         "repro/model/",
         "repro/harmony/",
+        "repro/faults/",
+        "repro/tuning/",
     )
     path_excludes = ("benchmarks/",)
 

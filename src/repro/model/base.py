@@ -326,6 +326,9 @@ class SpeculationStats:
     batched: int = 0
     #: Cold deterministic solves performed by prefetches.
     solves: int = 0
+    #: Prefetch batches dropped because the backend raised — speculation
+    #: is advisory, so a failed warm-up never aborts the tuning step.
+    prefetch_failures: int = 0
 
     @property
     def waste(self) -> int:
@@ -351,6 +354,7 @@ class SpeculationStats:
             "misses": self.misses,
             "batched": self.batched,
             "solves": self.solves,
+            "prefetch_failures": self.prefetch_failures,
             "waste": self.waste,
             "waste_ratio": self.waste_ratio,
             "hit_rate": self.hit_rate,

@@ -55,7 +55,12 @@ def _prefetch_chunk(
         solution_cache_size=cache_size,
         prefetch_outer_budget=outer_budget,
     )
-    backend.prefetch_configs(scenario, configurations)
+    try:
+        backend.prefetch_configs(scenario, configurations)
+    except Exception:  # repro: noqa[RPL008] - advisory warm-up only
+        # A chunk that fails mid-warm still ships whatever it solved; the
+        # unprefetched remainder just solves cold on the commit path.
+        pass
     return backend.export_solutions()
 
 

@@ -91,18 +91,24 @@ class ReconfigurationLoop:
         """Average the recent window's utilizations into one measurement.
 
         The algorithm should react to trends, not to one iteration's noise
-        (or to one freak configuration the tuner tried).
+        (or to one freak configuration the tuner tried).  The node set may
+        change mid-window (a node crashing or recovering under fault
+        injection), so each node is averaged only over the entries that
+        actually observed it — and only nodes present in the *latest*
+        measurement are considered at all: a crashed node must not be
+        offered to the reconfigurator as a move candidate.
         """
         window = self._recent[-self.smoothing :]
         last = window[-1]
-        n = len(window)
         utilization = {}
         for node_id in last.utilization:
+            seen = [m.utilization[node_id] for m in window if node_id in m.utilization]
+            n = len(seen)
             utilization[node_id] = ResourceUtilization(
-                cpu=sum(m.utilization[node_id].cpu for m in window) / n,
-                disk=sum(m.utilization[node_id].disk for m in window) / n,
-                network=sum(m.utilization[node_id].network for m in window) / n,
-                memory=sum(m.utilization[node_id].memory for m in window) / n,
+                cpu=sum(u.cpu for u in seen) / n,
+                disk=sum(u.disk for u in seen) / n,
+                network=sum(u.network for u in seen) / n,
+                memory=sum(u.memory for u in seen) / n,
             )
         return Measurement(
             wips=last.wips,
@@ -116,7 +122,11 @@ class ReconfigurationLoop:
     def step(self) -> Measurement:
         """One tuning iteration plus the due reconfiguration actions."""
         measurement = self.session.step()
-        self._recent.append(measurement)
+        if measurement.utilization:
+            # Failed steps carry no utilizations — feeding them to the
+            # smoother would erase the very overload signal a fault is
+            # meant to produce.
+            self._recent.append(measurement)
         if len(self._recent) > self.smoothing:
             self._recent.pop(0)
         i = self.session.iterations
@@ -130,6 +140,7 @@ class ReconfigurationLoop:
 
         if (
             self._pending is None
+            and self._recent
             and i >= self._quiet_until
             and i % self.check_every == 0
             and (self.max_moves is None or len(self._moves) < self.max_moves)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults.resilience import ResiliencePolicy, ResilienceStats
 from repro.harmony.history import TuningHistory
 from repro.harmony.parameter import Configuration
 from repro.harmony.scaling import (
@@ -83,6 +84,7 @@ class ClusterTuningSession:
         iteration_spec: Optional[IterationSpec] = None,
         simplex_options: Optional[SimplexOptions] = None,
         on_measure_error: str = "raise",
+        resilience: Optional[ResiliencePolicy] = None,
         speculate: bool = False,
         speculate_jobs: int = 1,
     ) -> None:
@@ -92,7 +94,18 @@ class ClusterTuningSession:
                 f"got {on_measure_error!r}"
             )
         self.on_measure_error = on_measure_error
+        self.resilience = resilience
+        self.resilience_stats = ResilienceStats()
         self.measure_failures = 0
+        # Worst successful performance seen per group — the penalty value
+        # for failed steps (a failure must never beat a real measurement).
+        self._worst_perf: dict[str, float] = {}
+        self._worst_wips: Optional[float] = None
+        # Last successful step, for the "substitute" terminal response.
+        self._last_good: Optional[tuple[Measurement, dict[str, float]]] = None
+        self._consecutive_exhausted = 0
+        self._failure_counts: dict[Configuration, int] = {}
+        self._quarantined: set[Configuration] = set()
         self.scheme = scheme or identity_scheme(scenario.cluster.full_space())
         self.scenario = self._align_scenario(scenario)
         self.server = HarmonyServer(seed=seed, simplex_options=simplex_options)
@@ -210,40 +223,164 @@ class ClusterTuningSession:
 
         A backend failure (a crashed measurement — the paper's servers did
         occasionally wedge under bad configurations) either propagates
-        (``on_measure_error="raise"``) or is *penalized*: the tuner is told
-        the configuration performed at 0 WIPS, which the simplex treats as
-        a worst point and moves away from, and the iteration is recorded as
-        a zero-performance entry so the timeline stays complete.
+        (``on_measure_error="raise"``), is *penalized* with the worst
+        performance observed so far (never an artificial 0.0, which would
+        let one unlucky failure steer the simplex permanently), or — when
+        a :class:`ResiliencePolicy` is set — is retried with deterministic
+        virtual-time backoff and then resolved by the policy's terminal
+        response (penalty / skip / substitute), with quarantine and
+        rollback on top.
         """
         fragments: dict[str, Configuration] = {}
         for group in self.scheme.groups:
             fragments[group.group_id] = self.server.fetch(group.group_id)
         full = self.scheme.combine(fragments)
+        policy = self.resilience
+        if policy is not None and full in self._quarantined:
+            # Known-bad configuration: penalize without wasting a
+            # measurement so the strategy moves on immediately.
+            self.resilience_stats.quarantine_hits += 1
+            return self._penalize(full)
         if self.speculator is not None:
             # Warm the deterministic caches for this step's configuration
             # plus every candidate the strategies could ask next, in one
             # fused batch.  Prefetching never changes measured values.
             self.speculator.prefetch(self.scenario, fragments)
-        try:
-            measurement = self.runner.run(full)
-        except Exception:
-            if self.on_measure_error == "raise":
-                raise
-            self.measure_failures += 1
-            for group in self.scheme.groups:
-                self.server.report(group.group_id, 0.0)
-            self.history.append(full, 0.0)
-            return Measurement(
-                wips=0.0,
-                raw_wips=0.0,
-                error_rate=1.0,
-                response_time=float("inf"),
-                utilization={},
-            )
+        attempt = 0
+        while True:
+            try:
+                measurement = self.runner.run(full)
+                break
+            except Exception:
+                self.measure_failures += 1
+                self.resilience_stats.failures += 1
+                if policy is None:
+                    if self.on_measure_error == "raise":
+                        raise
+                    return self._penalize(full)
+                if attempt < policy.max_retries:
+                    attempt += 1
+                    self.resilience_stats.retries += 1
+                    self._backoff(policy.delay(attempt))
+                    continue
+                return self._exhausted(full)
+        self._record_success(full, measurement)
+        return measurement
+
+    # -- failure handling ----------------------------------------------
+    def _record_success(self, full: Configuration, measurement: Measurement) -> None:
+        """Report a successful measurement and refresh resilience state."""
+        perfs: dict[str, float] = {}
         for group in self.scheme.groups:
             perf = self._group_performance(group.group_id, measurement)
+            perfs[group.group_id] = perf
+            worst = self._worst_perf.get(group.group_id)
+            if worst is None or perf < worst:
+                self._worst_perf[group.group_id] = perf
             self.server.report(group.group_id, perf)
+        if self._worst_wips is None or measurement.wips < self._worst_wips:
+            self._worst_wips = measurement.wips
+        self._last_good = (measurement, perfs)
+        self._consecutive_exhausted = 0
         self.history.append(full, measurement.wips)
+
+    def _backoff(self, delay: int) -> None:
+        """Wait ``delay`` ticks of *virtual* time before the retry.
+
+        Backends that model a fault timeline (``FaultyBackend``) expose
+        ``advance``; for everything else the wait is pure bookkeeping.
+        There is deliberately no wall-clock sleep anywhere.
+        """
+        self.resilience_stats.backoff_ticks += delay
+        advance = getattr(self.runner.backend, "advance", None)
+        if advance is not None and delay > 0:
+            advance(delay)
+
+    def _failed_measurement(self, wips: float) -> Measurement:
+        """The timeline entry recorded for a failed step."""
+        return Measurement(
+            wips=wips,
+            raw_wips=wips,
+            error_rate=1.0,
+            response_time=float("inf"),
+            utilization={},
+        )
+
+    def _penalize(self, full: Configuration) -> Measurement:
+        """Report the worst-seen performance for a failed step."""
+        self.resilience_stats.penalties += 1
+        for group in self.scheme.groups:
+            self.server.report(
+                group.group_id, self._worst_perf.get(group.group_id, 0.0)
+            )
+        penalty = self._worst_wips if self._worst_wips is not None else 0.0
+        self.history.append(full, penalty)
+        return self._failed_measurement(penalty)
+
+    def _exhausted(self, full: Configuration) -> Measurement:
+        """Resolve a step whose retries are all spent."""
+        policy = self.resilience
+        assert policy is not None
+        stats = self.resilience_stats
+        stats.exhausted_steps += 1
+        self._consecutive_exhausted += 1
+        count = self._failure_counts.get(full, 0) + 1
+        self._failure_counts[full] = count
+        if (
+            policy.quarantine_after
+            and count >= policy.quarantine_after
+            and full not in self._quarantined
+        ):
+            self._quarantined.add(full)
+            stats.quarantined = len(self._quarantined)
+        if (
+            policy.rollback_after
+            and self._consecutive_exhausted >= policy.rollback_after
+        ):
+            rolled = self._rollback(full)
+            if rolled is not None:
+                return rolled
+        if policy.on_exhausted == "substitute" and self._last_good is not None:
+            stats.substitutions += 1
+            measurement, perfs = self._last_good
+            for group in self.scheme.groups:
+                self.server.report(group.group_id, perfs[group.group_id])
+            self.history.append(full, measurement.wips)
+            return measurement
+        if policy.on_exhausted == "skip":
+            # Report nothing: ask() is idempotent until tell(), so the
+            # next step re-asks this configuration — the failure is
+            # attributed to the environment, not the configuration.
+            stats.skips += 1
+            penalty = self._worst_wips if self._worst_wips is not None else 0.0
+            return self._failed_measurement(penalty)
+        return self._penalize(full)
+
+    def _rollback(self, full: Configuration) -> Optional[Measurement]:
+        """Sustained failure: deploy the best-known configuration.
+
+        The failing candidate is penalized (the search must move away),
+        while the *measured* — deployed — configuration is the best seen
+        so far, so the service keeps producing its best-known throughput.
+        Returns None when there is no distinct best or it too fails (a
+        full outage), letting the terminal response apply instead.
+        """
+        if not len(self.history):
+            return None
+        best = self.history.best_configuration()
+        if best == full:
+            return None
+        try:
+            measurement = self.runner.run(best)
+        except Exception:
+            return None
+        self.resilience_stats.rollbacks += 1
+        self.resilience_stats.penalties += 1
+        for group in self.scheme.groups:
+            self.server.report(
+                group.group_id, self._worst_perf.get(group.group_id, 0.0)
+            )
+        self.history.append(best, measurement.wips)
         return measurement
 
     def _group_performance(self, group_id: str, measurement: Measurement) -> float:
@@ -278,6 +415,13 @@ class ClusterTuningSession:
         cfg = configuration or self.scenario.cluster.default_configuration()
         out = TuningHistory()
         for i in range(iterations):
-            m = self.runner.run(cfg, index=10_000 + i)
+            try:
+                m = self.runner.run(cfg, index=10_000 + i)
+            except Exception:
+                if self.resilience is None and self.on_measure_error == "raise":
+                    raise
+                # A reference measurement, not tuner feedback: a failed
+                # draw is simply dropped rather than penalized.
+                continue
             out.append(cfg, m.wips)
         return out

@@ -98,3 +98,35 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "ratio" in out
         assert rc == 0
+
+
+class TestFaultsCli:
+    def test_chaos_is_a_known_experiment(self):
+        args = build_parser().parse_args(["experiment", "chaos"])
+        assert args.name == "chaos"
+        assert args.resilience is True
+        args = build_parser().parse_args(["experiment", "chaos", "--no-resilience"])
+        assert args.resilience is False
+
+    def test_tune_under_a_fault_plan(self, tmp_path, capsys):
+        from repro.faults.plan import FaultEvent, FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            events=(FaultEvent("fail", 3, count=2),), seed=1
+        ).save(plan_path)
+        rc = main([
+            "tune", "--iterations", "12", "--population", "500",
+            "--faults", str(plan_path), "--resilience",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out and "resilience:" in out
+        assert "best after 12 iterations" in out
+
+    def test_chaos_experiment_reports_recovery(self, capsys):
+        rc = main(["experiment", "chaos", "--iterations", "30", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WIPS under failure (resilient)" in out
+        assert "time to recover" in out

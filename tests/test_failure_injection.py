@@ -1,17 +1,39 @@
-"""Failure injection: flaky backends and wedged measurements.
+"""Failure injection: fault plans, resilient tuning, and chaos recovery.
 
 The paper's testbed occasionally needed server restarts (§V); a production
-tuner must survive measurements that crash.  These tests drive a tuning
-session against backends that fail deterministically or randomly and check
-that tuning degrades gracefully instead of derailing.
+tuner must survive measurements that crash.  These tests cover the whole
+robustness stack:
+
+* :mod:`repro.faults.plan` — declarative, JSON round-trippable schedules;
+* :mod:`repro.faults.injector` — golden per-tick fault states, seeded
+  transient streams that never depend on retry history;
+* :mod:`repro.faults.backend` — node crashes remove capacity from the
+  measured cluster (the §IV reconfiguration signal), degradations slow it;
+* :class:`~repro.faults.resilience.ResiliencePolicy` — retry + virtual
+  backoff, penalty/skip/substitute, quarantine, rollback;
+* the chaos experiment — tuning through a mid-run node crash recovers
+  throughput the do-nothing arm loses, bit-identically across reruns.
 """
 
 import numpy as np
 import pytest
 
 from repro.cluster.topology import ClusterSpec
+from repro.experiments import chaos
+from repro.experiments.runner import ExperimentConfig
+from repro.faults.backend import (
+    ClusterOutageError,
+    FaultyBackend,
+    MeasurementTimeout,
+    TransientMeasurementError,
+    degrade_spec,
+)
+from repro.faults.injector import FaultInjector, FaultState
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.resilience import ResiliencePolicy, backoff_delay
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import Measurement, PerformanceBackend, Scenario
+from repro.des.backend import SimulationBackend
 from repro.tpcw.interactions import BROWSING_MIX
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import spawn_rng
@@ -46,14 +68,44 @@ class RandomCrashBackend(PerformanceBackend):
         return self.inner.measure(scenario, configuration, seed)
 
 
-def _session(backend, on_measure_error, seed=31):
-    cluster = ClusterSpec.three_tier(1, 1, 1)
-    scenario = Scenario(cluster=cluster, mix=BROWSING_MIX, population=750)
+class RecordingBackend(PerformanceBackend):
+    """Records every configuration actually measured."""
+
+    def __init__(self, inner: PerformanceBackend) -> None:
+        self.inner = inner
+        self.measured = []
+
+    def measure(self, scenario, configuration, seed=0) -> Measurement:
+        self.measured.append(configuration)
+        return self.inner.measure(scenario, configuration, seed)
+
+
+class GateBackend(PerformanceBackend):
+    """Fails every measurement except an allow-listed configuration."""
+
+    def __init__(self, inner: PerformanceBackend) -> None:
+        self.inner = inner
+        self.allowed = None  # None: everything allowed.
+
+    def measure(self, scenario, configuration, seed=0) -> Measurement:
+        if self.allowed is not None and configuration != self.allowed:
+            raise RuntimeError("backend refuses this configuration")
+        return self.inner.measure(scenario, configuration, seed)
+
+
+def _scenario(proxies=1, apps=1, dbs=1, population=750):
+    cluster = ClusterSpec.three_tier(proxies, apps, dbs)
+    return Scenario(cluster=cluster, mix=BROWSING_MIX, population=population)
+
+
+def _session(backend, on_measure_error="raise", seed=31, scenario=None, **kwargs):
+    scenario = scenario or _scenario()
     return ClusterTuningSession(
         backend, scenario,
         scheme=make_scheme(scenario, "default"),
         seed=seed,
         on_measure_error=on_measure_error,
+        **kwargs,
     )
 
 
@@ -80,17 +132,18 @@ class TestPenalizeMode:
         session.run(40)
         assert session.iterations == 40
         assert session.measure_failures == 8
-        # Failed iterations are recorded at zero performance.
-        zeros = sum(1 for r in session.history if r.performance == 0.0)
-        assert zeros == 8
+        # Failed iterations are recorded at the worst performance seen so
+        # far — never an artificial 0.0 (see test_penalty_is_worst_seen).
+        assert all(r.performance > 0.0 for r in session.history)
 
-    def test_failed_measurement_reported_as_zero(self):
+    def test_failed_measurement_penalized_with_worst_seen(self):
         backend = CrashingBackend(AnalyticBackend(), period=2)
         session = _session(backend, "penalize")
         m = session.step()  # ok
         assert m.wips > 0
+        first = m.wips
         m = session.step()  # crash
-        assert m.wips == 0.0
+        assert m.wips == first  # worst (= only) observed performance
         assert m.error_rate == 1.0
 
     def test_tuning_still_improves_with_random_failures(self):
@@ -111,3 +164,558 @@ class TestPenalizeMode:
         session = _session(backend, "penalize")
         session.run(30)
         assert session.history.best().performance > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+class TestFaultEventValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="explode", at=0, node="app0"),          # unknown kind
+        dict(kind="crash", at=-1, node="app0"),           # negative tick
+        dict(kind="crash", at=0),                         # node kinds need a node
+        dict(kind="fail", at=0, node="app0"),             # measurement kinds take none
+        dict(kind="degrade", at=0, node="db0"),           # degrade needs a factor
+        dict(kind="degrade", at=0, node="db0", factor=0.0),
+        dict(kind="degrade", at=0, node="db0", factor=1.5),
+        dict(kind="crash", at=0, node="app0", factor=0.5),
+        dict(kind="fail", at=0, count=0),                 # count >= 1
+        dict(kind="flap", at=0, node="app0"),             # flap needs period/cycles
+        dict(kind="flap", at=0, node="app0", period=0, cycles=1),
+        dict(kind="flap", at=0, node="app0", period=2, cycles=0),
+        dict(kind="crash", at=0, node="app0", period=2),  # only flap takes these
+    ])
+    def test_invalid_event_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent(**kwargs)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event keys"):
+            FaultEvent.from_dict({"kind": "crash", "at": 1, "node": "a", "when": 2})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            FaultEvent.from_dict({"kind": "crash"})
+
+
+class TestFaultPlan:
+    def _plan(self):
+        return FaultPlan(
+            events=(
+                FaultEvent("crash", 3, node="app0"),
+                FaultEvent("recover", 7, node="app0"),
+                FaultEvent("degrade", 2, node="db0", factor=0.5),
+                FaultEvent("fail", 5, count=2),
+                FaultEvent("flap", 10, node="proxy1", period=2, cycles=2),
+            ),
+            seed=42,
+            transient_rate=0.1,
+        )
+
+    def test_json_round_trip_is_identity(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_fingerprint_ignores_event_order(self):
+        a = FaultPlan(events=(
+            FaultEvent("crash", 3, node="app0"),
+            FaultEvent("recover", 7, node="app0"),
+        ))
+        b = FaultPlan(events=(
+            FaultEvent("recover", 7, node="app0"),
+            FaultEvent("crash", 3, node="app0"),
+        ))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_depends_on_seed_and_rate(self):
+        base = self._plan()
+        assert base.fingerprint() != FaultPlan(
+            events=base.events, seed=base.seed + 1,
+            transient_rate=base.transient_rate,
+        ).fingerprint()
+        assert base.fingerprint() != FaultPlan(
+            events=base.events, seed=base.seed, transient_rate=0.2,
+        ).fingerprint()
+
+    def test_horizon_covers_every_event(self):
+        # flap at 10, period 2, cycles 2 -> last recover at 10 + 8.
+        assert self._plan().horizon == 18
+        assert FaultPlan().horizon == 0
+
+    def test_nodes_sorted_unique(self):
+        assert self._plan().nodes() == ("app0", "db0", "proxy1")
+
+    def test_node_crash_constructor(self):
+        plan = FaultPlan.node_crash("app0", at=5, recover_at=9, seed=3)
+        assert plan.events == (
+            FaultEvent("crash", 5, node="app0"),
+            FaultEvent("recover", 9, node="app0"),
+        )
+        with pytest.raises(ValueError, match="recover_at"):
+            FaultPlan.node_crash("app0", at=5, recover_at=5)
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.0)
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"seed": 0, "faults": []})
+        with pytest.raises(ValueError, match="invalid fault plan JSON"):
+            FaultPlan.from_json("{nope")
+
+
+# ---------------------------------------------------------------------------
+# The injector: plan -> golden per-tick states
+# ---------------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_golden_schedule(self):
+        """The exact state sequence for a mixed plan, tick by tick."""
+        plan = FaultPlan(events=(
+            FaultEvent("fail", 1, count=2),
+            FaultEvent("crash", 2, node="app0"),
+            FaultEvent("degrade", 3, node="db0", factor=0.5),
+            FaultEvent("recover", 4, node="app0"),
+            FaultEvent("restore", 5, node="db0"),
+            FaultEvent("flap", 6, node="app1", period=2, cycles=1),
+        ))
+        injector = FaultInjector(plan)
+        down_a = frozenset({"app0"})
+        down_b = frozenset({"app1"})
+        slow = (("db0", 0.5),)
+        assert injector.schedule(10) == [
+            FaultState(),                                   # 0
+            FaultState(fail=True),                          # 1
+            FaultState(down=down_a, fail=True),             # 2
+            FaultState(down=down_a, degraded=slow),         # 3
+            FaultState(degraded=slow),                      # 4
+            FaultState(),                                   # 5
+            FaultState(down=down_b),                        # 6 flap: down
+            FaultState(down=down_b),                        # 7
+            FaultState(),                                   # 8 flap: back up
+            FaultState(),                                   # 9
+        ]
+        assert plan.horizon == 10
+
+    def test_transient_stream_is_seed_deterministic(self):
+        plan = FaultPlan(seed=123, transient_rate=0.3)
+        a = FaultInjector(plan).schedule(50)
+        b = FaultInjector(plan).schedule(50)
+        assert a == b
+        assert any(s.fail for s in a) and not all(s.fail for s in a)
+
+    def test_transient_verdict_independent_of_query_order(self):
+        plan = FaultPlan(seed=9, transient_rate=0.5)
+        forward = FaultInjector(plan)
+        backward = FaultInjector(plan)
+        ticks = list(range(20))
+        want = [forward.state_at(t).fail for t in ticks]
+        got = [backward.state_at(t).fail for t in reversed(ticks)][::-1]
+        assert got == want
+
+    def test_states_shared_by_content(self):
+        # Identical states are the same object, so FaultyBackend's
+        # degraded-cluster memo can key on them cheaply.
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent("crash", 1, node="app0"),
+            FaultEvent("recover", 3, node="app0"),
+        )))
+        assert injector.state_at(0) is injector.state_at(4)
+        assert injector.state_at(1) is injector.state_at(2)
+
+    def test_negative_tick_rejected(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(ValueError):
+            injector.state_at(-1)
+        with pytest.raises(ValueError):
+            injector.schedule(-1)
+
+    def test_clean_and_degrades_cluster_flags(self):
+        assert FaultState().clean
+        assert not FaultState(fail=True).clean
+        assert not FaultState(fail=True).degrades_cluster
+        assert FaultState(down=frozenset({"a"})).degrades_cluster
+        assert FaultState(degraded=(("a", 0.5),)).degrades_cluster
+
+
+# ---------------------------------------------------------------------------
+# FaultyBackend: faults applied to real measurements
+# ---------------------------------------------------------------------------
+
+class TestDegradeSpec:
+    def test_scales_service_rates(self):
+        spec = ClusterSpec.three_tier(1, 1, 1).placements[0].spec
+        slow = degrade_spec(spec, 0.5)
+        assert slow.cpu_speed == spec.cpu_speed * 0.5
+        assert slow.disk_access_time == spec.disk_access_time / 0.5
+        assert slow.disk_transfer_rate == spec.disk_transfer_rate * 0.5
+        assert slow.nic_rate == spec.nic_rate * 0.5
+
+    def test_factor_validated(self):
+        spec = ClusterSpec.three_tier(1, 1, 1).placements[0].spec
+        with pytest.raises(ValueError):
+            degrade_spec(spec, 0.0)
+        with pytest.raises(ValueError):
+            degrade_spec(spec, 1.1)
+
+
+class TestFaultyBackend:
+    def _setup(self, plan, proxies=2, apps=2, dbs=1):
+        scenario = _scenario(proxies, apps, dbs, population=800)
+        backend = FaultyBackend(AnalyticBackend(), plan)
+        return backend, scenario, scenario.cluster.default_configuration()
+
+    def test_crash_removes_node_and_its_parameters(self):
+        backend, scenario, cfg = self._setup(
+            FaultPlan(events=(FaultEvent("crash", 0, node="app1"),))
+        )
+        clean = AnalyticBackend().measure(scenario, cfg)
+        m = backend.measure(scenario, cfg)
+        assert "app1" not in m.utilization
+        assert "app0" in m.utilization
+        # The surviving application node absorbs the crashed one's load —
+        # the exact signal the reconfiguration algorithm watches.
+        assert m.utilization["app0"].cpu > clean.utilization["app0"].cpu
+        assert backend.stats.degraded_measurements == 1
+
+    def test_recover_restores_capacity(self):
+        backend, scenario, cfg = self._setup(
+            FaultPlan.node_crash("app1", at=0, recover_at=1)
+        )
+        crashed = backend.measure(scenario, cfg)
+        recovered = backend.measure(scenario, cfg)
+        assert "app1" not in crashed.utilization
+        assert "app1" in recovered.utilization
+        assert recovered.wips == AnalyticBackend().measure(scenario, cfg).wips
+
+    def test_degrade_slows_without_removing(self):
+        backend, scenario, cfg = self._setup(
+            FaultPlan(events=(FaultEvent("degrade", 0, node="db0", factor=0.4),))
+        )
+        clean = AnalyticBackend().measure(scenario, cfg)
+        m = backend.measure(scenario, cfg)
+        assert set(m.utilization) == set(clean.utilization)
+        assert m.wips < clean.wips
+
+    def test_fail_and_timeout_raise_before_measuring(self):
+        plan = FaultPlan(events=(
+            FaultEvent("fail", 0), FaultEvent("timeout", 1),
+        ))
+        scenario = _scenario(1, 1, 1)
+        inner = RecordingBackend(AnalyticBackend())
+        backend = FaultyBackend(inner, plan)
+        cfg = scenario.cluster.default_configuration()
+        with pytest.raises(TransientMeasurementError):
+            backend.measure(scenario, cfg)
+        with pytest.raises(MeasurementTimeout):
+            backend.measure(scenario, cfg)
+        assert inner.measured == []  # the inner backend was never touched
+        assert backend.stats.transient_failures == 1
+        assert backend.stats.timeouts == 1
+        assert backend.measure(scenario, cfg).wips > 0  # tick 2 is clean
+
+    def test_emptied_tier_is_an_outage(self):
+        scenario = _scenario(1, 1, 1)
+        backend = FaultyBackend(
+            AnalyticBackend(),
+            FaultPlan(events=(FaultEvent("crash", 0, node="proxy0"),)),
+        )
+        with pytest.raises(ClusterOutageError):
+            backend.measure(scenario, scenario.cluster.default_configuration())
+        assert backend.stats.outages == 1
+
+    def test_advance_skips_a_fail_window(self):
+        # Waiting out the window is exactly what retry backoff does.
+        backend, scenario, cfg = self._setup(
+            FaultPlan(events=(FaultEvent("fail", 0, count=3),)), 1, 1, 1
+        )
+        backend.advance(3)
+        assert backend.tick == 3
+        assert backend.measure(scenario, cfg).wips > 0
+        with pytest.raises(ValueError):
+            backend.advance(-1)
+
+    def test_measure_batch_ticks_per_point(self):
+        backend, scenario, cfg = self._setup(
+            FaultPlan.node_crash("app1", at=1, recover_at=2)
+        )
+        points = backend.measure_batch(scenario, [(cfg, 0), (cfg, 1), (cfg, 2)])
+        assert "app1" in points[0].utilization
+        assert "app1" not in points[1].utilization
+        assert "app1" in points[2].utilization
+        assert backend.stats.measurements == 3
+
+    def test_same_plan_same_trajectory(self):
+        plan = FaultPlan(
+            events=(FaultEvent("degrade", 2, node="db0", factor=0.6),),
+            seed=4, transient_rate=0.2,
+        )
+        scenario = _scenario(2, 2, 1, population=800)
+        cfg = scenario.cluster.default_configuration()
+
+        def trajectory():
+            backend = FaultyBackend(AnalyticBackend(), plan)
+            out = []
+            for seed in range(10):
+                try:
+                    out.append(backend.measure(scenario, cfg, seed=seed).wips)
+                except TransientMeasurementError:
+                    out.append(None)
+            return out
+
+        first = trajectory()
+        assert trajectory() == first  # exact, including which ticks fail
+        assert None in first
+
+
+# ---------------------------------------------------------------------------
+# Resilience policy units
+# ---------------------------------------------------------------------------
+
+class TestBackoff:
+    def test_capped_exponential(self):
+        assert [backoff_delay(a) for a in range(1, 7)] == [1, 2, 4, 8, 8, 8]
+        assert backoff_delay(3, base=2, cap=5) == 5
+        assert backoff_delay(1, base=0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0)
+        with pytest.raises(ValueError):
+            backoff_delay(1, base=-1)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(on_exhausted="shrug")
+        with pytest.raises(ValueError):
+            ResiliencePolicy(quarantine_after=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(rollback_after=-1)
+        assert ResiliencePolicy().delay(2) == 2
+
+
+# ---------------------------------------------------------------------------
+# Resilient tuning sessions
+# ---------------------------------------------------------------------------
+
+def _faulty_session(plan, policy, steps=None, scenario=None, seed=31):
+    scenario = scenario or _scenario()
+    backend = FaultyBackend(AnalyticBackend(), plan)
+    session = _session(backend, scenario=scenario, seed=seed, resilience=policy)
+    if steps:
+        session.run(steps)
+    return session, backend
+
+
+class TestResilientSession:
+    def test_retry_waits_out_a_transient(self):
+        plan = FaultPlan(events=(FaultEvent("fail", 2),))
+        session, backend = _faulty_session(plan, ResiliencePolicy(), steps=6)
+        stats = session.resilience_stats
+        assert stats.failures == 1
+        assert stats.retries == 1
+        assert stats.backoff_ticks == 1
+        assert stats.exhausted_steps == 0
+        assert session.iterations == 6
+        assert all(r.performance > 0.0 for r in session.history)
+
+    def test_backoff_clears_a_multi_tick_window(self):
+        # fail ticks 2..4: attempt 1 lands on tick 4 (still down), the
+        # doubled backoff pushes attempt 2 past the window.
+        plan = FaultPlan(events=(FaultEvent("fail", 2, count=3),))
+        session, backend = _faulty_session(plan, ResiliencePolicy(), steps=4)
+        stats = session.resilience_stats
+        assert stats.retries == 2
+        assert stats.backoff_ticks == 1 + 2
+        assert stats.exhausted_steps == 0
+        assert backend.stats.transient_failures == 2
+
+    def test_penalty_is_worst_seen_not_zero(self):
+        plan = FaultPlan(events=(FaultEvent("fail", 3),))
+        policy = ResiliencePolicy(max_retries=0, rollback_after=0)
+        session, _ = _faulty_session(plan, policy, steps=8)
+        records = list(session.history)
+        wips = [r.performance for r in records]
+        # The failed step is recorded at the worst real throughput seen
+        # before it — present, but never an artificial 0.0.
+        assert wips[3] == min(wips[:3])
+        assert all(w > 0.0 for w in wips)
+        assert session.resilience_stats.penalties == 1
+
+    def test_one_transient_cannot_become_best_direction(self):
+        plan = FaultPlan(events=(FaultEvent("fail", 4),))
+        policy = ResiliencePolicy(max_retries=0, rollback_after=0)
+        session, _ = _faulty_session(plan, policy, steps=30)
+        best = session.history.best()
+        # The best record is a genuinely measured one, not the penalty.
+        assert best.performance == max(r.performance for r in session.history)
+        assert best.performance > min(r.performance for r in session.history)
+
+    def test_skip_reasks_the_same_configuration(self):
+        """A skipped step leaves the strategy untouched: the search sees
+        exactly the clean run's configuration sequence."""
+        scenario = _scenario()
+        plan = FaultPlan(events=(FaultEvent("fail", 2),))
+        policy = ResiliencePolicy(
+            max_retries=0, on_exhausted="skip",
+            quarantine_after=0, rollback_after=0,
+        )
+        faulty_inner = RecordingBackend(AnalyticBackend())
+        faulty = _session(
+            FaultyBackend(faulty_inner, plan),
+            scenario=scenario, resilience=policy,
+        )
+        faulty.run(7)  # one step is skipped -> six real measurements
+        clean_inner = RecordingBackend(AnalyticBackend())
+        clean = _session(clean_inner, scenario=scenario)
+        clean.run(6)
+        assert faulty_inner.measured == clean_inner.measured
+        assert [r.performance for r in faulty.history] == \
+            [r.performance for r in clean.history]
+        assert faulty.resilience_stats.skips == 1
+
+    def test_substitute_reports_last_good(self):
+        plan = FaultPlan(events=(FaultEvent("fail", 2),))
+        policy = ResiliencePolicy(
+            max_retries=0, on_exhausted="substitute",
+            quarantine_after=0, rollback_after=0,
+        )
+        session, _ = _faulty_session(plan, policy)
+        session.run(2)
+        last_good = list(session.history)[-1].performance
+        m = session.step()  # the failing step
+        assert m.wips == last_good
+        assert list(session.history)[-1].performance == last_good
+        assert session.resilience_stats.substitutions == 1
+
+    def test_repeatedly_failing_configuration_is_quarantined(self):
+        # Everything fails; with on_exhausted="skip" the same
+        # configuration is re-asked until quarantine kicks in.
+        plan = FaultPlan(events=(FaultEvent("fail", 0, count=50),))
+        policy = ResiliencePolicy(
+            max_retries=0, on_exhausted="skip",
+            quarantine_after=2, rollback_after=0,
+        )
+        session, backend = _faulty_session(plan, policy, steps=4)
+        stats = session.resilience_stats
+        assert stats.quarantined >= 1
+        assert stats.quarantine_hits >= 1
+        # The quarantined step answered without wasting a measurement.
+        assert backend.stats.measurements < 4
+
+    def test_sustained_failure_rolls_back_to_best(self):
+        scenario = _scenario()
+        gate = GateBackend(AnalyticBackend())
+        policy = ResiliencePolicy(
+            max_retries=0, quarantine_after=0, rollback_after=2,
+        )
+        session = _session(gate, scenario=scenario, resilience=policy)
+        session.run(5)  # healthy warm-up
+        best = session.history.best_configuration()
+        gate.allowed = best  # from now on only the best config works
+        for _ in range(10):
+            session.step()
+            if session.resilience_stats.rollbacks:
+                break
+        assert session.resilience_stats.rollbacks >= 1
+        # The rollback deployed (measured) the best-known configuration.
+        assert list(session.history)[-1].performance > 0.0
+
+    def test_exhausted_raise_mode_without_policy_still_raises(self):
+        plan = FaultPlan(events=(FaultEvent("fail", 0, count=3),))
+        backend = FaultyBackend(AnalyticBackend(), plan)
+        session = _session(backend, "raise")
+        with pytest.raises(TransientMeasurementError):
+            session.run(3)
+
+
+# ---------------------------------------------------------------------------
+# Exact trajectory determinism across backends
+# ---------------------------------------------------------------------------
+
+class TestTrajectoryDeterminism:
+    def _run_analytic(self):
+        scenario = _scenario(2, 2, 1, population=800)
+        plan = FaultPlan.node_crash(
+            "app1", at=3, recover_at=7, seed=9, transient_rate=0.08
+        )
+        backend = FaultyBackend(AnalyticBackend(), plan)
+        session = _session(backend, scenario=scenario, resilience=ResiliencePolicy())
+        wips = [session.step().wips for _ in range(12)]
+        return wips, backend.stats.as_dict(), session.resilience_stats.as_dict()
+
+    def test_analytic_trajectories_bit_identical(self):
+        first = self._run_analytic()
+        second = self._run_analytic()
+        assert first == second  # exact ==, including every counter
+        assert first[1]["degraded_measurements"] > 0
+
+    def _run_des(self):
+        scenario = _scenario(1, 1, 1, population=300)
+        plan = FaultPlan(
+            events=(
+                FaultEvent("fail", 1),
+                FaultEvent("degrade", 2, node="db0", factor=0.6),
+                FaultEvent("restore", 4, node="db0"),
+            ),
+            seed=4, transient_rate=0.1,
+        )
+        backend = FaultyBackend(SimulationBackend(time_scale=0.04), plan)
+        session = _session(backend, scenario=scenario, resilience=ResiliencePolicy())
+        wips = [session.step().wips for _ in range(5)]
+        return wips, backend.stats.as_dict(), session.resilience_stats.as_dict()
+
+    def test_des_trajectories_bit_identical(self):
+        first = self._run_des()
+        second = self._run_des()
+        assert first == second
+        assert first[1]["degraded_measurements"] > 0
+
+
+# ---------------------------------------------------------------------------
+# The chaos experiment: fig7 under a node crash
+# ---------------------------------------------------------------------------
+
+class TestChaosExperiment:
+    def test_resilient_arm_recovers_lost_throughput(self):
+        result = chaos.run(ExperimentConfig(iterations=40, seed=5))
+        # The crash costs the do-nothing arm real throughput...
+        assert result.faulty_under_failure < result.clean_under_failure
+        # ...which resilience + reconfiguration win back.
+        assert result.recovered
+        assert result.resilient_under_failure > result.faulty_under_failure
+        assert result.time_to_recover is not None
+        # Recovery came from an actual §IV move into the app tier.
+        assert result.resilient.moves
+        assert result.resilient.moves[0].decision.to_role.value == "app"
+        # Rendering works.
+        assert "Chaos" in result.to_table().render()
+        assert "WIPS" in result.chart()
+
+    def test_chaos_run_is_bit_identical(self):
+        cfg = ExperimentConfig(iterations=30, seed=17)
+        a = chaos.run(cfg)
+        b = chaos.run(cfg)
+        assert a.clean.wips == b.clean.wips
+        assert a.faulty.wips == b.faulty.wips
+        assert a.resilient.wips == b.resilient.wips
+        assert a.resilient.fault_stats == b.resilient.fault_stats
+        assert a.resilient.resilience_stats == b.resilient.resilience_stats
+        assert a.plan.fingerprint() == b.plan.fingerprint()
+
+    def test_default_plan_scales_with_iterations(self):
+        plan = chaos.default_plan(100, seed=3)
+        kinds = {e.kind: e.at for e in plan.events}
+        assert kinds["crash"] == 40
+        assert kinds["recover"] == 80
+        assert plan.transient_rate > 0

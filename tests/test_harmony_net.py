@@ -195,3 +195,165 @@ class TestWireEdgeCases:
         )
         assert decoded.strategy == "simplex"
         assert decoded.parameters[0].step == 1
+
+
+class TestReportSequenceDedupe:
+    """Idempotent reports: a resend after a lost ack must not be told to
+    the strategy twice (driven through the message interface)."""
+
+    def _server(self):
+        server = HarmonyServer(seed=11)
+        server.handle(RegisterRequest("c", _params()))
+        return server
+
+    def test_seq_round_trips_on_the_wire(self):
+        message = ReportRequest("c", 1.5, seq=3)
+        assert decode(encode(message)) == message
+        assert decode(encode(ReportRequest("c", 1.5))).seq is None
+
+    def test_boolean_seq_rejected(self):
+        with pytest.raises(WireError):
+            decode('{"type": "ReportRequest", "client_id": "c", '
+                   '"performance": 1.0, "seq": true}')
+
+    def test_duplicate_report_answered_from_cache(self):
+        server = self._server()
+        server.handle(FetchRequest("c"))
+        first = server.handle(ReportRequest("c", 5.0, seq=1))
+        assert first.iterations == 1
+        # The retry resends the identical request: same reply, no double
+        # tell (the iteration counter does not advance).
+        resent = server.handle(ReportRequest("c", 5.0, seq=1))
+        assert resent == first
+
+    def test_next_seq_counts_normally(self):
+        server = self._server()
+        server.handle(FetchRequest("c"))
+        server.handle(ReportRequest("c", 5.0, seq=1))
+        server.handle(FetchRequest("c"))
+        assert server.handle(ReportRequest("c", 6.0, seq=2)).iterations == 2
+
+    def test_fresh_client_reusing_seq_is_not_a_resend(self):
+        # A new client object under the same session id restarts its seq
+        # numbering — but it fetched first, which a true resend never
+        # does, so its report must count.
+        server = self._server()
+        server.handle(FetchRequest("c"))
+        server.handle(ReportRequest("c", 5.0, seq=1))
+        server.handle(FetchRequest("c"))
+        assert server.handle(ReportRequest("c", 6.0, seq=1)).iterations == 2
+
+    def test_unsequenced_reports_never_dedupe(self):
+        server = self._server()
+        server.handle(FetchRequest("c"))
+        assert server.handle(ReportRequest("c", 5.0)).iterations == 1
+        server.handle(FetchRequest("c"))
+        assert server.handle(ReportRequest("c", 5.0)).iterations == 2
+
+
+class TestClientResilience:
+    def test_close_is_idempotent(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            client = RemoteHarmonyClient(host, port, "app")
+            client.close()
+            client.close()  # double close must be a no-op
+            assert client._sock is None and client._file is None
+
+    def test_close_after_server_gone(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            client = RemoteHarmonyClient(host, port, "app")
+        client.close()  # server already down: still silent
+
+    def test_connect_failure_does_not_leak(self):
+        # Grab a port that nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            RemoteHarmonyClient("127.0.0.1", port, "app", timeout=0.5)
+
+    def test_retry_reconnects_and_dedupes_the_report(self):
+        sleeps = []
+        server = HarmonyTCPServer(HarmonyServer(seed=6))
+        with server.running() as (host, port):
+            client = RemoteHarmonyClient(
+                host, port, "app", sleep=sleeps.append
+            )
+            client.register(_params())
+            client.fetch()
+            # Sever the transport under the client's feet.
+            client._sock.shutdown(socket.SHUT_RDWR)
+            # The report retries over a fresh connection; whether or not
+            # the first copy reached the server, sequence numbering makes
+            # the outcome exactly one completed iteration.
+            assert client.report(2.0) == 1
+            assert client.retries == 1
+            assert sleeps == [1]  # backoff_delay(1)
+            # The session kept going.
+            client.fetch()
+            assert client.report(3.0) == 2
+            client.close()
+
+    def test_retries_exhausted_raises(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        with server.running() as (host, port):
+            client = RemoteHarmonyClient(host, port, "app", max_retries=0)
+            client.register(_params())
+            # Sever the transport; with retries disabled the failure
+            # surfaces instead of reconnecting.
+            client._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(OSError):
+                client.fetch()
+            assert client.retries == 0
+            client.close()
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteHarmonyClient("127.0.0.1", 1, "app", max_retries=-1)
+
+
+class TestStaleClientCleanup:
+    def test_quiet_client_is_reaped(self):
+        server = HarmonyTCPServer(HarmonyServer(seed=8), stale_after=4)
+        with server.running() as (host, port):
+            with RemoteHarmonyClient(host, port, "quiet") as quiet:
+                quiet.register(_params())
+            with RemoteHarmonyClient(host, port, "busy") as busy:
+                busy.register(_params())
+                for _ in range(6):
+                    busy.fetch()
+                    busy.report(1.0)
+                assert "quiet" in server.reaped
+                assert "quiet" not in server.harmony.sessions
+                # The busy client is untouched.
+                busy.fetch()
+                assert busy.report(2.0) == 7
+
+    def test_cleanup_disabled_by_default(self):
+        server = HarmonyTCPServer(HarmonyServer())
+        try:
+            assert server.stale_after is None
+            assert server.cleanup_stale() == []
+        finally:
+            server.server_close()
+
+    def test_stale_after_validated(self):
+        with pytest.raises(ValueError):
+            HarmonyTCPServer(HarmonyServer(), stale_after=0)
+
+    def test_reaping_happens_during_dispatch(self):
+        server = HarmonyTCPServer(HarmonyServer(seed=9), stale_after=2)
+        with server.running() as (host, port):
+            with RemoteHarmonyClient(host, port, "a") as a:
+                a.register(_params())
+            with RemoteHarmonyClient(host, port, "b") as b:
+                b.register(_params())
+                b.fetch()
+                b.report(1.0)
+        # "a" aged out while "b" kept the server busy; the explicit
+        # cleanup afterwards finds nothing left to do.
+        assert server.reaped == ["a"]
+        assert server.cleanup_stale() == []
