@@ -105,17 +105,39 @@ def test_parallel_engine_speedups(report):
     assert sweep_speedup >= 5.0
 
     cache_stats = dict(r_batched.cache_stats or {})
+    parallel_cache_stats = dict(r_parallel.cache_stats or {})
     solution_stats = sweep_backend.solution_cache_stats.as_dict()
+    host_cpus = os.cpu_count() or 1
+    oversubscribed = host_cpus < 4
     payload = {
-        "host_cpus": os.cpu_count(),
+        "schema": "bench_parallel/v2",
+        "description": (
+            "Reduced Fig-4 matrix + sensitivity sweep: serial no-cache "
+            "baseline vs the --jobs 4 process pool vs the single-process "
+            "cache+batched-MVA stack.  All arms bit-identical (asserted)."
+        ),
+        "host_cpus": host_cpus,
         "fig4_reduced": {
             "config": REDUCED,
             "serial_seconds": round(t_serial, 3),
             "parallel_jobs4_seconds": round(t_parallel, 3),
             "batched_jobs1_seconds": round(t_batched, 3),
+            "parallel_jobs": 4,
+            "parallel_effective_workers": min(4, host_cpus),
+            "oversubscribed": oversubscribed,
+            "speedup_provenance": (
+                "parallel_speedup mixes process fan-out with the "
+                "memoization+batching the engine path enables; on this "
+                f"{host_cpus}-CPU host the pool adds no real concurrency "
+                "and the caches carry the number"
+                if oversubscribed
+                else "parallel_speedup combines process fan-out "
+                "with memoization+batching"
+            ),
             "parallel_speedup": round(fig4_parallel_speedup, 2),
             "batched_speedup": round(fig4_batched_speedup, 2),
             "cache_stats": cache_stats,
+            "parallel_worker_cache_stats": parallel_cache_stats,
             "bit_identical": True,
         },
         "sensitivity_sweep": {
@@ -140,6 +162,11 @@ def test_parallel_engine_speedups(report):
         f"{cache_stats.get('measurement_hit_rate', 0.0) * 100:.0f}%, "
         f"solution cache hit rate "
         f"{cache_stats.get('solution_hit_rate', 0.0) * 100:.0f}%",
+        f"  pooled-run worker cache hits (delta-aggregated): "
+        f"{parallel_cache_stats.get('measurement_hits', 0):.0f} measurement / "
+        f"{parallel_cache_stats.get('solution_hits', 0):.0f} solution",
+        f"  host CPUs: {os.cpu_count()}"
+        + ("  (jobs=4 oversubscribed)" if oversubscribed else ""),
         f"  results bit-identical across all arms: yes",
         f"  written to {RESULT_PATH.name}",
     ]

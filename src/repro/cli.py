@@ -115,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--engine", choices=("inline", "process", "shared"), default="process",
+        help=(
+            "execution engine for speculative prefetch fan-out: inline "
+            "(serial), process (per-run pool), or shared (persistent "
+            "worker fleet + cross-run shared cache); results are "
+            "bit-identical at every setting"
+        ),
+    )
+    p.add_argument(
         "--faults", metavar="PLAN.json",
         help="inject failures from a fault-plan JSON file (see docs/robustness.md)",
     )
@@ -152,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-cache", action="store_true",
         help="disable measurement memoization (results are identical)",
+    )
+    p.add_argument(
+        "--engine", choices=("inline", "process", "shared"), default="process",
+        help=(
+            "execution engine for the run plan: inline (serial in-process), "
+            "process (per-run worker pool, the default), or shared (one "
+            "persistent worker fleet reused across experiments over a "
+            "cross-process shared cache; jobs=1 takes the vectorized "
+            "mega-batch path); results are bit-identical at every setting"
+        ),
     )
     p.add_argument(
         "--speculate", action=argparse.BooleanOptionalAction, default=False,
@@ -255,6 +274,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         on_measure_error="penalize" if args.faults else "raise",
         speculate=args.speculate,
         speculate_jobs=resolve_jobs(args.jobs) if args.speculate else 1,
+        speculate_engine=args.engine,
     )
     baseline = session.measure_baseline().window_stats(0)
     print(f"baseline: {baseline.mean:.1f} WIPS")
@@ -307,6 +327,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         jobs=resolve_jobs(args.jobs),
         memoize=not args.no_cache,
         speculate=args.speculate,
+        engine=args.engine,
     )
     if args.name == "table1":
         from repro.experiments import table1

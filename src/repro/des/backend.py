@@ -143,14 +143,16 @@ class SimulationBackend(PerformanceBackend):
         self.spec = base.scaled(time_scale)
         self.memory = memory or MemoryModel()
         self.navigation = navigation
-        self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
+        self._context_cache: dict[tuple, WorkloadContext] = {}
         self._nav_cache: dict[str, NavigationModel] = {}
         #: The WIRT tracker of the most recent measure() call (per-type
         #: response-time percentiles for compliance reports).
         self.last_wirt: Optional[WirtTracker] = None
 
     def _context(self, scenario: Scenario) -> WorkloadContext:
-        key = (id(scenario.catalog), scenario.mix.name)
+        # Content-keyed (not ``id()``-keyed): persistent backends outlive
+        # their scenarios, and a dead catalog's id can be reused.
+        key = (scenario.catalog.fingerprint(), scenario.mix.fingerprint())
         ctx = self._context_cache.get(key)
         if ctx is None:
             ctx = WorkloadContext.for_mix(scenario.mix, scenario.catalog)

@@ -25,7 +25,6 @@ from typing import Mapping, Optional
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import (
     ExperimentConfig,
-    collect_cache_stats,
     make_backend,
     merge_cache_stats,
     remeasure,
@@ -33,7 +32,7 @@ from repro.experiments.runner import (
 from repro.harmony.history import TuningHistory
 from repro.harmony.parameter import Configuration
 from repro.model.base import PerformanceBackend, Scenario
-from repro.parallel import ParallelExecutor, RunSpec
+from repro.parallel import ParallelExecutor, RunSpec, track_backend
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import derive_seed
@@ -169,7 +168,6 @@ def _tune_mix(
         "history": history,
         "fraction_above": history.fraction_above(baseline.mean, start),
         "window_improvement": window.mean / baseline.mean - 1.0,
-        "cache_stats": collect_cache_stats(backend),
     }
 
 
@@ -195,7 +193,7 @@ def _cross_cell(
         seed=derive_seed(cfg.seed, "fig4-cross", config_mix, applied_mix),
         iterations=cfg.baseline_iterations,
     )
-    return {"wips": stats.mean, "cache_stats": collect_cache_stats(backend)}
+    return {"wips": stats.mean}
 
 
 def run(
@@ -211,11 +209,14 @@ def run(
     result is bit-identical at every jobs setting.
     """
     cfg = config or ExperimentConfig()
-    executor = ParallelExecutor(cfg.jobs)
+    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
     # A backend instance is shared across runs only in-process: workers in
-    # a pool each build their own (caches then live per worker).
-    shared = backend if backend is not None else (
-        make_backend(cfg) if executor.jobs == 1 else None
+    # a pool each build their own — or, under the shared engine, adopt the
+    # fleet's persistent one.  Tracked so the executor's per-spec cache
+    # accounting observes it wherever the specs execute.
+    shared = track_backend(backend) if backend is not None else (
+        make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
+        else None
     )
 
     tuned = executor.run(
@@ -228,6 +229,7 @@ def run(
             for mix_name in MIX_ORDER
         ]
     )
+    stage_stats = [executor.cache_stats]
     baselines = {m: tuned[m]["baseline"] for m in MIX_ORDER}
     best_configs = {m: tuned[m]["best_config"] for m in MIX_ORDER}
     histories = {m: tuned[m]["history"] for m in MIX_ORDER}
@@ -252,15 +254,12 @@ def run(
         ]
     )
     cross = {key: cell["wips"] for key, cell in cells.items()}
+    stage_stats.append(executor.cache_stats)
 
-    if shared is not None:
-        # One backend saw every run; read its counters once.
-        cache_stats = collect_cache_stats(shared)
-    else:
-        cache_stats = merge_cache_stats(
-            [tuned[m]["cache_stats"] for m in MIX_ORDER]
-            + [cell["cache_stats"] for cell in cells.values()]
-        )
+    # Counter deltas are captured per spec where it executed (worker or
+    # parent) and merged by the executor — the same numbers whether the
+    # caches lived in one shared backend or in per-worker copies.
+    cache_stats = merge_cache_stats(stage_stats)
 
     return Fig4Result(
         baselines=baselines,

@@ -67,7 +67,7 @@ def replicate(
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    executor = ParallelExecutor(config.jobs)
+    executor = ParallelExecutor(config.jobs, engine=config.engine)
     inner_jobs = 1 if executor.jobs > 1 else config.jobs
     results = executor.run(
         [
@@ -103,7 +103,7 @@ def replicate_fig4_improvements(
     three-mix tuning pipeline, so cost = ``len(seeds)`` × one Figure 4
     run; the seeds fan over ``config.jobs`` workers.)
     """
-    executor = ParallelExecutor(config.jobs)
+    executor = ParallelExecutor(config.jobs, engine=config.engine)
     inner_jobs = 1 if executor.jobs > 1 else config.jobs
     results = executor.run(
         [

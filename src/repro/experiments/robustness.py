@@ -120,7 +120,7 @@ def run_noise_sweep(
     gracefully, not collapse.  Noise levels are independent runs and fan
     over ``cfg.jobs`` workers."""
     cfg = config or ExperimentConfig()
-    results = ParallelExecutor(cfg.jobs).run(
+    results = ParallelExecutor(cfg.jobs, engine=cfg.engine).run(
         [
             RunSpec(
                 key=("sigma", sigma),
@@ -190,7 +190,7 @@ def run_load_sweep(
     ``cfg.jobs`` workers.
     """
     cfg = config or ExperimentConfig()
-    results = ParallelExecutor(cfg.jobs).run(
+    results = ParallelExecutor(cfg.jobs, engine=cfg.engine).run(
         [
             RunSpec(
                 key=("population", p),

@@ -8,6 +8,11 @@ from typing import Optional
 from repro.harmony.parameter import Configuration
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import MemoizedBackend, PerformanceBackend, Scenario
+from repro.parallel.stats import (
+    collect_cache_stats,
+    merge_cache_stats,
+    track_backend,
+)
 from repro.util.rng import derive_seed
 from repro.util.stats import RunningStats
 
@@ -50,6 +55,11 @@ class ExperimentConfig:
     #: Speculatively prefetch the tuning loop's lookahead frontier
     #: (the ``--speculate`` switch; results are bit-identical either way).
     speculate: bool = False
+    #: Execution engine for the run plan (the ``--engine`` axis):
+    #: ``inline`` (serial in-process), ``process`` (per-run pool, the
+    #: default) or ``shared`` (persistent fleet + cross-run shared cache).
+    #: Results are bit-identical at every setting.
+    engine: str = "process"
 
     def window_start(self) -> int:
         """First iteration of the evaluation window."""
@@ -68,56 +78,32 @@ def make_backend(config: Optional[ExperimentConfig] = None) -> PerformanceBacken
     one (scenario, configuration, seed) point are served from the cache.
     Cached results are bit-identical to fresh ones, so this changes only
     wall-clock time, never numbers.
+
+    With ``engine="shared"`` the invocation's persistent
+    :class:`~repro.parallel.engine.SharedEngine` backend is returned
+    instead of a fresh one: its caches are thread-safe, backed by the
+    cross-process shared store, and survive across experiments.  (Inside
+    a fleet worker this resolves to the worker's own persistent backend —
+    the worker engine singleton — so spec functions can call this
+    unconditionally.)
+
+    Every constructed backend is registered with
+    :func:`repro.parallel.stats.track_backend` so executor-level cache
+    accounting observes it wherever it lives.
     """
     if config is not None and not config.memoize:
         # The true uncached path: no measurement memo, no solution memo.
-        return AnalyticBackend(solution_cache_size=0)
-    return MemoizedBackend(AnalyticBackend())
+        return track_backend(AnalyticBackend(solution_cache_size=0))
+    if config is not None and config.engine == "shared":
+        from repro.parallel.engine import SharedEngine
+
+        return SharedEngine.instance().backend()
+    return track_backend(MemoizedBackend(AnalyticBackend()))
 
 
-def collect_cache_stats(backend: PerformanceBackend) -> Optional[dict[str, float]]:
-    """The backend's cache counters, if it keeps any.
-
-    Combines the measurement-cache counters of a
-    :class:`~repro.model.base.MemoizedBackend` with the inner analytic
-    backend's seed-independent solution-cache counters.  Returns None for
-    backends with no caches (e.g. ``--no-cache`` runs).
-    """
-    stats: dict[str, float] = {}
-    inner = backend
-    if isinstance(backend, MemoizedBackend):
-        if backend.enabled:
-            for k, v in backend.stats.as_dict().items():
-                stats[f"measurement_{k}"] = v
-        inner = backend.backend
-    if isinstance(inner, AnalyticBackend):
-        solution = inner.solution_cache_stats
-        if solution.lookups or solution.size:
-            for k, v in solution.as_dict().items():
-                stats[f"solution_{k}"] = v
-    return stats or None
-
-
-def merge_cache_stats(
-    parts: list[Optional[dict[str, float]]],
-) -> Optional[dict[str, float]]:
-    """Sum counters collected from several backends (one per worker).
-
-    Rates are recomputed from the summed hit/miss counts.
-    """
-    merged: dict[str, float] = {}
-    for part in parts:
-        for key, value in (part or {}).items():
-            merged[key] = merged.get(key, 0.0) + value
-    if not merged:
-        return None
-    for prefix in ("measurement", "solution"):
-        hits = merged.get(f"{prefix}_hits")
-        misses = merged.get(f"{prefix}_misses")
-        if hits is not None or misses is not None:
-            total = (hits or 0.0) + (misses or 0.0)
-            merged[f"{prefix}_hit_rate"] = (hits or 0.0) / total if total else 0.0
-    return merged
+# collect_cache_stats / merge_cache_stats live in repro.parallel.stats now
+# (the executor aggregates worker deltas with them); re-exported here for
+# compatibility with existing imports.
 
 
 def remeasure(

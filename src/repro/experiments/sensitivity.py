@@ -20,12 +20,10 @@ from repro.analysis.sensitivity import SensitivityReport, sensitivity_report
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import (
     ExperimentConfig,
-    collect_cache_stats,
     make_backend,
-    merge_cache_stats,
 )
 from repro.model.base import PerformanceBackend, Scenario
-from repro.parallel import ParallelExecutor, RunSpec
+from repro.parallel import ParallelExecutor, RunSpec, track_backend
 from repro.tpcw.interactions import STANDARD_MIXES
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
@@ -114,7 +112,7 @@ def _sweep_mix(
         repeats=repeats,
         seed=derive_seed(cfg.seed, "sensitivity", mix_name),
     )
-    return {"report": report, "cache_stats": collect_cache_stats(backend)}
+    return {"report": report}
 
 
 def run(
@@ -131,9 +129,10 @@ def run(
     bit-identical at every jobs setting.
     """
     cfg = config or ExperimentConfig()
-    executor = ParallelExecutor(cfg.jobs)
-    shared = backend if backend is not None else (
-        make_backend(cfg) if executor.jobs == 1 else None
+    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
+    shared = track_backend(backend) if backend is not None else (
+        make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
+        else None
     )
     results = executor.run(
         [
@@ -151,12 +150,9 @@ def run(
             for mix_name in STANDARD_MIXES
         ]
     )
-    if shared is not None:
-        cache_stats = collect_cache_stats(shared)
-    else:
-        cache_stats = merge_cache_stats(
-            [r["cache_stats"] for r in results.values()]
-        )
+    # Per-spec counter deltas, captured where each spec executed and
+    # merged by the executor (see repro.parallel.stats).
+    cache_stats = executor.cache_stats
     return SensitivityResult(
         reports={m: results[m]["report"] for m in STANDARD_MIXES},
         cache_stats=cache_stats,

@@ -174,9 +174,10 @@ def run(
     """
     cfg = config or ExperimentConfig()
     cluster = cluster or ClusterSpec.three_tier(2, 2, 2)
-    executor = ParallelExecutor(cfg.jobs)
+    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
     shared = backend if backend is not None else (
-        make_backend(cfg) if executor.jobs == 1 else None
+        make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
+        else None
     )
 
     common = {

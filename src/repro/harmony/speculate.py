@@ -61,6 +61,7 @@ class SpeculativeEvaluator:
         strategies: Mapping[str, SearchStrategy],
         jobs: int = 1,
         alternatives: bool = False,
+        engine: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -86,7 +87,12 @@ class SpeculativeEvaluator:
         # queue entry re-announced while it waits its turn is one plan,
         # not one per step.
         self._ever: dict[str, set[Configuration]] = {}
-        self._executor = ParallelExecutor(jobs) if jobs > 1 else None
+        # Prefetch chunks fan over this executor; under the shared
+        # engine they reach the persistent fleet (and its shared cache)
+        # instead of a throwaway pool.
+        self._executor = (
+            ParallelExecutor(jobs, engine=engine) if jobs > 1 else None
+        )
 
     def reset(self) -> None:
         """Drop the current plan (after a scenario/cluster change).

@@ -240,17 +240,21 @@ class AnalyticBackend(PerformanceBackend):
         # row — the knob only pays on models where early convergence is
         # the norm and stragglers the exception.
         self.prefetch_outer_budget = prefetch_outer_budget
-        self._context_cache: dict[tuple[int, str], WorkloadContext] = {}
+        self._context_cache: dict[tuple, WorkloadContext] = {}
         # Deterministic-solution memo: (scenario fp, config) → solution.
         # The solve is seed-independent (only the noise draw varies), so
         # re-measuring a configuration on fresh seeds costs one solve.
         self._solution_cache: OrderedDict[tuple, AnalyticSolution] = OrderedDict()
         self._solution_hits = 0
         self._solution_misses = 0
+        self._solution_shared_hits = 0
 
     # ------------------------------------------------------------------
     def _context(self, scenario: Scenario) -> WorkloadContext:
-        key = (id(scenario.catalog), scenario.mix.name)
+        # Keyed by content, not object identity: a persistent backend
+        # outlives the scenarios it serves, and ``id()`` of a dead catalog
+        # can be reused by an unrelated one.
+        key = (scenario.catalog.fingerprint(), scenario.mix.fingerprint())
         ctx = self._context_cache.get(key)
         if ctx is None:
             ctx = WorkloadContext.for_mix(scenario.mix, scenario.catalog)
@@ -346,11 +350,39 @@ class AnalyticBackend(PerformanceBackend):
         this to abandon straggler speculation cheaply; measurement paths
         leave it ``None`` (run to ``max_outer``, every entry solved).
         """
+        return self.solve_tasks_multi(
+            [
+                (cluster, cfg, population, ctx, think_time)
+                for cluster, cfg, population in tasks
+            ],
+            outer_budget=outer_budget,
+        )
+
+    def solve_tasks_multi(
+        self,
+        tasks: Sequence[
+            tuple[ClusterSpec, Mapping[str, int], int, WorkloadContext, float]
+        ],
+        outer_budget: Optional[int] = None,
+    ) -> list[Optional[AnalyticSolution]]:
+        """Lockstep-solve tasks that may span *different workloads*.
+
+        Each task is ``(cluster, configuration, population, workload
+        context, think time)`` — the fully-qualified input of one
+        deterministic solve.  Where :meth:`solve_tasks` fixes one
+        ``(ctx, think)`` pair for the whole batch, this form lets one
+        :func:`solve_mva_batch` call fuse tasks from unrelated scenarios:
+        all three Figure-4 workload mixes, or the pending solves of every
+        experiment a shared execution engine is currently draining.  Per
+        task it is bit-identical to :meth:`solve` (lockstep freezing
+        changes which rounds run, never their values); ``outer_budget``
+        behaves exactly as in :meth:`solve_tasks`.
+        """
         rounds = self.max_outer if outer_budget is None else min(
             outer_budget, self.max_outer
         )
         budgeted = rounds < self.max_outer
-        states = [_OuterState(cluster, cfg) for cluster, cfg, _ in tasks]
+        states = [_OuterState(cluster, cfg) for cluster, cfg, _, _, _ in tasks]
         pairs = list(zip(states, tasks))
         for _ in range(rounds):
             active = [(st, t) for st, t in pairs if not st.done]
@@ -363,7 +395,7 @@ class AnalyticBackend(PerformanceBackend):
                     think_time,
                     NETWORK_RTT,
                 )
-                for st, (cluster, _, population) in active
+                for st, (cluster, _, population, ctx, think_time) in active
             ]
             for (st, _), mva in zip(active, solve_mva_batch(networks)):
                 st.mva = mva
@@ -373,6 +405,27 @@ class AnalyticBackend(PerformanceBackend):
             None if budgeted and not st.done else self._finalize_state(st)
             for st in states
         ]
+
+    def _solve_cold(
+        self,
+        tasks: Sequence[
+            tuple[ClusterSpec, Mapping[str, int], int, WorkloadContext, float]
+        ],
+        outer_budget: Optional[int] = None,
+    ) -> list[Optional[AnalyticSolution]]:
+        """Every cold deterministic solve funnels through this one hook.
+
+        All measurement and prefetch paths route their cache misses here
+        (as :meth:`solve_tasks_multi` task tuples) instead of calling the
+        solvers directly.  The default is a plain lockstep batch; the
+        shared execution engine overrides it to rendezvous cold solves
+        from concurrently-running specs into cross-experiment mega-batches.
+        Overrides must preserve the contract: the returned list matches
+        ``tasks`` element-wise and each entry equals what
+        :meth:`solve_tasks_multi` would have produced (``None`` only under
+        an ``outer_budget``).
+        """
+        return self.solve_tasks_multi(tasks, outer_budget=outer_budget)
 
     # ------------------------------------------------------------------
     def _assemble_stations(
@@ -615,9 +668,10 @@ class AnalyticBackend(PerformanceBackend):
         key = self._solution_key(scenario, configuration)
         sol = self._solution_get(key)
         if sol is None:
-            sol = self.solve(
-                scenario.cluster, configuration, ctx, scenario.population, think
+            (sol,) = self._solve_cold(
+                [(scenario.cluster, configuration, scenario.population, ctx, think)]
             )
+            assert sol is not None  # no outer_budget → every task solved
             self._solution_put(key, sol)
         return sol
 
@@ -628,6 +682,7 @@ class AnalyticBackend(PerformanceBackend):
             hits=self._solution_hits,
             misses=self._solution_misses,
             size=len(self._solution_cache),
+            shared_hits=self._solution_shared_hits,
         )
 
     # ------------------------------------------------------------------
@@ -736,12 +791,20 @@ class AnalyticBackend(PerformanceBackend):
         if scenario.work_lines:
             tasks = self._line_tasks(scenario, configuration)
             solutions: dict[tuple, AnalyticSolution] = {}
+            cold: OrderedDict[tuple, tuple] = OrderedDict()
             for _, key, sub_cluster, sub_cfg, sub_pop in tasks:
+                if key in solutions or key in cold:
+                    continue
                 sol = self._solution_get(key)
                 if sol is None:
-                    sol = self.solve(sub_cluster, sub_cfg, ctx, sub_pop, think)
+                    cold[key] = (sub_cluster, sub_cfg, sub_pop, ctx, think)
+                else:
+                    solutions[key] = sol
+            if cold:
+                for key, sol in zip(cold, self._solve_cold(list(cold.values()))):
+                    assert sol is not None
                     self._solution_put(key, sol)
-                solutions[key] = sol
+                    solutions[key] = sol
             return self._measure_partitioned(
                 scenario, seed, extremeness, tasks, solutions
             )
@@ -799,12 +862,13 @@ class AnalyticBackend(PerformanceBackend):
                         continue
                     sol = self._solution_get(key)
                     if sol is None:
-                        cold[key] = (sub_cluster, sub_cfg, sub_pop)
+                        cold[key] = (sub_cluster, sub_cfg, sub_pop, ctx, think)
                     else:
                         solutions[key] = sol
             if cold:
-                solved = self.solve_tasks(list(cold.values()), ctx, think)
+                solved = self._solve_cold(list(cold.values()))
                 for key, sol in zip(cold, solved):
+                    assert sol is not None
                     self._solution_put(key, sol)
                     solutions[key] = sol
             out = []
@@ -831,14 +895,14 @@ class AnalyticBackend(PerformanceBackend):
             else:
                 solutions[i] = sol
         if to_solve:
-            solved = self.solve_batch(
-                scenario.cluster,
-                [distinct[i] for i in to_solve],
-                ctx,
-                scenario.population,
-                think,
+            solved = self._solve_cold(
+                [
+                    (scenario.cluster, distinct[i], scenario.population, ctx, think)
+                    for i in to_solve
+                ]
             )
             for i, sol in zip(to_solve, solved):
+                assert sol is not None
                 solutions[i] = sol
                 self._solution_put(
                     self._solution_key(scenario, distinct[i]), sol
@@ -901,18 +965,16 @@ class AnalyticBackend(PerformanceBackend):
                     scenario, cfg
                 ):
                     if key not in cold and self._solution_peek(key) is None:
-                        cold[key] = (sub_cluster, sub_cfg, sub_pop)
+                        cold[key] = (sub_cluster, sub_cfg, sub_pop, ctx, think)
         else:
             for cfg in configurations:
                 key = self._solution_key(scenario, cfg)
                 if key not in cold and self._solution_peek(key) is None:
-                    cold[key] = (scenario.cluster, cfg, scenario.population)
+                    cold[key] = (scenario.cluster, cfg, scenario.population, ctx, think)
         if not cold:
             return 0
-        solved = self.solve_tasks(
+        solved = self._solve_cold(
             list(cold.values()),
-            ctx,
-            think,
             outer_budget=self.prefetch_outer_budget,
         )
         stored = 0

@@ -267,6 +267,11 @@ class CacheStats:
     seed_cold_misses: int = 0
     #: Misses where the configuration was never cached under any seed.
     config_cold_misses: int = 0
+    #: The subset of ``hits`` served from a cross-process/cross-run shared
+    #: store rather than this process's own cache (0 outside the shared
+    #: execution engine).  Non-zero proves cache traffic crossed a worker
+    #: or run boundary.
+    shared_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -300,6 +305,7 @@ class CacheStats:
             "seed_cold_misses": self.seed_cold_misses,
             "config_cold_misses": self.config_cold_misses,
             "config_hit_rate": self.config_hit_rate,
+            "shared_hits": self.shared_hits,
         }
 
 
@@ -380,6 +386,7 @@ class MeasurementCache:
         self._misses = 0
         self._seed_cold_misses = 0
         self._config_cold_misses = 0
+        self._shared_hits = 0
         #: (fingerprint, configuration) → number of live seeds cached for it;
         #: used to slice misses into "cold by design" vs "cache broken".
         self._config_seeds: dict[tuple, int] = {}
@@ -420,7 +427,10 @@ class MeasurementCache:
         measurement: Measurement,
     ) -> None:
         """Record one measured point (evicting LRU beyond ``max_entries``)."""
-        key = self.key(scenario, configuration, seed)
+        self._insert(self.key(scenario, configuration, seed), measurement)
+
+    def _insert(self, key: tuple, measurement: Measurement) -> None:
+        """Key-level insert (the shared cache absorbs store hits via this)."""
         if key not in self._entries:
             base = key[:2]
             self._config_seeds[base] = self._config_seeds.get(base, 0) + 1
@@ -444,6 +454,7 @@ class MeasurementCache:
             size=len(self._entries),
             seed_cold_misses=self._seed_cold_misses,
             config_cold_misses=self._config_cold_misses,
+            shared_hits=self._shared_hits,
         )
 
     def __len__(self) -> int:

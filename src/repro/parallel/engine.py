@@ -1,0 +1,247 @@
+"""The persistent shared-cache execution engine (``--engine shared``).
+
+PR 1's process pool is born and dies inside every ``ParallelExecutor.run``
+call: each run pays pool spawn, each worker starts cache-cold, and
+whatever a worker learned is cremated with it.  This engine is the
+opposite life cycle — one :class:`SharedEngine` per CLI invocation:
+
+* **A worker fleet that outlives runs.**  The ``ProcessPoolExecutor`` is
+  created on first pooled run and reused by every later run (grown, never
+  shrunk, when a run asks for more workers).  Workers are initialized
+  once with a handle to the shared store, so their persistent backends
+  keep their L1 caches across runs.
+* **A cross-process, cross-run cache.**  One
+  :class:`~repro.parallel.store.SharedStore` (rebased onto a
+  ``multiprocessing.Manager`` dict when the fleet starts) backs the
+  solution and measurement memos of the parent *and* every worker: a
+  configuration solved anywhere is a hit everywhere, including in later
+  experiments of the same invocation.
+* **A vectorized single-process path.**  ``jobs=1`` plans are
+  gang-scheduled through :func:`~repro.parallel.vector.run_gang`, fusing
+  the cold solves of all concurrently-running specs into cross-experiment
+  ``solve_tasks_multi`` mega-batches — the 1-CPU/CI win the process pool
+  can never deliver.
+
+Everything cached is deterministic and content-addressed, so the engine
+preserves the executor's bit-identity contract at every jobs setting.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import MemoizedBackend, PerformanceBackend
+from repro.parallel.plan import RunSpec
+from repro.parallel.stats import CacheStatsCapture, track_backend
+from repro.parallel.store import (
+    SharedAnalyticBackend,
+    SharedMeasurementCache,
+    SharedStore,
+)
+from repro.parallel.vector import SolveRendezvous, run_gang
+
+__all__ = ["ENGINES", "resolve_engine", "SharedEngine"]
+
+#: The ``--engine`` axis.  ``inline`` = always in-process and serial
+#: (jobs is ignored), ``process`` = PR 1's per-run process pool,
+#: ``shared`` = this module's persistent fleet + shared cache.
+ENGINES = ("inline", "process", "shared")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an ``--engine`` value (None → the default, ``process``)."""
+    if engine is None:
+        return "process"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def _fleet_execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict]]:
+    """Fleet worker entry point: one spec plus its cache-counter delta."""
+    with CacheStatsCapture() as capture:
+        value = spec.execute()
+    return spec.key, value, capture.delta()
+
+
+def _init_fleet_worker(remote: Any) -> None:
+    """Fleet worker initializer: adopt the shared store, build the backend.
+
+    Runs once per worker process (not per task).  The worker's engine
+    singleton is marked as a worker so a spec that itself constructs a
+    ``ParallelExecutor`` degrades to in-process execution instead of
+    forking a fleet of its own.
+    """
+    engine = SharedEngine._instance = SharedEngine(worker=True)
+    engine.store.attach(remote)
+    engine.backend()  # warm eagerly: every spec shares this one
+
+
+class SharedEngine:
+    """Process-wide singleton owning the fleet, the store and the backends."""
+
+    _instance: Optional["SharedEngine"] = None
+    _instance_lock = threading.Lock()
+
+    @classmethod
+    def instance(cls) -> "SharedEngine":
+        """The invocation's engine (created on first use)."""
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    @classmethod
+    def reset(cls) -> None:
+        """Tear down the singleton (tests; end of invocation)."""
+        with cls._instance_lock:
+            engine, cls._instance = cls._instance, None
+        if engine is not None:
+            engine.shutdown()
+
+    def __init__(self, worker: bool = False) -> None:
+        self.store = SharedStore()
+        self._worker = worker
+        self._backend: Optional[MemoizedBackend] = None
+        self._manager = None
+        self._remote = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        #: Diagnostics: runs served, vectorized gang batches fused.
+        self.runs = 0
+        self.gang_batches = 0
+        self.gang_rows = 0
+        self.gang_max_width = 0
+
+    # -- backends --------------------------------------------------------
+    def backend(self) -> MemoizedBackend:
+        """The persistent store-backed backend (built once, shared by all).
+
+        Thread-safe and reused across experiments; drivers get it from
+        :func:`repro.experiments.runner.make_backend` when the config's
+        engine is ``shared``.
+        """
+        if self._backend is None:
+            inner = SharedAnalyticBackend(self.store)
+            self._backend = MemoizedBackend(
+                inner, cache=SharedMeasurementCache(self.store)
+            )
+            track_backend(self._backend)
+        return self._backend
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self, specs: Sequence[RunSpec], jobs: int
+    ) -> tuple[dict[Hashable, Any], list[Optional[dict]]]:
+        """Execute a validated plan; returns (results, cache-stat deltas).
+
+        ``jobs > 1`` (with a multi-spec plan, outside a worker) uses the
+        persistent fleet; everything else takes the vectorized in-process
+        path.  Results are collated by spec key in plan order either way.
+        """
+        self.runs += 1
+        if jobs > 1 and len(specs) > 1 and not self._worker:
+            return self._run_fleet(specs, jobs)
+        return self._run_vectorized(specs)
+
+    def _run_vectorized(
+        self, specs: Sequence[RunSpec]
+    ) -> tuple[dict[Hashable, Any], list[Optional[dict]]]:
+        backend = self.backend()
+        inner = backend.backend
+        assert isinstance(inner, SharedAnalyticBackend)
+
+        def _base_solve(tasks: list, outer_budget: Optional[int]) -> list:
+            # The un-intercepted cold solve: the gang leader must not
+            # re-enter the rendezvous it is draining.
+            return AnalyticBackend._solve_cold(
+                inner, tasks, outer_budget=outer_budget
+            )
+
+        rendezvous = SolveRendezvous(_base_solve)
+        with CacheStatsCapture() as capture:
+            results = run_gang(specs, rendezvous, attach_to=inner)
+        self.gang_batches += rendezvous.batches
+        self.gang_rows += rendezvous.rows
+        self.gang_max_width = max(self.gang_max_width, rendezvous.max_width)
+        return results, [capture.delta()]
+
+    def _run_fleet(
+        self, specs: Sequence[RunSpec], jobs: int
+    ) -> tuple[dict[Hashable, Any], list[Optional[dict]]]:
+        from repro.parallel.executor import plan_chunksize
+
+        workers = min(jobs, len(specs))
+        self._ensure_fleet(workers)
+        assert self._pool is not None
+        chunksize = plan_chunksize(len(specs), workers)
+        results: dict[Hashable, Any] = {}
+        parts: list[Optional[dict]] = []
+        try:
+            mapped = list(self._pool.map(_fleet_execute, specs, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died (OOM, signal).  Specs are pure and idempotent,
+            # so rebuild the fleet once and retry the whole plan.
+            self._teardown_pool()
+            self._ensure_fleet(workers)
+            assert self._pool is not None
+            mapped = list(self._pool.map(_fleet_execute, specs, chunksize=chunksize))
+        for key, value, delta in mapped:
+            results[key] = value
+            parts.append(delta)
+        return {spec.key: results[spec.key] for spec in specs}, parts
+
+    # -- fleet lifecycle -------------------------------------------------
+    def _ensure_fleet(self, workers: int) -> None:
+        if self._worker:
+            raise RuntimeError("fleet workers must not spawn nested fleets")
+        if self._manager is None:
+            self._manager = multiprocessing.Manager()
+            self._remote = self._manager.dict()
+            self.store.attach(self._remote)
+        if self._pool is None or self._pool_workers < workers:
+            self._teardown_pool()
+            self._pool_workers = max(self._pool_workers, workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._pool_workers,
+                initializer=_init_fleet_worker,
+                initargs=(self._remote,),
+            )
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Stop the fleet and the manager (the store reverts to nothing)."""
+        self._teardown_pool()
+        self._pool_workers = 0
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._remote = None
+        self._backend = None
+
+    def stats(self) -> dict[str, float]:
+        """Engine-level diagnostics (for benchmarks and reports)."""
+        out = {
+            "runs": float(self.runs),
+            "pool_workers": float(self._pool_workers),
+            "gang_batches": float(self.gang_batches),
+            "gang_rows": float(self.gang_rows),
+            "gang_max_width": float(self.gang_max_width),
+        }
+        out.update({f"store_{k}": v for k, v in sorted(self.store.stats().items())})
+        return out
+
+
+atexit.register(SharedEngine.reset)

@@ -1,24 +1,39 @@
 """Fan independent runs over worker processes, deterministically.
 
 :class:`ParallelExecutor` executes a list of :class:`RunSpec`s and
-returns their results keyed by spec key.  With ``jobs=1`` the specs run
-in-process, in submission order, with no pool involved — byte-for-byte
-the legacy serial code path.  With ``jobs>1`` they are submitted to a
-:class:`concurrent.futures.ProcessPoolExecutor`; because every spec is
-self-contained (own seed, no shared mutable state) and results are
-collated by key rather than completion order, the result map is
-identical at every jobs setting.
+returns their results keyed by spec key.  Three engines share one
+contract — the result map is identical at every ``engine``/``jobs``
+setting, because every spec is self-contained (own seed, content-
+addressed caches only) and results are collated by key in plan order:
+
+* ``inline`` — always in-process and serial, ``jobs`` is ignored.  The
+  debugging/CI baseline.
+* ``process`` — in-process when ``jobs=1`` or the plan has one spec,
+  otherwise a per-run :class:`concurrent.futures.ProcessPoolExecutor`
+  (PR 1's engine, now with an explicit ``chunksize`` and, where the
+  platform supports it, ``max_tasks_per_child``).
+* ``shared`` — the persistent :class:`~repro.parallel.engine.SharedEngine`:
+  a worker fleet reused across runs over a cross-process shared cache,
+  and a gang-scheduled vectorized path at ``jobs=1``.
+
+Whatever the engine, every spec runs inside a
+:class:`~repro.parallel.stats.CacheStatsCapture`, and the merged counter
+deltas are exposed as :attr:`ParallelExecutor.cache_stats` — so pooled
+runs report the cache traffic that actually happened in the workers
+instead of the parent's empty counters.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Hashable, Optional, Sequence
 
 from repro.parallel.plan import RunSpec, run_specs
+from repro.parallel.stats import CacheStatsCapture, merge_cache_stats
 
-__all__ = ["resolve_jobs", "ParallelExecutor"]
+__all__ = ["resolve_jobs", "plan_chunksize", "ParallelExecutor"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -30,33 +45,102 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _execute(spec: RunSpec) -> tuple[Hashable, Any]:
-    """Worker entry point: perform one spec, tagged with its key."""
-    return spec.key, spec.execute()
+def plan_chunksize(num_specs: int, workers: int) -> int:
+    """An explicit ``pool.map`` chunksize for a plan.
+
+    The default (1) pays one pickle/dispatch round-trip per spec, which
+    dominates for cheap specs.  Four chunks per worker keeps dispatch
+    overhead amortized while still letting finish-order stragglers
+    rebalance; the formula is the stdlib multiprocessing heuristic.
+    """
+    return max(1, num_specs // (workers * 4))
+
+
+def _max_tasks_per_child_kwargs(limit: Optional[int]) -> dict[str, int]:
+    """``max_tasks_per_child`` kwargs, where the platform supports them.
+
+    The knob (recycle a worker after N tasks, bounding leak accumulation)
+    exists from Python 3.11 and only with the spawn/forkserver start
+    methods; on fork (the Linux default) the stdlib raises, so the knob
+    is silently dropped there rather than made load-bearing.
+    """
+    if limit is None or sys.version_info < (3, 11):
+        return {}
+    import multiprocessing
+
+    if multiprocessing.get_start_method(allow_none=True) == "fork":
+        return {}
+    return {"max_tasks_per_child": limit}
+
+
+def _execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict]]:
+    """Worker entry point: one spec plus its cache-counter delta."""
+    with CacheStatsCapture() as capture:
+        value = spec.execute()
+    return spec.key, value, capture.delta()
 
 
 class ParallelExecutor:
     """Execute a plan of independent runs with a fixed worker count."""
 
-    def __init__(self, jobs: Optional[int] = 1) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        engine: Optional[str] = None,
+        max_tasks_per_child: Optional[int] = None,
+    ) -> None:
+        from repro.parallel.engine import resolve_engine
+
         self.jobs = resolve_jobs(jobs)
+        self.engine = resolve_engine(engine)
+        self.max_tasks_per_child = max_tasks_per_child
+        self._stats_parts: list[Optional[dict]] = []
 
     def run(self, specs: Sequence[RunSpec]) -> dict[Hashable, Any]:
         """Execute every spec; results keyed by spec key.
 
         The returned dict's iteration order is submission order at every
-        jobs setting (workers may *finish* in any order; collation
+        engine/jobs setting (workers may *finish* in any order; collation
         re-imposes the plan's order).
         """
         specs = list(specs)
         run_specs(specs)
+        self._stats_parts = []
         if not specs:
             return {}
-        if self.jobs == 1 or len(specs) == 1:
-            return {spec.key: spec.execute() for spec in specs}
-        results: dict[Hashable, Any] = {}
+        if self.engine == "shared":
+            from repro.parallel.engine import SharedEngine
+
+            results, parts = SharedEngine.instance().run(specs, self.jobs)
+            self._stats_parts = parts
+            return results
+        if self.engine == "inline" or self.jobs == 1 or len(specs) == 1:
+            results = {}
+            for spec in specs:
+                with CacheStatsCapture() as capture:
+                    results[spec.key] = spec.execute()
+                self._stats_parts.append(capture.delta())
+            return results
+        results = {}
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for key, value in pool.map(_execute, specs):
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            **_max_tasks_per_child_kwargs(self.max_tasks_per_child),
+        ) as pool:
+            for key, value, delta in pool.map(
+                _execute, specs, chunksize=plan_chunksize(len(specs), workers)
+            ):
                 results[key] = value
+                self._stats_parts.append(delta)
         return {spec.key: results[spec.key] for spec in specs}
+
+    @property
+    def cache_stats(self) -> Optional[dict[str, float]]:
+        """Merged per-spec cache-counter deltas of the most recent run.
+
+        This is the executor-level fix for the pooled-run reporting hole:
+        counters are captured where the specs execute (worker or parent),
+        shipped back as deltas, and merged here with rates recomputed.
+        ``None`` when the last run's specs touched no caches.
+        """
+        return merge_cache_stats(self._stats_parts)

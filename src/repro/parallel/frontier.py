@@ -15,6 +15,12 @@ bit-identical to what the parent would have solved itself, and results
 are independent of the ``jobs`` setting, chunk assignment, and completion
 order.  Prefetching only ever changes *when* a solution is computed, never
 what any later measurement observes.
+
+Under the shared execution engine (``--engine shared``) the chunks run on
+the persistent worker fleet instead of a throwaway pool, and a shared-
+store-backed parent backend re-publishes absorbed solutions to the
+cross-process cache — a speculatively warmed configuration is then a hit
+for every worker and every later experiment, not just for this parent.
 """
 
 from __future__ import annotations

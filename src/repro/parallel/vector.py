@@ -1,0 +1,215 @@
+"""The single-process vectorized scheduler: mega-batch cold solves.
+
+On a 1-CPU host (CI, laptops) a process pool buys nothing — but the
+analytic backend's batched MVA kernel does: solving N configurations in
+one :func:`repro.model.mva.solve_mva_batch` lockstep is far cheaper than
+N scalar solves.  PR 1 exploited that *within* one ``measure_batch``
+call; this module exploits it *across* RunSpecs.
+
+:func:`run_gang` runs every spec of a plan as a thread over one shared
+backend.  Threads are pure Python orchestration (the GIL serializes
+them, costing nothing on one core); the win happens when a spec's
+measurement misses every cache and reaches
+:meth:`~repro.model.analytic.AnalyticBackend._solve_cold` — instead of
+solving, the thread parks its tasks at a :class:`SolveRendezvous`.  When
+*every* live spec thread is parked (the moment no more work can be added
+to the batch), the last arrival solves all parked tasks in one
+cross-experiment ``solve_tasks_multi`` mega-batch and wakes everyone.
+Specs that finish (or block on something other than a solve — they
+cannot: specs are CPU-pure) ``leave()`` the gang so stragglers never
+wait on the departed.
+
+Determinism: each pending group's slice of the mega-batch solution is
+bit-identical to what its thread would have solved alone
+(:meth:`~repro.model.analytic.AnalyticBackend.solve_tasks_multi`'s
+lockstep contract), results are collated by spec key in plan order, and
+each spec's own seed-derived noise draws are untouched — so the gang
+changes wall-clock time only.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+from repro.parallel.plan import RunSpec
+
+__all__ = ["SolveRendezvous", "run_gang"]
+
+
+class _Pending:
+    """One thread's parked cold-solve request."""
+
+    __slots__ = ("tasks", "outer_budget", "results", "error", "done")
+
+    def __init__(self, tasks: list, outer_budget: Optional[int]) -> None:
+        self.tasks = tasks
+        self.outer_budget = outer_budget
+        self.results: Optional[list] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class SolveRendezvous:
+    """Barrier that fuses concurrent cold solves into one batch.
+
+    Members are registered (by thread) before they start; a member either
+    parks a solve via :meth:`solve` or departs via :meth:`leave`.  The
+    batch fires exactly when every remaining member is parked — the
+    no-more-work-can-arrive point — so batch width adapts to however many
+    specs are still running.  Requests are grouped by ``outer_budget``
+    (budgeted prefetch rows must not change unbudgeted measurement rows'
+    round count is a non-issue — budgets are per task — but the solve
+    signature takes one budget per call, so equal budgets batch together).
+
+    If a fused batch raises, each pending group is re-solved alone so one
+    spec's failure cannot poison its gang-mates, and the failing group's
+    error propagates to (only) its own thread.
+    """
+
+    def __init__(
+        self, solve_fn: Callable[[list, Optional[int]], list]
+    ) -> None:
+        self._solve = solve_fn
+        self._cond = threading.Condition()
+        self._members: set[threading.Thread] = set()
+        self._pending: list[_Pending] = []
+        #: Diagnostics: fused batches, total rows, widest batch.
+        self.batches = 0
+        self.rows = 0
+        self.max_width = 0
+
+    def register(self, thread: threading.Thread) -> None:
+        """Add a member; must happen before the thread starts."""
+        with self._cond:
+            self._members.add(thread)
+
+    def leave(self) -> None:
+        """Depart the gang (thread-exit); may trigger the pending batch."""
+        with self._cond:
+            self._members.discard(threading.current_thread())
+            self._fire_if_complete()
+
+    def participating(self) -> bool:
+        """Whether the calling thread is a registered gang member."""
+        return threading.current_thread() in self._members
+
+    def solve(
+        self, tasks: list, outer_budget: Optional[int] = None
+    ) -> list:
+        """Park a cold solve until the gang's batch fires; return its slice."""
+        pending = _Pending(tasks, outer_budget)
+        with self._cond:
+            self._pending.append(pending)
+            self._fire_if_complete()
+            while not pending.done:
+                self._cond.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.results is not None
+        return pending.results
+
+    def _fire_if_complete(self) -> None:
+        """Solve all parked requests once every member is parked.
+
+        Caller must hold the condition.  The solve itself runs on the
+        calling thread while holding the lock — safe because every other
+        member is waiting (that is the firing condition), and new members
+        cannot appear mid-run (registration precedes thread start).
+        """
+        if not self._pending or len(self._pending) < len(self._members):
+            return
+        batch, self._pending = self._pending, []
+        groups: dict[Optional[int], list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.outer_budget, []).append(pending)
+        # Group solve order is irrelevant: groups are disjoint and each
+        # pending's result depends only on its own group's fused batch.
+        for outer_budget, group in groups.items():  # repro: noqa[RPL003]
+            fused = [task for pending in group for task in pending.tasks]
+            self.batches += 1
+            self.rows += len(fused)
+            self.max_width = max(self.max_width, len(fused))
+            try:
+                solved = self._solve(fused, outer_budget)
+                offset = 0
+                for pending in group:
+                    pending.results = solved[offset:offset + len(pending.tasks)]
+                    offset += len(pending.tasks)
+            except Exception:  # repro: noqa[RPL008] — re-solved per group below
+                for pending in group:
+                    try:
+                        pending.results = self._solve(
+                            pending.tasks, outer_budget
+                        )
+                    except Exception as exc:
+                        pending.error = exc
+            for pending in group:
+                pending.done = True
+        self._cond.notify_all()
+
+
+def run_gang(
+    specs: Sequence[RunSpec],
+    rendezvous: Optional[SolveRendezvous] = None,
+    attach_to: Optional[Any] = None,
+) -> dict[Hashable, Any]:
+    """Run a plan's specs as gang-scheduled threads over shared caches.
+
+    ``rendezvous`` fuses the gang's cold solves (the caller builds it
+    around the backend's un-intercepted ``solve_tasks_multi`` and can
+    read its batch diagnostics afterwards); ``attach_to`` is the backend
+    whose ``_rendezvous`` hook routes cold solves there for the duration.
+    With no rendezvous the specs simply run serially (nothing to fuse
+    through — e.g. a ``--no-cache`` plan).
+
+    Results are keyed by spec key in plan order; the first failing spec's
+    exception (in plan order) is re-raised, matching the serial path.
+    """
+    if rendezvous is None or len(specs) == 1:
+        return {spec.key: spec.execute() for spec in specs}
+    results: dict[Hashable, Any] = {}
+    errors: dict[Hashable, BaseException] = {}
+
+    def _drive(spec: RunSpec) -> None:
+        try:
+            value = spec.execute()
+        except BaseException as exc:
+            errors[spec.key] = exc
+        else:
+            results[spec.key] = value
+        finally:
+            rendezvous.leave()
+
+    threads = [
+        threading.Thread(
+            target=_drive, args=(spec,), name=f"gang-{i}", daemon=True
+        )
+        for i, spec in enumerate(specs)
+    ]
+    # Register everyone *before* anyone starts: an early-finishing spec
+    # must not fire a batch that a not-yet-started gang-mate would have
+    # joined (narrower batches are correct but slower; empty membership
+    # views are a liveness hazard).
+    for thread in threads:
+        rendezvous.register(thread)
+    # Save/restore rather than set/clear: a spec may itself run a nested
+    # gang over the same persistent backend (replication drives fig4
+    # in-process).  The ``participating()`` check keeps attachment safe
+    # under nesting — a thread that is not a member of the currently
+    # attached rendezvous simply solves directly, which is always correct.
+    previous = getattr(attach_to, "_rendezvous", None)
+    if attach_to is not None:
+        attach_to._rendezvous = rendezvous
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        if attach_to is not None:
+            attach_to._rendezvous = previous
+    for spec in specs:
+        if spec.key in errors:
+            raise errors[spec.key]
+    return {spec.key: results[spec.key] for spec in specs}

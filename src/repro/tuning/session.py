@@ -87,6 +87,7 @@ class ClusterTuningSession:
         resilience: Optional[ResiliencePolicy] = None,
         speculate: bool = False,
         speculate_jobs: int = 1,
+        speculate_engine: Optional[str] = None,
     ) -> None:
         if on_measure_error not in ("raise", "penalize"):
             raise ValueError(
@@ -134,6 +135,7 @@ class ClusterTuningSession:
                     for g in self.scheme.groups
                 },
                 jobs=speculate_jobs,
+                engine=speculate_engine,
             )
 
     def _align_scenario(self, scenario: Scenario) -> Scenario:
