@@ -37,6 +37,18 @@ EXPERIMENTS = (
 )
 
 
+def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help=(
+            "run with the concurrency sanitizer (equivalent to "
+            "REPRO_SANITIZE=1): record lock orders, held-lock sets and "
+            "cache coherence at runtime; findings are reported after the "
+            "command and force a nonzero exit (see docs/static_analysis.md)"
+        ),
+    )
+
+
 def _jobs_argument(value: str) -> int:
     jobs = int(value)
     if jobs < 0:
@@ -134,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(retry + backoff + quarantine) instead of raising"
         ),
     )
+    _add_sanitize_argument(p)
 
     p = sub.add_parser("sensitivity", help="one-at-a-time parameter sweeps")
     _add_scenario_arguments(p)
@@ -193,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
             "resilient arm (--no-resilience degrades it to penalty-only)"
         ),
     )
+    _add_sanitize_argument(p)
 
     p = sub.add_parser(
         "validate", help="cross-check the analytic and DES backends"
@@ -220,11 +234,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--select", metavar="IDS",
-        help="comma-separated rule ids to run (default: all enabled)",
+        help=(
+            "comma-separated rule ids or family prefixes to run "
+            "(e.g. RPL003 or RPL1 for the whole concurrency family; "
+            "default: all enabled)"
+        ),
     )
     p.add_argument(
         "--ignore", metavar="IDS",
-        help="comma-separated rule ids to skip (adds to pyproject ignores)",
+        help=(
+            "comma-separated rule ids or family prefixes to skip "
+            "(adds to pyproject ignores)"
+        ),
     )
     p.add_argument(
         "--root", metavar="DIR", default=None,
@@ -444,14 +465,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     known = set(rules_by_id())
 
     def parse_ids(raw: Optional[str]) -> Optional[frozenset[str]]:
+        """Validate ``--select``/``--ignore`` tokens (ids or prefixes).
+
+        A token is valid when it is a known rule id or a proper prefix
+        of at least one (``RPL1`` selects the whole RPL1xx family).
+        Unknown tokens are a usage error: exit code 2, message on
+        stderr — distinct from exit 1 (findings), see docs.
+        """
         if not raw:
             return None
-        ids = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
-        unknown = ids - known
+        ids = frozenset(
+            part.strip().upper() for part in raw.split(",") if part.strip()
+        )
+        unknown = {
+            token
+            for token in ids
+            if not any(rule_id.startswith(token) for rule_id in known)
+        }
         if unknown:
-            raise SystemExit(
-                f"repro lint: unknown rule ids: {', '.join(sorted(unknown))}"
+            print(
+                f"repro lint: unknown rule ids or prefixes: "
+                f"{', '.join(sorted(unknown))}",
+                file=sys.stderr,
             )
+            raise SystemExit(2)
         return ids
 
     config = config.merged(
@@ -478,9 +515,30 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--sanitize`` (on the commands that execute measurements) turns on
+    the runtime concurrency sanitizer for the whole command — same as
+    running under ``REPRO_SANITIZE=1`` — then prints any runtime
+    findings through the lint text reporter and forces exit code 1.
+    """
+    import os
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    sanitize = getattr(args, "sanitize", False)
+    if sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+    code = _COMMANDS[args.command](args)
+    if sanitize:
+        from repro.lint import format_text, sanitizer
+        from repro.lint.core import LintResult
+
+        runtime = sanitizer.findings()
+        print("sanitizer: " + ("FAIL" if runtime else "ok"), file=sys.stderr)
+        if runtime:
+            print(format_text(LintResult(runtime, files_checked=0)))
+            code = code or 1
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

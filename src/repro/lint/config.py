@@ -5,6 +5,7 @@ Recognized keys::
     [tool.repro.lint]
     select = ["RPL001", "RPL003"]   # run only these rules (default: all)
     ignore = ["RPL004"]             # never run these rules
+    # ids match by family prefix too: "RPL1" = every RPL1xx rule
     exclude = ["tests/lint_fixtures/*"]  # fnmatch globs, posix relpaths
 
     [tool.repro.lint.per-file-ignores]
@@ -34,6 +35,17 @@ __all__ = ["LintConfig", "load_config", "find_root"]
 _SECTION = ("tool", "repro", "lint")
 
 
+def _matches(rule_id: str, selectors: frozenset[str]) -> bool:
+    """Whether ``rule_id`` matches any exact id or family prefix.
+
+    Selectors are matched by prefix, so ``RPL1`` selects the whole
+    RPL10x concurrency family and ``RPL107`` selects exactly one rule.
+    (Every selector is an id prefix by construction — ``RPL107`` is its
+    own prefix — so one rule covers both cases.)
+    """
+    return any(rule_id.startswith(selector) for selector in selectors)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Effective rule/path selection for one analyzer run."""
@@ -49,9 +61,9 @@ class LintConfig:
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Whether the rule participates in this run at all."""
-        if rule_id in self.ignore:
+        if _matches(rule_id, self.ignore):
             return False
-        return self.select is None or rule_id in self.select
+        return self.select is None or _matches(rule_id, self.select)
 
     def path_excluded(self, path: str) -> bool:
         """Whether the file at posix relpath ``path`` is skipped entirely."""
@@ -60,7 +72,7 @@ class LintConfig:
     def rule_ignored_for_path(self, rule_id: str, path: str) -> bool:
         """Whether ``rule_id`` is switched off for this particular file."""
         return any(
-            rule_id in ids
+            _matches(rule_id, ids)
             for pattern, ids in self.per_file_ignores
             if fnmatch(path, pattern)
         )

@@ -52,7 +52,14 @@ _NOQA_RE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``phase`` distinguishes how the finding was produced: ``"static"``
+    (AST analysis — every RPL0xx/RPL10x rule) or ``"runtime"`` (the
+    concurrency sanitizer, rules RPL151–RPL154, which observes real
+    executions).  It is reporting metadata, excluded from ordering and
+    de-duplication like severity/message.
+    """
 
     path: str
     line: int
@@ -60,6 +67,7 @@ class Finding:
     rule: str
     severity: str = field(compare=False)
     message: str = field(compare=False)
+    phase: str = field(compare=False, default="static")
 
     def to_dict(self) -> dict:
         """JSON-ready representation (schema documented in docs/api.md)."""
@@ -70,6 +78,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "phase": self.phase,
         }
 
 

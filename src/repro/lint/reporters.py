@@ -55,6 +55,8 @@ def format_json(result: LintResult) -> str:
 
 def format_rules(rules: Sequence[Rule]) -> str:
     """Self-documentation for ``repro lint --rules``."""
+    from repro.lint.sanitizer import RUNTIME_RULES
+
     blocks = []
     for rule in sorted(rules, key=lambda r: r.id):
         scope = (
@@ -63,4 +65,13 @@ def format_rules(rules: Sequence[Rule]) -> str:
         header = f"{rule.id} {rule.name} [{rule.severity}] (scope: {scope})"
         doc = "\n".join(f"    {line}" for line in rule.doc().splitlines())
         blocks.append(f"{header}\n{doc}")
+    runtime = [
+        "Runtime sanitizer rules (REPRO_SANITIZE=1 or --sanitize; "
+        'findings carry phase="runtime"):'
+    ]
+    runtime.extend(
+        f"    {rule_id}: {description}"
+        for rule_id, description in sorted(RUNTIME_RULES.items())
+    )
+    blocks.append("\n".join(runtime))
     return "\n\n".join(blocks)

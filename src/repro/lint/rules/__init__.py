@@ -11,7 +11,19 @@ from __future__ import annotations
 
 from repro.lint.core import Rule
 from repro.lint.rules.clock import WallClockRule
+from repro.lint.rules.concurrency import (
+    BlockingCallUnderLockRule,
+    LockOrderRule,
+    UnguardedSharedMutationRule,
+    UnlockedLazyInitRule,
+)
 from repro.lint.rules.exceptions import SwallowedExceptionRule
+from repro.lint.rules.fleet import (
+    ImportTimeConcurrencyRule,
+    SwallowedFleetFailureRule,
+    UnorderedBatchRule,
+    UnpicklablePayloadRule,
+)
 from repro.lint.rules.functions import MutableDefaultRule, UnpicklableSubmitRule
 from repro.lint.rules.numerics import FloatEqualityRule
 from repro.lint.rules.ordering import UnsortedIterationRule
@@ -20,7 +32,8 @@ from repro.lint.rules.randomness import UnseededRandomRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
-#: Every shipped rule, in id order.
+#: Every shipped rule, in id order.  RPL00x: single-threaded determinism
+#: (PR 2); RPL10x: concurrency safety for the shared engine.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -30,6 +43,14 @@ ALL_RULES: tuple[Rule, ...] = (
     UnpicklableSubmitRule(),
     ParameterBoundsRule(),
     SwallowedExceptionRule(),
+    UnguardedSharedMutationRule(),
+    UnlockedLazyInitRule(),
+    LockOrderRule(),
+    BlockingCallUnderLockRule(),
+    UnpicklablePayloadRule(),
+    ImportTimeConcurrencyRule(),
+    UnorderedBatchRule(),
+    SwallowedFleetFailureRule(),
 )
 
 

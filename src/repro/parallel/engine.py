@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Hashable, Optional, Sequence
 
+from repro.lint import sanitizer as _san
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import MemoizedBackend, PerformanceBackend
 from repro.parallel.plan import RunSpec
@@ -65,11 +66,16 @@ def resolve_engine(engine: Optional[str]) -> str:
     return engine
 
 
-def _fleet_execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict]]:
-    """Fleet worker entry point: one spec plus its cache-counter delta."""
+def _fleet_execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict], list]:
+    """Fleet worker entry point: one spec plus its cache-counter delta.
+
+    The fourth element ships the worker-side sanitizer findings home (an
+    empty list when the sanitizer is off): each worker process runs its
+    own sanitizer, and findings that stay in a worker die with it.
+    """
     with CacheStatsCapture() as capture:
         value = spec.execute()
-    return spec.key, value, capture.delta()
+    return spec.key, value, capture.delta(), _san.take_findings()
 
 
 def _init_fleet_worker(remote: Any) -> None:
@@ -89,7 +95,9 @@ class SharedEngine:
     """Process-wide singleton owning the fleet, the store and the backends."""
 
     _instance: Optional["SharedEngine"] = None
-    _instance_lock = threading.Lock()
+    # Class-level by necessity: it guards singleton creation itself, is
+    # held only for pointer swaps, and module import precedes any fork.
+    _instance_lock = threading.Lock()  # repro: noqa[RPL106]
 
     @classmethod
     def instance(cls) -> "SharedEngine":
@@ -110,6 +118,9 @@ class SharedEngine:
     def __init__(self, worker: bool = False) -> None:
         self.store = SharedStore()
         self._worker = worker
+        # Reentrant: backend() may be reached from a path already holding
+        # the lock (e.g. fleet bring-up warming the backend).
+        self._lock = _san.wrap_lock("SharedEngine._lock", threading.RLock())
         self._backend: Optional[MemoizedBackend] = None
         self._manager = None
         self._remote = None
@@ -127,14 +138,20 @@ class SharedEngine:
 
         Thread-safe and reused across experiments; drivers get it from
         :func:`repro.experiments.runner.make_backend` when the config's
-        engine is ``shared``.
+        engine is ``shared``.  Double-checked: the unlocked fast path
+        serves the common already-built case, the locked re-check makes
+        first-build unique (two racing builders would otherwise register
+        two backends with the stats tracker and split L1 caches).
         """
         if self._backend is None:
-            inner = SharedAnalyticBackend(self.store)
-            self._backend = MemoizedBackend(
-                inner, cache=SharedMeasurementCache(self.store)
-            )
-            track_backend(self._backend)
+            with self._lock:
+                if self._backend is None:
+                    inner = SharedAnalyticBackend(self.store)
+                    backend = MemoizedBackend(
+                        inner, cache=SharedMeasurementCache(self.store)
+                    )
+                    track_backend(backend)
+                    self._backend = backend
         return self._backend
 
     # -- execution -------------------------------------------------------
@@ -147,7 +164,8 @@ class SharedEngine:
         persistent fleet; everything else takes the vectorized in-process
         path.  Results are collated by spec key in plan order either way.
         """
-        self.runs += 1
+        with self._lock:
+            self.runs += 1
         if jobs > 1 and len(specs) > 1 and not self._worker:
             return self._run_fleet(specs, jobs)
         return self._run_vectorized(specs)
@@ -169,9 +187,10 @@ class SharedEngine:
         rendezvous = SolveRendezvous(_base_solve)
         with CacheStatsCapture() as capture:
             results = run_gang(specs, rendezvous, attach_to=inner)
-        self.gang_batches += rendezvous.batches
-        self.gang_rows += rendezvous.rows
-        self.gang_max_width = max(self.gang_max_width, rendezvous.max_width)
+        with self._lock:
+            self.gang_batches += rendezvous.batches
+            self.gang_rows += rendezvous.rows
+            self.gang_max_width = max(self.gang_max_width, rendezvous.max_width)
         return results, [capture.delta()]
 
     def _run_fleet(
@@ -180,56 +199,81 @@ class SharedEngine:
         from repro.parallel.executor import plan_chunksize
 
         workers = min(jobs, len(specs))
-        self._ensure_fleet(workers)
-        assert self._pool is not None
+        pool = self._ensure_fleet(workers)
         chunksize = plan_chunksize(len(specs), workers)
         results: dict[Hashable, Any] = {}
         parts: list[Optional[dict]] = []
         try:
-            mapped = list(self._pool.map(_fleet_execute, specs, chunksize=chunksize))
+            mapped = list(pool.map(_fleet_execute, specs, chunksize=chunksize))
         except BrokenProcessPool:
             # A worker died (OOM, signal).  Specs are pure and idempotent,
             # so rebuild the fleet once and retry the whole plan.
-            self._teardown_pool()
-            self._ensure_fleet(workers)
-            assert self._pool is not None
-            mapped = list(self._pool.map(_fleet_execute, specs, chunksize=chunksize))
-        for key, value, delta in mapped:
+            self._teardown_pool(pool)
+            pool = self._ensure_fleet(workers)
+            mapped = list(pool.map(_fleet_execute, specs, chunksize=chunksize))
+        for key, value, delta, shipped in mapped:
             results[key] = value
             parts.append(delta)
+            _san.absorb(shipped)
         return {spec.key: results[spec.key] for spec in specs}, parts
 
     # -- fleet lifecycle -------------------------------------------------
-    def _ensure_fleet(self, workers: int) -> None:
+    def _ensure_fleet(self, workers: int) -> ProcessPoolExecutor:
+        """The live pool, grown to at least ``workers`` (built under lock).
+
+        Returns a snapshot rather than leaving callers to re-read
+        ``self._pool``: a concurrent rebuild can swap the attribute, and
+        mapping onto a snapshot either works or raises
+        ``BrokenProcessPool``/``RuntimeError`` — never silently targets a
+        half-built pool.  The outgoing pool (when growing) is shut down
+        *outside* the lock; its drain can take arbitrarily long.
+        """
         if self._worker:
             raise RuntimeError("fleet workers must not spawn nested fleets")
-        if self._manager is None:
-            self._manager = multiprocessing.Manager()
-            self._remote = self._manager.dict()
-            self.store.attach(self._remote)
-        if self._pool is None or self._pool_workers < workers:
-            self._teardown_pool()
-            self._pool_workers = max(self._pool_workers, workers)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self._pool_workers,
-                initializer=_init_fleet_worker,
-                initargs=(self._remote,),
-            )
+        stale: Optional[ProcessPoolExecutor] = None
+        with self._lock:
+            if self._manager is None:
+                # One-time fleet bring-up: the fleet does not exist yet,
+                # so nothing can contend on these manager/store RPCs.
+                self._manager = multiprocessing.Manager()
+                self._remote = self._manager.dict()  # repro: noqa[RPL104]
+                self.store.attach(self._remote)  # repro: noqa[RPL104]
+            if self._pool is None or self._pool_workers < workers:
+                stale, self._pool = self._pool, None
+                self._pool_workers = max(self._pool_workers, workers)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._pool_workers,
+                    initializer=_init_fleet_worker,
+                    initargs=(self._remote,),
+                )
+            pool = self._pool
+        if stale is not None:
+            stale.shutdown(wait=True)
+        return pool
 
-    def _teardown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _teardown_pool(
+        self, pool: Optional[ProcessPoolExecutor] = None
+    ) -> None:
+        """Retire ``pool`` (default: the current one); swap under the
+        lock, drain outside it."""
+        with self._lock:
+            if pool is None:
+                pool = self._pool
+            if pool is self._pool:
+                self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def shutdown(self) -> None:
         """Stop the fleet and the manager (the store reverts to nothing)."""
         self._teardown_pool()
-        self._pool_workers = 0
-        if self._manager is not None:
-            self._manager.shutdown()
-            self._manager = None
+        with self._lock:
+            manager, self._manager = self._manager, None
             self._remote = None
-        self._backend = None
+            self._backend = None
+            self._pool_workers = 0
+        if manager is not None:
+            manager.shutdown()
 
     def stats(self) -> dict[str, float]:
         """Engine-level diagnostics (for benchmarks and reports)."""

@@ -30,6 +30,7 @@ import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Hashable, Optional, Sequence
 
+from repro.lint import sanitizer as _san
 from repro.parallel.plan import RunSpec, run_specs
 from repro.parallel.stats import CacheStatsCapture, merge_cache_stats
 
@@ -73,11 +74,16 @@ def _max_tasks_per_child_kwargs(limit: Optional[int]) -> dict[str, int]:
     return {"max_tasks_per_child": limit}
 
 
-def _execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict]]:
-    """Worker entry point: one spec plus its cache-counter delta."""
+def _execute(spec: RunSpec) -> tuple[Hashable, Any, Optional[dict], list]:
+    """Worker entry point: one spec plus its cache-counter delta.
+
+    The fourth element ships worker-side sanitizer findings home (empty
+    when the sanitizer is off) — see
+    :func:`repro.parallel.engine._fleet_execute`.
+    """
     with CacheStatsCapture() as capture:
         value = spec.execute()
-    return spec.key, value, capture.delta()
+    return spec.key, value, capture.delta(), _san.take_findings()
 
 
 class ParallelExecutor:
@@ -127,11 +133,12 @@ class ParallelExecutor:
             max_workers=workers,
             **_max_tasks_per_child_kwargs(self.max_tasks_per_child),
         ) as pool:
-            for key, value, delta in pool.map(
+            for key, value, delta, shipped in pool.map(
                 _execute, specs, chunksize=plan_chunksize(len(specs), workers)
             ):
                 results[key] = value
                 self._stats_parts.append(delta)
+                _san.absorb(shipped)
         return {spec.key: results[spec.key] for spec in specs}
 
     @property

@@ -45,7 +45,10 @@ __all__ = [
     "CacheStatsCapture",
 ]
 
-_REGISTRY_LOCK = threading.Lock()
+# Module-level by necessity (the registry it guards is module-level and
+# process-local); held only for short registry ops, never across fork,
+# and each worker process re-creates it fresh at import.
+_REGISTRY_LOCK = threading.Lock()  # repro: noqa[RPL106]
 _TRACKED: "weakref.WeakSet[PerformanceBackend]" = weakref.WeakSet()
 _SCOPES: list["CacheStatsCapture"] = []
 

@@ -37,6 +37,7 @@ from typing import Mapping, MutableMapping, Optional, Sequence
 from repro.cluster.context import WorkloadContext
 from repro.cluster.topology import ClusterSpec
 from repro.harmony.parameter import Configuration
+from repro.lint import sanitizer as _san
 from repro.model.analytic import AnalyticBackend, AnalyticSolution
 from repro.model.base import Measurement, MeasurementCache, Scenario
 
@@ -56,7 +57,7 @@ class SharedStore:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self._data: MutableMapping = {}
-        self._lock = threading.Lock()
+        self._lock = _san.wrap_lock("SharedStore._lock", threading.Lock())
         self._attached = False
         self.max_entries = max_entries
         self._puts = 0
@@ -80,13 +81,26 @@ class SharedStore:
                     return
                 raise RuntimeError("store is already attached to another mapping")
             if self._data:
-                remote.update(self._data)
+                # One-time bootstrap migration under the lock: the fleet
+                # is not running yet (attach precedes the first pooled
+                # run), so nothing can contend on this RPC.
+                remote.update(self._data)  # repro: noqa[RPL104]
             self._data = remote
             self._attached = True
 
+    def _mapping(self) -> MutableMapping:
+        """A stable snapshot of the backing mapping for one operation.
+
+        Reads/writes go through a snapshot taken under the lock, so an
+        operation never sees ``self._data`` swap mid-flight; the IPC
+        round-trip itself happens with the lock released.
+        """
+        with self._lock:
+            return self._data
+
     def get(self, key: tuple) -> Optional[object]:
         """The stored value, or None.  One IPC round-trip when attached."""
-        value = self._data.get(key)
+        value = self._mapping().get(key)
         with self._lock:
             if value is None:
                 self.misses += 1
@@ -96,10 +110,17 @@ class SharedStore:
 
     def peek(self, key: tuple) -> Optional[object]:
         """Like :meth:`get` but without touching the hit/miss counters."""
-        return self._data.get(key)
+        return self._mapping().get(key)
 
     def put(self, key: tuple, value: object) -> None:
         """Publish one entry (idempotent: values are deterministic per key).
+
+        The write happens outside the lock (it may be an IPC round-trip),
+        then the backing-mapping identity is re-checked: if :meth:`attach`
+        rebased the store mid-write, the entry landed in the abandoned
+        local dict *after* its contents migrated, so the write is
+        replayed into the new mapping.  ``attach`` runs at most once, so
+        the loop runs at most twice.
 
         The size guard is amortized: every 512 puts the store checks its
         length (an IPC round-trip when attached) and, past ``max_entries``,
@@ -107,12 +128,20 @@ class SharedStore:
         only re-solve cost — and wholesale clearing avoids per-put LRU
         bookkeeping traffic through the manager.
         """
-        self._data[key] = value
-        with self._lock:
-            self._puts += 1
-            check = self._puts % 512 == 0
-        if check and len(self._data) > self.max_entries:
-            self._data.clear()
+        while True:
+            data = self._mapping()
+            if _san.active():
+                _san.check_coherent("SharedStore", key, data.get(key), value)
+            data[key] = value
+            with self._lock:
+                self._puts += 1
+                check = self._puts % 512 == 0
+                rebased = self._data is not data
+            if not rebased:
+                break
+        data = self._mapping()
+        if check and len(data) > self.max_entries:
+            data.clear()
 
     def stats(self) -> dict[str, float]:
         """Store-level counters (diagnostics for benchmarks and reports)."""
@@ -142,7 +171,15 @@ class SharedMeasurementCache(MeasurementCache):
     ) -> None:
         super().__init__(max_entries)
         self._shared = store
-        self._lock = threading.RLock()
+        self._lock = _san.wrap_lock(
+            "SharedMeasurementCache._lock", threading.RLock()
+        )
+
+    def _insert(self, key: tuple, measurement: Measurement) -> None:
+        # L1 writes must be serialized by the cache lock; the sanitizer
+        # verifies the discipline holds on every path that reaches here.
+        _san.expect_held(self._lock, "SharedMeasurementCache L1 insert")
+        super()._insert(key, measurement)
 
     def lookup(
         self, scenario: Scenario, configuration: Configuration, seed: int
@@ -159,6 +196,10 @@ class SharedMeasurementCache(MeasurementCache):
         entry = self._shared.get(("meas", key))
         with self._lock:
             if entry is not None:
+                if _san.active():
+                    _san.check_coherent(
+                        "measurement L1/L2", key, self._entries.get(key), entry
+                    )
                 self._hits += 1
                 self._shared_hits += 1
                 self._insert(key, entry)
@@ -202,7 +243,9 @@ class SharedAnalyticBackend(AnalyticBackend):
     def __init__(self, store: SharedStore, **kwargs: object) -> None:
         super().__init__(**kwargs)  # type: ignore[arg-type]
         self._shared = store
-        self._memo_lock = threading.RLock()
+        self._memo_lock = _san.wrap_lock(
+            "SharedAnalyticBackend._memo_lock", threading.RLock()
+        )
         #: Set (and cleared) by the vectorized engine around a gang run.
         self._rendezvous = None
 
@@ -221,6 +264,10 @@ class SharedAnalyticBackend(AnalyticBackend):
             if sol is None:
                 self._solution_misses += 1
             else:
+                if _san.active():
+                    _san.check_coherent(
+                        "solution L1/L2", key, self._solution_cache.get(key), sol
+                    )
                 self._solution_hits += 1
                 self._solution_shared_hits += 1
                 super()._solution_put(key, sol)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable, Optional, Sequence
 
+from repro.lint import sanitizer as _san
 from repro.parallel.plan import RunSpec
 
 __all__ = ["SolveRendezvous", "run_gang"]
@@ -71,7 +72,11 @@ class SolveRendezvous:
         self, solve_fn: Callable[[list, Optional[int]], list]
     ) -> None:
         self._solve = solve_fn
-        self._cond = threading.Condition()
+        # An explicit RLock (the Condition default) so _fire_if_complete
+        # can re-enter lexically; wrap_lock makes the sanitizer track it.
+        self._cond = threading.Condition(
+            _san.wrap_lock("SolveRendezvous._cond", threading.RLock())
+        )
         self._members: set[threading.Thread] = set()
         self._pending: list[_Pending] = []
         #: Diagnostics: fused batches, total rows, widest batch.
@@ -112,41 +117,56 @@ class SolveRendezvous:
     def _fire_if_complete(self) -> None:
         """Solve all parked requests once every member is parked.
 
-        Caller must hold the condition.  The solve itself runs on the
-        calling thread while holding the lock — safe because every other
-        member is waiting (that is the firing condition), and new members
-        cannot appear mid-run (registration precedes thread start).
+        Callers already hold the condition; the reentrant ``with`` makes
+        that invariant lexical (and visible to the lint rules) instead of
+        a comment-only convention.  The solve itself runs on the calling
+        thread while holding the lock — safe because every other member
+        is waiting (that is the firing condition, and ``Condition.wait``
+        releases the lock while parked), and new members cannot appear
+        mid-run (registration precedes thread start).
         """
-        if not self._pending or len(self._pending) < len(self._members):
-            return
-        batch, self._pending = self._pending, []
-        groups: dict[Optional[int], list[_Pending]] = {}
-        for pending in batch:
-            groups.setdefault(pending.outer_budget, []).append(pending)
-        # Group solve order is irrelevant: groups are disjoint and each
-        # pending's result depends only on its own group's fused batch.
-        for outer_budget, group in groups.items():  # repro: noqa[RPL003]
-            fused = [task for pending in group for task in pending.tasks]
-            self.batches += 1
-            self.rows += len(fused)
-            self.max_width = max(self.max_width, len(fused))
-            try:
-                solved = self._solve(fused, outer_budget)
-                offset = 0
+        with self._cond:
+            if not self._pending or len(self._pending) < len(self._members):
+                return
+            batch, self._pending = self._pending, []
+            groups: dict[Optional[int], list[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.outer_budget, []).append(pending)
+            # Group solve order is irrelevant: groups are disjoint and each
+            # pending's result depends only on its own group's fused batch.
+            for outer_budget, group in groups.items():  # repro: noqa[RPL003]
+                fused = [task for pending in group for task in pending.tasks]
+                self.batches += 1
+                self.rows += len(fused)
+                self.max_width = max(self.max_width, len(fused))
+                try:
+                    # Solving under the condition is safe (see docstring):
+                    # every would-be contender is parked in wait().
+                    solved = self._solve(fused, outer_budget)  # repro: noqa[RPL104]
+                    offset = 0
+                    for pending in group:
+                        pending.results = solved[offset:offset + len(pending.tasks)]
+                        offset += len(pending.tasks)
+                except Exception:  # repro: noqa[RPL008] — re-solved per group below
+                    for pending in group:
+                        try:
+                            pending.results = self._solve(  # repro: noqa[RPL104]
+                                pending.tasks, outer_budget
+                            )
+                        except Exception as exc:
+                            pending.error = exc
+                if _san.active():
+                    # Fingerprint the fused batch against solo re-solves
+                    # (RPL154) — the lockstep bit-identity contract,
+                    # checked on the batches this run actually produced.
+                    _san.check_fused(
+                        self._solve,
+                        [(p.tasks, p.results) for p in group],
+                        outer_budget,
+                    )
                 for pending in group:
-                    pending.results = solved[offset:offset + len(pending.tasks)]
-                    offset += len(pending.tasks)
-            except Exception:  # repro: noqa[RPL008] — re-solved per group below
-                for pending in group:
-                    try:
-                        pending.results = self._solve(
-                            pending.tasks, outer_budget
-                        )
-                    except Exception as exc:
-                        pending.error = exc
-            for pending in group:
-                pending.done = True
-        self._cond.notify_all()
+                    pending.done = True
+            self._cond.notify_all()
 
 
 def run_gang(

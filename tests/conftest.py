@@ -1,0 +1,33 @@
+"""Shared pytest configuration.
+
+The CI sanitize job runs the parallel/shared-engine suites with
+``REPRO_SANITIZE=1``, which makes the ``repro.parallel`` hot objects
+construct tracked locks and run the RPL151–RPL154 checks while the
+ordinary tests exercise them.  Any finding still recorded when the
+session ends is a real race/determinism bug in the instrumented code:
+tests that *inject* violations on purpose do so inside
+``sanitizer.scope()``, whose findings never reach the process-wide
+list.  The gate below turns leftovers into a session failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer_session_gate():
+    yield
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        return
+    from repro.lint.sanitizer import findings
+
+    leftovers = findings()
+    assert not leftovers, (
+        "runtime sanitizer recorded findings during the test session:\n"
+        + "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in leftovers
+        )
+    )

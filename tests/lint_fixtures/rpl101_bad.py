@@ -1,0 +1,24 @@
+# lint-path: src/repro/parallel/example_state.py
+"""RPL101: mutating shared attributes of a lock-bearing class unguarded."""
+import threading
+
+
+class SharedCounters:
+    """Constructs a lock, so instances are declared shared."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self._pending = []
+        self.total = 0
+
+    def record(self, key, value):
+        self.total += value
+        self._counts[key] = value
+
+    def enqueue(self, item):
+        self._pending.append(item)
+
+    def guarded(self, value):
+        with self._lock:
+            self.total += value

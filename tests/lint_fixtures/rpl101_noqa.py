@@ -1,0 +1,13 @@
+# lint-path: src/repro/parallel/example_state_hint.py
+"""RPL101 suppression: a justified last-writer-wins advisory write."""
+import threading
+
+
+class MostlyGuarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hint = None
+
+    def set_hint(self, value):
+        # Monotonic advisory value: last-writer-wins is acceptable here.
+        self.hint = value  # repro: noqa[RPL101]

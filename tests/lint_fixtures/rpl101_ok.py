@@ -1,0 +1,29 @@
+# lint-path: src/repro/parallel/example_state_guarded.py
+"""RPL101 negative: every shared mutation happens under the lock."""
+import threading
+
+
+class GuardedCounters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self.total = 0
+
+    def record(self, key, value):
+        with self._lock:
+            self.total += value
+            self._counts[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._counts)
+
+
+class PlainAccumulator:
+    """No lock declared, so instances are not shared; free mutation."""
+
+    def __init__(self):
+        self.values = []
+
+    def push(self, value):
+        self.values.append(value)

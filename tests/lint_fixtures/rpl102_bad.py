@@ -1,0 +1,19 @@
+# lint-path: src/repro/parallel/example_lazy.py
+"""RPL102: check-then-set lazy initialization without holding a lock."""
+import threading
+
+
+class LazyBackend:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backend = None
+        self._warmed = False
+
+    def backend(self):
+        if self._backend is None:
+            self._backend = object()
+        return self._backend
+
+    def warm(self):
+        if not self._warmed:
+            self._warmed = True

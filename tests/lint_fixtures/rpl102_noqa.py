@@ -1,0 +1,17 @@
+# lint-path: src/repro/parallel/example_lazy_benign.py
+"""RPL102 suppression: an idempotent build where the race is benign."""
+import threading
+
+
+class RacyButBenign:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = None
+
+    def table(self):
+        # Idempotent content-addressed build: double construction wastes
+        # one build but both results are identical, and the fast path
+        # must stay lock-free.
+        if self._table is None:  # repro: noqa[RPL102]
+            self._table = object()
+        return self._table

@@ -1,0 +1,22 @@
+# lint-path: src/repro/parallel/example_lazy_locked.py
+"""RPL102 negative: double-checked and fully-locked lazy init pass."""
+import threading
+
+
+class LazyBackendOk:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backend = None
+        self._warmed = False
+
+    def backend(self):
+        if self._backend is None:
+            with self._lock:
+                if self._backend is None:
+                    self._backend = object()
+        return self._backend
+
+    def warm(self):
+        with self._lock:
+            if not self._warmed:
+                self._warmed = True

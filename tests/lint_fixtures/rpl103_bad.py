@@ -1,0 +1,19 @@
+# lint-path: src/repro/util/example_lock_order.py
+"""RPL103: the two methods acquire the same locks in opposite orders."""
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def credit(self):
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def debit(self):
+        with self._journal:
+            with self._accounts:
+                pass

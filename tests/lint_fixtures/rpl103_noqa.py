@@ -1,0 +1,20 @@
+# lint-path: src/repro/util/example_lock_order_waived.py
+"""RPL103 suppression: an inversion argued safe (different instances)."""
+import threading
+
+
+class Router:
+    def __init__(self):
+        self._inbox = threading.Lock()
+        self._outbox = threading.Lock()
+
+    def forward(self):
+        with self._inbox:
+            with self._outbox:
+                pass
+
+    def bounce(self):
+        with self._outbox:
+            # The two paths are only ever taken on disjoint instances.
+            with self._inbox:  # repro: noqa[RPL103]
+                pass

@@ -1,0 +1,19 @@
+# lint-path: src/repro/util/example_lock_order_consistent.py
+"""RPL103 negative: one global acquisition order (accounts, journal)."""
+import threading
+
+
+class LedgerOk:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def credit(self):
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                pass

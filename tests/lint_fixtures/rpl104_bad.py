@@ -1,0 +1,21 @@
+# lint-path: src/repro/util/example_blocking.py
+"""RPL104: pool/solver/future calls made while holding the lock."""
+import threading
+
+
+def run_one(x):
+    return x
+
+
+class FleetFrontend:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = []
+
+    def flush(self, pool, backend):
+        with self._lock:
+            mapped = list(pool.map(run_one, self._jobs))
+            future = pool.submit(run_one, 0)
+            extra = future.result()
+            solutions = backend.solve(self._jobs)
+        return mapped, extra, solutions

@@ -1,0 +1,19 @@
+# lint-path: src/repro/util/example_blocking_bootstrap.py
+"""RPL104 suppression: one-time bring-up with no possible contention."""
+import threading
+
+
+def run_one(x):
+    return x
+
+
+class Bootstrapper:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seed = None
+
+    def bootstrap(self, pool):
+        with self._lock:
+            # One-time bring-up: no other thread holds a reference yet.
+            self._seed = pool.submit(run_one, 0).result()  # repro: noqa[RPL104]
+        return self._seed

@@ -1,0 +1,19 @@
+# lint-path: src/repro/util/example_blocking_snapshot.py
+"""RPL104 negative: snapshot under the lock, block outside it."""
+import threading
+
+
+def run_one(x):
+    return x
+
+
+class FleetFrontendOk:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = []
+
+    def flush(self, pool, backend):
+        with self._lock:
+            jobs = list(self._jobs)
+        mapped = list(pool.map(run_one, jobs))
+        return mapped, backend.solve(jobs)

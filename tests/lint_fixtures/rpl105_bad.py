@@ -1,0 +1,28 @@
+# lint-path: src/repro/experiments/example_payload.py
+"""RPL105: unpicklable cargo inside cross-process payloads."""
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.parallel.plan import RunSpec
+
+
+def run_tuner(seed):
+    return seed
+
+
+def build_plan(pool, seeds):
+    def scale(value):
+        return value * 2
+
+    class LocalPolicy:
+        pass
+
+    specs = [
+        RunSpec(key=seed, fn=run_tuner, kwargs={"seed": seed, "hook": scale})
+        for seed in seeds
+    ]
+    specs.append(
+        RunSpec(key=-1, fn=run_tuner, kwargs={"policy": LocalPolicy()})
+    )
+    future = pool.submit(run_tuner, lambda: None)
+    worker_pool = ProcessPoolExecutor(initializer=scale, initargs=(1,))
+    return specs, future, worker_pool

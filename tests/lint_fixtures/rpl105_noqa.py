@@ -1,0 +1,19 @@
+# lint-path: src/repro/experiments/example_payload_inline.py
+"""RPL105 suppression: a plan pinned to the in-process engine."""
+from repro.parallel.plan import RunSpec
+
+
+def run_tuner(seed):
+    return seed
+
+
+def build_inline_plan(seeds):
+    def probe(value):
+        return value
+
+    # Inline-engine-only plan: these specs never cross a process
+    # boundary, so the closure stays picklable-irrelevant.
+    return [
+        RunSpec(key=seed, fn=run_tuner, kwargs={"hook": probe})  # repro: noqa[RPL105]
+        for seed in seeds
+    ]

@@ -1,0 +1,20 @@
+# lint-path: src/repro/experiments/example_payload_clean.py
+"""RPL105 negative: module-level callables and plain data as cargo."""
+from repro.parallel.plan import RunSpec
+
+
+def run_tuner(seed):
+    return seed
+
+
+def scale(value):
+    return value * 2
+
+
+def build_plan(pool, seeds):
+    specs = [
+        RunSpec(key=seed, fn=run_tuner, kwargs={"seed": seed, "hook": scale})
+        for seed in seeds
+    ]
+    future = pool.submit(run_tuner, 7)
+    return specs, future

@@ -1,0 +1,13 @@
+# lint-path: src/repro/util/example_globals.py
+"""RPL106: concurrency machinery constructed at import time."""
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+_POOL = ProcessPoolExecutor(max_workers=2)
+_MANAGER = multiprocessing.Manager()
+
+
+class Registry:
+    _guard = threading.RLock()

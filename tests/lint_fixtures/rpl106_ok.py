@@ -1,0 +1,18 @@
+# lint-path: src/repro/util/example_globals_lazy.py
+"""RPL106 negative: lazy construction inside functions, after fork."""
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_POOL = None
+
+
+def get_pool():
+    global _POOL
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=2)
+    return _POOL
+
+
+class LazyRegistry:
+    def __init__(self):
+        self._guard = threading.Lock()

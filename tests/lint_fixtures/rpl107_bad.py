@@ -1,0 +1,11 @@
+# lint-path: src/repro/experiments/example_batch.py
+"""RPL107: unordered collections feeding positionally-collated batches."""
+
+
+def plan_solves(backend, pool, tasks, worker):
+    first = backend.solve_tasks_multi({task for task in tasks})
+    second = backend.measure_batch(set(tasks))
+    third = backend.solve_mva_batch(tasks.keys())
+    fourth = pool.map(worker, {1, 2, 3})
+    ordered = backend.solve_tasks_multi(sorted(tasks))
+    return first, second, third, fourth, ordered

@@ -1,0 +1,8 @@
+# lint-path: src/repro/experiments/example_batch_rekeyed.py
+"""RPL107 suppression: results re-keyed downstream, order immaterial."""
+
+
+def replay(backend, tasks):
+    # Replay path: results are re-keyed by task id downstream, so batch
+    # position never matters here.
+    return backend.solve_tasks_multi(set(tasks))  # repro: noqa[RPL107]

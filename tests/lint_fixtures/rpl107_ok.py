@@ -1,0 +1,10 @@
+# lint-path: src/repro/experiments/example_batch_sorted.py
+"""RPL107 negative: batch inputs pass through sorted(...) first."""
+
+
+def plan_solves(backend, pool, tasks, worker):
+    first = backend.solve_tasks_multi(sorted(set(tasks)))
+    second = backend.measure_batch(sorted(tasks.keys()))
+    third = pool.map(worker, sorted({1, 2, 3}))
+    fourth = backend.solve_mva_batch(list(tasks))
+    return first, second, third, fourth

@@ -1,0 +1,21 @@
+# lint-path: src/repro/experiments/example_fleet_errors.py
+"""RPL108: dead-worker failures dropped on the floor."""
+from concurrent.futures.process import BrokenProcessPool
+
+
+def run_one(spec):
+    return spec
+
+
+def collect(pool, specs):
+    results = []
+    try:
+        results = list(pool.map(run_one, specs))
+    except BrokenProcessPool:
+        pass
+    for spec in specs:
+        try:
+            results.append(pool.submit(run_one, spec).result())
+        except Exception:
+            return None
+    return results

@@ -1,0 +1,16 @@
+# lint-path: src/repro/experiments/example_fleet_errors_probe.py
+"""RPL108 suppression: a capability probe where loss means fallback."""
+from concurrent.futures.process import BrokenProcessPool
+
+
+def run_one(spec):
+    return spec
+
+
+def probe(pool):
+    # Capability probe: a dead pool only means "feature unavailable";
+    # the caller falls back to the inline engine on None.
+    try:
+        return pool.submit(run_one, 0).result()
+    except BrokenProcessPool:  # repro: noqa[RPL108]
+        return None

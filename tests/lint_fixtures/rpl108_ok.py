@@ -1,0 +1,15 @@
+# lint-path: src/repro/experiments/example_fleet_errors_retry.py
+"""RPL108 negative: rebuild the fleet and retry on worker death."""
+from concurrent.futures.process import BrokenProcessPool
+
+
+def run_one(spec):
+    return spec
+
+
+def collect(pool, rebuild, specs):
+    try:
+        return list(pool.map(run_one, specs))
+    except BrokenProcessPool:
+        pool = rebuild()
+        return list(pool.map(run_one, specs))

@@ -19,7 +19,12 @@ def test_lint_rules_listing(capsys):
     assert main(["lint", "--rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004",
-                    "RPL005", "RPL006", "RPL007", "RPL008"):
+                    "RPL005", "RPL006", "RPL007", "RPL008",
+                    "RPL101", "RPL102", "RPL103", "RPL104",
+                    "RPL105", "RPL106", "RPL107", "RPL108"):
+        assert rule_id in out
+    # The runtime sanitizer family is listed alongside the static rules.
+    for rule_id in ("RPL151", "RPL152", "RPL153", "RPL154"):
         assert rule_id in out
 
 
@@ -67,9 +72,39 @@ def test_lint_select_and_ignore(tmp_path, capsys):
     ) == 0
 
 
+def test_lint_family_prefix_select(tmp_path, capsys):
+    # RPL005 (mutable default) plus RPL101 (unguarded shared mutation).
+    target = tmp_path / "src" / "repro" / "parallel" / "shared.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import threading\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.n = 0\n"
+        "    def bump(self):\n"
+        "        self.n += 1\n"
+    )
+    # Selecting the concurrency family alone hides the RPL00x finding.
+    assert main(
+        ["lint", "--root", str(tmp_path), "--select", "RPL1", str(target)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "RPL101" in out and "RPL005" not in out
+    # Ignoring the whole family by prefix removes it again.
+    assert main(
+        ["lint", "--root", str(tmp_path),
+         "--select", "RPL1", "--ignore", "RPL10", str(target)]
+    ) == 0
+
+
 def test_lint_unknown_rule_id_is_rejected(tmp_path):
-    with pytest.raises(SystemExit):
+    # Exit code 2: usage error, distinct from 1 (findings).
+    with pytest.raises(SystemExit) as excinfo:
         main(["lint", "--root", str(tmp_path), "--select", "RPL999"])
+    assert excinfo.value.code == 2
 
 
 def test_lint_default_path_is_src(tmp_path, capsys):

@@ -211,15 +211,51 @@ def test_json_reporter_schema():
         "ok": False,
     }
     (finding,) = doc["findings"]
-    assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message", "phase",
+    }
     assert finding["rule"] == "RPL001"
     assert finding["line"] == 2
+    assert finding["phase"] == "static"
     # Byte-stable output for identical input.
     assert format_json(_demo_result()) == format_json(_demo_result())
 
 
 def test_rules_listing_documents_every_rule():
+    from repro.lint.sanitizer import RUNTIME_RULES
+
     listing = format_rules(ALL_RULES)
     for rule in ALL_RULES:
         assert rule.id in listing
         assert rule.name in listing
+    # The runtime sanitizer family is self-documented alongside.
+    for rule_id in RUNTIME_RULES:
+        assert rule_id in listing
+
+
+# ----------------------------------------------------------------------
+# Family-prefix selection
+# ----------------------------------------------------------------------
+def test_family_prefix_select_and_ignore():
+    config = LintConfig(select=frozenset({"RPL1"}))
+    assert config.rule_enabled("RPL101")
+    assert config.rule_enabled("RPL108")
+    assert not config.rule_enabled("RPL001")
+    config = LintConfig(ignore=frozenset({"RPL10"}))
+    assert not config.rule_enabled("RPL104")
+    assert config.rule_enabled("RPL001")
+    # Exact ids still behave as exact ids.
+    config = LintConfig(select=frozenset({"RPL101"}))
+    assert config.rule_enabled("RPL101")
+    assert not config.rule_enabled("RPL102")
+
+
+def test_family_prefix_per_file_ignores():
+    config = LintConfig(
+        per_file_ignores=(
+            ("src/repro/parallel/*.py", frozenset({"RPL1"})),
+        )
+    )
+    assert config.rule_ignored_for_path("RPL103", "src/repro/parallel/engine.py")
+    assert not config.rule_ignored_for_path("RPL003", "src/repro/parallel/engine.py")
+    assert not config.rule_ignored_for_path("RPL103", "src/repro/cli.py")

@@ -33,6 +33,14 @@ EXPECTED_BAD = {
     "rpl006_bad": ("RPL006", 3),
     "rpl007_bad": ("RPL007", 4),
     "rpl008_bad": ("RPL008", 2),
+    "rpl101_bad": ("RPL101", 3),
+    "rpl102_bad": ("RPL102", 2),
+    "rpl103_bad": ("RPL103", 1),
+    "rpl104_bad": ("RPL104", 4),
+    "rpl105_bad": ("RPL105", 4),
+    "rpl106_bad": ("RPL106", 4),
+    "rpl107_bad": ("RPL107", 4),
+    "rpl108_bad": ("RPL108", 2),
 }
 
 CLEAN = sorted(

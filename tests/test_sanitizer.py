@@ -1,0 +1,362 @@
+"""Unit tests for the runtime concurrency sanitizer (RPL151–RPL154).
+
+Every deliberate violation is injected inside ``sanitizer.scope()``,
+which force-activates the sanitizer with isolated state — so these
+tests run identically with and without ``REPRO_SANITIZE=1`` in the
+environment, and never contaminate the session-wide findings the
+conftest gate checks at exit.
+
+The storms are deterministic: thread overlap is forced with barriers
+and lock-handoff (never sleeps), so a detection here is a guarantee,
+not a probability.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.lint import sanitizer as san
+from repro.parallel.store import SharedMeasurementCache, SharedStore
+
+
+def rules_of(captured):
+    return [f.rule for f in captured]
+
+
+# ----------------------------------------------------------------------
+# Activation and wrapping
+# ----------------------------------------------------------------------
+def test_wrap_lock_is_passthrough_when_inactive(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    inner = threading.Lock()
+    assert not san.active()
+    assert san.wrap_lock("x", inner) is inner
+    # The hooks are no-ops on raw locks and when inactive.
+    san.expect_held(inner, "whatever")
+    san.check_coherent("kind", "key", 1, 2)
+    assert san.findings() == []
+
+
+def test_env_zero_means_inactive(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not san.active()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert san.active()
+
+
+def test_wrap_lock_tracks_when_active():
+    with san.scope() as captured:
+        lock = san.wrap_lock("x", threading.Lock())
+        assert isinstance(lock, san.TrackedLock)
+        with lock:
+            assert "x" in san.held_locks()
+        assert "x" not in san.held_locks()
+    assert captured == []
+
+
+def test_scope_isolates_injected_findings():
+    with san.scope() as captured:
+        san.check_coherent("kind", "key", 1, 2)
+    assert rules_of(captured) == ["RPL153"]
+    # Nothing leaked into the process-wide list.
+    assert all(f.rule != "RPL153" for f in san.findings())
+
+
+# ----------------------------------------------------------------------
+# RPL151 — lock-order inversion
+# ----------------------------------------------------------------------
+def _run_in_thread(fn):
+    error = []
+
+    def target():
+        try:
+            fn()
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            error.append(exc)
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "worker thread hung"
+    assert not error, f"worker thread raised {error[0]!r}"
+
+
+def test_lock_order_inversion_is_detected():
+    with san.scope() as captured:
+        a = san.TrackedLock("lock.a", threading.Lock())
+        b = san.TrackedLock("lock.b", threading.Lock())
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        _run_in_thread(forward)
+        _run_in_thread(backward)
+    assert "RPL151" in rules_of(captured)
+    message = next(f for f in captured if f.rule == "RPL151").message
+    assert "lock.a" in message and "lock.b" in message
+    assert all(f.phase == "runtime" for f in captured)
+
+
+def test_consistent_lock_order_is_clean():
+    with san.scope() as captured:
+        a = san.TrackedLock("lock.a", threading.Lock())
+        b = san.TrackedLock("lock.b", threading.Lock())
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        _run_in_thread(forward)
+        _run_in_thread(forward)
+    assert captured == []
+
+
+def test_reentrant_rlock_does_not_self_invert():
+    with san.scope() as captured:
+        lock = san.TrackedLock("lock.r", threading.RLock())
+        with lock:
+            with lock:
+                assert "lock.r" in san.held_locks()
+        assert "lock.r" not in san.held_locks()
+    assert captured == []
+
+
+# ----------------------------------------------------------------------
+# RPL152 — unsynchronized mutation
+# ----------------------------------------------------------------------
+def test_expect_held_reports_unheld_lock():
+    with san.scope() as captured:
+        lock = san.TrackedLock("guard", threading.Lock())
+        san.expect_held(lock, "L1 insert")
+        with lock:
+            san.expect_held(lock, "L1 insert")  # held: clean
+    assert rules_of(captured) == ["RPL152"]
+    assert "guard" in captured[0].message
+
+
+def test_monitored_region_storm_detects_unsynchronized_writers():
+    workers = 4
+    barrier = threading.Barrier(workers, timeout=30)
+    with san.scope() as captured:
+
+        def storm():
+            with san.monitored_region("shared-table", op="write"):
+                barrier.wait()  # all workers provably inside at once
+
+        threads = [threading.Thread(target=storm) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+    assert "RPL152" in rules_of(captured)
+
+
+def test_monitored_region_readers_only_is_clean():
+    workers = 4
+    barrier = threading.Barrier(workers, timeout=30)
+    with san.scope() as captured:
+
+        def storm():
+            with san.monitored_region("shared-table", op="read"):
+                barrier.wait()
+
+        threads = [threading.Thread(target=storm) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert captured == []
+
+
+# ----------------------------------------------------------------------
+# RPL153 — cache coherence
+# ----------------------------------------------------------------------
+def test_check_coherent_flags_divergence_only():
+    with san.scope() as captured:
+        san.check_coherent("memo", ("k",), 1, 1)  # identical: clean
+        san.check_coherent("memo", ("k",), None, 1)  # first write: clean
+        san.check_coherent("memo", ("k",), 1, 2)  # divergent
+    assert rules_of(captured) == ["RPL153"]
+    assert "memo" in captured[0].message
+
+
+def test_shared_store_put_divergence_reports():
+    with san.scope() as captured:
+        store = SharedStore()
+        store.put(("sol", "k"), 41)
+        store.put(("sol", "k"), 41)  # idempotent republish: clean
+        store.put(("sol", "k"), 42)  # same key, new value
+    assert rules_of(captured) == ["RPL153"]
+
+
+# ----------------------------------------------------------------------
+# RPL154 — fused-vs-solo fingerprint
+# ----------------------------------------------------------------------
+def _double(tasks, outer_budget):
+    return [t * 2 for t in tasks]
+
+
+def test_check_fused_clean_when_slices_match():
+    with san.scope() as captured:
+        san.check_fused(_double, [([1, 2], [2, 4]), ([3], [6])], None)
+    assert captured == []
+
+
+def test_check_fused_reports_divergent_group():
+    with san.scope() as captured:
+        san.check_fused(_double, [([1, 2], [2, 4]), ([3], [7])], None)
+    assert rules_of(captured) == ["RPL154"]
+    assert "group 1" in captured[0].message
+
+
+def test_check_fused_reports_solo_failure():
+    def boom(tasks, outer_budget):
+        raise ValueError("solver exploded")
+
+    with san.scope() as captured:
+        san.check_fused(boom, [([1], [1])], None)
+    assert rules_of(captured) == ["RPL154"]
+    assert "raised" in captured[0].message
+
+
+# ----------------------------------------------------------------------
+# TrackedLock as a Condition lock
+# ----------------------------------------------------------------------
+def test_condition_wait_releases_and_reacquires_tracked_lock():
+    with san.scope() as captured:
+        lock = san.TrackedLock("cond.lock", threading.RLock())
+        cond = threading.Condition(lock)
+        helper_held = []
+
+        def notifier():
+            # Blocks until the main thread's wait() releases the lock —
+            # a deterministic handoff, no sleeps involved.
+            with cond:
+                helper_held.append("cond.lock" in san.held_locks())
+                cond.notify()
+
+        with cond:
+            assert "cond.lock" in san.held_locks()
+            thread = threading.Thread(target=notifier)
+            thread.start()
+            notified = cond.wait(timeout=30)
+            # Reacquired on wakeup: the held stack reflects it again.
+            assert "cond.lock" in san.held_locks()
+        thread.join(timeout=30)
+        assert notified
+        assert helper_held == [True]
+    assert captured == []
+
+
+# ----------------------------------------------------------------------
+# Shared-cache integration hooks
+# ----------------------------------------------------------------------
+def test_measurement_cache_insert_requires_lock():
+    with san.scope() as captured:
+        cache = SharedMeasurementCache(SharedStore())
+        cache._insert(("k",), object())  # bypasses the lock: violation
+        with cache._lock:
+            cache._insert(("k2",), object())  # disciplined path: clean
+    assert rules_of(captured) == ["RPL152"]
+
+
+def test_clean_store_traffic_has_no_findings():
+    with san.scope() as captured:
+        store = SharedStore()
+        for i in range(8):
+            store.put(("sol", i), i * i)
+        for i in range(8):
+            assert store.get(("sol", i)) == i * i
+        for i in range(8):
+            store.put(("sol", i), i * i)  # idempotent republish
+    assert captured == []
+
+
+# ----------------------------------------------------------------------
+# Rendezvous integration: RPL154 on real fused gang batches
+# ----------------------------------------------------------------------
+def _mini_gang(rendezvous, work):
+    """Run ``work`` callables as registered gang member threads."""
+    out: dict = {}
+
+    def drive(i, fn):
+        try:
+            out[i] = fn()
+        finally:
+            rendezvous.leave()
+
+    threads = [
+        threading.Thread(target=drive, args=(i, fn), daemon=True)
+        for i, fn in enumerate(work)
+    ]
+    for thread in threads:
+        rendezvous.register(thread)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+    return out
+
+
+def test_rendezvous_fused_check_clean_for_deterministic_solver():
+    from repro.parallel.vector import SolveRendezvous
+
+    with san.scope() as captured:
+        rv = SolveRendezvous(
+            lambda tasks, budget: [("solved", task) for task in tasks]
+        )
+        out = _mini_gang(
+            rv, [lambda k=k: rv.solve([("task", k)]) for k in range(3)]
+        )
+    assert out == {k: [("solved", ("task", k))] for k in range(3)}
+    assert captured == []
+
+
+def test_rendezvous_fused_check_catches_stateful_solver():
+    from repro.parallel.vector import SolveRendezvous
+
+    ticks = iter(range(100))
+
+    def stateful(tasks, budget):
+        # Result depends on call order — exactly the kind of hidden
+        # state that breaks the fused/solo bit-identity contract.
+        tick = next(ticks)
+        return [("solved", task, tick) for task in tasks]
+
+    with san.scope() as captured:
+        rv = SolveRendezvous(stateful)
+        _mini_gang(rv, [lambda k=k: rv.solve([("task", k)]) for k in range(2)])
+    assert "RPL154" in rules_of(captured)
+
+
+# ----------------------------------------------------------------------
+# Finding plumbing
+# ----------------------------------------------------------------------
+def test_take_findings_drains_and_absorb_dedups():
+    with san.scope() as captured:
+        san.check_coherent("memo", ("k",), 1, 2)
+        shipped = san.take_findings()
+        assert rules_of(shipped) == ["RPL153"]
+        assert san.findings() == []
+        san.absorb(shipped)
+        san.absorb(shipped)  # duplicate delivery collapses
+        assert len(san.findings()) == 1
+    assert rules_of(captured) == ["RPL153"]
+
+
+def test_runtime_findings_carry_phase_in_schema():
+    with san.scope() as captured:
+        san.check_coherent("memo", ("k",), 1, 2)
+    payload = captured[0].to_dict()
+    assert payload["phase"] == "runtime"
+    assert payload["rule"] in san.RUNTIME_RULES

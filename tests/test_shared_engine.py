@@ -352,6 +352,15 @@ def _record_solve(batches):
 
 
 class TestSolveRendezvous:
+    @pytest.fixture(autouse=True)
+    def _sanitizer_off(self, monkeypatch):
+        # These tests assert exact solve-call batching.  The runtime
+        # sanitizer's RPL154 check deliberately re-solves every fused
+        # group solo (its documented ~2x overhead), which would skew the
+        # counts; the rendezvous+sanitizer interaction has its own tests
+        # in test_sanitizer.py.
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
     def _gang(self, rendezvous, work):
         """Run ``work`` callables as registered gang member threads."""
         out: dict = {}
