@@ -25,16 +25,22 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cluster.topology import ClusterSpec
-from repro.model.analytic import AnalyticBackend
+from repro.model.analytic import APPROXIMATIONS, AnalyticBackend
 from repro.model.base import Scenario
 from repro.tpcw.interactions import STANDARD_MIXES
+from repro.util.units import parse_count
 
 __all__ = ["main", "build_parser"]
 
 EXPERIMENTS = (
     "table1", "fig4", "fig5", "table4", "fig7", "sensitivity",
-    "drift", "price", "chaos",
+    "drift", "price", "chaos", "scale",
 )
+
+#: Experiments whose run plans fan out over many independent runs; these
+#: default to the persistent shared engine when ``--jobs`` exceeds one
+#: (``--engine process`` stays available as the explicit opt-out).
+FANOUT_EXPERIMENTS = frozenset({"fig4", "table4", "sensitivity", "scale"})
 
 
 def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +64,16 @@ def _jobs_argument(value: str) -> int:
     return jobs
 
 
+def _population_argument(value: str) -> int:
+    try:
+        count = parse_count(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mix", choices=sorted(STANDARD_MIXES), default="shopping",
@@ -67,7 +83,18 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--apps", type=int, default=1, help="app-tier nodes")
     parser.add_argument("--dbs", type=int, default=1, help="database-tier nodes")
     parser.add_argument(
-        "--population", type=int, default=750, help="emulated browsers"
+        "--population", type=_population_argument, default=750,
+        metavar="N",
+        help="emulated browsers; accepts k/m/g suffixes (default: 750)",
+    )
+    parser.add_argument(
+        "--approximation", choices=APPROXIMATIONS, default="auto",
+        help=(
+            "MVA approximation level: auto picks fluid and/or hierarchical "
+            "aggregation from population and cluster width; exact forces "
+            "the per-node Schweitzer solve and refuses huge populations "
+            "(default: auto)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
 
@@ -79,6 +106,21 @@ def _scenario(args: argparse.Namespace) -> Scenario:
         mix=STANDARD_MIXES[args.mix],
         population=args.population,
     )
+
+
+def _backend(args: argparse.Namespace, scenario: Scenario, **kwargs):
+    """An :class:`AnalyticBackend` honouring ``--approximation``.
+
+    Mode resolution runs eagerly so that ``--approximation exact`` with a
+    huge ``--population`` dies with a parser error in milliseconds, not
+    hours into an O(N) exact solve.
+    """
+    backend = AnalyticBackend(approximation=args.approximation, **kwargs)
+    try:
+        backend.resolve_modes(scenario.cluster, scenario.population)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    return backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,13 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable measurement memoization (results are identical)",
     )
     p.add_argument(
-        "--engine", choices=("inline", "process", "shared"), default="process",
+        "--engine", choices=("inline", "process", "shared"), default=None,
         help=(
             "execution engine for the run plan: inline (serial in-process), "
-            "process (per-run worker pool, the default), or shared (one "
-            "persistent worker fleet reused across experiments over a "
-            "cross-process shared cache; jobs=1 takes the vectorized "
-            "mega-batch path); results are bit-identical at every setting"
+            "process (per-run worker pool), or shared (one persistent "
+            "worker fleet reused across experiments over a cross-process "
+            "shared cache; jobs=1 takes the vectorized mega-batch path). "
+            "Default: shared for the fan-out drivers (fig4, table4, "
+            "sensitivity, scale) when jobs > 1, process otherwise; "
+            "results are bit-identical at every setting"
         ),
     )
     p.add_argument(
@@ -260,7 +304,9 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     from repro.tuning.session import ClusterTuningSession
 
     scenario = _scenario(args)
-    session = ClusterTuningSession(AnalyticBackend(), scenario, seed=args.seed)
+    session = ClusterTuningSession(
+        _backend(args, scenario), scenario, seed=args.seed
+    )
     stats = session.measure_baseline(iterations=args.repeats).window_stats(0)
     print(
         f"{args.mix} mix, {scenario.cluster!r}, N={args.population}: "
@@ -275,7 +321,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.util.serialization import save_configuration, save_history
 
     scenario = _scenario(args)
-    backend = AnalyticBackend()
+    backend = _backend(args, scenario)
     resilience = None
     if args.faults:
         from repro.faults import FaultPlan, FaultyBackend
@@ -331,24 +377,40 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     names = args.params.split(",") if args.params else None
     report = sensitivity_report(
-        AnalyticBackend(), scenario, names=names,
+        _backend(args, scenario), scenario, names=names,
         points=args.points, repeats=args.repeats, seed=args.seed,
     )
     print(report.to_table(top=args.top))
     return 0
 
 
+def _resolve_engine(name: str, engine: Optional[str], jobs: int) -> str:
+    """Pick the experiment engine when ``--engine`` was not given.
+
+    Fan-out drivers (many independent runs sharing a measurement space)
+    default to the persistent shared engine whenever more than one worker
+    is in play; everything else keeps the per-run process pool.  An
+    explicit ``--engine`` always wins.
+    """
+    if engine is not None:
+        return engine
+    if name in FANOUT_EXPERIMENTS and jobs > 1:
+        return "shared"
+    return "process"
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig
     from repro.parallel import resolve_jobs
 
+    jobs = resolve_jobs(args.jobs)
     cfg = ExperimentConfig(
         iterations=args.iterations,
         seed=args.seed,
-        jobs=resolve_jobs(args.jobs),
+        jobs=jobs,
         memoize=not args.no_cache,
         speculate=args.speculate,
-        engine=args.engine,
+        engine=_resolve_engine(args.name, args.engine, jobs),
     )
     if args.name == "table1":
         from repro.experiments import table1
@@ -398,6 +460,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for mix in ("browsing", "ordering"):
             print(price_performance.run(cfg, mix_name=mix).to_table())
             print()
+    elif args.name == "scale":
+        from repro.experiments import scale
+
+        result = scale.run(cfg)
+        print(result.to_table())
+        print()
+        print(result.agreement_table())
     elif args.name == "chaos":
         from repro.experiments import chaos
         from repro.faults import FaultPlan, ResiliencePolicy
@@ -425,7 +494,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     scenario = _scenario(args)
     cfg = scenario.cluster.default_configuration()
-    analytic = AnalyticBackend(noise=NoiseModel(0.0, 0.0, 0.0))
+    analytic = _backend(args, scenario, noise=NoiseModel(0.0, 0.0, 0.0))
     des = SimulationBackend(time_scale=args.time_scale)
     m_ana = analytic.measure(scenario, cfg, seed=args.seed)
     m_des = des.measure(scenario, cfg, seed=args.seed)

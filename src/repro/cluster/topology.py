@@ -69,6 +69,25 @@ class ClusterSpec:
         )
         return cls(placements, name=name)
 
+    @classmethod
+    def wide(
+        cls,
+        n_proxy: int = 64,
+        n_app: int = 128,
+        n_db: int = 16,
+        spec: NodeSpec = DEFAULT_NODE,
+        name: str = "wide",
+    ) -> "ClusterSpec":
+        """A production-width homogeneous cluster (64/128/16 by default).
+
+        Identical in shape to :meth:`three_tier` — it exists as the named
+        entry point for the scale axis: wide clusters are what the
+        hierarchical solver (:mod:`repro.model.hierarchy`) collapses to
+        one representative station per tier, so a 64/128/16 topology
+        solves at the cost of a 1/1/1 one.
+        """
+        return cls.three_tier(n_proxy, n_app, n_db, spec=spec, name=name)
+
     # -- introspection ------------------------------------------------------
     def fingerprint(self) -> tuple:
         """Content identity of the layout (for measurement caching).
@@ -127,17 +146,42 @@ class ClusterSpec:
         """Role-name → node ids (the shape the scaling schemes take)."""
         return {role.value: self.nodes_in(role) for role in Role}
 
+    def replica_groups(self) -> dict[str, list[str]]:
+        """Hardware-homogeneous replica groups, keyed by representative.
+
+        Nodes sharing a role *and* a hardware spec form one group; the
+        representative is the first member in placement order.  This is
+        the topology-level half of hierarchical aggregation — whether the
+        group actually collapses also depends on the members sharing a
+        configuration slice (see
+        :func:`repro.model.hierarchy.aggregation_plan`).
+        """
+        groups: dict[tuple, list[str]] = {}
+        for p in self._placements:
+            groups.setdefault((p.role.value, astuple(p.spec)), []).append(
+                p.node_id
+            )
+        return {members[0]: members for members in groups.values()}
+
     # -- parameter space -------------------------------------------------------
     def full_space(self) -> ParameterSpace:
-        """Every node's role parameters, namespaced ``"<node>.<param>"``."""
-        space: ParameterSpace | None = None
-        for p in self._placements:
-            node_space = ParameterSpace(list(params_for_role(p.role))).prefixed(
-                f"{p.node_id}."
-            )
-            space = node_space if space is None else space.union(node_space)
-        assert space is not None
-        return space
+        """Every node's role parameters, namespaced ``"<node>.<param>"``.
+
+        Cached: the layout is immutable and wide clusters make this union
+        expensive (hundreds of nodes × a dozen parameters), while hot
+        paths — ``extremeness()`` per measurement — ask for it per call.
+        """
+        cached = getattr(self, "_full_space", None)
+        if cached is None:
+            space: ParameterSpace | None = None
+            for p in self._placements:
+                node_space = ParameterSpace(
+                    list(params_for_role(p.role))
+                ).prefixed(f"{p.node_id}.")
+                space = node_space if space is None else space.union(node_space)
+            assert space is not None
+            cached = self._full_space = space
+        return cached
 
     def default_configuration(self) -> Configuration:
         """The paper's "Default config." across all nodes."""
@@ -188,6 +232,40 @@ class ClusterSpec:
             )
         new_placements = [
             NodePlacement(p.node_id, new_role, p.spec) if p.node_id == node_id else p
+            for p in self._placements
+        ]
+        return ClusterSpec(new_placements, name=self.name)
+
+    def move_nodes(
+        self, node_ids: Sequence[str], new_role: Role
+    ) -> "ClusterSpec":
+        """Re-role a batch of nodes in one step (tier-group reconfiguration).
+
+        The wide-topology analogue of :meth:`move_node`: on a 128-node app
+        tier the §IV controller shifts *groups* of replicas between tiers,
+        and validating/rebuilding the spec once per group instead of once
+        per node keeps the operation O(cluster).  Every vacated tier must
+        keep at least one node after the whole batch moves.
+        """
+        moving = set(node_ids)
+        if len(moving) != len(node_ids):
+            raise ValueError("duplicate node ids in move batch")
+        vacated: dict[Role, int] = {}
+        for node_id in node_ids:
+            role = self.placement(node_id).role
+            if role is new_role:
+                raise ValueError(f"{node_id!r} already serves {new_role.value}")
+            vacated[role] = vacated.get(role, 0) + 1
+        for role, count in vacated.items():
+            if self.tier_size(role) - count < 1:
+                raise ValueError(
+                    f"cannot move {sorted(moving)}: the {role.value} tier "
+                    f"would be left empty"
+                )
+        new_placements = [
+            NodePlacement(p.node_id, new_role, p.spec)
+            if p.node_id in moving
+            else p
             for p in self._placements
         ]
         return ClusterSpec(new_placements, name=self.name)

@@ -18,6 +18,7 @@ run these drivers and print the renderings.
 | §III.A diagnostics| :func:`repro.experiments.sensitivity.run`   |
 | ablations         | :mod:`repro.experiments.ablations`          |
 | drift (extension) | :func:`repro.experiments.drift.run`         |
+| scale (extension) | :func:`repro.experiments.scale.run`         |
 | $/WIPS (extension)| :func:`repro.experiments.price_performance.run` |
 | robustness        | :mod:`repro.experiments.robustness`         |
 | replication       | :mod:`repro.experiments.replication`        |

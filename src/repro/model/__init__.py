@@ -12,18 +12,24 @@ closed queueing-network model solved by approximate Mean Value Analysis:
   ``max_connections``…),
 * :mod:`repro.model.demands` — assembles per-node station demands from the
   server models of :mod:`repro.cluster`,
+* :mod:`repro.model.fluid` — the O(stations), population-independent
+  fluid/mean-field solver for very large N,
+* :mod:`repro.model.hierarchy` — replica-group detection for hierarchical
+  (one-representative-per-tier) aggregation,
 * :mod:`repro.model.analytic` — the :class:`AnalyticBackend` fixed-point
-  solver,
+  solver (its ``approximation=`` knob selects exact/fluid/hierarchical),
 * :mod:`repro.model.noise` — the measurement-noise model.
 """
 
-from repro.model.analytic import AnalyticBackend
+from repro.model.analytic import APPROXIMATIONS, AnalyticBackend
 from repro.model.base import (
     Measurement,
     PerformanceBackend,
     ResourceUtilization,
     Scenario,
 )
+from repro.model.fluid import solve_mva_fluid
+from repro.model.hierarchy import AggregationPlan, aggregation_plan
 from repro.model.mva import MvaResult, Station, solve_mva, solve_mva_exact
 from repro.model.mva_multiclass import (
     CustomerClass,
@@ -42,6 +48,10 @@ __all__ = [
     "MvaResult",
     "solve_mva",
     "solve_mva_exact",
+    "solve_mva_fluid",
+    "AggregationPlan",
+    "aggregation_plan",
+    "APPROXIMATIONS",
     "CustomerClass",
     "MultiClassResult",
     "solve_mva_multiclass",

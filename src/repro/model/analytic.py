@@ -47,14 +47,34 @@ from repro.model.base import (
     Scenario,
 )
 from repro.model.demands import DemandBuilder, DemandSet
-from repro.model.mva import MvaNetwork, MvaResult, Station, solve_mva, solve_mva_batch
+from repro.model.hierarchy import AggregationPlan, aggregation_plan
+from repro.model.mva import MvaNetwork, MvaResult, Station, solve_mva_batch
 from repro.model.noise import NoiseModel
 from repro.util.rng import spawn_rng
 
-__all__ = ["AnalyticBackend", "AnalyticSolution"]
+__all__ = ["AnalyticBackend", "AnalyticSolution", "APPROXIMATIONS"]
 
 #: Fixed per-interaction network round-trip overhead (LAN latencies).
 NETWORK_RTT = 5e-3
+
+#: Valid values of :class:`AnalyticBackend`'s ``approximation`` knob.
+#:
+#: - ``"exact"``       — per-node Schweitzer AMVA, the pre-scale-axis
+#:   behaviour (refuses populations beyond ``max_exact_population``);
+#: - ``"fluid"``       — the O(stations), population-independent
+#:   mean-field solve of :mod:`repro.model.fluid`;
+#: - ``"hierarchical"`` — one representative station per homogeneous
+#:   replica group (:mod:`repro.model.hierarchy`), Schweitzer solve;
+#: - ``"fluid+hierarchical"`` — both: tier aggregation and fluid rows;
+#: - ``"auto"``        — fluid above ``fluid_population_threshold``,
+#:   hierarchical at or above ``hierarchy_node_threshold`` nodes.
+APPROXIMATIONS = (
+    "auto",
+    "exact",
+    "fluid",
+    "hierarchical",
+    "fluid+hierarchical",
+)
 
 
 @dataclass(frozen=True)
@@ -119,7 +139,14 @@ class _SolvePlan:
                 fixed.append(None)
             else:
                 fixed.append(
-                    (Station(names[1], nd.disk), Station(names[2], nd.nic))
+                    (
+                        Station(
+                            names[1], nd.disk, multiplicity=nd.multiplicity
+                        ),
+                        Station(
+                            names[2], nd.nic, multiplicity=nd.multiplicity
+                        ),
+                    )
                 )
             if nd.role is Role.APP:
                 app_cores[nd.node_id] = nd.cpu_servers
@@ -159,6 +186,7 @@ class _SolvePlan:
                         disk_n,
                         nic_n,
                         max(1.0, db_conns[nd.node_id] / nd.cpu_servers),
+                        nd.multiplicity,
                     )
                 )
             elif nd.role is Role.APP:
@@ -177,6 +205,8 @@ class _OuterState:
         "configuration",
         "builder",
         "plan",
+        "fluid",
+        "agg",
         "conc",
         "holding",
         "x_prev",
@@ -188,14 +218,23 @@ class _OuterState:
     )
 
     def __init__(
-        self, cluster: ClusterSpec, configuration: Mapping[str, int]
+        self,
+        cluster: ClusterSpec,
+        configuration: Mapping[str, int],
+        fluid: bool = False,
+        agg: AggregationPlan | None = None,
     ) -> None:
         self.configuration = configuration
         # Per-solve partial evaluation of the demand derivation; created on
         # first assembly (needs the workload context the backend supplies).
         self.builder: DemandBuilder | None = None
         self.plan: _SolvePlan | None = None
-        self.conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
+        self.fluid = fluid
+        self.agg = agg
+        if agg is None:
+            self.conc: dict[str, float] = {n: 8.0 for n in cluster.node_ids}
+        else:
+            self.conc = {rep: 8.0 for rep, _ in agg.groups}
         self.holding: dict[str, float] = {}
         self.x_prev = 0.0
         self.err = 0.0
@@ -217,6 +256,10 @@ class AnalyticBackend(PerformanceBackend):
         tol: float = 2e-4,
         solution_cache_size: int = 4096,
         prefetch_outer_budget: Optional[int] = None,
+        approximation: str = "auto",
+        fluid_population_threshold: int = 50_000,
+        hierarchy_node_threshold: int = 16,
+        max_exact_population: int = 200_000,
     ) -> None:
         if not 0.0 < damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
@@ -224,6 +267,21 @@ class AnalyticBackend(PerformanceBackend):
             raise ValueError("solution_cache_size must be >= 0 (0 disables)")
         if prefetch_outer_budget is not None and prefetch_outer_budget < 1:
             raise ValueError("prefetch_outer_budget must be >= 1 (None = full)")
+        if approximation not in APPROXIMATIONS:
+            raise ValueError(
+                f"unknown approximation {approximation!r}; expected one of "
+                f"{APPROXIMATIONS}"
+            )
+        if fluid_population_threshold < 1:
+            raise ValueError("fluid_population_threshold must be >= 1")
+        if hierarchy_node_threshold < 1:
+            raise ValueError("hierarchy_node_threshold must be >= 1")
+        if max_exact_population < 1:
+            raise ValueError("max_exact_population must be >= 1")
+        self.approximation = approximation
+        self.fluid_population_threshold = fluid_population_threshold
+        self.hierarchy_node_threshold = hierarchy_node_threshold
+        self.max_exact_population = max_exact_population
         self.noise = noise if noise is not None else NoiseModel()
         self.memory = memory or MemoryModel()
         self.max_outer = max_outer
@@ -261,6 +319,56 @@ class AnalyticBackend(PerformanceBackend):
             self._context_cache[key] = ctx
         return ctx
 
+    def resolve_modes(
+        self, cluster: ClusterSpec, population: int
+    ) -> tuple[bool, bool]:
+        """What the ``approximation`` policy does for this solve.
+
+        Returns ``(use_fluid, use_hierarchical)``.  ``"auto"`` engages
+        the fluid solver once the population reaches
+        ``fluid_population_threshold`` (below it Schweitzer is both cheap
+        and more accurate) and tier aggregation once the cluster reaches
+        ``hierarchy_node_threshold`` nodes (below it there is nothing
+        worth collapsing).  ``"exact"`` refuses populations beyond
+        ``max_exact_population`` outright — at that scale the Schweitzer
+        fixed point needs thousands of iterations per outer round and a
+        tuning run would take hours; the error names the knobs to turn
+        instead of letting the caller find out the slow way.
+        """
+        mode = self.approximation
+        if mode == "exact":
+            if population > self.max_exact_population:
+                raise ValueError(
+                    f"approximation='exact' refuses population="
+                    f"{population} (> max_exact_population="
+                    f"{self.max_exact_population}): the exact solve cost "
+                    f"grows with N and this would effectively hang.  Use "
+                    f"approximation='fluid' (or 'auto') for large "
+                    f"populations, or raise max_exact_population if you "
+                    f"really mean it."
+                )
+            return False, False
+        if mode == "auto":
+            return (
+                population >= self.fluid_population_threshold,
+                cluster.num_nodes >= self.hierarchy_node_threshold,
+            )
+        return "fluid" in mode, "hierarchical" in mode
+
+    def _mode_tag(self, cluster: ClusterSpec, population: int) -> tuple:
+        """Solution-key suffix identifying the resolved approximation.
+
+        Empty when the solve resolves to the exact path, so exact-mode
+        keys — including every key minted before the scale axis existed —
+        are unchanged and warm caches stay valid.  Non-exact solves get a
+        distinct key: a shared store serving both an exact and a fluid
+        consumer must never hand one the other's solution.
+        """
+        fluid, hier = self.resolve_modes(cluster, population)
+        if not fluid and not hier:
+            return ()
+        return (("approx", fluid, hier),)
+
     def solve(
         self,
         cluster: ClusterSpec,
@@ -285,16 +393,16 @@ class AnalyticBackend(PerformanceBackend):
         double-count inflates response time by at most the pool holding,
         which is small against the 7 s think time away from saturation and
         is the standard price of this flow-equivalent approximation.)
+
+        The ``approximation`` policy applies here as everywhere: above
+        the auto thresholds (or under a forced mode) the inner network is
+        solved fluid and/or tier-aggregated; see :data:`APPROXIMATIONS`.
         """
-        state = _OuterState(cluster, configuration)
-        for _ in range(self.max_outer):
-            stations = self._assemble_stations(state, cluster, ctx)
-            state.mva = solve_mva(
-                stations, population, think_time, extra_delay=NETWORK_RTT
-            )
-            if self._refresh_state(state):
-                break
-        return self._finalize_state(state)
+        (sol,) = self.solve_tasks_multi(
+            [(cluster, configuration, population, ctx, think_time)]
+        )
+        assert sol is not None  # no outer_budget → solved
+        return sol
 
     def solve_batch(
         self,
@@ -382,7 +490,15 @@ class AnalyticBackend(PerformanceBackend):
             outer_budget, self.max_outer
         )
         budgeted = rounds < self.max_outer
-        states = [_OuterState(cluster, cfg) for cluster, cfg, _, _, _ in tasks]
+        states = []
+        for cluster, cfg, population, _, _ in tasks:
+            fluid, hier = self.resolve_modes(cluster, population)
+            agg: AggregationPlan | None = None
+            if hier:
+                plan = aggregation_plan(cluster, cfg)
+                if not plan.is_trivial:
+                    agg = plan
+            states.append(_OuterState(cluster, cfg, fluid=fluid, agg=agg))
         pairs = list(zip(states, tasks))
         for _ in range(rounds):
             active = [(st, t) for st, t in pairs if not st.done]
@@ -394,6 +510,7 @@ class AnalyticBackend(PerformanceBackend):
                     population,
                     think_time,
                     NETWORK_RTT,
+                    method="fluid" if st.fluid else "schweitzer",
                 )
                 for st, (cluster, _, population, ctx, think_time) in active
             ]
@@ -434,7 +551,11 @@ class AnalyticBackend(PerformanceBackend):
         """One outer iteration's network from the state's current iterate."""
         if state.builder is None:
             state.builder = DemandBuilder(
-                cluster, state.configuration, ctx, self.memory
+                cluster,
+                state.configuration,
+                ctx,
+                self.memory,
+                groups=state.agg.groups if state.agg is not None else None,
             )
         demand_set = state.builder.build(state.conc)
         state.demand_set = demand_set
@@ -446,10 +567,16 @@ class AnalyticBackend(PerformanceBackend):
         for nd, names, fixed in zip(
             demand_set.nodes, plan.node_names, plan.fixed_stations
         ):
-            stations.append(Station(names[0], nd.cpu, nd.cpu_servers))
+            stations.append(
+                Station(names[0], nd.cpu, nd.cpu_servers, nd.multiplicity)
+            )
             if fixed is None:
-                stations.append(Station(names[1], nd.disk))
-                stations.append(Station(names[2], nd.nic))
+                stations.append(
+                    Station(names[1], nd.disk, multiplicity=nd.multiplicity)
+                )
+                stations.append(
+                    Station(names[2], nd.nic, multiplicity=nd.multiplicity)
+                )
             else:
                 stations.extend(fixed)
         for name, pool in plan.pool_entries:
@@ -458,6 +585,7 @@ class AnalyticBackend(PerformanceBackend):
                     name,
                     pool.visits * holding.get(name, 0.02),
                     pool.servers,
+                    pool.multiplicity,
                 )
             )
         return stations
@@ -481,12 +609,12 @@ class AnalyticBackend(PerformanceBackend):
         fwd_dyn = demand_set.forward_dynamic
         db_resid = 0.0
         db_resid_bound = 0.0
-        for i, cpu_n, disk_n, nic_n, conn_ratio in plan.db_refresh:
+        for i, cpu_n, disk_n, nic_n, conn_ratio, db_mult in plan.db_refresh:
             nd = nodes[i]
             db_resid += (
                 residence[cpu_n] + residence[disk_n] + residence[nic_n]
-            )
-            db_resid_bound += (nd.cpu + nd.disk + nd.nic) * conn_ratio
+            ) * db_mult
+            db_resid_bound += (nd.cpu + nd.disk + nd.nic) * conn_ratio * db_mult
         # Same processor-sharing bound as the app pools: at most
         # ``max_connections`` requests can be inside a database node.
         db_resid = min(db_resid, db_resid_bound)
@@ -537,7 +665,7 @@ class AnalyticBackend(PerformanceBackend):
             backlog = pool.capacity - pool.servers
             over = max(0.0, waiting - backlog)
             reject = over / q if q > 1e-9 else 0.0
-            err += pool.visits * reject
+            err += pool.visits * reject * pool.multiplicity
             pool_diag[f"{pool.node_id}.{pool.kind}.util"] = mva.utilization[name]
             pool_diag[f"{pool.node_id}.{pool.kind}.reject"] = reject
             pool_queue.setdefault(pool.node_id, 0.0)
@@ -590,6 +718,30 @@ class AnalyticBackend(PerformanceBackend):
         diagnostics.update(state.pool_diag)
         diagnostics["forward_dynamic"] = demand_set.forward_dynamic
         diagnostics["forward_static"] = demand_set.forward_static
+        diagnostics["solver.fluid"] = 1.0 if state.fluid else 0.0
+        agg = state.agg
+        diagnostics["solver.aggregated_nodes"] = (
+            float(agg.num_nodes - len(agg.groups)) if agg is not None else 0.0
+        )
+        if agg is not None:
+            # Expand the representative's per-node outputs onto every
+            # aggregated-away member: replicas are identical by
+            # construction, and downstream consumers — the §IV
+            # reconfiguration policy above all — address nodes
+            # individually (utilization, ``{node}.jobs``,
+            # ``{node}.service_time``, pool diagnostics).
+            for rep, rest in agg.expansions():
+                rep_util = utilization[rep]
+                prefix = f"{rep}."
+                rep_items = [
+                    (key[len(prefix):], value)
+                    for key, value in sorted(diagnostics.items())
+                    if key.startswith(prefix)
+                ]
+                for member in rest:
+                    utilization[member] = rep_util
+                    for suffix, value in rep_items:
+                        diagnostics[f"{member}.{suffix}"] = value
         return AnalyticSolution(
             throughput=x,
             error_rate=state.err,
@@ -605,7 +757,10 @@ class AnalyticBackend(PerformanceBackend):
     def _solution_key(
         self, scenario: Scenario, configuration: Mapping[str, int]
     ) -> tuple:
-        return (scenario.fingerprint(), tuple(sorted(configuration.items())))
+        return (
+            scenario.fingerprint(),
+            tuple(sorted(configuration.items())),
+        ) + self._mode_tag(scenario.cluster, scenario.population)
 
     def _solution_get(self, key: tuple) -> Optional[AnalyticSolution]:
         if self.solution_cache_size == 0:
@@ -724,7 +879,7 @@ class AnalyticBackend(PerformanceBackend):
                 line_id,
                 sub_pop,
                 tuple(sorted(sub_cfg.items())),
-            )
+            ) + self._mode_tag(sub_cluster, sub_pop)
             tasks.append((line_id, key, sub_cluster, sub_cfg, sub_pop))
         return tasks
 

@@ -12,7 +12,7 @@ in the same tier".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.cluster.appserver import AppServerModel
 from repro.cluster.context import WorkloadContext
@@ -33,7 +33,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class NodeDemand:
-    """Per-interaction demands of one node (share-scaled, pressure-inflated)."""
+    """Per-interaction demands of one node (share-scaled, pressure-inflated).
+
+    ``multiplicity`` > 1 marks an aggregated entry: one representative
+    standing in for that many identical replicas (hierarchical MVA —
+    see :mod:`repro.model.hierarchy`).  Demands describe a *single*
+    replica; solvers weight network-level sums by the multiplicity.
+    """
 
     node_id: str
     role: Role
@@ -44,6 +50,7 @@ class NodeDemand:
     memory_bytes: float
     memory_capacity: float
     memory_penalty: float
+    multiplicity: int = 1
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,8 @@ class PoolSpec:
     capacity: int
     #: Requests per *interaction* arriving at this node's pool.
     visits: float
+    #: Identical replica pools this entry stands in for (aggregation).
+    multiplicity: int = 1
 
 
 @dataclass(frozen=True)
@@ -124,6 +133,7 @@ class DemandBuilder:
         config: Mapping[str, int],
         ctx: WorkloadContext,
         memory_model: MemoryModel | None = None,
+        groups: Sequence[tuple[str, Sequence[str]]] | None = None,
     ) -> None:
         self.cluster = cluster
         self.config = config
@@ -131,34 +141,49 @@ class DemandBuilder:
         memory_model = memory_model or MemoryModel()
         self.memory_model = memory_model
 
+        # ``groups`` (hierarchical aggregation — repro.model.hierarchy)
+        # replaces per-node iteration with one representative per replica
+        # group, carrying the member count as a multiplicity.  Without
+        # groups every node is its own singleton, which reproduces the
+        # ungrouped arithmetic exactly (multiplying by int 1 is exact).
+        if groups is None:
+            members: dict[Role, list[tuple[str, int]]] = {
+                role: [(n, 1) for n in cluster.nodes_in(role)]
+                for role in Role
+            }
+        else:
+            members = {role: [] for role in Role}
+            for rep, group in groups:
+                members[cluster.role_of(rep)].append((rep, len(group)))
+
         # --- proxy tier: partials + invariant forwarding fractions -------
-        proxy_ids = cluster.nodes_in(Role.PROXY)
-        share_p = 1.0 / len(proxy_ids)
+        proxy_members = members[Role.PROXY]
+        share_p = 1.0 / sum(m for _, m in proxy_members)
         self._share_p = share_p
         self._proxies = []
         fwd_dynamic = 0.0
         fwd_static = 0.0
         self._base_diag: dict[str, float] = {}
-        for node_id in proxy_ids:
+        for node_id, mult in proxy_members:
             spec = cluster.placement(node_id).spec
             cfg = cluster.node_config(config, node_id)
             part = ProxyModel(spec).partial(cfg, ctx)
             probe = part()  # forwards/diagnostics are concurrency-free
-            self._proxies.append((node_id, spec, part))
-            fwd_dynamic += share_p * probe.forward_dynamic
-            fwd_static += share_p * probe.forward_static
+            self._proxies.append((node_id, spec, part, mult))
+            fwd_dynamic += share_p * probe.forward_dynamic * mult
+            fwd_static += share_p * probe.forward_static * mult
             self._base_diag[f"{node_id}.mem_hit"] = probe.mem_hit
             self._base_diag[f"{node_id}.disk_hit"] = probe.disk_hit
         self.forward_dynamic = fwd_dynamic
         self.forward_static = fwd_static
 
         # --- app tier: only the CPU demand tracks concurrency ------------
-        app_ids = cluster.nodes_in(Role.APP)
-        share_a = 1.0 / len(app_ids)
+        app_members = members[Role.APP]
+        share_a = 1.0 / sum(m for _, m in app_members)
         self._share_a = share_a
         self._apps = []
         self._pools: list[PoolSpec] = []
-        for node_id in app_ids:
+        for node_id, mult in app_members:
             spec = cluster.placement(node_id).spec
             cfg = cluster.node_config(config, node_id)
             part = AppServerModel(spec).partial(
@@ -176,6 +201,7 @@ class DemandBuilder:
                 memory_bytes=probe.memory_bytes,
                 memory_capacity=spec.memory_bytes,
                 memory_penalty=penalty,
+                multiplicity=mult,
             )
             self._apps.append((node_id, part, penalty, invariant))
             http_servers, http_backlog = probe.http_pool
@@ -187,6 +213,7 @@ class DemandBuilder:
                     servers=http_servers,
                     capacity=http_servers + http_backlog,
                     visits=share_a * (fwd_dynamic + fwd_static),
+                    multiplicity=mult,
                 )
             )
             self._pools.append(
@@ -196,16 +223,17 @@ class DemandBuilder:
                     servers=ajp_servers,
                     capacity=ajp_servers + ajp_backlog,
                     visits=share_a * fwd_dynamic,
+                    multiplicity=mult,
                 )
             )
 
         # --- db tier: only the CPU demand tracks concurrency -------------
-        db_ids = cluster.nodes_in(Role.DB)
-        share_d = 1.0 / len(db_ids)
+        db_members = members[Role.DB]
+        share_d = 1.0 / sum(m for _, m in db_members)
         self._share_d = share_d
         self._dbs = []
         self._db_diag: dict[str, float] = {}
-        for node_id in db_ids:
+        for node_id, mult in db_members:
             spec = cluster.placement(node_id).spec
             cfg = cluster.node_config(config, node_id)
             part = DatabaseModel(spec).partial(cfg, ctx, dynamic_pages=fwd_dynamic)
@@ -221,6 +249,7 @@ class DemandBuilder:
                 memory_bytes=probe.memory_bytes,
                 memory_capacity=spec.memory_bytes,
                 memory_penalty=penalty,
+                multiplicity=mult,
             )
             self._dbs.append((node_id, part, penalty, invariant))
             self._pools.append(
@@ -230,6 +259,7 @@ class DemandBuilder:
                     servers=probe.connection_limit,
                     capacity=probe.connection_limit + DB_BACKLOG,
                     visits=share_d * fwd_dynamic,
+                    multiplicity=mult,
                 )
             )
             self._db_diag[f"{node_id}.table_miss"] = probe.table_miss
@@ -244,7 +274,7 @@ class DemandBuilder:
         diagnostics = dict(self._base_diag)
 
         share_p = self._share_p
-        for node_id, spec, part in self._proxies:
+        for node_id, spec, part, mult in self._proxies:
             ev = part(concurrency.get(node_id, 8.0))
             penalty = memory_model.penalty(ev.memory_bytes, spec.memory_bytes)
             nodes.append(
@@ -258,6 +288,7 @@ class DemandBuilder:
                     memory_bytes=ev.memory_bytes,
                     memory_capacity=spec.memory_bytes,
                     memory_penalty=penalty,
+                    multiplicity=mult,
                 )
             )
 

@@ -1,0 +1,98 @@
+"""Hierarchical MVA: collapse homogeneous replicated tiers to representatives.
+
+The paper's duplication assumption — "the workload [is] evenly distributed
+among all the servers in the same tier" — means a tier of ``k`` identical
+replicas running identical configurations contributes ``k`` copies of the
+*same* station row to the closed network.  Hierarchical (flow-equivalent)
+aggregation solves one representative station per group with its network
+weight scaled by the replica count (``Station.multiplicity``), so a
+64/128/16 topology costs the same per solve as a 3-node one.  For the
+Schweitzer fixed point the aggregation is exact up to float summation
+order; for the fluid solver it is exact, period (the population equation
+is a per-station sum).
+
+A group only collapses when its members agree on *everything* that feeds
+the station math: role, hardware spec, and configuration slice.  Members
+that disagree — a heterogeneous tier, or a duplication-free configuration
+that tunes replicas apart — fall out into singleton groups, i.e. the plan
+degrades gracefully to the exact per-node solve rather than aggregating
+incorrectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple, dataclass
+from typing import Mapping
+
+from repro.cluster.topology import ClusterSpec
+
+__all__ = ["AggregationPlan", "aggregation_plan"]
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """Replica groups of one ``(cluster, configuration)`` pair.
+
+    ``groups`` maps each group's representative (its first member in
+    placement order) to the full member tuple, ordered by the
+    representative's placement.  A trivial plan (every group a singleton)
+    means aggregation has nothing to offer and callers should take the
+    ordinary per-node path.
+    """
+
+    groups: tuple[tuple[str, tuple[str, ...]], ...]
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no group has more than one member."""
+        return all(len(members) == 1 for _, members in self.groups)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes represented across all groups."""
+        return sum(len(members) for _, members in self.groups)
+
+    def expansions(self) -> list[tuple[str, tuple[str, ...]]]:
+        """The non-singleton groups: ``(representative, other members)``.
+
+        This is what solution finalization consumes to copy the
+        representative's per-node outputs (utilization, §IV diagnostics)
+        onto every aggregated-away member.
+        """
+        return [
+            (rep, members[1:])
+            for rep, members in self.groups
+            if len(members) > 1
+        ]
+
+
+def aggregation_plan(
+    cluster: ClusterSpec, configuration: Mapping[str, int]
+) -> AggregationPlan:
+    """Group ``cluster``'s nodes into aggregable replica groups.
+
+    Two nodes share a group iff they have the same role, the same
+    hardware spec, and byte-identical configuration slices.  The
+    configuration is split per node in one pass (O(parameters), not
+    O(nodes × parameters) — wide clusters carry thousands of namespaced
+    entries), and the per-node slices are compared in sorted-key order so
+    the grouping is independent of mapping iteration order.
+    """
+    per_node: dict[str, list[tuple[str, int]]] = {}
+    for name, value in sorted(configuration.items()):
+        node_id, dot, param = name.partition(".")
+        if dot:
+            per_node.setdefault(node_id, []).append((param, value))
+    groups: dict[tuple, list[str]] = {}
+    for p in cluster.placements:
+        key = (
+            p.role.value,
+            astuple(p.spec),
+            tuple(per_node.get(p.node_id, ())),
+        )
+        groups.setdefault(key, []).append(p.node_id)
+    return AggregationPlan(
+        groups=tuple(
+            (members[0], tuple(members)) for members in groups.values()
+        )
+    )

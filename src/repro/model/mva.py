@@ -32,6 +32,7 @@ __all__ = [
     "Station",
     "MvaResult",
     "MvaNetwork",
+    "MVA_METHODS",
     "solve_mva",
     "solve_mva_batch",
     "solve_mva_exact",
@@ -40,17 +41,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Station:
-    """One service centre: a label, per-customer demand, and server count."""
+    """One service centre: a label, per-customer demand, and server count.
+
+    ``multiplicity`` marks an *aggregated* station: one row standing in
+    for that many identical replicas (hierarchical MVA over a homogeneous
+    tier).  Per-station outputs (residence, queue, utilization) describe a
+    single replica; network-level sums weight the station by its
+    multiplicity.  The default of 1 is an ordinary station and leaves
+    every solver bit-identical to the pre-multiplicity code.
+    """
 
     name: str
     demand: float  # total service demand per customer visit cycle, seconds
     servers: int = 1
+    multiplicity: int = 1
 
     def __post_init__(self) -> None:
         if self.demand < 0:
             raise ValueError(f"{self.name}: demand must be non-negative")
         if self.servers < 1:
             raise ValueError(f"{self.name}: servers must be >= 1")
+        if self.multiplicity < 1:
+            raise ValueError(f"{self.name}: multiplicity must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -111,20 +123,34 @@ def solve_mva(
 
     demand = np.array([s.demand for s in stations], dtype=float)
     servers = np.array([s.servers for s in stations], dtype=float)
+    mult = np.array([s.multiplicity for s in stations], dtype=float)
+    # Aggregated stations weight network-level sums by their replica
+    # count; the all-ones case keeps the exact pre-multiplicity
+    # expressions so existing results stay bit-identical.  Exactness is
+    # the point: multiplicities are integers stored exactly in floats.
+    weighted = bool((mult != 1.0).any())  # repro: noqa[RPL004]
     # Seidmann: queueing part D/m, delay part D*(m-1)/m.
     q_demand = demand / servers
     s_delay = demand * (servers - 1.0) / servers
-    z = think_time + extra_delay + float(s_delay.sum())
+    if weighted:
+        z = think_time + extra_delay + float((s_delay * mult).sum())
+        n_eff = float(mult.sum())
+    else:
+        z = think_time + extra_delay + float(s_delay.sum())
+        n_eff = float(max(n, 1))
 
     N = float(population)
-    queue = np.full(n, N / max(n, 1) * 0.5)
+    queue = np.full(n, N / n_eff * 0.5)
     x = 0.0
     it = 0
     converged = False
     for it in range(1, max_iter + 1):
         # Schweitzer: arriving customer sees (N-1)/N of the queue.
         residence = q_demand * (1.0 + queue * (N - 1.0) / N)
-        total = z + float(residence.sum())
+        if weighted:
+            total = z + float((residence * mult).sum())
+        else:
+            total = z + float(residence.sum())
         x_new = N / total if total > 0 else float("inf")
         queue_new = x_new * residence
         if abs(x_new - x) <= tol * max(x_new, 1e-12) and np.all(
@@ -144,9 +170,13 @@ def solve_mva(
 
     residence = q_demand * (1.0 + queue * (N - 1.0) / N) + s_delay
     utilization = np.minimum(x * demand / servers, 1.0)
+    if weighted:
+        response = float((residence * mult).sum()) + extra_delay
+    else:
+        response = float(residence.sum()) + extra_delay
     return MvaResult(
         throughput=float(x),
-        response_time=float(residence.sum()) + extra_delay,
+        response_time=response,
         residence={s.name: float(r) for s, r in zip(stations, residence)},
         queue={
             s.name: float(q + x * d)
@@ -158,20 +188,38 @@ def solve_mva(
     )
 
 
+#: Solution methods a :class:`MvaNetwork` row may request.
+MVA_METHODS = ("schweitzer", "fluid")
+
+
 @dataclass(frozen=True)
 class MvaNetwork:
-    """One closed network in a :func:`solve_mva_batch` submission."""
+    """One closed network in a :func:`solve_mva_batch` submission.
+
+    ``method`` selects the solver for this row: ``"schweitzer"`` (the
+    default fixed point) or ``"fluid"`` (the O(stations),
+    population-independent mean-field solve of
+    :mod:`repro.model.fluid`).  A batch may mix methods freely — rows
+    are grouped per ``(method, station count)`` and each group runs its
+    own vectorized kernel.
+    """
 
     stations: tuple[Station, ...]
     population: int
     think_time: float
     extra_delay: float = 0.0
+    method: str = "schweitzer"
 
     def __post_init__(self) -> None:
         if self.population < 1:
             raise ValueError("population must be >= 1")
         if self.think_time < 0 or self.extra_delay < 0:
             raise ValueError("delays must be non-negative")
+        if self.method not in MVA_METHODS:
+            raise ValueError(
+                f"unknown MVA method {self.method!r}; expected one of "
+                f"{MVA_METHODS}"
+            )
 
 
 #: Active-row count at or below which the vectorized loop hands the rest
@@ -189,6 +237,7 @@ def _finish_rows_python(
     w_z: np.ndarray,
     w_x: np.ndarray,
     w_queue: np.ndarray,
+    w_mult: np.ndarray | None,
     guard_div: bool,
     start_it: int,
     tol: float,
@@ -221,10 +270,16 @@ def _finish_rows_python(
         # iteration.  Element values are exact either way: python floats
         # are the same binary64 the array holds.
         res = np.empty(n)
+        mult_row = None if w_mult is None else w_mult[pos]
+        wres = None if mult_row is None else np.empty(n)
         for it in range(start_it, max_iter + 1):
             res_l = [a * (1.0 + (b * nm1) / N) for a, b in zip(qd, q)]
             res[:] = res_l
-            total = z + float(res.sum())
+            if mult_row is None:
+                total = z + float(res.sum())
+            else:
+                np.multiply(res, mult_row, out=wres)
+                total = z + float(wres.sum())
             if guard_div and total <= 0:
                 x_new = float("inf")
             else:
@@ -271,17 +326,30 @@ def _solve_batch_group(
     servers = np.array(
         [[s.servers for s in net.stations] for net in networks], dtype=float
     )
+    mult = np.array(
+        [[s.multiplicity for s in net.stations] for net in networks],
+        dtype=float,
+    )
+    # Integer multiplicities are stored exactly; equality IS the test.
+    weighted = bool((mult != 1.0).any())  # repro: noqa[RPL004]
     q_demand = demand / servers
     s_delay = demand * (servers - 1.0) / servers
     N = np.array([float(net.population) for net in networks])
     extra = np.array([net.extra_delay for net in networks])
-    z = (
-        np.array([net.think_time for net in networks]) + extra
-    ) + s_delay.sum(axis=1)
+    if weighted:
+        z = (
+            np.array([net.think_time for net in networks]) + extra
+        ) + (s_delay * mult).sum(axis=1)
+        n_eff = mult.sum(axis=1)
+    else:
+        z = (
+            np.array([net.think_time for net in networks]) + extra
+        ) + s_delay.sum(axis=1)
+        n_eff = float(max(n, 1))
 
     # Final per-row state, filled in as rows converge.
     queue = np.empty((B, n))
-    queue[:] = (N / max(n, 1) * 0.5)[:, None]
+    queue[:] = (N / n_eff * 0.5)[:, None]
     x = np.zeros(B)
     active = np.ones(B, dtype=bool)
     iters = np.zeros(B, dtype=int)
@@ -292,6 +360,7 @@ def _solve_batch_group(
     # scalar solver, so compaction cannot perturb results.
     idx = np.arange(B)
     w_qd, w_N, w_z = q_demand, N, z
+    w_mult = mult if weighted else None
     w_queue, w_x = queue.copy(), x.copy()
     # Loop invariants, rebuilt only when compaction changes the row set.
     # ``(Ncol - 1.0)`` hoisted out of the loop is the same value it was
@@ -315,13 +384,14 @@ def _solve_batch_group(
         total = np.empty_like(w_x)
         xdiff = np.empty_like(w_x)
         xthr = np.empty_like(w_x)
+        wscratch = np.empty_like(w_queue) if weighted else None
     finished_python = False
     with np.errstate(divide="ignore", invalid="ignore"):
         for it in range(1, max_iter + 1):
             if len(idx) <= _PYTHON_TAIL_MAX:
                 # The tail: so few rows that array-call overhead dominates.
                 _finish_rows_python(
-                    idx, w_qd, w_N, w_z, w_x, w_queue,
+                    idx, w_qd, w_N, w_z, w_x, w_queue, w_mult,
                     guard_div, it, tol, max_iter, x, queue, iters, active,
                 )
                 finished_python = True
@@ -331,8 +401,12 @@ def _solve_batch_group(
             np.divide(scratch, w_Ncol, out=scratch)
             np.add(scratch, 1.0, out=scratch)
             np.multiply(scratch, w_qd, out=scratch)
-            # total = w_z + residence.sum(axis=1)
-            scratch.sum(axis=1, out=total)
+            # total = w_z + (residence · multiplicity).sum(axis=1)
+            if weighted:
+                np.multiply(scratch, w_mult, out=wscratch)
+                wscratch.sum(axis=1, out=total)
+            else:
+                scratch.sum(axis=1, out=total)
             np.add(total, w_z, out=total)
             if guard_div:
                 x_new = np.where(total > 0, w_N / total, np.inf)
@@ -370,6 +444,9 @@ def _solve_batch_group(
                 idx = idx[keep]
                 w_qd, w_N, w_z = w_qd[keep], w_N[keep], w_z[keep]
                 w_x, w_queue = w_x[keep], w_queue[keep]
+                if weighted:
+                    w_mult = w_mult[keep]
+                    wscratch = np.empty_like(w_queue)
                 w_Ncol = w_N[:, None]
                 w_Nm1 = w_Ncol - 1.0
                 scratch = np.empty_like(w_queue)
@@ -397,7 +474,10 @@ def _solve_batch_group(
         q_demand * (1.0 + queue * (N[:, None] - 1.0) / N[:, None]) + s_delay
     )
     utilization = np.minimum(x[:, None] * demand / servers, 1.0)
-    resp = residence.sum(axis=1) + extra
+    if weighted:
+        resp = (residence * mult).sum(axis=1) + extra
+    else:
+        resp = residence.sum(axis=1) + extra
     out_queue = queue + x[:, None] * s_delay
     results = []
     for i, net in enumerate(networks):
@@ -431,16 +511,22 @@ def solve_mva_batch(
 ) -> list[MvaResult]:
     """Solve B independent closed networks in one vectorized fixed point.
 
-    Networks are grouped by station count and each group is solved with
-    the stations stacked on a batch axis; a per-row convergence mask
-    freezes rows that have met the tolerance while the rest keep
-    iterating.  Results are returned in submission order and are
-    bit-identical to calling :func:`solve_mva` on each network alone
+    Networks are grouped by ``(method, station count)`` and each group is
+    solved with the stations stacked on a batch axis; a per-row
+    convergence mask freezes rows that have met the tolerance while the
+    rest keep iterating.  Rows requesting ``method="fluid"`` run the
+    population-independent kernel of :mod:`repro.model.fluid` — a batch
+    may mix exact and fluid rows freely.  Results are returned in
+    submission order and are bit-identical to calling :func:`solve_mva`
+    (or :func:`repro.model.fluid.solve_mva_fluid`) on each network alone
     (grouping avoids padding, which would perturb the pairwise summation
     order within a row).
     """
+    # Deferred to dodge the module cycle (fluid builds MvaNetwork rows).
+    from repro.model.fluid import _solve_fluid_group
+
     results: list[MvaResult | None] = [None] * len(networks)
-    groups: dict[int, list[int]] = {}
+    groups: dict[tuple[str, int], list[int]] = {}
     for i, net in enumerate(networks):
         n = len(net.stations)
         if n == 0:
@@ -452,11 +538,14 @@ def solve_mva_batch(
             )
             results[i] = MvaResult(x, net.extra_delay, {}, {}, {}, 0)
         else:
-            groups.setdefault(n, []).append(i)
-    for indices in groups.values():
-        solved = _solve_batch_group(
-            [networks[i] for i in indices], tol, max_iter
-        )
+            groups.setdefault((net.method, n), []).append(i)
+    for (method, _), indices in groups.items():
+        if method == "fluid":
+            solved = _solve_fluid_group([networks[i] for i in indices])
+        else:
+            solved = _solve_batch_group(
+                [networks[i] for i in indices], tol, max_iter
+            )
         for i, result in zip(indices, solved):
             results[i] = result
     assert all(r is not None for r in results)
@@ -484,6 +573,12 @@ def solve_mva_exact(
             raise ValueError(
                 f"exact MVA supports single-server stations only; "
                 f"{s.name!r} has {s.servers}"
+            )
+        if s.multiplicity != 1:
+            raise ValueError(
+                f"exact MVA does not support aggregated stations; "
+                f"expand {s.name!r} (multiplicity {s.multiplicity}) into "
+                f"explicit replicas"
             )
     demand = np.array([s.demand for s in stations], dtype=float)
     z = think_time + extra_delay

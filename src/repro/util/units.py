@@ -9,7 +9,17 @@ perform the conversion at the boundary.
 
 from __future__ import annotations
 
-__all__ = ["KB", "MB", "GB", "MBPS", "Seconds", "Bytes", "bytes_to_mb", "mb_to_bytes"]
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "MBPS",
+    "Seconds",
+    "Bytes",
+    "bytes_to_mb",
+    "mb_to_bytes",
+    "parse_count",
+]
 
 #: One kilobyte (binary), in bytes.
 KB: int = 1024
@@ -34,3 +44,35 @@ def bytes_to_mb(n: float) -> float:
 def mb_to_bytes(n: float) -> int:
     """Convert (binary) megabytes to bytes, rounding to the nearest byte."""
     return int(round(n * MB))
+
+
+#: Decimal multipliers for :func:`parse_count` suffixes (populations are
+#: counts of people, not bytes — ``2k`` means 2000, not 2048).
+_COUNT_SUFFIXES = {"k": 1_000, "m": 1_000_000, "g": 1_000_000_000}
+
+
+def parse_count(text: str) -> int:
+    """Parse a human-friendly count: ``"750"``, ``"2k"``, ``"1.5m"``.
+
+    Suffixes are decimal (k = 10^3, m = 10^6, g = 10^9) and
+    case-insensitive; a fractional base is allowed with a suffix
+    (``"2.5k"`` → 2500) but must resolve to a whole number.  Raises
+    :class:`ValueError` on anything else — the CLI wraps this for
+    ``--population``.
+    """
+    raw = text.strip().lower().replace("_", "")
+    if not raw:
+        raise ValueError("empty count")
+    multiplier = _COUNT_SUFFIXES.get(raw[-1])
+    if multiplier is not None:
+        base = raw[:-1]
+    else:
+        multiplier = 1
+        base = raw
+    try:
+        value = float(base) * multiplier
+    except ValueError:
+        raise ValueError(f"not a count: {text!r}") from None
+    if value != int(value):
+        raise ValueError(f"count {text!r} is not a whole number")
+    return int(value)

@@ -130,3 +130,54 @@ class TestFaultsCli:
         out = capsys.readouterr().out
         assert "WIPS under failure (resilient)" in out
         assert "time to recover" in out
+
+
+class TestScaleCli:
+    def test_population_suffixes(self):
+        args = build_parser().parse_args(["baseline", "--population", "2k"])
+        assert args.population == 2000
+        args = build_parser().parse_args(["baseline", "--population", "1m"])
+        assert args.population == 1_000_000
+
+    def test_population_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseline", "--population", "huge"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseline", "--population", "0"])
+
+    def test_approximation_choice(self):
+        args = build_parser().parse_args(
+            ["baseline", "--approximation", "fluid"]
+        )
+        assert args.approximation == "fluid"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseline", "--approximation", "magic"])
+
+    def test_exact_refuses_huge_population_fast(self, capsys):
+        # Fail-fast guard: no hours-long exact solve, a clear error.
+        with pytest.raises(SystemExit) as exc:
+            main(["baseline", "--population", "1m",
+                  "--approximation", "exact"])
+        assert "refuses population" in str(exc.value)
+
+    def test_scale_is_a_known_experiment(self):
+        args = build_parser().parse_args(["experiment", "scale"])
+        assert args.name == "scale"
+
+    def test_engine_defaults_to_shared_for_fanout(self):
+        from repro.cli import _resolve_engine
+
+        assert _resolve_engine("fig4", None, 4) == "shared"
+        assert _resolve_engine("table4", None, 2) == "shared"
+        assert _resolve_engine("scale", None, 8) == "shared"
+        # Serial runs and non-fan-out drivers keep the process pool.
+        assert _resolve_engine("sensitivity", None, 1) == "process"
+        assert _resolve_engine("fig5", None, 8) == "process"
+        # An explicit --engine always wins.
+        assert _resolve_engine("fig4", "process", 8) == "process"
+        assert _resolve_engine("fig5", "shared", 1) == "shared"
+
+    def test_baseline_with_fluid_approximation(self, capsys):
+        rc = main(["baseline", "--population", "100k", "--repeats", "2"])
+        assert rc == 0
+        assert "N=100000" in capsys.readouterr().out

@@ -1,0 +1,156 @@
+"""Tests for hierarchical (replica-group) aggregation."""
+
+import pytest
+
+from repro.cluster.node import DEFAULT_NODE, NodeSpec, Role
+from repro.cluster.topology import ClusterSpec, NodePlacement
+from repro.model.hierarchy import AggregationPlan, aggregation_plan
+from repro.model.mva import MvaNetwork, Station, solve_mva, solve_mva_batch
+
+
+def _wide(n_proxy=4, n_app=4, n_db=2):
+    return ClusterSpec.wide(n_proxy, n_app, n_db)
+
+
+class TestPlan:
+    def test_homogeneous_cluster_collapses_per_tier(self):
+        cluster = _wide()
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        assert not plan.is_trivial
+        assert plan.num_nodes == cluster.num_nodes
+        sizes = sorted(len(members) for _, members in plan.groups)
+        assert sizes == [2, 4, 4]
+
+    def test_representative_is_first_member(self):
+        cluster = _wide()
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        for rep, members in plan.groups:
+            assert rep == members[0]
+
+    def test_divergent_config_splits_group(self):
+        cluster = _wide()
+        cfg = dict(cluster.default_configuration())
+        app = cluster.nodes_in(Role.APP)[0]
+        key = next(k for k in cfg if k.startswith(f"{app}."))
+        cfg[key] += 1
+        plan = aggregation_plan(cluster, cfg)
+        # The tweaked app node falls out into its own singleton group.
+        group_of = {m: members for _, members in plan.groups for m in members}
+        assert group_of[app] == (app,)
+        assert len(group_of[cluster.nodes_in(Role.APP)[1]]) == 3
+
+    def test_heterogeneous_tier_refuses_aggregation(self):
+        big = NodeSpec(cpu_cores=DEFAULT_NODE.cpu_cores * 2)
+        placements = [
+            NodePlacement("proxy0", Role.PROXY, DEFAULT_NODE),
+            NodePlacement("app0", Role.APP, DEFAULT_NODE),
+            NodePlacement("app1", Role.APP, big),
+            NodePlacement("db0", Role.DB, DEFAULT_NODE),
+        ]
+        cluster = ClusterSpec(placements)
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        # Mixed hardware: nothing aggregates, the plan is trivial.
+        assert plan.is_trivial
+        assert plan.num_nodes == 4
+
+    def test_expansions_skip_singletons(self):
+        cluster = _wide(2, 3, 1)
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        expansions = dict(plan.expansions())
+        assert all(len(rest) >= 1 for rest in expansions.values())
+        total_hidden = sum(len(rest) for rest in expansions.values())
+        assert total_hidden == plan.num_nodes - len(plan.groups)
+
+    def test_trivial_plan_on_three_tier(self):
+        # Single-node tiers: every group is a singleton.
+        cluster = ClusterSpec.three_tier(1, 1, 1)
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        assert plan.is_trivial
+
+    def test_plan_is_hashable(self):
+        cluster = _wide()
+        plan = aggregation_plan(cluster, cluster.default_configuration())
+        assert isinstance(hash(plan), int)
+        assert plan == AggregationPlan(groups=plan.groups)
+
+
+class TestAggregatedSolve:
+    """k identical stations == one station with multiplicity k."""
+
+    @pytest.mark.parametrize("population", [10, 200, 2000])
+    @pytest.mark.parametrize("k", [2, 8, 64])
+    def test_schweitzer_equivalence(self, population, k):
+        flat = [Station(f"r{i}", 0.02) for i in range(k)] + [
+            Station("db", 0.05, servers=2)
+        ]
+        agg = [
+            Station("r0", 0.02, multiplicity=k),
+            Station("db", 0.05, servers=2),
+        ]
+        x_flat = solve_mva(flat, population, 1.0).throughput
+        x_agg = solve_mva(agg, population, 1.0).throughput
+        assert x_agg == pytest.approx(x_flat, rel=1e-9)
+
+    def test_batch_equivalence(self):
+        k = 16
+        flat = tuple(Station(f"r{i}", 0.02) for i in range(k))
+        agg = (Station("r0", 0.02, multiplicity=k),)
+        res = solve_mva_batch(
+            [MvaNetwork(flat, 300, 1.0), MvaNetwork(agg, 300, 1.0)]
+        )
+        assert res[1].throughput == pytest.approx(
+            res[0].throughput, rel=1e-9
+        )
+
+    def test_per_station_outputs_are_per_replica(self):
+        k = 4
+        flat = [Station(f"r{i}", 0.02) for i in range(k)]
+        agg = [Station("r0", 0.02, multiplicity=k)]
+        r_flat = solve_mva(flat, 100, 1.0)
+        r_agg = solve_mva(agg, 100, 1.0)
+        assert r_agg.utilization["r0"] == pytest.approx(
+            r_flat.utilization["r0"], rel=1e-9
+        )
+        assert r_agg.queue["r0"] == pytest.approx(
+            r_flat.queue["r0"], rel=1e-9
+        )
+
+    def test_multiplicity_validation(self):
+        with pytest.raises(ValueError):
+            Station("s", 0.1, multiplicity=0)
+
+    def test_exact_solver_rejects_multiplicity(self):
+        from repro.model.mva import solve_mva_exact
+
+        with pytest.raises(ValueError):
+            solve_mva_exact([Station("s", 0.1, multiplicity=2)], 10, 1.0)
+
+
+class TestBackendEquivalence:
+    """The full analytic backend: aggregated vs per-node solves."""
+
+    def test_hierarchical_matches_exact(self):
+        from repro.model.analytic import AnalyticBackend
+        from repro.model.base import Scenario
+        from repro.model.noise import NoiseModel
+        from repro.tpcw.interactions import STANDARD_MIXES
+
+        cluster = _wide()
+        scenario = Scenario(
+            cluster=cluster,
+            mix=STANDARD_MIXES["shopping"],
+            population=2000,
+        )
+        cfg = cluster.default_configuration()
+        kwargs = {"noise": NoiseModel(0.0, 0.0, 0.0)}
+        exact = AnalyticBackend(approximation="exact", **kwargs)
+        hier = AnalyticBackend(approximation="hierarchical", **kwargs)
+        m_exact = exact.measure(scenario, cfg, seed=0)
+        m_hier = hier.measure(scenario, cfg, seed=0)
+        assert m_hier.wips == pytest.approx(m_exact.wips, rel=1e-9)
+        # Aggregated-away members get the representative's outputs.
+        assert set(m_hier.utilization) == set(m_exact.utilization)
+        assert m_hier.diagnostics["solver.aggregated_nodes"] == (
+            cluster.num_nodes - 3
+        )
+        assert m_exact.diagnostics["solver.aggregated_nodes"] == 0.0
