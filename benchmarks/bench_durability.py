@@ -1,0 +1,140 @@
+"""Write-ahead journal overhead on the Table 4 tuning workload.
+
+The durability layer's cost model: every committed measurement is one
+framed append to the session journal.  The acceptance criterion is that
+journaling adds <= 5% wall-clock to the full 200-iteration Table 4
+partitioned tuning run.
+
+Two journal arms are timed against the plain session:
+
+* **flush** (``fsync=False``) — each record is flushed to the OS page
+  cache per append.  This is the level the kill/resume guarantee needs:
+  the page cache survives a SIGKILL of the process, which is the failure
+  the CI smoke job injects.  The <= 5% gate applies to this arm.
+* **fsync** (the CLI default) — each record additionally waits for the
+  disk, surviving a host power cut.  Its cost is a disk round-trip per
+  iteration and varies wildly by host storage, so it is reported but
+  not gated.
+
+Timing methodology matches the other benches: arms interleaved,
+``REPEATS`` repeats, best (minimum) per arm, bit-identity of the full
+trajectory asserted on every repeat before any timing is believed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.cluster.topology import ClusterSpec
+from repro.durability.journal import SessionJournal
+from repro.model.analytic import AnalyticBackend
+from repro.model.base import MemoizedBackend, Scenario
+from repro.tpcw.interactions import SHOPPING_MIX
+from repro.tuning.session import ClusterTuningSession, make_scheme
+from repro.util.rng import derive_seed
+from repro.util.serialization import atomic_write_json
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_durability.json"
+
+ITERATIONS = 200
+REPEATS = 2
+#: Acceptance: flush-mode journaling costs at most this fraction extra.
+MAX_FLUSH_OVERHEAD = 0.05
+
+HEADER = {"kind": "bench-durability", "iterations": ITERATIONS}
+
+
+def _timed_run(journal=None):
+    """One full tuning run; returns (seconds, trajectory)."""
+    backend = MemoizedBackend(AnalyticBackend())
+    cluster = ClusterSpec.three_tier(2, 2, 2)
+    scenario = Scenario(cluster=cluster, mix=SHOPPING_MIX, population=2000)
+    session = ClusterTuningSession(
+        backend,
+        scenario,
+        scheme=make_scheme(scenario, "partitioning", work_lines=2),
+        strategy="simplex",
+        seed=derive_seed(17, "table4", "partitioning"),
+        journal=journal,
+    )
+    start = time.perf_counter()
+    session.run(ITERATIONS)
+    elapsed = time.perf_counter() - start
+    trajectory = [
+        (r.configuration, r.performance) for r in session.history.records
+    ]
+    return elapsed, trajectory
+
+
+def test_journal_overhead(report):
+    plain_times: list[float] = []
+    flush_times: list[float] = []
+    fsync_times: list[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(REPEATS):
+            t_plain, traj_plain = _timed_run()
+
+            path = os.path.join(tmp, f"flush-{repeat}.journal")
+            journal = SessionJournal(path, HEADER, fsync=False)
+            t_flush, traj_flush = _timed_run(journal)
+            journal.close()
+
+            path = os.path.join(tmp, f"fsync-{repeat}.journal")
+            journal = SessionJournal(path, HEADER)
+            t_fsync, traj_fsync = _timed_run(journal)
+            journal.close()
+
+            # Hard contract, checked before any timing is believed: a
+            # journaled run's trajectory is the plain run's, exactly.
+            assert traj_flush == traj_plain
+            assert traj_fsync == traj_plain
+            plain_times.append(t_plain)
+            flush_times.append(t_flush)
+            fsync_times.append(t_fsync)
+
+    best_plain = min(plain_times)
+    flush_overhead = min(flush_times) / best_plain - 1.0
+    fsync_overhead = min(fsync_times) / best_plain - 1.0
+
+    # Acceptance: <= 5% overhead at the durability level kill/resume needs.
+    assert flush_overhead <= MAX_FLUSH_OVERHEAD
+
+    payload = {
+        "host_cpus": os.cpu_count(),
+        "workload": {
+            "experiment": "table4 partitioned tuning",
+            "cluster": "three_tier(2, 2, 2)",
+            "mix": "shopping",
+            "population": 2000,
+            "iterations": ITERATIONS,
+            "strategy": "simplex",
+        },
+        "methodology": (
+            f"best of {REPEATS} interleaved plain/flush/fsync repeats; "
+            "bit-identity asserted on every repeat"
+        ),
+        "plain_seconds": [round(t, 3) for t in plain_times],
+        "journal_flush_seconds": [round(t, 3) for t in flush_times],
+        "journal_fsync_seconds": [round(t, 3) for t in fsync_times],
+        "flush_overhead": round(flush_overhead, 4),
+        "fsync_overhead": round(fsync_overhead, 4),
+        "max_flush_overhead": MAX_FLUSH_OVERHEAD,
+        "bit_identical": True,
+    }
+    atomic_write_json(RESULT_PATH, payload)
+
+    lines = [
+        "Journal overhead benchmark (table4 partitioned, 200 iterations)",
+        f"  plain            best of {REPEATS}  {best_plain:6.2f} s",
+        f"  journal (flush)  best of {REPEATS}  {min(flush_times):6.2f} s   "
+        f"overhead {flush_overhead * 100:+.1f}% (gate: <= "
+        f"{MAX_FLUSH_OVERHEAD * 100:.0f}%)",
+        f"  journal (fsync)  best of {REPEATS}  {min(fsync_times):6.2f} s   "
+        f"overhead {fsync_overhead * 100:+.1f}% (reported, not gated)",
+        "  trajectories bit-identical on every repeat: yes",
+        f"  written to {RESULT_PATH.name}",
+    ]
+    report("durability", "\n".join(lines))

@@ -33,6 +33,7 @@ from repro.experiments.runner import ExperimentConfig
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import Scenario
 from repro.tpcw.interactions import SHOPPING_MIX
+from repro.util.serialization import atomic_write_json
 
 RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
 
@@ -149,7 +150,7 @@ def test_parallel_engine_speedups(report):
             "bit_identical": True,
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, payload)
 
     lines = [
         "Parallel engine benchmark (reduced Fig-4 matrix + sensitivity sweep)",

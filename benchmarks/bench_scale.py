@@ -36,6 +36,7 @@ from repro.model.mva import Station, solve_mva_exact
 from repro.model.noise import NoiseModel
 from repro.parallel import SharedEngine
 from repro.tpcw.interactions import STANDARD_MIXES
+from repro.util.serialization import atomic_write_json
 
 RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
 
@@ -190,7 +191,7 @@ def test_scale_axis(report):
             "bit_identical": True,
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, payload)
 
     lines = [
         "Scale benchmark (fluid + hierarchical MVA)",

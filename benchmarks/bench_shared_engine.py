@@ -37,6 +37,7 @@ from bench_parallel_engine import REDUCED, SerialBaselineBackend
 from repro.experiments import fig4, table4
 from repro.experiments.runner import ExperimentConfig
 from repro.parallel import SharedEngine
+from repro.util.serialization import atomic_write_json
 
 RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_shared_engine.json"
 
@@ -191,7 +192,7 @@ def test_shared_engine_speedups(report):
             "bit_identical": True,
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, payload)
 
     lines = [
         "Shared engine benchmark (reduced Fig-4 + Table-4)",

@@ -23,7 +23,6 @@ Bit-identity is re-asserted on every repeat — full trajectories compared
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
@@ -34,6 +33,7 @@ from repro.model.base import MemoizedBackend, Scenario
 from repro.tpcw.interactions import SHOPPING_MIX
 from repro.tuning.session import ClusterTuningSession, make_scheme
 from repro.util.rng import derive_seed
+from repro.util.serialization import atomic_write_json
 
 RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_speculation.json"
 
@@ -112,7 +112,7 @@ def test_speculation_speedup(report):
         "measurement_cache": cache_stats.as_dict(),
         "bit_identical": True,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, payload)
 
     lines = [
         "Speculative lookahead benchmark (table4 partitioned, 200 iterations)",

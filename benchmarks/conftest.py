@@ -12,6 +12,8 @@ import pathlib
 
 import pytest
 
+from repro.util.serialization import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -22,7 +24,7 @@ def report(capsys):
     def _report(name: str, *renderables) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = "\n\n".join(str(r) for r in renderables)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
         with capsys.disabled():
             print(f"\n{text}\n")
 

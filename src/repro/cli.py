@@ -25,6 +25,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cluster.topology import ClusterSpec
+from repro.durability.journal import JournalError
 from repro.model.analytic import APPROXIMATIONS, AnalyticBackend
 from repro.model.base import Scenario
 from repro.tpcw.interactions import STANDARD_MIXES
@@ -41,6 +42,54 @@ EXPERIMENTS = (
 #: default to the persistent shared engine when ``--jobs`` exceeds one
 #: (``--engine process`` stays available as the explicit opt-out).
 FANOUT_EXPERIMENTS = frozenset({"fig4", "table4", "sensitivity", "scale"})
+
+
+def _add_durability_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--journal", metavar="FILE",
+        help=(
+            "write-ahead journal: every committed measurement/run is "
+            "appended (fsync'd, checksummed) so a killed run can be "
+            "continued with --resume; refuses an existing journal"
+        ),
+    )
+    group.add_argument(
+        "--resume", metavar="FILE",
+        help=(
+            "resume a killed run from its journal: committed steps replay "
+            "cache-hot (no re-measuring, no re-solving) and the run "
+            "continues, bit-identical to an uninterrupted one"
+        ),
+    )
+    parser.add_argument(
+        "--store-path", metavar="DIR",
+        help=(
+            "durable shared-store directory (checksummed atomic segments): "
+            "the --engine shared cache survives process death; corrupt "
+            "entries are quarantined, never served"
+        ),
+    )
+    parser.add_argument(
+        "--engine-faults", metavar="PLAN.json",
+        help=(
+            "inject engine-layer faults from an EngineFaultPlan JSON file "
+            "(worker kills, fleet build failures, slow workers, torn "
+            "store writes; see docs/robustness.md)"
+        ),
+    )
+
+
+def _apply_durability(args: argparse.Namespace) -> None:
+    """Install the process-wide durability/fault options, if given."""
+    if getattr(args, "store_path", None):
+        from repro.parallel.engine import SharedEngine
+
+        SharedEngine.configure(store_path=args.store_path)
+    if getattr(args, "engine_faults", None):
+        from repro.faults.engine import EngineFaultPlan, install_engine_faults
+
+        install_engine_faults(EngineFaultPlan.load(args.engine_faults))
 
 
 def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(retry + backoff + quarantine) instead of raising"
         ),
     )
+    _add_durability_arguments(p)
     _add_sanitize_argument(p)
 
     p = sub.add_parser("sensitivity", help="one-at-a-time parameter sweeps")
@@ -250,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
             "resilient arm (--no-resilience degrades it to penalty-only)"
         ),
     )
+    _add_durability_arguments(p)
     _add_sanitize_argument(p)
 
     p = sub.add_parser(
@@ -321,16 +372,44 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.util.serialization import save_configuration, save_history
 
     scenario = _scenario(args)
+    _apply_durability(args)
     backend = _backend(args, scenario)
     resilience = None
+    plan = None
     if args.faults:
         from repro.faults import FaultPlan, FaultyBackend
 
-        backend = FaultyBackend(backend, FaultPlan.load(args.faults))
+        plan = FaultPlan.load(args.faults)
+        backend = FaultyBackend(backend, plan)
     if args.resilience:
         from repro.faults import ResiliencePolicy
 
         resilience = ResiliencePolicy()
+    journal = None
+    if args.journal or args.resume:
+        from repro.durability.journal import SessionJournal
+
+        # Everything that shapes the outcome stream goes in the header:
+        # resuming under a different command line must fail loudly, not
+        # silently diverge.
+        header = {
+            "kind": "tune",
+            "mix": args.mix,
+            "proxies": args.proxies,
+            "apps": args.apps,
+            "dbs": args.dbs,
+            "population": args.population,
+            "approximation": args.approximation,
+            "seed": args.seed,
+            "iterations": args.iterations,
+            "method": args.method,
+            "strategy": args.strategy,
+            "faults": plan.fingerprint() if plan is not None else None,
+            "resilience": bool(args.resilience),
+        }
+        journal = SessionJournal(
+            args.resume or args.journal, header, resume=bool(args.resume)
+        )
     session = ClusterTuningSession(
         backend,
         scenario,
@@ -342,10 +421,19 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         speculate=args.speculate,
         speculate_jobs=resolve_jobs(args.jobs) if args.speculate else 1,
         speculate_engine=args.engine,
+        journal=journal,
     )
     baseline = session.measure_baseline().window_stats(0)
     print(f"baseline: {baseline.mean:.1f} WIPS")
     session.run(args.iterations)
+    if journal is not None and args.resume:
+        # Bookkeeping goes to stderr: stdout must diff clean against an
+        # uninterrupted run (the CI smoke job relies on that).
+        print(
+            f"resumed from {args.resume}: replayed {journal.replayed} "
+            f"committed measurements, recorded {journal.recorded} new",
+            file=sys.stderr,
+        )
     if args.faults:
         fault_stats = backend.stats.as_dict()
         injected = ", ".join(f"{k}={v}" for k, v in fault_stats.items() if v)
@@ -368,6 +456,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.save_history:
         save_history(session.history, args.save_history)
         print(f"history written to {args.save_history}")
+    if journal is not None:
+        journal.close()
     return 0
 
 
@@ -403,6 +493,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig
     from repro.parallel import resolve_jobs
 
+    _apply_durability(args)
+    if (args.journal or args.resume) and args.name not in FANOUT_EXPERIMENTS:
+        print(
+            f"repro: error: --journal/--resume support the fan-out "
+            f"experiments ({', '.join(sorted(FANOUT_EXPERIMENTS))}), "
+            f"not {args.name!r}",
+            file=sys.stderr,
+        )
+        return 2
     jobs = resolve_jobs(args.jobs)
     cfg = ExperimentConfig(
         iterations=args.iterations,
@@ -411,7 +510,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         memoize=not args.no_cache,
         speculate=args.speculate,
         engine=_resolve_engine(args.name, args.engine, jobs),
+        journal=args.resume or args.journal,
+        resume=bool(args.resume),
     )
+    if args.resume:
+        print(f"resuming {args.name} from {args.resume}", file=sys.stderr)
     if args.name == "table1":
         from repro.experiments import table1
 
@@ -597,7 +700,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sanitize = getattr(args, "sanitize", False)
     if sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
-    code = _COMMANDS[args.command](args)
+    try:
+        code = _COMMANDS[args.command](args)
+    except JournalError as exc:
+        # Journal misuse (fresh run over an existing file, resume without
+        # one, header mismatch) is an operator error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if sanitize:
         from repro.lint import format_text, sanitizer
         from repro.lint.core import LintResult

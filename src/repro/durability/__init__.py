@@ -1,0 +1,52 @@
+"""Crash-safe durability: write-ahead journals and a persistent store.
+
+The engine-level robustness layer (docs/robustness.md, "Layer 2"):
+
+* :mod:`repro.durability.framing` — the length+CRC framed append format
+  every durable file shares, with torn-tail detection.
+* :mod:`repro.durability.journal` — :class:`SessionJournal` /
+  :class:`JournaledRunner` (per-measurement write-ahead logging for
+  tuning sessions) and :class:`ExperimentJournal` (per-spec logging for
+  fan-out experiments), powering ``repro tune --resume`` and
+  ``repro experiment … --resume`` with bit-identical continuation.
+* :mod:`repro.durability.diskstore` — :class:`StorePersistence`,
+  checksummed atomic segments behind ``--store-path`` that let the
+  shared store survive process death, with corruption quarantine.
+"""
+
+from repro.durability.framing import (
+    FrameError,
+    FrameScan,
+    append_frame,
+    frame,
+    scan_file,
+    scan_frames,
+)
+from repro.durability.journal import (
+    ExperimentJournal,
+    JournalError,
+    JournaledRunner,
+    ReplayedMeasurementError,
+    SessionJournal,
+    measurement_from_dict,
+    measurement_to_dict,
+)
+from repro.durability.diskstore import SEGMENT_SCHEMA, StorePersistence
+
+__all__ = [
+    "ExperimentJournal",
+    "FrameError",
+    "FrameScan",
+    "JournalError",
+    "JournaledRunner",
+    "ReplayedMeasurementError",
+    "SEGMENT_SCHEMA",
+    "SessionJournal",
+    "StorePersistence",
+    "append_frame",
+    "frame",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "scan_file",
+    "scan_frames",
+]

@@ -1,0 +1,160 @@
+"""Length+CRC framed append-only files — the journal/segment wire format.
+
+Every durable artifact in :mod:`repro.durability` (session journals,
+experiment journals, shared-store segments) is a sequence of frames::
+
+    [u32 length][u32 crc32(payload)][payload bytes]
+
+appended with flush+fsync per record, so a frame either made it to the
+file completely or is a *torn tail*: a SIGKILL (or power cut) mid-append
+leaves at most one incomplete frame at the end of the file.  Readers
+detect torn tails (short header, short payload, or CRC mismatch on the
+final frame) and report the byte offset of the last complete frame so a
+resumed writer can truncate and continue — the committed prefix is the
+only state that ever matters.
+
+Corruption *inside* the prefix (a flipped byte in an already-fsync'd
+frame) is distinguished from a torn tail by position: the strict reader
+(`stop_on_error=True`, journals) refuses to replay past it, while the
+resyncing reader (`stop_on_error=False`, store segments) skips the bad
+frame, counts it, and keeps going — a bad cache entry is droppable, a
+bad journal entry is not.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Union
+
+__all__ = ["FrameError", "FrameScan", "append_frame", "frame", "scan_frames"]
+
+PathLike = Union[str, pathlib.Path]
+
+_HEADER = struct.Struct(">II")  # (payload length, crc32)
+#: Upper bound on a single frame payload; anything larger in a header is
+#: treated as corruption, not an allocation request.
+MAX_FRAME = 1 << 28
+
+
+class FrameError(ValueError):
+    """A frame file is corrupt beyond what the caller tolerates."""
+
+
+@dataclass(frozen=True)
+class FrameScan:
+    """Result of scanning a framed file."""
+
+    #: Payloads of every complete, checksum-valid frame, in file order.
+    payloads: tuple[bytes, ...]
+    #: Byte offset just past the last *good* frame — where a resumed
+    #: writer should truncate-and-append.
+    valid_bytes: int
+    #: 1 when the file ends in an incomplete frame (killed mid-append).
+    torn_tail: int
+    #: Complete-but-checksum-invalid frames skipped (resync mode only).
+    corrupt_frames: int
+
+
+def frame(payload: bytes) -> bytes:
+    """Encode one payload as a framed record."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"payload of {len(payload)} bytes exceeds frame limit")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def append_frame(fh: BinaryIO, payload: bytes, *, fsync: bool = True) -> None:
+    """Append one framed record and force it to the file.
+
+    ``flush`` makes the record survive a SIGKILL of this process (the
+    page cache outlives us); ``fsync`` additionally survives a host
+    power cut, at the cost of a disk round-trip per record.
+    """
+    fh.write(frame(payload))
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+
+
+def scan_frames(data: bytes, *, stop_on_error: bool = True) -> FrameScan:
+    """Decode a framed byte string.
+
+    With ``stop_on_error`` (journal semantics) scanning stops at the
+    first problem: a trailing incomplete frame is a tolerated torn tail,
+    but a checksum failure with more data behind it — mid-file
+    corruption — raises :class:`FrameError`, because replaying a journal
+    with a hole would silently diverge.
+
+    Without it (store-segment semantics) a bad frame is counted, skipped
+    using its claimed length, and scanning continues; if the length
+    field itself is implausible the remainder of the file is abandoned
+    (counted as one more corrupt frame).
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    valid = 0
+    corrupt = 0
+    torn = 0
+    size = len(data)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            torn = 1  # header itself is incomplete
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        body_end = body_start + length
+        if length > MAX_FRAME or body_end > size:
+            implausible = length > MAX_FRAME or length > size
+            if body_end > size and not implausible:
+                torn = 1  # payload tail missing: killed mid-append
+                break
+            if stop_on_error:
+                raise FrameError(
+                    f"implausible frame length {length} at offset {offset}"
+                )
+            corrupt += 1
+            break
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            if body_end == size:
+                # Bad final frame: indistinguishable from a torn append
+                # that wrote garbage lengths; treat as torn tail.
+                torn = 1
+                break
+            if stop_on_error:
+                raise FrameError(f"checksum mismatch at offset {offset}")
+            corrupt += 1
+            offset = body_end
+            continue
+        payloads.append(payload)
+        offset = body_end
+        valid = offset
+    return FrameScan(
+        payloads=tuple(payloads),
+        valid_bytes=valid,
+        torn_tail=torn,
+        corrupt_frames=corrupt,
+    )
+
+
+def scan_file(path: PathLike, *, stop_on_error: bool = True) -> FrameScan:
+    """Scan a framed file (missing file reads as empty)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return FrameScan(payloads=(), valid_bytes=0, torn_tail=0, corrupt_frames=0)
+    return scan_frames(p.read_bytes(), stop_on_error=stop_on_error)
+
+
+def write_frames(path: PathLike, payloads: Iterable[bytes]) -> None:
+    """Atomically write a whole framed file (segments, not journals).
+
+    Uses the same temp-file + ``os.replace`` protocol as
+    :func:`repro.util.serialization.atomic_write_bytes`: readers see the
+    old segment or the new one, never a half-written hybrid.
+    """
+    from repro.util.serialization import atomic_write_bytes
+
+    atomic_write_bytes(path, b"".join(frame(p) for p in payloads))

@@ -19,6 +19,16 @@ browsing mix):
     sees the surviving application node saturate and moves a proxy into
     the application tier until capacity recovers.
 
+A fourth arm exercises the *engine* layer (PR 9): the resilient run is
+repeated under a write-ahead journal and killed at iteration *k*; a
+``--resume``-style replay must reproduce the uninterrupted trajectory
+bit for bit.  Alongside it, a durable-store segment write is torn
+mid-blob (the reload must quarantine it, never serve a bad entry) and a
+fleet build is made to fail so the executor walks the degradation
+ladder shared → process → inline.  Cluster faults break measurements;
+engine faults break the machinery that runs them — the report shows
+both layers side by side.
+
 Reported: WIPS under failure for both faulty arms against the clean
 reference, time-to-recover, retry/quarantine/rollback counters, and the
 reconfiguration moves taken.  Every arm is seed-deterministic: same plan
@@ -49,6 +59,7 @@ from repro.util.tables import Table
 __all__ = [
     "ChaosArm",
     "ChaosResult",
+    "EngineChaosArm",
     "default_plan",
     "default_reconfig_policy",
     "run",
@@ -104,6 +115,31 @@ class ChaosArm:
 
 
 @dataclass(frozen=True)
+class EngineChaosArm:
+    """The engine-durability arm: kill/resume, torn store write, ladder."""
+
+    label: str
+    #: Trajectory of the killed-then-resumed resilient run.
+    wips: tuple[float, ...]
+    #: Iteration the journaled run was killed at.
+    killed_at: int
+    #: Committed measurements replayed from the journal on resume.
+    replayed_steps: int
+    #: Did the resumed trajectory equal the uninterrupted one exactly?
+    bit_identical: bool
+    #: :class:`~repro.faults.engine.EngineResilienceStats` counters.
+    engine_stats: dict = field(default_factory=dict)
+    #: Store entries quarantined when reloading after the torn write.
+    store_quarantined: int = 0
+    #: Entries that survived the torn write (served correctly).
+    store_recovered: int = 0
+    #: Ladder steps the executor took when fleet builds failed.
+    degradations: tuple[str, ...] = ()
+    #: Did the degraded (inline) run still return correct results?
+    ladder_results_ok: bool = False
+
+
+@dataclass(frozen=True)
 class ChaosResult:
     """The three-arm comparison and its derived metrics."""
 
@@ -113,6 +149,8 @@ class ChaosResult:
     plan: FaultPlan
     crash_at: int
     recover_at: int
+    #: Engine-layer durability arm (None when skipped).
+    engine: Optional[EngineChaosArm] = None
 
     # -- derived metrics ------------------------------------------------
     @property
@@ -207,6 +245,27 @@ class ChaosResult:
                 )
         else:
             table.add_row("reconfiguration", "none")
+        if self.engine is not None:
+            e = self.engine
+            table.add_row(
+                "engine: killed at / replayed on resume",
+                f"{e.killed_at} / {e.replayed_steps}",
+            )
+            table.add_row(
+                "engine: resume bit-identical",
+                "yes" if e.bit_identical else "NO",
+            )
+            table.add_row(
+                "engine: store quarantined / recovered",
+                f"{e.store_quarantined} / {e.store_recovered}",
+            )
+            ladder = " -> ".join(
+                ("shared", *(s.split("->", 1)[1] for s in e.degradations))
+            )
+            table.add_row(
+                "engine: degradation ladder",
+                f"{ladder} ({'results ok' if e.ladder_results_ok else 'FAILED'})",
+            )
         return table
 
     def chart(self, width: int = 80, height: int = 12) -> str:
@@ -237,6 +296,113 @@ def _make_session(backend, scenario: Scenario, seed: int, **kwargs) -> ClusterTu
         speculate=False,
         **kwargs,
     )
+
+
+def _probe_square(x: int) -> int:
+    """Trivial pure spec body for the degradation-ladder probe."""
+    return x * x
+
+
+def _engine_arm(
+    cfg: ExperimentConfig,
+    plan: FaultPlan,
+    policy: ResiliencePolicy,
+    scenario: Scenario,
+    seed: int,
+    iterations: int,
+    check_every: int,
+    reference_wips: tuple[float, ...],
+):
+    """Run the engine-durability arm; returns (arm, injector stats).
+
+    The reference trajectory is the resilient arm that just ran: the
+    journaled run here uses the same seed, plan, and policy, so after a
+    kill at iteration *k* and a resume, its full trajectory must equal
+    the reference exactly.
+    """
+    import os
+    import tempfile
+
+    from repro.durability.diskstore import StorePersistence
+    from repro.durability.journal import SessionJournal
+    from repro.faults.engine import EngineFaultInjector, EngineFaultPlan
+    from repro.parallel.executor import ParallelExecutor
+    from repro.parallel.plan import RunSpec
+
+    killed_at = max(3, iterations // 3)
+    header = {
+        "kind": "chaos-engine",
+        "iterations": iterations,
+        "seed": seed,
+        "faults": plan.fingerprint(),
+    }
+
+    def journaled_loop(journal) -> ReconfigurationLoop:
+        backend = FaultyBackend(make_backend(cfg), plan)
+        session = _make_session(
+            backend, scenario, seed, resilience=policy, journal=journal
+        )
+        return ReconfigurationLoop(
+            session,
+            policy=default_reconfig_policy(),
+            check_every=check_every,
+            cooldown=check_every,
+            drain_delay=2,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Kill/resume: run to iteration k under a write-ahead journal,
+        # then abandon everything — the moral equivalent of SIGKILL.
+        path = os.path.join(tmp, "session.journal")
+        journal = SessionJournal(path, header)
+        loop = journaled_loop(journal)
+        for _ in range(killed_at):
+            loop.step()
+        journal.close()
+
+        # Resume: committed measurements replay from the journal (no
+        # re-measuring), then the run continues live to the end.
+        journal = SessionJournal(path, header, resume=True)
+        loop = journaled_loop(journal)
+        wips = tuple(loop.step().wips for _ in range(iterations))
+        replayed = journal.replayed
+        journal.close()
+
+        # Durable store under a torn write: the second segment flush is
+        # truncated mid-blob; the reload must quarantine it — drop and
+        # count the bad entry, never serve it — while the intact first
+        # segment survives.  The same injector then fails two fleet
+        # builds, so the executor walks shared → process → inline.
+        injector = EngineFaultInjector(
+            EngineFaultPlan(build_failures=2, torn_store_writes=(2,))
+        )
+        persist = StorePersistence(os.path.join(tmp, "store"), injector=injector)
+        persist.flush({"alpha": 1.0})
+        persist.flush({"alpha": 1.0, "beta": 2.0})  # torn mid-write
+        reloaded = StorePersistence(os.path.join(tmp, "store"))
+        recovered = reloaded.load()
+        store_ok = all(recovered[k] == {"alpha": 1.0}[k] for k in recovered)
+
+        specs = [
+            RunSpec(("chaos-probe", i), _probe_square, {"x": i}) for i in range(3)
+        ]
+        executor = ParallelExecutor(2, engine="shared", faults=injector)
+        results = executor.run(specs)
+        ladder_ok = all(results[("chaos-probe", i)] == i * i for i in range(3))
+
+    arm = EngineChaosArm(
+        label="engine",
+        wips=wips,
+        killed_at=killed_at,
+        replayed_steps=replayed,
+        bit_identical=wips == reference_wips,
+        engine_stats=injector.stats.as_dict(),
+        store_quarantined=int(reloaded.stats()["quarantined"]),
+        store_recovered=len(recovered) if store_ok else 0,
+        degradations=tuple(executor.degradations),
+        ladder_results_ok=ladder_ok,
+    )
+    return arm, injector.stats
 
 
 def run(
@@ -295,6 +461,22 @@ def run(
         drain_delay=2,
     )
     resilient_wips = [loop.step().wips for _ in range(iterations)]
+
+    # Arm 4: engine durability (kill/resume + torn store write + ladder).
+    # Its counters surface inside the resilient arm's resilience stats so
+    # the report shows the measurement and machinery layers side by side.
+    engine_arm, engine_stats = _engine_arm(
+        cfg,
+        plan,
+        policy,
+        scenario,
+        seed,
+        iterations,
+        check_every,
+        tuple(resilient_wips),
+    )
+    resilient_session.resilience_stats.absorb_engine(engine_stats)
+
     resilient = ChaosArm(
         "resilient",
         tuple(resilient_wips),
@@ -310,4 +492,5 @@ def run(
         plan=plan,
         crash_at=crash,
         recover_at=recover,
+        engine=engine_arm,
     )

@@ -25,6 +25,7 @@ from typing import Mapping, Optional
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import (
     ExperimentConfig,
+    make_executor,
     make_backend,
     merge_cache_stats,
     remeasure,
@@ -209,7 +210,7 @@ def run(
     result is bit-identical at every jobs setting.
     """
     cfg = config or ExperimentConfig()
-    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
+    executor = make_executor(cfg, "fig4")
     # A backend instance is shared across runs only in-process: workers in
     # a pool each build their own — or, under the shared engine, adopt the
     # fleet's persistent one.  Tracked so the executor's per-spec cache
@@ -260,6 +261,7 @@ def run(
     # parent) and merged by the executor — the same numbers whether the
     # caches lived in one shared backend or in per-worker copies.
     cache_stats = merge_cache_stats(stage_stats)
+    executor.close()
 
     return Fig4Result(
         baselines=baselines,

@@ -18,6 +18,8 @@ from repro.util.stats import RunningStats
 
 __all__ = [
     "ExperimentConfig",
+    "experiment_journal",
+    "make_executor",
     "remeasure",
     "make_backend",
     "collect_cache_stats",
@@ -60,6 +62,11 @@ class ExperimentConfig:
     #: default) or ``shared`` (persistent fleet + cross-run shared cache).
     #: Results are bit-identical at every setting.
     engine: str = "process"
+    #: Write-ahead journal path for the fan-out drivers (``--journal``).
+    #: Completed run specs are committed as they finish; None disables.
+    journal: Optional[str] = None
+    #: Resume from ``journal`` instead of starting fresh (``--resume``).
+    resume: bool = False
 
     def window_start(self) -> int:
         """First iteration of the evaluation window."""
@@ -68,6 +75,23 @@ class ExperimentConfig:
     def scaled(self, iterations: int) -> "ExperimentConfig":
         """A copy with a different iteration budget (for tests)."""
         return replace(self, iterations=iterations)
+
+    def journal_header(self, experiment: str) -> dict:
+        """The result-relevant fingerprint a journal is bound to.
+
+        Parallelism knobs (jobs/engine/memoize/speculate) are deliberately
+        absent: they never change results, so a run may legitimately be
+        resumed with different ones (e.g. inline on a smaller machine).
+        """
+        return {
+            "experiment": experiment,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "population": self.population,
+            "cluster_population": self.cluster_population,
+            "baseline_iterations": self.baseline_iterations,
+            "stats_window": self.stats_window,
+        }
 
 
 def make_backend(config: Optional[ExperimentConfig] = None) -> PerformanceBackend:
@@ -99,6 +123,36 @@ def make_backend(config: Optional[ExperimentConfig] = None) -> PerformanceBacken
 
         return SharedEngine.instance().backend()
     return track_backend(MemoizedBackend(AnalyticBackend()))
+
+
+def experiment_journal(config: ExperimentConfig, experiment: str):
+    """The config's :class:`ExperimentJournal` for ``experiment`` (or None).
+
+    Fresh runs refuse an existing journal file (pass ``--resume``);
+    resumed runs validate the stored header against
+    :meth:`ExperimentConfig.journal_header` and serve every committed
+    spec without re-executing it.
+    """
+    if config.journal is None:
+        return None
+    from repro.durability.journal import ExperimentJournal
+
+    return ExperimentJournal(
+        config.journal,
+        config.journal_header(experiment),
+        resume=config.resume,
+    )
+
+
+def make_executor(config: ExperimentConfig, experiment: str):
+    """The fan-out drivers' :class:`ParallelExecutor`, journal attached."""
+    from repro.parallel.executor import ParallelExecutor
+
+    return ParallelExecutor(
+        config.jobs,
+        engine=config.engine,
+        journal=experiment_journal(config, experiment),
+    )
 
 
 # collect_cache_stats / merge_cache_stats live in repro.parallel.stats now

@@ -24,7 +24,12 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.cluster.topology import ClusterSpec
-from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.experiments.runner import (
+    ExperimentConfig,
+    make_backend,
+    make_executor,
+    remeasure,
+)
 from repro.harmony.history import TuningHistory
 from repro.model.analytic import APPROXIMATIONS, AnalyticBackend
 from repro.model.base import PerformanceBackend, Scenario
@@ -225,7 +230,7 @@ def run(
     """Run the wide-cluster scale experiment."""
     cfg = config or ExperimentConfig()
     cluster = cluster or ClusterSpec.wide()
-    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
+    executor = make_executor(cfg, "scale")
     shared = backend if backend is not None else (
         make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
         else None
@@ -266,6 +271,7 @@ def run(
         for mode in AGREEMENT_MODES
     }
 
+    executor.close()
     return ScaleResult(
         cluster_name=cluster.name,
         num_nodes=cluster.num_nodes,

@@ -20,6 +20,7 @@ from repro.analysis.sensitivity import SensitivityReport, sensitivity_report
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.runner import (
     ExperimentConfig,
+    make_executor,
     make_backend,
 )
 from repro.model.base import PerformanceBackend, Scenario
@@ -129,7 +130,7 @@ def run(
     bit-identical at every jobs setting.
     """
     cfg = config or ExperimentConfig()
-    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
+    executor = make_executor(cfg, "sensitivity")
     shared = track_backend(backend) if backend is not None else (
         make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
         else None
@@ -153,6 +154,7 @@ def run(
     # Per-spec counter deltas, captured where each spec executed and
     # merged by the executor (see repro.parallel.stats).
     cache_stats = executor.cache_stats
+    executor.close()
     return SensitivityResult(
         reports={m: results[m]["report"] for m in STANDARD_MIXES},
         cache_stats=cache_stats,

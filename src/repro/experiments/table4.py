@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.cluster.topology import ClusterSpec
-from repro.experiments.runner import ExperimentConfig, make_backend, remeasure
+from repro.experiments.runner import (
+    ExperimentConfig,
+    make_backend,
+    make_executor,
+    remeasure,
+)
 from repro.harmony.history import TuningHistory
 from repro.model.base import PerformanceBackend, Scenario
 from repro.parallel import ParallelExecutor, RunSpec
@@ -174,7 +179,7 @@ def run(
     """
     cfg = config or ExperimentConfig()
     cluster = cluster or ClusterSpec.three_tier(2, 2, 2)
-    executor = ParallelExecutor(cfg.jobs, engine=cfg.engine)
+    executor = make_executor(cfg, "table4")
     shared = backend if backend is not None else (
         make_backend(cfg) if executor.jobs == 1 or executor.engine == "inline"
         else None
@@ -213,6 +218,7 @@ def run(
         )
         histories[method] = r["history"]
 
+    executor.close()
     return Table4Result(
         baseline_wips=baseline["mean"],
         baseline_stddev=baseline["stddev"],

@@ -6,6 +6,14 @@ seed reproduces the same failure trajectory bit for bit.  See
 ``docs/robustness.md`` for the fault model and policy semantics.
 """
 
+from repro.faults.engine import (
+    EngineFaultInjector,
+    EngineFaultPlan,
+    EngineResilienceStats,
+    FleetUnavailableError,
+    active_injector,
+    install_engine_faults,
+)
 from repro.faults.injector import FaultInjector, FaultState
 from repro.faults.plan import EVENT_KINDS, FaultEvent, FaultPlan
 from repro.faults.resilience import (
@@ -32,10 +40,16 @@ _BACKEND_EXPORTS = (
 
 __all__ = [
     "EVENT_KINDS",
+    "EngineFaultInjector",
+    "EngineFaultPlan",
+    "EngineResilienceStats",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "FaultState",
+    "FleetUnavailableError",
+    "active_injector",
+    "install_engine_faults",
     "ON_EXHAUSTED",
     "ResiliencePolicy",
     "ResilienceStats",

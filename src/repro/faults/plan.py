@@ -248,9 +248,10 @@ class FaultPlan:
             return cls.from_json(fh.read())
 
     def save(self, path) -> None:
-        """Write the plan to a JSON file."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json() + "\n")
+        """Write the plan to a JSON file (atomically)."""
+        from repro.util.serialization import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     # -- convenience constructors --------------------------------------
     @classmethod

@@ -114,10 +114,29 @@ class ResilienceStats:
     quarantined: int = 0
     #: Rollback measurements of the best-known configuration.
     rollbacks: int = 0
+    #: Engine-layer counters absorbed from an
+    #: :class:`~repro.faults.engine.EngineResilienceStats` (None until a
+    #: run under engine faults calls :meth:`absorb_engine`).  Cluster
+    #: faults break *measurements*; engine faults break the machinery
+    #: that runs them — reports show both layers side by side.
+    engine: dict = None  # type: ignore[assignment]
 
-    def as_dict(self) -> dict[str, int]:
+    def absorb_engine(self, engine_stats) -> None:
+        """Surface engine-layer resilience counters alongside the
+        session-layer ones (merging if absorbed more than once)."""
+        counters = engine_stats.as_dict()
+        if self.engine is None:
+            self.engine = counters
+            return
+        for key, value in counters.items():
+            if isinstance(value, list):
+                self.engine[key] = list(self.engine.get(key, [])) + value
+            else:
+                self.engine[key] = self.engine.get(key, 0) + value
+
+    def as_dict(self) -> dict:
         """Counters as a flat mapping (for reports and JSON)."""
-        return {
+        out: dict = {
             "failures": self.failures,
             "retries": self.retries,
             "backoff_ticks": self.backoff_ticks,
@@ -129,3 +148,6 @@ class ResilienceStats:
             "quarantined": self.quarantined,
             "rollbacks": self.rollbacks,
         }
+        if self.engine is not None:
+            out["engine"] = dict(self.engine)
+        return out

@@ -25,6 +25,7 @@ from repro.lint.rules.fleet import (
     UnpicklablePayloadRule,
 )
 from repro.lint.rules.functions import MutableDefaultRule, UnpicklableSubmitRule
+from repro.lint.rules.io import NonAtomicResultWriteRule
 from repro.lint.rules.numerics import FloatEqualityRule
 from repro.lint.rules.ordering import UnsortedIterationRule
 from repro.lint.rules.parameters import ParameterBoundsRule
@@ -43,6 +44,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnpicklableSubmitRule(),
     ParameterBoundsRule(),
     SwallowedExceptionRule(),
+    NonAtomicResultWriteRule(),
     UnguardedSharedMutationRule(),
     UnlockedLazyInitRule(),
     LockOrderRule(),

@@ -1,0 +1,140 @@
+"""RPL009 — non-atomic writes to result and journal files.
+
+A bare ``open(path, "w")`` truncates the destination before the new
+content lands: a crash (or SIGKILL — exactly the scenario the durability
+layer exists for) between the truncate and the final flush leaves a
+half-written or empty file where a previous, valid result used to be.
+``repro.util.serialization`` ships :func:`atomic_write_json` /
+:func:`atomic_write_text` / :func:`atomic_write_bytes`, which write to a
+temp file in the destination directory, fsync, and ``os.replace`` — the
+destination is always either the old content or the complete new one.
+Every result, report, and journal write must go through them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["NonAtomicResultWriteRule"]
+
+#: Substrings (lowercased) of names that mark a write target as a
+#: result/journal path.
+PATH_HINTS = ("result", "journal", "report", "history", "output")
+
+#: File extensions that mark a string-literal target as a result file.
+RESULT_EXTENSIONS = (".json", ".journal", ".seg", ".csv")
+
+#: Modes that truncate or create the destination in place.
+DESTRUCTIVE_MODES = ("w", "x", "+")
+
+
+def _is_result_target(node: ast.AST) -> bool:
+    """Does the write-target expression look like a result/journal path?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            text = sub.id.lower()
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr.lower()
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value.lower()
+            if text.endswith(RESULT_EXTENSIONS):
+                return True
+        else:
+            continue
+        if any(hint in text for hint in PATH_HINTS):
+            return True
+    return False
+
+
+def _open_mode(node: ast.Call) -> str:
+    """The mode a builtin ``open`` call uses (default ``"r"``)."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) > 1:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return "r" if mode is None else "?"
+
+
+class NonAtomicResultWriteRule(Rule):
+    """Flag bare writes to result/journal paths outside the atomic helper.
+
+    Covers the layers that produce durable artifacts — experiments,
+    tuning, faults, util, and ``benchmarks/``.  The durability package
+    and ``util/serialization.py`` are the sanctioned implementations
+    (framed fsync'd appends and the temp-file + ``os.replace`` dance)
+    and are excluded.
+
+    Three shapes are flagged when the target looks like a result path
+    (its name mentions result/journal/report/history/output, or a string
+    literal ends in ``.json``/``.journal``/``.seg``/``.csv``):
+
+    * ``open(target, "w"/"x"/"+...")`` — truncates before writing;
+    * ``target.write_text(...)`` / ``target.write_bytes(...)``;
+    * ``json.dump(obj, fh)`` — streams JSON through an already-open
+      handle, so a crash mid-dump leaves torn JSON on disk.
+    """
+
+    id = "RPL009"
+    name = "non-atomic-result-write"
+    severity = Severity.ERROR
+    path_markers = (
+        "repro/experiments/",
+        "repro/tuning/",
+        "repro/faults/",
+        "repro/parallel/",
+        "repro/util/",
+        "benchmarks/",
+    )
+    path_excludes = (
+        "repro/util/serialization.py",
+        "repro/durability/",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                if not node.args or not _is_result_target(node.args[0]):
+                    continue
+                mode = _open_mode(node)
+                if any(flag in mode for flag in DESTRUCTIVE_MODES):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"bare open(..., {mode!r}) truncates a result file "
+                        "in place; use repro.util.serialization."
+                        "atomic_write_text/json (temp file + os.replace) "
+                        "so a crash never destroys the previous result",
+                    )
+                continue
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                if _is_result_target(func.value):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{func.attr}' rewrites a result file in place; "
+                        "use repro.util.serialization.atomic_write_text/"
+                        "json so a crash never destroys the previous result",
+                    )
+                continue
+            if module.imports.resolve(func) == "json.dump":
+                yield self.finding(
+                    module,
+                    node,
+                    "'json.dump' streams through an open handle, so a "
+                    "crash mid-dump leaves torn JSON; serialize with "
+                    "json.dumps and write via repro.util.serialization."
+                    "atomic_write_json",
+                )

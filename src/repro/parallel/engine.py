@@ -35,6 +35,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Hashable, Optional, Sequence
 
+from repro.faults.engine import (
+    EngineFaultInjector,
+    FleetUnavailableError,
+    active_injector,
+)
 from repro.lint import sanitizer as _san
 from repro.model.analytic import AnalyticBackend
 from repro.model.base import MemoizedBackend, PerformanceBackend
@@ -47,7 +52,11 @@ from repro.parallel.store import (
 )
 from repro.parallel.vector import SolveRendezvous, run_gang
 
-__all__ = ["ENGINES", "resolve_engine", "SharedEngine"]
+__all__ = ["ENGINES", "FleetUnavailableError", "resolve_engine", "SharedEngine"]
+
+
+class _SlowWorkerTimeout(Exception):
+    """Injected virtual slow-worker deadline; the attempt is abandoned."""
 
 #: The ``--engine`` axis.  ``inline`` = always in-process and serial
 #: (jobs is ignored), ``process`` = PR 1's per-run process pool,
@@ -98,6 +107,9 @@ class SharedEngine:
     # Class-level by necessity: it guards singleton creation itself, is
     # held only for pointer swaps, and module import precedes any fork.
     _instance_lock = threading.Lock()  # repro: noqa[RPL106]
+    #: Directory for durable store segments (``--store-path``); set via
+    #: :meth:`configure` before the singleton is built.
+    _store_path: Optional[str] = None
 
     @classmethod
     def instance(cls) -> "SharedEngine":
@@ -108,16 +120,46 @@ class SharedEngine:
             return cls._instance
 
     @classmethod
+    def configure(cls, store_path: Optional[str] = None) -> None:
+        """Set invocation-wide engine options before first use.
+
+        ``store_path`` points the shared store at a durable segment
+        directory (:class:`~repro.durability.diskstore.StorePersistence`):
+        persisted entries are adopted at bring-up, new entries are
+        flushed after every run and at shutdown.  Must be called before
+        the singleton exists; :meth:`reset` clears it.
+        """
+        with cls._instance_lock:
+            if cls._instance is not None and cls._store_path != store_path:
+                raise RuntimeError(
+                    "SharedEngine.configure must run before the engine is "
+                    "built (call SharedEngine.reset() first)"
+                )
+            cls._store_path = store_path
+
+    @classmethod
     def reset(cls) -> None:
         """Tear down the singleton (tests; end of invocation)."""
         with cls._instance_lock:
             engine, cls._instance = cls._instance, None
+            cls._store_path = None
         if engine is not None:
             engine.shutdown()
 
     def __init__(self, worker: bool = False) -> None:
         self.store = SharedStore()
         self._worker = worker
+        # Durable store bring-up (parent only: workers reach the same
+        # entries through the Manager dict; the parent does the flushing).
+        self.persistence = None
+        if not worker and SharedEngine._store_path is not None:
+            from repro.durability.diskstore import StorePersistence
+
+            self.persistence = StorePersistence(SharedEngine._store_path)
+            entries = self.persistence.load()
+            if entries:
+                self.store.preload(entries)
+            self.store.quarantined += self.persistence.quarantined
         # Reentrant: backend() may be reached from a path already holding
         # the lock (e.g. fleet bring-up warming the backend).
         self._lock = _san.wrap_lock("SharedEngine._lock", threading.RLock())
@@ -156,19 +198,29 @@ class SharedEngine:
 
     # -- execution -------------------------------------------------------
     def run(
-        self, specs: Sequence[RunSpec], jobs: int
+        self,
+        specs: Sequence[RunSpec],
+        jobs: int,
+        faults: Optional[EngineFaultInjector] = None,
     ) -> tuple[dict[Hashable, Any], list[Optional[dict]]]:
         """Execute a validated plan; returns (results, cache-stat deltas).
 
         ``jobs > 1`` (with a multi-spec plan, outside a worker) uses the
         persistent fleet; everything else takes the vectorized in-process
         path.  Results are collated by spec key in plan order either way.
+        ``faults`` (default: the installed global plan) injects engine
+        failures; an unbuildable fleet surfaces as
+        :class:`FleetUnavailableError` for the executor's ladder.
         """
         with self._lock:
             self.runs += 1
-        if jobs > 1 and len(specs) > 1 and not self._worker:
-            return self._run_fleet(specs, jobs)
-        return self._run_vectorized(specs)
+        injector = faults if faults is not None else active_injector()
+        try:
+            if jobs > 1 and len(specs) > 1 and not self._worker:
+                return self._run_fleet(specs, jobs, injector)
+            return self._run_vectorized(specs)
+        finally:
+            self._flush_store(injector)
 
     def _run_vectorized(
         self, specs: Sequence[RunSpec]
@@ -194,22 +246,38 @@ class SharedEngine:
         return results, [capture.delta()]
 
     def _run_fleet(
-        self, specs: Sequence[RunSpec], jobs: int
+        self,
+        specs: Sequence[RunSpec],
+        jobs: int,
+        injector: Optional[EngineFaultInjector] = None,
     ) -> tuple[dict[Hashable, Any], list[Optional[dict]]]:
         from repro.parallel.executor import plan_chunksize
 
         workers = min(jobs, len(specs))
-        pool = self._ensure_fleet(workers)
+        pool = self._ensure_fleet(workers, injector)
         chunksize = plan_chunksize(len(specs), workers)
         results: dict[Hashable, Any] = {}
         parts: list[Optional[dict]] = []
+        verdict = injector.on_pool_run() if injector is not None else None
         try:
+            if verdict == "kill":
+                raise BrokenProcessPool("injected worker kill")
+            if verdict == "slow":
+                raise _SlowWorkerTimeout()
             mapped = list(pool.map(_fleet_execute, specs, chunksize=chunksize))
         except BrokenProcessPool:
             # A worker died (OOM, signal).  Specs are pure and idempotent,
-            # so rebuild the fleet once and retry the whole plan.
+            # so rebuild the fleet once and retry the whole plan.  If the
+            # rebuild itself fails, FleetUnavailableError propagates and
+            # the executor degrades to the process engine.
             self._teardown_pool(pool)
-            pool = self._ensure_fleet(workers)
+            if injector is not None:
+                injector.record_rebuild()
+            pool = self._ensure_fleet(workers, injector)
+            mapped = list(pool.map(_fleet_execute, specs, chunksize=chunksize))
+        except _SlowWorkerTimeout:
+            # The attempt blew its virtual deadline: abandon it and retry
+            # the plan on the same (healthy) fleet.
             mapped = list(pool.map(_fleet_execute, specs, chunksize=chunksize))
         for key, value, delta, shipped in mapped:
             results[key] = value
@@ -218,7 +286,9 @@ class SharedEngine:
         return {spec.key: results[spec.key] for spec in specs}, parts
 
     # -- fleet lifecycle -------------------------------------------------
-    def _ensure_fleet(self, workers: int) -> ProcessPoolExecutor:
+    def _ensure_fleet(
+        self, workers: int, injector: Optional[EngineFaultInjector] = None
+    ) -> ProcessPoolExecutor:
         """The live pool, grown to at least ``workers`` (built under lock).
 
         Returns a snapshot rather than leaving callers to re-read
@@ -230,23 +300,30 @@ class SharedEngine:
         """
         if self._worker:
             raise RuntimeError("fleet workers must not spawn nested fleets")
+        if injector is not None and injector.on_build():
+            raise FleetUnavailableError("injected fleet build failure")
         stale: Optional[ProcessPoolExecutor] = None
-        with self._lock:
-            if self._manager is None:
-                # One-time fleet bring-up: the fleet does not exist yet,
-                # so nothing can contend on these manager/store RPCs.
-                self._manager = multiprocessing.Manager()
-                self._remote = self._manager.dict()  # repro: noqa[RPL104]
-                self.store.attach(self._remote)  # repro: noqa[RPL104]
-            if self._pool is None or self._pool_workers < workers:
-                stale, self._pool = self._pool, None
-                self._pool_workers = max(self._pool_workers, workers)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self._pool_workers,
-                    initializer=_init_fleet_worker,
-                    initargs=(self._remote,),
-                )
-            pool = self._pool
+        try:
+            with self._lock:
+                if self._manager is None:
+                    # One-time fleet bring-up: the fleet does not exist
+                    # yet, so nothing can contend on these RPCs.
+                    self._manager = multiprocessing.Manager()
+                    self._remote = self._manager.dict()  # repro: noqa[RPL104]
+                    self.store.attach(self._remote)  # repro: noqa[RPL104]
+                if self._pool is None or self._pool_workers < workers:
+                    stale, self._pool = self._pool, None
+                    self._pool_workers = max(self._pool_workers, workers)
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self._pool_workers,
+                        initializer=_init_fleet_worker,
+                        initargs=(self._remote,),
+                    )
+                pool = self._pool
+        except OSError as exc:
+            # Real bring-up failure (fork refused, manager socket, fd
+            # exhaustion): same ladder as an injected one.
+            raise FleetUnavailableError(f"fleet bring-up failed: {exc}") from exc
         if stale is not None:
             stale.shutdown(wait=True)
         return pool
@@ -264,8 +341,25 @@ class SharedEngine:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _flush_store(
+        self, injector: Optional[EngineFaultInjector] = None
+    ) -> None:
+        """Persist not-yet-durable store entries (no-op without a path).
+
+        Called after every run and at shutdown, so a kill between runs
+        loses at most the entries of the in-flight run — which a resumed
+        run deterministically re-solves.
+        """
+        if self.persistence is None:
+            return
+        self.persistence.injector = (
+            injector if injector is not None else active_injector()
+        )
+        self.persistence.flush(self.store.snapshot())
+
     def shutdown(self) -> None:
         """Stop the fleet and the manager (the store reverts to nothing)."""
+        self._flush_store()
         self._teardown_pool()
         with self._lock:
             manager, self._manager = self._manager, None
@@ -285,6 +379,13 @@ class SharedEngine:
             "gang_max_width": float(self.gang_max_width),
         }
         out.update({f"store_{k}": v for k, v in sorted(self.store.stats().items())})
+        if self.persistence is not None:
+            out.update(
+                {
+                    f"persist_{k}": float(v)
+                    for k, v in sorted(self.persistence.stats().items())
+                }
+            )
         return out
 
 

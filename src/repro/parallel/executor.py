@@ -28,8 +28,14 @@ from __future__ import annotations
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Hashable, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Hashable, Optional, Sequence
 
+from repro.faults.engine import (
+    EngineFaultInjector,
+    FleetUnavailableError,
+    active_injector,
+)
 from repro.lint import sanitizer as _san
 from repro.parallel.plan import RunSpec, run_specs
 from repro.parallel.stats import CacheStatsCapture, merge_cache_stats
@@ -94,13 +100,26 @@ class ParallelExecutor:
         jobs: Optional[int] = 1,
         engine: Optional[str] = None,
         max_tasks_per_child: Optional[int] = None,
+        journal=None,
+        faults: Optional[EngineFaultInjector] = None,
     ) -> None:
         from repro.parallel.engine import resolve_engine
 
         self.jobs = resolve_jobs(jobs)
         self.engine = resolve_engine(engine)
         self.max_tasks_per_child = max_tasks_per_child
+        #: Optional :class:`~repro.durability.journal.ExperimentJournal`:
+        #: completed specs are served from it and fresh results are
+        #: committed to it as they stream in.
+        self.journal = journal
+        #: Explicit engine-fault injector (default: the installed global).
+        self.faults = faults
+        #: Ladder steps taken during the most recent run, in order.
+        self.degradations: list[str] = []
         self._stats_parts: list[Optional[dict]] = []
+
+    def _injector(self) -> Optional[EngineFaultInjector]:
+        return self.faults if self.faults is not None else active_injector()
 
     def run(self, specs: Sequence[RunSpec]) -> dict[Hashable, Any]:
         """Execute every spec; results keyed by spec key.
@@ -108,38 +127,131 @@ class ParallelExecutor:
         The returned dict's iteration order is submission order at every
         engine/jobs setting (workers may *finish* in any order; collation
         re-imposes the plan's order).
+
+        With a journal, specs already committed by a previous (killed)
+        run are served from it — value and cache-stat delta alike — and
+        only the remainder executes.  When the requested engine cannot
+        deliver (fleet unbuildable, pool broken), the run *degrades*
+        shared → process → inline instead of aborting: specs are pure, so
+        a simpler engine produces identical results, just slower.
         """
         specs = list(specs)
         run_specs(specs)
         self._stats_parts = []
+        self.degradations = []
         if not specs:
             return {}
-        if self.engine == "shared":
-            from repro.parallel.engine import SharedEngine
-
-            results, parts = SharedEngine.instance().run(specs, self.jobs)
-            self._stats_parts = parts
-            return results
-        if self.engine == "inline" or self.jobs == 1 or len(specs) == 1:
-            results = {}
+        journal = self.journal
+        collated: dict[Hashable, Any] = {}
+        pending: list[RunSpec] = []
+        if journal is not None:
             for spec in specs:
-                with CacheStatsCapture() as capture:
-                    results[spec.key] = spec.execute()
-                self._stats_parts.append(capture.delta())
-            return results
-        results = {}
-        workers = min(self.jobs, len(specs))
+                hit = journal.get(spec.key)
+                if hit is None:
+                    pending.append(spec)
+                else:
+                    collated[spec.key] = hit[0]
+                    self._stats_parts.append(hit[1])
+        else:
+            pending = specs
+
+        def commit(key: Hashable, value: Any, delta: Optional[dict]) -> None:
+            collated[key] = value
+            self._stats_parts.append(delta)
+            if journal is not None:
+                journal.put(key, value, delta)
+
+        if pending:
+            engine = self.engine
+            if engine == "shared":
+                try:
+                    self._run_shared(pending, commit)
+                except FleetUnavailableError:
+                    engine = self._degrade("shared->process")
+            if engine == "process" and not (
+                self.jobs == 1 or len(pending) == 1
+            ):
+                try:
+                    self._run_pool(
+                        [s for s in pending if s.key not in collated], commit
+                    )
+                except (FleetUnavailableError, BrokenProcessPool, OSError):
+                    engine = self._degrade("process->inline")
+            if engine in ("process", "inline"):
+                self._run_inline(
+                    [s for s in pending if s.key not in collated], commit
+                )
+        return {spec.key: collated[spec.key] for spec in specs}
+
+    def _degrade(self, step: str) -> str:
+        """Take one rung of the ladder; returns the new engine name."""
+        self.degradations.append(step)
+        injector = self._injector()
+        if injector is not None:
+            injector.record_degradation(step)
+        return step.split("->", 1)[1]
+
+    def _run_shared(
+        self,
+        pending: Sequence[RunSpec],
+        commit: Callable[[Hashable, Any, Optional[dict]], None],
+    ) -> None:
+        from repro.parallel.engine import SharedEngine
+
+        results, parts = SharedEngine.instance().run(
+            pending, self.jobs, faults=self.faults
+        )
+        aligned = parts if len(parts) == len(pending) else None
+        for i, spec in enumerate(pending):
+            commit(spec.key, results[spec.key], aligned[i] if aligned else None)
+        if aligned is None:
+            # The vectorized gang path captures one aggregate delta for
+            # the whole plan; keep it for cache_stats (journal records
+            # carry None — replaying them cannot re-split the aggregate).
+            self._stats_parts.extend(parts)
+
+    def _run_pool(
+        self,
+        pending: Sequence[RunSpec],
+        commit: Callable[[Hashable, Any, Optional[dict]], None],
+    ) -> None:
+        injector = self._injector()
+        if injector is not None and injector.on_build():
+            raise FleetUnavailableError("injected process-pool build failure")
+        workers = min(self.jobs, len(pending))
+        verdict = injector.on_pool_run() if injector is not None else None
         with ProcessPoolExecutor(
             max_workers=workers,
             **_max_tasks_per_child_kwargs(self.max_tasks_per_child),
         ) as pool:
+            if verdict == "kill":
+                # This engine has no rebuild (the pool is per-run); a
+                # killed worker drops the run to the inline rung.
+                raise BrokenProcessPool("injected worker kill")
             for key, value, delta, shipped in pool.map(
-                _execute, specs, chunksize=plan_chunksize(len(specs), workers)
+                _execute, pending, chunksize=plan_chunksize(len(pending), workers)
             ):
-                results[key] = value
-                self._stats_parts.append(delta)
+                commit(key, value, delta)
                 _san.absorb(shipped)
-        return {spec.key: results[spec.key] for spec in specs}
+
+    def _run_inline(
+        self,
+        pending: Sequence[RunSpec],
+        commit: Callable[[Hashable, Any, Optional[dict]], None],
+    ) -> None:
+        for spec in pending:
+            with CacheStatsCapture() as capture:
+                value = spec.execute()
+            commit(spec.key, value, capture.delta())
+
+    def close(self) -> None:
+        """Release the journal's file handle, if one is attached.
+
+        Idempotent; drivers call it once their last plan has run so a
+        follow-up ``--resume`` (or a test) can reopen the file.
+        """
+        if self.journal is not None:
+            self.journal.close()
 
     @property
     def cache_stats(self) -> Optional[dict[str, float]]:

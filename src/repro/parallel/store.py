@@ -63,6 +63,8 @@ class SharedStore:
         self._puts = 0
         self.hits = 0
         self.misses = 0
+        #: Corrupt persisted entries dropped on load (never served).
+        self.quarantined = 0
 
     @property
     def attached(self) -> bool:
@@ -87,6 +89,26 @@ class SharedStore:
                 remote.update(self._data)  # repro: noqa[RPL104]
             self._data = remote
             self._attached = True
+
+    def preload(self, entries: Mapping) -> int:
+        """Seed the store from a persisted snapshot (before any fleet).
+
+        Used by :class:`~repro.durability.diskstore.StorePersistence` at
+        engine bring-up; runs before :meth:`attach`, so this is a plain
+        local-dict bulk insert.  Returns the number of entries adopted.
+        """
+        with self._lock:
+            self._data.update(entries)
+        return len(entries)
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of the backing mapping (for persistence).
+
+        One bulk IPC round-trip when attached; entries are deterministic
+        per key, so a copy racing writers is merely missing the newest
+        entries, never torn.
+        """
+        return dict(self._mapping())
 
     def _mapping(self) -> MutableMapping:
         """A stable snapshot of the backing mapping for one operation.
@@ -151,6 +173,7 @@ class SharedStore:
                 "hits": float(self.hits),
                 "misses": float(self.misses),
                 "attached": float(self._attached),
+                "quarantined": float(self.quarantined),
             }
 
     def __len__(self) -> int:

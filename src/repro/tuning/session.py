@@ -88,6 +88,7 @@ class ClusterTuningSession:
         speculate: bool = False,
         speculate_jobs: int = 1,
         speculate_engine: Optional[str] = None,
+        journal=None,
     ) -> None:
         if on_measure_error not in ("raise", "penalize"):
             raise ValueError(
@@ -120,6 +121,15 @@ class ClusterTuningSession:
         self.runner = IterationRunner(
             backend, self.scenario, seed=seed, spec=iteration_spec
         )
+        # Crash-safe checkpointing: a SessionJournal turns the runner into
+        # a write-ahead-logged one.  Every outcome the session acts on is
+        # fsync'd first; on --resume the journal replays those outcomes
+        # and the session state reconstructs bit-identically.
+        self.journal = journal
+        if journal is not None:
+            from repro.durability.journal import JournaledRunner
+
+            self.runner = JournaledRunner(self.runner, journal)
         self.history = TuningHistory()
         # Speculative lookahead: enumerate each group's possible next asks
         # and warm the backend's deterministic caches in one batch per
@@ -208,6 +218,10 @@ class ClusterTuningSession:
             self.speculator.scheme = new_scheme
             self.speculator.reset()
 
+    def _replaying(self) -> bool:
+        """True while a resumed run is consuming journaled outcomes."""
+        return self.journal is not None and self.journal.replaying
+
     def group_history(self, group_id: str) -> TuningHistory:
         """One group's tuning history (its own fetch/report stream)."""
         return self.server.history(group_id)
@@ -243,10 +257,12 @@ class ClusterTuningSession:
             # measurement so the strategy moves on immediately.
             self.resilience_stats.quarantine_hits += 1
             return self._penalize(full)
-        if self.speculator is not None:
+        if self.speculator is not None and not self._replaying():
             # Warm the deterministic caches for this step's configuration
             # plus every candidate the strategies could ask next, in one
             # fused batch.  Prefetching never changes measured values.
+            # (During journal replay nothing is measured, so warming would
+            # only waste the solves the journal exists to avoid.)
             self.speculator.prefetch(self.scenario, fragments)
         attempt = 0
         while True:

@@ -10,13 +10,18 @@ Harmony server writes).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import IO, Iterable, Union
+import tempfile
+from typing import IO, Any, Iterable, Union
 
 from repro.harmony.history import TuningHistory
 from repro.harmony.parameter import Configuration
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
     "configuration_to_json",
     "configuration_from_json",
     "save_configuration",
@@ -26,6 +31,51 @@ __all__ = [
 ]
 
 PathLike = Union[str, pathlib.Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader (or a resumed run) either sees the previous complete file or
+    the new complete file — never a torn half-write from a process killed
+    mid-``write``.  The temp file lives in the destination directory so the
+    rename cannot cross filesystems; it is fsync'd before the swap so the
+    rename never publishes unflushed data.
+    """
+    target = pathlib.Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically write ``text`` (UTF-8) to ``path``."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: Any,
+    *,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Atomically write ``payload`` as a JSON document (trailing newline)."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    )
 
 
 def configuration_to_json(config: Configuration, indent: int | None = 2) -> str:
@@ -52,7 +102,7 @@ def configuration_from_json(text: str) -> Configuration:
 
 def save_configuration(config: Configuration, path: PathLike) -> None:
     """Write a configuration to ``path`` as JSON."""
-    pathlib.Path(path).write_text(configuration_to_json(config) + "\n")
+    atomic_write_text(path, configuration_to_json(config) + "\n")
 
 
 def load_configuration(path: PathLike) -> Configuration:
@@ -78,9 +128,8 @@ def save_history(history: TuningHistory, path_or_file: PathLike | IO[str]) -> No
         for line in _history_lines(history):
             path_or_file.write(line + "\n")  # type: ignore[union-attr]
         return
-    with open(path_or_file, "w") as fh:  # type: ignore[arg-type]
-        for line in _history_lines(history):
-            fh.write(line + "\n")
+    text = "".join(line + "\n" for line in _history_lines(history))
+    atomic_write_text(path_or_file, text)  # type: ignore[arg-type]
 
 
 def load_history(path_or_file: PathLike | IO[str]) -> TuningHistory:

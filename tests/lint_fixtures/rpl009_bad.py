@@ -1,0 +1,14 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL009 positive fixture: bare, tearable writes to result files."""
+import json
+from pathlib import Path
+
+RESULT_PATH = Path("results/example.json")
+
+
+def save(payload, journal_path):
+    RESULT_PATH.write_text(json.dumps(payload))
+    with open(journal_path, "w") as fh:
+        json.dump(payload, fh)
+    with open("report.json", "wb") as fh:
+        fh.write(b"{}")

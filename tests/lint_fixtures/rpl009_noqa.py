@@ -1,0 +1,8 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL009 suppression fixture."""
+import json
+
+
+def save(payload, result_path):
+    with open(result_path, "w") as fh:  # repro: noqa[RPL009] -- debug dump
+        json.dump(payload, fh)  # repro: noqa[RPL009] -- debug dump

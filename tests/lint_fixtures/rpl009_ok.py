@@ -1,0 +1,17 @@
+# lint-path: src/repro/experiments/example.py
+"""RPL009 negative fixture: atomic helpers and read-only access."""
+import json
+
+from repro.util.serialization import atomic_write_json, atomic_write_text
+
+
+def save(payload, result_path, history_path):
+    atomic_write_json(result_path, payload)
+    atomic_write_text(history_path, json.dumps(payload) + "\n")
+    with open(result_path, "r", encoding="utf-8") as fh:  # reading is fine
+        return json.load(fh)
+
+
+def scratch(payload):
+    with open("scratch.tmp", "w") as fh:  # not a result path
+        fh.write(repr(payload))

@@ -130,6 +130,59 @@ class TestFaultsCli:
         out = capsys.readouterr().out
         assert "WIPS under failure (resilient)" in out
         assert "time to recover" in out
+        assert "resume bit-identical" in out
+        assert "degradation ladder" in out
+
+
+class TestDurabilityCli:
+    ARGS = ["tune", "--mix", "shopping", "--iterations", "8",
+            "--population", "400"]
+
+    def test_tune_journal_then_resume_is_stdout_identical(
+        self, tmp_path, capsys
+    ):
+        rc = main(list(self.ARGS))
+        assert rc == 0
+        plain = capsys.readouterr().out
+        journal = tmp_path / "run.journal"
+        rc = main(self.ARGS + ["--journal", str(journal)])
+        assert rc == 0
+        assert capsys.readouterr().out == plain
+        rc = main(self.ARGS + ["--resume", str(journal)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "resumed from" in captured.err
+
+    def test_fresh_run_refuses_an_existing_journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.journal"
+        assert main(self.ARGS + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        rc = main(self.ARGS + ["--journal", str(journal)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_under_different_flags_fails_loudly(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        assert main(self.ARGS + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        rc = main([
+            "tune", "--mix", "browsing", "--iterations", "8",
+            "--population", "400", "--resume", str(journal),
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_journal_rejected_for_non_fanout_experiment(
+        self, tmp_path, capsys
+    ):
+        rc = main([
+            "experiment", "chaos", "--journal", str(tmp_path / "c.journal"),
+        ])
+        assert rc == 2
+        assert "fan-out" in capsys.readouterr().err
 
 
 class TestScaleCli:

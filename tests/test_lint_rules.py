@@ -33,6 +33,7 @@ EXPECTED_BAD = {
     "rpl006_bad": ("RPL006", 3),
     "rpl007_bad": ("RPL007", 4),
     "rpl008_bad": ("RPL008", 2),
+    "rpl009_bad": ("RPL009", 4),
     "rpl101_bad": ("RPL101", 3),
     "rpl102_bad": ("RPL102", 2),
     "rpl103_bad": ("RPL103", 1),
