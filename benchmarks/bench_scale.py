@@ -72,6 +72,7 @@ def _canonical(result) -> str:
                 mode: [row.wips, row.relative_error]
                 for mode, row in sorted(result.agreement.items())
             },
+            "des": [result.des_wips, result.des_over_exact_ratio],
             "trajectory": list(result.history.performances()),
         },
         sort_keys=True,
@@ -146,6 +147,9 @@ def test_scale_axis(report):
     assert r_inline.population == 1_000_000
     assert r_inline.fluid == 1.0
     assert r_inline.aggregated_nodes == r_inline.num_nodes - 3
+    # Raised DES validation arm: wide(4, 4, 2) at the agreement
+    # population, cross-checked against the exact analytic row.
+    assert 0.9 <= r_inline.des_over_exact_ratio <= 1.1
 
     payload = {
         "schema": "bench_scale/v1",
@@ -185,6 +189,11 @@ def test_scale_axis(report):
             "baseline_wips": round(r_inline.baseline_wips, 4),
             "tuned_wips": round(r_inline.tuned_wips, 4),
             "improvement": round(r_inline.improvement, 6),
+            "des_cluster": "wide(4, 4, 2)",
+            "des_population": r_inline.des_population,
+            "des_wips": round(r_inline.des_wips, 4),
+            "des_over_exact_ratio": round(r_inline.des_over_exact_ratio, 4),
+            "des_band": [0.9, 1.1],
             "inline_jobs1_seconds": round(t_inline, 3),
             "process_jobs2_seconds": round(t_process, 3),
             "shared_jobs2_seconds": round(t_shared, 3),

@@ -287,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "record simulator observability diagnostics (event counts, "
+            "RNG draw accounting, per-phase wall-clock) in the DES arms; "
+            "results are bit-identical either way"
+        ),
+    )
+    p.add_argument(
         "--faults", metavar="PLAN.json",
         help=(
             "fault-plan JSON for the chaos experiment "
@@ -310,6 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--time-scale", type=float, default=0.06,
         help="DES iteration scale (1.0 = the paper's 1200 s cycle)",
+    )
+    p.add_argument(
+        "--replications", type=int, default=1,
+        help=(
+            "independent seed-derived DES replications merged by batch "
+            "means (R>1 adds a confidence interval; default 1)"
+        ),
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print simulator observability diagnostics (event counts, "
+            "RNG draw accounting, per-phase wall-clock)"
+        ),
     )
 
     p = sub.add_parser(
@@ -509,6 +531,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         jobs=jobs,
         memoize=not args.no_cache,
         speculate=args.speculate,
+        profile=getattr(args, "profile", False),
         engine=_resolve_engine(args.name, args.engine, jobs),
         journal=args.resume or args.journal,
         resume=bool(args.resume),
@@ -570,6 +593,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.to_table())
         print()
         print(result.agreement_table())
+        if result.des_profile:
+            print()
+            print("DES validation arm profile:")
+            for key, value in result.des_profile.items():
+                print(f"  {key[len('profile.'):]:<24} {value:,.6g}")
     elif args.name == "chaos":
         from repro.experiments import chaos
         from repro.faults import FaultPlan, ResiliencePolicy
@@ -598,7 +626,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     cfg = scenario.cluster.default_configuration()
     analytic = _backend(args, scenario, noise=NoiseModel(0.0, 0.0, 0.0))
-    des = SimulationBackend(time_scale=args.time_scale)
+    des = SimulationBackend(
+        time_scale=args.time_scale,
+        replications=args.replications,
+        profile=args.profile,
+    )
     m_ana = analytic.measure(scenario, cfg, seed=args.seed)
     m_des = des.measure(scenario, cfg, seed=args.seed)
     ratio = m_des.wips / m_ana.wips
@@ -607,6 +639,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"DES {m_des.wips:.1f} WIPS vs analytic {m_ana.wips:.1f} WIPS "
         f"(ratio {ratio:.3f})"
     )
+    ci = m_des.diagnostics.get("replication.wips_ci95")
+    if ci is not None:
+        count = int(m_des.diagnostics.get("replication.count", 0))
+        print(
+            f"{count} replications: "
+            f"DES {m_des.wips:.1f} +/- {ci:.1f} WIPS (95% CI)"
+        )
+    if args.profile:
+        print("profile:")
+        for key in sorted(m_des.diagnostics):
+            if key.startswith("profile."):
+                value = m_des.diagnostics[key]
+                print(f"  {key[len('profile.'):]:<24} {value:,.6g}")
     ok = 0.85 <= ratio <= 1.15
     print("backends agree within 15%" if ok else "DISAGREEMENT beyond 15%")
     return 0 if ok else 1

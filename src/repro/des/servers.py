@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.cluster.appserver import AppServerModel
 from repro.cluster.context import WorkloadContext
 from repro.cluster.database import DatabaseModel
@@ -26,6 +24,7 @@ from repro.cluster.proxy import ProxyModel
 from repro.sim.core import Environment
 from repro.sim.resources import QueueFullError, Resource
 from repro.tpcw.profiles import InteractionProfile
+from repro.util.rng import RandomSource
 from repro.util.stats import RunningStats
 
 __all__ = ["NodeSim", "ProxyServerSim", "AppServerSim", "DbServerSim"]
@@ -64,27 +63,36 @@ class NodeSim:
         self.nic_bytes = 0.0
         self.latency = RunningStats()
 
-    def _sample(self, rng: np.random.Generator, mean: float) -> float:
+    def _sample(self, rng: RandomSource, mean: float) -> float:
         """Exponential service time around ``mean`` with the swap penalty."""
         if mean <= 0.0:
             return 0.0
         return float(rng.exponential(mean)) * self.memory_penalty
 
-    def use_cpu(self, rng: np.random.Generator, mean_seconds: float):
-        """Hold one CPU core for a sampled service time (generator)."""
+    def use_cpu(self, rng: RandomSource, mean_seconds: float):
+        """Hold one CPU core for a sampled service time (generator).
+
+        The per-request flows below inline this body (acquire, sampled
+        delay, release) rather than ``yield from`` it: each delegation
+        level costs a frame hop on every kernel resume, and these sites
+        sit on the hot path.  The helper remains for non-critical
+        callers and tests.
+        """
         req = self.cpu.acquire()
         yield req
         try:
-            yield self.env.timeout(self._sample(rng, mean_seconds))
+            # A bare float yield is a delay (kernel fast path): no
+            # Timeout object on the dominant service-time pattern.
+            yield self._sample(rng, mean_seconds)
         finally:
             req.release()
 
-    def use_disk(self, rng: np.random.Generator, mean_seconds: float):
+    def use_disk(self, rng: RandomSource, mean_seconds: float):
         """Hold the disk for a sampled service time (generator)."""
         req = self.disk.acquire()
         yield req
         try:
-            yield self.env.timeout(self._sample(rng, mean_seconds))
+            yield self._sample(rng, mean_seconds)
         finally:
             req.release()
 
@@ -121,7 +129,7 @@ class ProxyServerSim(NodeSim):
         )
         self.mean_obj = ctx.catalog.mean_object_bytes()
 
-    def classify(self, rng: np.random.Generator) -> str:
+    def classify(self, rng: RandomSource) -> str:
         """Draw the cache outcome for one static object request."""
         u = rng.random()
         if u < self.mem_hit:
@@ -130,47 +138,84 @@ class ProxyServerSim(NodeSim):
             return "disk"
         return "miss"
 
-    def serve_static(self, rng: np.random.Generator, size: float):
+    def serve_static(self, rng: RandomSource, size: float):
         """Serve one static object; returns the outcome ("mem"/"disk"/"miss").
 
         On a miss the caller forwards to the application tier and then calls
         :meth:`relay` for the response path.
         """
         m = self.model
+        cpu = self.cpu
         outcome = self.classify(rng)
-        yield from self.use_cpu(rng, m.PARSE_CPU + self.lookup_cpu)
+        # use_cpu/use_disk inlined (see NodeSim.use_cpu).
+        req = cpu.acquire()
+        yield req
+        try:
+            yield self._sample(rng, m.PARSE_CPU + self.lookup_cpu)
+        finally:
+            req.release()
         if outcome == "mem":
-            yield from self.use_cpu(rng, size / m.MEM_COPY_RATE)
+            req = cpu.acquire()
+            yield req
+            try:
+                yield self._sample(rng, size / m.MEM_COPY_RATE)
+            finally:
+                req.release()
         elif outcome == "disk":
-            yield from self.use_cpu(rng, m.DISK_HIT_CPU)
+            req = cpu.acquire()
+            yield req
+            try:
+                yield self._sample(rng, m.DISK_HIT_CPU)
+            finally:
+                req.release()
             if rng.random() < m.DISK_HIT_IO_PROB:
-                yield from self.use_disk(
-                    rng, self.spec.disk_seconds(size, accesses=1.0)
-                )
+                req = self.disk.acquire()
+                yield req
+                try:
+                    yield self._sample(
+                        rng, self.spec.disk_seconds(size, accesses=1.0)
+                    )
+                finally:
+                    req.release()
         self.account_nic(size + 600.0)
         return outcome
 
-    def accept_page(self, rng: np.random.Generator, cacheable: bool):
+    def accept_page(self, rng: RandomSource, cacheable: bool):
         """Handle a page request; returns True if served from cache."""
         m = self.model
-        yield from self.use_cpu(rng, m.PARSE_CPU + self.lookup_cpu)
+        req = self.cpu.acquire()
+        yield req
+        try:
+            yield self._sample(rng, m.PARSE_CPU + self.lookup_cpu)
+        finally:
+            req.release()
         if cacheable:
             outcome = self.classify(rng)
             if outcome != "miss":
                 if outcome == "disk" and rng.random() < m.DISK_HIT_IO_PROB:
-                    yield from self.use_disk(
-                        rng,
-                        self.spec.disk_seconds(
-                            self.ctx.profile.response_bytes, accesses=1.0
-                        ),
-                    )
+                    req = self.disk.acquire()
+                    yield req
+                    try:
+                        yield self._sample(
+                            rng,
+                            self.spec.disk_seconds(
+                                self.ctx.profile.response_bytes, accesses=1.0
+                            ),
+                        )
+                    finally:
+                        req.release()
                 return True
         return False
 
-    def relay(self, rng: np.random.Generator, size: float):
+    def relay(self, rng: RandomSource, size: float):
         """Relay a response fetched from the application tier."""
         m = self.model
-        yield from self.use_cpu(rng, m.FORWARD_CPU + size / m.MEM_COPY_RATE)
+        req = self.cpu.acquire()
+        yield req
+        try:
+            yield self._sample(rng, m.FORWARD_CPU + size / m.MEM_COPY_RATE)
+        finally:
+            req.release()
         self.account_nic(2.0 * size + 600.0)
 
 
@@ -199,7 +244,7 @@ class AppServerSim(NodeSim):
         )
         self.mean_obj = ctx.catalog.mean_object_bytes()
 
-    def _spawn_cost(self, rng: np.random.Generator) -> float:
+    def _spawn_cost(self, rng: RandomSource) -> float:
         """Thread-churn cost: spawning when the warm pool is exceeded."""
         m = self.model
         warm = float(self.cfg["minProcessors"])
@@ -209,28 +254,39 @@ class AppServerSim(NodeSim):
         prob = self.ctx.burstiness * (busy - warm) / max(busy, 1.0) * 0.25
         return m.SPAWN_CPU if rng.random() < prob else 0.0
 
-    def serve_static(self, rng: np.random.Generator, size: float):
+    def serve_static(self, rng: RandomSource, size: float):
         """Serve a proxy cache miss from the servlet container's files."""
         m = self.model
         req = self.http_pool.acquire()
         yield req  # raises QueueFullError via the event if the backlog is full
         try:
             spawn = self._spawn_cost(rng)
-            yield from self.use_cpu(
-                rng,
-                m.PARSE_CPU + m.STATIC_SERVE_CPU + size / m.FILE_COPY_RATE + spawn,
-            )
-            if rng.random() < m.STATIC_DISK_ACCESS_PROB:
-                yield from self.use_disk(
-                    rng, self.spec.disk_seconds(size, accesses=1.0)
+            cpu_req = self.cpu.acquire()
+            yield cpu_req
+            try:
+                yield self._sample(
+                    rng,
+                    m.PARSE_CPU + m.STATIC_SERVE_CPU
+                    + size / m.FILE_COPY_RATE + spawn,
                 )
+            finally:
+                cpu_req.release()
+            if rng.random() < m.STATIC_DISK_ACCESS_PROB:
+                disk_req = self.disk.acquire()
+                yield disk_req
+                try:
+                    yield self._sample(
+                        rng, self.spec.disk_seconds(size, accesses=1.0)
+                    )
+                finally:
+                    disk_req.release()
             self.account_nic(size + 600.0)
         finally:
             req.release()
 
     def serve_page(
         self,
-        rng: np.random.Generator,
+        rng: RandomSource,
         profile: InteractionProfile,
         db_call,  # generator factory: () -> generator running the DB work
     ):
@@ -240,17 +296,27 @@ class AppServerSim(NodeSim):
         yield http
         try:
             spawn = self._spawn_cost(rng)
-            yield from self.use_cpu(rng, m.PARSE_CPU + spawn)
+            req = self.cpu.acquire()
+            yield req
+            try:
+                yield self._sample(rng, m.PARSE_CPU + spawn)
+            finally:
+                req.release()
             ajp = self.ajp_pool.acquire()
             yield ajp
             try:
                 syscalls = math.ceil(profile.response_bytes / self.cfg["bufferSize"])
-                yield from self.use_cpu(
-                    rng,
-                    profile.app_cpu
-                    + m.AJP_RELAY_CPU
-                    + syscalls * m.WRITE_SYSCALL_CPU,
-                )
+                req = self.cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(
+                        rng,
+                        profile.app_cpu
+                        + m.AJP_RELAY_CPU
+                        + syscalls * m.WRITE_SYSCALL_CPU,
+                    )
+                finally:
+                    req.release()
                 if db_call is not None:
                     yield from db_call()
             finally:
@@ -306,71 +372,150 @@ class DbServerSim(NodeSim):
         )
 
     @staticmethod
-    def _count(rng: np.random.Generator, mean: float) -> int:
-        """Integerize a fractional per-page operation count."""
-        base = int(mean)
-        return base + (1 if rng.random() < mean - base else 0)
+    def _count(u: float, mean: float) -> int:
+        """Integerize a fractional per-page operation count.
 
-    def run_queries(self, rng: np.random.Generator, profile: InteractionProfile):
+        ``u`` is a pre-drawn uniform — the four per-page counts consume
+        one site-directed block of four (stream-identical to four scalar
+        draws).
+        """
+        base = int(mean)
+        return base + (1 if u < mean - base else 0)
+
+    def run_queries(self, rng: RandomSource, profile: InteractionProfile):
         """Execute one dynamic page's database work inside one connection."""
         m = self.model
         conn = self.conn_pool.acquire()
         yield conn
         try:
             # Connection churn: thread-cache miss pays setup CPU.
+            cpu = self.cpu
+            disk = self.disk
             conc = max(float(self.conn_pool.in_service), 1.0)
             cache_hit = min(1.0, self.cfg["thread_con"] / conc)
             if rng.random() < m.CONN_CHURN_PER_PAGE * (1.0 - cache_hit):
-                yield from self.use_cpu(rng, m.CONN_SETUP_CPU)
+                req = cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(rng, m.CONN_SETUP_CPU)
+                finally:
+                    req.release()
 
-            reads = self._count(rng, profile.db_queries)
-            heavy = self._count(rng, profile.db_heavy_queries)
-            writes = self._count(rng, profile.db_writes)
-            inserts = self._count(rng, profile.db_inserts)
+            u = rng.random(4)
+            reads = self._count(u[0], profile.db_queries)
+            heavy = self._count(u[1], profile.db_heavy_queries)
+            writes = self._count(u[2], profile.db_writes)
+            inserts = self._count(u[3], profile.db_inserts)
 
+            # use_cpu/use_disk inlined throughout (see NodeSim.use_cpu).
             for _ in range(reads):
                 cost = m.QUERY_CPU * self.reader_factor
                 if rng.random() < self.table_miss:
                     cost += m.TABLE_OPEN_CPU
                     if rng.random() < m.TABLE_OPEN_DISK_PROB:
-                        yield from self.use_disk(
-                            rng, self.spec.disk_seconds(4096, accesses=1.0)
-                        )
-                yield from self.use_cpu(rng, cost)
+                        req = disk.acquire()
+                        yield req
+                        try:
+                            yield self._sample(
+                                rng, self.spec.disk_seconds(4096, accesses=1.0)
+                            )
+                        finally:
+                            req.release()
+                req = cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(rng, cost)
+                finally:
+                    req.release()
                 if rng.random() < m.READ_MISS_PROB:
-                    yield from self.use_disk(
-                        rng, self.spec.disk_seconds(m.READ_MISS_BYTES, accesses=1.0)
-                    )
+                    req = disk.acquire()
+                    yield req
+                    try:
+                        yield self._sample(
+                            rng,
+                            self.spec.disk_seconds(
+                                m.READ_MISS_BYTES, accesses=1.0
+                            ),
+                        )
+                    finally:
+                        req.release()
             for _ in range(heavy):
-                yield from self.use_cpu(rng, m.HEAVY_QUERY_CPU * self.join_factor)
-                yield from self.use_disk(
-                    rng, self.spec.disk_seconds(m.HEAVY_SCAN_BYTES, accesses=0.6)
-                )
-            for _ in range(writes):
-                yield from self.use_cpu(rng, m.WRITE_CPU)
-                yield from self.use_disk(
-                    rng,
-                    self.spec.disk_seconds(4096, accesses=m.WRITE_LOG_ACCESSES),
-                )
-                if rng.random() < self.binlog_spill:
-                    yield from self.use_disk(
-                        rng,
-                        self.spec.disk_seconds(m.BINLOG_RECORD_MEAN, accesses=1.0),
+                req = cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(
+                        rng, m.HEAVY_QUERY_CPU * self.join_factor
                     )
-            for _ in range(inserts):
-                yield from self.use_cpu(rng, m.INSERT_CPU)
-                # Delayed-insert batching amortizes the disk write.
-                if rng.random() < 1.0 / self.batch:
-                    yield from self.use_disk(
+                finally:
+                    req.release()
+                req = disk.acquire()
+                yield req
+                try:
+                    yield self._sample(
+                        rng,
+                        self.spec.disk_seconds(m.HEAVY_SCAN_BYTES, accesses=0.6),
+                    )
+                finally:
+                    req.release()
+            for _ in range(writes):
+                req = cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(rng, m.WRITE_CPU)
+                finally:
+                    req.release()
+                req = disk.acquire()
+                yield req
+                try:
+                    yield self._sample(
                         rng,
                         self.spec.disk_seconds(
-                            4096, accesses=m.INSERT_DISK_ACCESS
+                            4096, accesses=m.WRITE_LOG_ACCESSES
                         ),
                     )
+                finally:
+                    req.release()
+                if rng.random() < self.binlog_spill:
+                    req = disk.acquire()
+                    yield req
+                    try:
+                        yield self._sample(
+                            rng,
+                            self.spec.disk_seconds(
+                                m.BINLOG_RECORD_MEAN, accesses=1.0
+                            ),
+                        )
+                    finally:
+                        req.release()
+            for _ in range(inserts):
+                req = cpu.acquire()
+                yield req
+                try:
+                    yield self._sample(rng, m.INSERT_CPU)
+                finally:
+                    req.release()
+                # Delayed-insert batching amortizes the disk write.
+                if rng.random() < 1.0 / self.batch:
+                    req = disk.acquire()
+                    yield req
+                    try:
+                        yield self._sample(
+                            rng,
+                            self.spec.disk_seconds(
+                                4096, accesses=m.INSERT_DISK_ACCESS
+                            ),
+                        )
+                    finally:
+                        req.release()
             syscalls = math.ceil(
                 max(profile.db_result_bytes, 1.0) / self.cfg["net_buffer_length"]
             )
-            yield from self.use_cpu(rng, syscalls * m.WRITE_SYSCALL_CPU)
+            req = cpu.acquire()
+            yield req
+            try:
+                yield self._sample(rng, syscalls * m.WRITE_SYSCALL_CPU)
+            finally:
+                req.release()
             self.account_nic(profile.db_result_bytes + 400.0)
         finally:
             conn.release()

@@ -57,6 +57,11 @@ class ExperimentConfig:
     #: Speculatively prefetch the tuning loop's lookahead frontier
     #: (the ``--speculate`` switch; results are bit-identical either way).
     speculate: bool = False
+    #: Record simulator observability diagnostics (event counts, RNG draw
+    #: accounting, per-phase wall-clock) in the DES arms' measurements
+    #: (the ``--profile`` switch).  Analytic measurements are unaffected
+    #: and results are bit-identical either way.
+    profile: bool = False
     #: Execution engine for the run plan (the ``--engine`` axis):
     #: ``inline`` (serial in-process), ``process`` (per-run pool, the
     #: default) or ``shared`` (persistent fleet + cross-run shared cache).

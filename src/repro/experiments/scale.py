@@ -11,7 +11,13 @@ tiers behind a load balancer:
 * a small-topology **agreement arm** measures the same default
   configuration under every forced approximation mode with noise
   disabled, reporting each mode's relative error against the exact
-  per-node Schweitzer solve.
+  per-node Schweitzer solve,
+* a **DES validation arm** replays the agreement topology through the
+  discrete-event simulator and reports its WIPS ratio against the exact
+  analytic row — a model-free cross-check of the whole approximation
+  stack.  The fast event kernel makes the full 4/4/2 topology at the
+  agreement population affordable here (the earlier check lived in the
+  benchmark only, on a 2/2/1 cluster at N=600).
 
 The baseline probe, the tuning run and the agreement measurements are
 independent — one plan fanned over ``cfg.jobs`` workers, bit-identical
@@ -48,6 +54,9 @@ AGREEMENT_MODES = tuple(m for m in APPROXIMATIONS if m != "auto")
 #: Population of the wide-cluster tuning arm (the scale axis headline).
 SCALE_POPULATION = 1_000_000
 
+#: Simulated-time scale of the DES validation arm (paper cycle × scale).
+DES_TIME_SCALE = 0.05
+
 
 @dataclass(frozen=True)
 class AgreementRow:
@@ -78,6 +87,14 @@ class ScaleResult:
     aggregated_nodes: float
     agreement_population: int
     agreement: Mapping[str, AgreementRow]
+    #: WIPS the discrete-event simulator measured on the agreement topology.
+    des_wips: float
+    #: DES WIPS over the exact analytic row (1.0 = perfect agreement).
+    des_over_exact_ratio: float
+    #: Population the DES validation arm simulated.
+    des_population: int
+    #: ``profile.*`` diagnostics of the DES arm (``cfg.profile``; else None).
+    des_profile: Optional[Mapping[str, float]]
     history: TuningHistory
 
     def to_table(self) -> Table:
@@ -116,6 +133,11 @@ class ScaleResult:
         for mode in AGREEMENT_MODES:
             row = self.agreement[mode]
             table.add_row(mode, f"{row.wips:.2f}", f"{row.relative_error:.2e}")
+        table.add_row(
+            "simulation (DES)",
+            f"{self.des_wips:.2f}",
+            f"{abs(self.des_over_exact_ratio - 1.0):.2e}",
+        )
         return table
 
 
@@ -220,6 +242,40 @@ def _measure_agreement(
     ).wips
 
 
+def _measure_des_check(cfg: ExperimentConfig, mix_name: str) -> dict:
+    """Worker: the discrete-event cross-check of the analytic stack.
+
+    The event simulator shares no queueing mathematics with the MVA
+    solvers — agreement here validates the whole modelling chain, not
+    one approximation against another.  Runs on the agreement topology
+    at the full agreement population (affordable since the lean event
+    kernel).  With ``cfg.profile`` the simulator's observability
+    diagnostics ride along (WIPS is bit-identical either way).
+    """
+    from repro.des.backend import SimulationBackend
+
+    cluster = ClusterSpec.wide(4, 4, 2, name="wide-small")
+    scenario = Scenario(
+        cluster=cluster,
+        mix=STANDARD_MIXES[mix_name],
+        population=cfg.cluster_population,
+    )
+    backend = SimulationBackend(
+        time_scale=DES_TIME_SCALE, profile=cfg.profile
+    )
+    measurement = backend.measure(
+        scenario,
+        cluster.default_configuration(),
+        seed=derive_seed(cfg.seed, "scale-des"),
+    )
+    profile = {
+        key: value
+        for key, value in sorted(measurement.diagnostics.items())
+        if key.startswith("profile.")
+    } if cfg.profile else None
+    return {"wips": measurement.wips, "profile": profile}
+
+
 def run(
     config: ExperimentConfig | None = None,
     backend: PerformanceBackend | None = None,
@@ -256,6 +312,13 @@ def run(
             )
             for mode in AGREEMENT_MODES
         ]
+        + [
+            RunSpec(
+                key="des",
+                fn=_measure_des_check,
+                kwargs={"cfg": cfg, "mix_name": mix_name},
+            )
+        ]
     )
 
     baseline = results["baseline"]
@@ -286,5 +349,9 @@ def run(
         aggregated_nodes=baseline["aggregated_nodes"],
         agreement_population=cfg.cluster_population,
         agreement=agreement,
+        des_wips=results["des"]["wips"],
+        des_over_exact_ratio=results["des"]["wips"] / exact_wips,
+        des_population=cfg.cluster_population,
+        des_profile=results["des"]["profile"],
         history=tuned["history"],
     )

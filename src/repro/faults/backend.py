@@ -260,3 +260,7 @@ class FaultyBackend(PerformanceBackend):
         correctness.
         """
         return self.backend.prefetch_configs(scenario, configurations)
+
+    def measurement_cache_token(self) -> tuple:
+        """Delegate: faults perturb points, not the backend's key space."""
+        return self.backend.measurement_cache_token()

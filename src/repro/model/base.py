@@ -240,6 +240,19 @@ class PerformanceBackend(abc.ABC):
         """
         return 0
 
+    def measurement_cache_token(self) -> tuple:
+        """Extra cache-key material identifying this backend's output.
+
+        Measurement caches key on ``(scenario, configuration, seed)``;
+        a backend whose output for that triple depends on additional
+        backend-level settings (e.g. the DES with ``replications>1``
+        merges several replications into one measurement) must return
+        them here so differently-configured backends never share
+        entries.  The default empty tuple is dropped from keys entirely,
+        keeping legacy key shapes — and on-disk shared stores — intact.
+        """
+        return ()
+
 
 # ----------------------------------------------------------------------
 # Measurement memoization
@@ -393,20 +406,34 @@ class MeasurementCache:
 
     @staticmethod
     def key(
-        scenario: Scenario, configuration: Configuration, seed: int
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int,
+        token: tuple = (),
     ) -> tuple:
-        """The content-addressed cache key of one measurement point."""
-        return (
+        """The content-addressed cache key of one measurement point.
+
+        ``token`` is the measuring backend's
+        :meth:`PerformanceBackend.measurement_cache_token`; an empty one
+        is omitted so pre-existing 3-tuple keys (and anything persisted
+        under them) stay valid.
+        """
+        base = (
             scenario.fingerprint(),
             tuple(sorted(configuration.items())),
             int(seed),
         )
+        return base + (tuple(token),) if token else base
 
     def lookup(
-        self, scenario: Scenario, configuration: Configuration, seed: int
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int,
+        token: tuple = (),
     ) -> Optional[Measurement]:
         """The cached measurement for a point, or None (counts hit/miss)."""
-        key = self.key(scenario, configuration, seed)
+        key = self.key(scenario, configuration, seed, token)
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
@@ -425,9 +452,10 @@ class MeasurementCache:
         configuration: Configuration,
         seed: int,
         measurement: Measurement,
+        token: tuple = (),
     ) -> None:
         """Record one measured point (evicting LRU beyond ``max_entries``)."""
-        self._insert(self.key(scenario, configuration, seed), measurement)
+        self._insert(self.key(scenario, configuration, seed, token), measurement)
 
     def _insert(self, key: tuple, measurement: Measurement) -> None:
         """Key-level insert (the shared cache absorbs store hits via this)."""
@@ -484,6 +512,10 @@ class MemoizedBackend(PerformanceBackend):
         self.cache = cache if cache is not None else MeasurementCache()
         self.enabled = enabled
 
+    def measurement_cache_token(self) -> tuple:
+        """Delegate to the wrapped backend (the cache keys on its token)."""
+        return self.backend.measurement_cache_token()
+
     def measure(
         self,
         scenario: Scenario,
@@ -493,11 +525,12 @@ class MemoizedBackend(PerformanceBackend):
         """Measure one point, serving repeats from the cache."""
         if not self.enabled:
             return self.backend.measure(scenario, configuration, seed=seed)
-        hit = self.cache.lookup(scenario, configuration, seed)
+        token = self.backend.measurement_cache_token()
+        hit = self.cache.lookup(scenario, configuration, seed, token)
         if hit is not None:
             return hit
         measurement = self.backend.measure(scenario, configuration, seed=seed)
-        self.cache.store(scenario, configuration, seed, measurement)
+        self.cache.store(scenario, configuration, seed, measurement, token)
         return measurement
 
     def measure_batch(
@@ -508,10 +541,11 @@ class MemoizedBackend(PerformanceBackend):
         """Measure a batch, forwarding only cache misses to the backend."""
         if not self.enabled:
             return self.backend.measure_batch(scenario, requests)
+        token = self.backend.measurement_cache_token()
         results: list[Optional[Measurement]] = []
         missing: list[tuple[int, Configuration, int]] = []
         for i, (cfg, seed) in enumerate(requests):
-            hit = self.cache.lookup(scenario, cfg, seed)
+            hit = self.cache.lookup(scenario, cfg, seed, token)
             results.append(hit)
             if hit is None:
                 missing.append((i, cfg, seed))
@@ -520,7 +554,7 @@ class MemoizedBackend(PerformanceBackend):
                 scenario, [(cfg, seed) for _, cfg, seed in missing]
             )
             for (i, cfg, seed), m in zip(missing, measured):
-                self.cache.store(scenario, cfg, seed, m)
+                self.cache.store(scenario, cfg, seed, m, token)
                 results[i] = m
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]

@@ -205,9 +205,13 @@ class SharedMeasurementCache(MeasurementCache):
         super()._insert(key, measurement)
 
     def lookup(
-        self, scenario: Scenario, configuration: Configuration, seed: int
+        self,
+        scenario: Scenario,
+        configuration: Configuration,
+        seed: int,
+        token: tuple = (),
     ) -> Optional[Measurement]:
-        key = self.key(scenario, configuration, seed)
+        key = self.key(scenario, configuration, seed, token)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -240,8 +244,9 @@ class SharedMeasurementCache(MeasurementCache):
         configuration: Configuration,
         seed: int,
         measurement: Measurement,
+        token: tuple = (),
     ) -> None:
-        key = self.key(scenario, configuration, seed)
+        key = self.key(scenario, configuration, seed, token)
         with self._lock:
             self._insert(key, measurement)
         self._shared.put(("meas", key), measurement)

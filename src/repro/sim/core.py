@@ -1,14 +1,44 @@
-"""Event loop and primitive events for the simulation kernel."""
+"""Event loop and primitive events for the simulation kernel.
+
+Two dispatch paths share one public API:
+
+* The default **fast path** keeps the heap entry as the unit of
+  scheduling instead of the :class:`Event` object.  Entries are
+  ``(at, seq, event, process)`` 4-tuples; a plain timer wakeup — the
+  dominant operation in the DES, one per think/service delay — is a
+  ``(at, seq, None, process)`` *resume record* that resumes the waiting
+  process directly from the scheduler, with no ``Event`` allocation, no
+  callback list and no bound-method callback.  Processes wait on real
+  events through a single ``_waiter`` slot when possible, and
+  :meth:`Environment.run` dispatches with the heap bindings hoisted into
+  locals.
+* The **legacy path** (``REPRO_DES_LEGACY=1`` in the environment, or
+  ``Environment(fast=False)``) reproduces the seed kernel's behaviour
+  and per-event object traffic: every delay allocates a full
+  :class:`Timeout`, every wait registers a callback, and the run loop
+  calls :meth:`Environment.step` per event.  It is the reference
+  baseline for ``benchmarks/bench_des.py`` and the bit-identity suites.
+
+Both paths schedule in the same total ``(at, seq)`` order — a process
+yielding a bare ``float`` acquires its sequence number at the same point
+in the schedule stream as the seed kernel's ``yield env.timeout(...)``
+did — so simulations are bit-identical across the two.
+"""
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
 
 __all__ = ["Environment", "Event", "Timeout", "Interrupt", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -33,9 +63,23 @@ class Event:
     exception.  Callbacks registered before the trigger run when the event is
     processed by the loop; waiting processes are resumed with the value or
     have the exception thrown into them.
+
+    The first fast-path process to wait occupies the ``_waiter`` slot
+    instead of appending a callback; the callback list itself is created
+    lazily (most events never need one).  Delivery order is unchanged:
+    the waiter slot is only used while the callback list is empty, so it
+    is always the chronologically first registration.
     """
 
-    __slots__ = ("env", "_value", "_exc", "_triggered", "_processed", "_callbacks")
+    __slots__ = (
+        "env",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "_callbacks",
+        "_waiter",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -43,7 +87,12 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # The legacy path keeps the seed kernel's eager list (its cost is
+        # part of the pre-PR baseline); the fast path allocates lazily.
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = (
+            None if env.fast else []
+        )
+        self._waiter: Optional["Process"] = None
 
     @property
     def triggered(self) -> bool:
@@ -71,7 +120,13 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.env._schedule(self.env.now, self)
+        env = self.env
+        if env.fast:
+            env._seq = seq = env._seq + 1
+            env._n_events += 1
+            _heappush(env._queue, (env._now, seq, self, None))
+        else:
+            env._schedule(env.now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -82,7 +137,13 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
         self._triggered = True
         self._exc = exc
-        self.env._schedule(self.env.now, self)
+        env = self.env
+        if env.fast:
+            env._seq = seq = env._seq + 1
+            env._n_events += 1
+            _heappush(env._queue, (env._now, seq, self, None))
+        else:
+            env._schedule(env.now, self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -92,14 +153,26 @@ class Event:
         """
         if self._processed:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
     def _process(self) -> None:
         self._processed = True
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume(self)
+        callbacks = self._callbacks
+        if self.env.fast:
+            self._callbacks = None
+        else:
+            # Seed behaviour: swap in a fresh list before running.
+            self._callbacks = []
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
 
 class Timeout(Event):
@@ -114,19 +187,31 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        env._schedule(env.now + delay, self)
+        env._schedule(env._now + delay, self)
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
 
-    __slots__ = ("_now", "_queue", "_seq", "_active")
+    ``fast=None`` (the default) selects the fast dispatch path unless
+    ``REPRO_DES_LEGACY`` is set in the process environment.
+    """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    __slots__ = ("_now", "_queue", "_seq", "_active", "fast", "_n_events")
+
+    def __init__(
+        self, initial_time: float = 0.0, fast: Optional[bool] = None
+    ) -> None:
+        if fast is None:
+            fast = not os.environ.get("REPRO_DES_LEGACY")
+        self.fast = bool(fast)
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[
+            tuple[float, int, Optional[Event], Optional["Process"]]
+        ] = []
         self._seq = 0
         self._active: Optional["Process"] = None
+        self._n_events = 0
 
     @property
     def now(self) -> float:
@@ -137,6 +222,26 @@ class Environment:
     def active_process(self) -> Optional["Process"]:
         """The process currently being stepped (None outside process code)."""
         return self._active
+
+    # -- observability --------------------------------------------------
+    @property
+    def scheduled_entries(self) -> int:
+        """Total heap entries scheduled so far (events + resume records)."""
+        return self._seq
+
+    @property
+    def pending_entries(self) -> int:
+        """Heap entries not yet dispatched."""
+        return len(self._queue)
+
+    @property
+    def fast_resumes(self) -> int:
+        """Resume records scheduled without an :class:`Event` allocation.
+
+        Derived as total entries minus event-carrying entries, so the
+        hot delay path never touches a counter.
+        """
+        return self._seq - self._n_events
 
     # -- event construction helpers ------------------------------------
     def event(self) -> Event:
@@ -155,20 +260,38 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------
     def _schedule(self, at: float, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (at, self._seq, event))
+        self._seq = seq = self._seq + 1
+        self._n_events += 1
+        _heappush(self._queue, (at, seq, event, None))
+
+    def _schedule_resume(self, at: float, process: "Process") -> int:
+        """Schedule a bare resume record for ``process``; returns its seq.
+
+        The process is resumed with ``(None, None)`` when the record is
+        dispatched, unless its ``_resume_seq`` no longer matches (the
+        record went stale through an interrupt or the process moved on).
+        """
+        self._seq = seq = self._seq + 1
+        _heappush(self._queue, (at, seq, None, process))
+        return seq
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one heap entry (event or resume record)."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        at, _, event = heapq.heappop(self._queue)
-        self._now = at
-        event._process()
+        entry = _heappop(self._queue)
+        self._now = entry[0]
+        event = entry[2]
+        if event is not None:
+            event._process()
+        else:
+            process = entry[3]
+            if process._resume_seq == entry[1]:
+                process._step(None, None)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue is empty or the clock passes ``until``.
@@ -176,12 +299,76 @@ class Environment:
         Returns the final simulated time.  When ``until`` is given the clock
         is advanced to exactly ``until`` even if no event lands there.
         """
-        if until is not None and until < self._now:
-            raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until} is in the past (now={self._now})"
+                )
+            limit = until
+        else:
+            limit = _INF
+        queue = self._queue
+        if self.fast:
+            pop = _heappop
+            push = _heappush
+            while queue:
+                at, seq, event, process = pop(queue)
+                if at > limit:
+                    # Too far: restore the entry and stop.
+                    push(queue, (at, seq, event, process))
+                    break
+                self._now = at
+                if event is None:
+                    if process._resume_seq != seq:
+                        continue  # stale record (interrupted / moved on)
+                    value = None
+                else:
+                    # Event delivery.  The dominant shape — one fast-path
+                    # waiter, no callbacks, no failure — feeds straight
+                    # into the inlined send below; anything else takes
+                    # the full _process path.
+                    waiter = event._waiter
+                    if (
+                        waiter is None
+                        or event._callbacks is not None
+                        or event._exc is not None
+                        or waiter._waiting_on is not event
+                    ):
+                        event._process()
+                        continue
+                    event._processed = True
+                    event._waiter = None
+                    waiter._waiting_on = None
+                    process = waiter
+                    value = event._value
+                # Inline of Process._step for the dominant resume /
+                # single-waiter delivery cycle; non-delay yields fall
+                # back to Process._wait_on.
+                self._active = process
+                try:
+                    target = process._generator.send(value)
+                except StopIteration as stop:
+                    self._active = None
+                    process.succeed(stop.value)
+                    continue
+                except Interrupt as unhandled:
+                    self._active = None
+                    process.fail(unhandled)
+                    continue
+                except Exception as err:
+                    self._active = None
+                    process.fail(err)
+                    continue
+                self._active = None
+                if target.__class__ is float and target >= 0.0:
+                    self._seq = seq = self._seq + 1
+                    push(queue, (at + target, seq, None, process))
+                    process._resume_seq = seq
+                else:
+                    process._wait_on(target)
+        else:
+            while queue and queue[0][0] <= limit:
+                self.step()
         if until is not None:
             self._now = max(self._now, until)
         return self._now

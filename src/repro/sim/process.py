@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.core import Environment, Event, Interrupt, SimulationError
+from repro.sim.core import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+    _heappush,
+)
 
 __all__ = ["Process"]
 
@@ -17,21 +24,36 @@ class Process(Event):
     the event's value (or the event's exception thrown in).  The process is
     itself an event: it triggers with the generator's return value, so
     processes can wait on each other.
+
+    A yielded bare ``float`` is a plain delay — equivalent to yielding
+    ``env.timeout(delay)``.  On the fast path it schedules a resume
+    record instead of a :class:`~repro.sim.core.Timeout` (no event
+    object, no callback); on the legacy path it is wrapped in a real
+    ``Timeout``, reproducing the seed kernel's traffic.  Either way the
+    delay acquires its schedule position at the yield, exactly where the
+    seed kernel's ``Timeout`` constructor acquired its — simulations are
+    bit-identical across both paths.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_resume_seq")
 
     def __init__(self, env: Environment, generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process needs a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
-        # Kick the process off at the current time via an initiator event.
-        start = Event(env)
-        self._waiting_on: Optional[Event] = start
-        start.add_callback(self._resume)
-        start._triggered = True
-        env._schedule(env.now, start)
+        self._waiting_on: Optional[Event] = None
+        if env.fast:
+            # Kick off at the current time via a bare resume record.
+            self._resume_seq = env._schedule_resume(env._now, self)
+        else:
+            # Seed behaviour: a full initiator event with a callback.
+            self._resume_seq = -1
+            start = Event(env)
+            self._waiting_on = start
+            start.add_callback(self._resume)
+            start._triggered = True
+            env._schedule(env._now, start)
 
     @property
     def is_alive(self) -> bool:
@@ -49,12 +71,13 @@ class Process(Event):
         kick = Event(self.env)
         kick.add_callback(lambda _e: self._do_interrupt(cause))
         kick._triggered = True
-        self.env._schedule(self.env.now, kick)
+        self.env._schedule(self.env._now, kick)
 
     def _do_interrupt(self, cause: Any) -> None:
         if self.triggered:  # finished in the meantime; drop silently
             return
         self._waiting_on = None
+        self._resume_seq = -1  # invalidate any pending resume record
         self._step(None, Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
@@ -68,9 +91,38 @@ class Process(Event):
         else:
             self._step(event.value, None)
 
+    def _wait_on(self, target: Any) -> None:
+        """Register the wait for a non-plain-delay yield (fast path only).
+
+        Called by the run loop's inlined dispatch when the yielded object
+        is not a non-negative ``float``: a real :class:`Event` wait, a
+        negative delay (error) or a non-event (error).
+        """
+        if target.__class__ is float:
+            self._step(
+                None, SimulationError(f"negative timeout delay: {target}")
+            )
+            return
+        if not isinstance(target, Event):
+            self._step(
+                None,
+                SimulationError(f"process yielded non-event {target!r}"),
+            )
+            return
+        self._waiting_on = target
+        if (
+            not target._processed
+            and target._waiter is None
+            and not target._callbacks
+        ):
+            target._waiter = self
+        else:
+            target.add_callback(self._resume)
+
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        prev = self.env._active
-        self.env._active = self
+        env = self.env
+        prev = env._active
+        env._active = self
         try:
             if exc is not None:
                 target = self._generator.throw(exc)
@@ -86,13 +138,35 @@ class Process(Event):
             self.fail(err)
             return
         finally:
-            self.env._active = prev
+            env._active = prev
 
-        if not isinstance(target, Event):
+        if target.__class__ is float:
+            # Bare-delay fast path: one heap record, no Event machinery.
+            if target < 0.0:
+                self._step(
+                    None, SimulationError(f"negative timeout delay: {target}")
+                )
+                return
+            if env.fast:
+                self._waiting_on = None
+                env._seq = seq = env._seq + 1
+                _heappush(env._queue, (env._now + target, seq, None, self))
+                self._resume_seq = seq
+                return
+            target = Timeout(env, target)
+        elif not isinstance(target, Event):
             self._step(
                 None,
                 SimulationError(f"process yielded non-event {target!r}"),
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if (
+            env.fast
+            and not target._processed
+            and target._waiter is None
+            and not target._callbacks
+        ):
+            target._waiter = self
+        else:
+            target.add_callback(self._resume)

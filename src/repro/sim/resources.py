@@ -124,18 +124,19 @@ class Resource:
         If the waiting room is full the event fails with
         :class:`QueueFullError` (delivered when yielded on).
         """
-        req = AcquireRequest(self.env, self)
+        env = self.env
+        req = AcquireRequest(env, self)
         if self._in_service < self._capacity:
             self._in_service += 1
             self._granted += 1
-            self.busy_stats.update(self.env.now, self._in_service)
+            self.busy_stats.update(env._now, self._in_service)
             req.succeed(req)
         elif self._queue_limit is not None and len(self._waiting) >= self._queue_limit:
             self._rejected += 1
             req.fail(QueueFullError(self.name))
         else:
             self._waiting.append(req)
-            self.queue_stats.update(self.env.now, len(self._waiting))
+            self.queue_stats.update(env._now, len(self._waiting))
         return req
 
     def release(self, req: AcquireRequest) -> None:
@@ -149,12 +150,12 @@ class Resource:
         req._released = True
         if self._waiting:
             nxt = self._waiting.popleft()
-            self.queue_stats.update(self.env.now, len(self._waiting))
+            self.queue_stats.update(self.env._now, len(self._waiting))
             self._granted += 1
             nxt.succeed(nxt)  # server handed over; _in_service unchanged
         else:
             self._in_service -= 1
-            self.busy_stats.update(self.env.now, self._in_service)
+            self.busy_stats.update(self.env._now, self._in_service)
 
     def cancel(self, req: AcquireRequest) -> None:
         """Withdraw a waiting request (no effect if already granted)."""

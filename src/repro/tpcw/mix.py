@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 from repro.tpcw.interactions import Interaction, WorkloadMix
@@ -25,12 +27,17 @@ class MixSampler:
         weights = np.array([mix.weight(i) for i in self._interactions])
         self._cdf = np.cumsum(weights)
         self._cdf[-1] = 1.0  # guard against float round-off
+        # Python-list copy for the scalar path: bisect_right on a list is
+        # ~10x cheaper than a scalar np.searchsorted and picks the exact
+        # same index (same comparisons, side="right" semantics).
+        self._cdf_list = self._cdf.tolist()
+        self._last_index = len(self._interactions) - 1
 
     def sample(self, rng: np.random.Generator) -> Interaction:
         """One interaction drawn from the mix."""
-        u = rng.random()
-        idx = int(np.searchsorted(self._cdf, u, side="right"))
-        return self._interactions[min(idx, len(self._interactions) - 1)]
+        idx = bisect_right(self._cdf_list, rng.random())
+        last = self._last_index
+        return self._interactions[idx if idx < last else last]
 
     def sample_many(self, rng: np.random.Generator, n: int) -> list[Interaction]:
         """``n`` i.i.d. interactions (vectorized)."""

@@ -133,7 +133,7 @@ class TestDbServerSim:
 
     def test_count_integerizes_fraction(self, ctx):
         rng = np.random.default_rng(6)
-        draws = [DbServerSim._count(rng, 1.3) for _ in range(5000)]
+        draws = [DbServerSim._count(rng.random(), 1.3) for _ in range(5000)]
         assert set(draws) <= {1, 2}
         assert np.mean(draws) == pytest.approx(1.3, abs=0.03)
 

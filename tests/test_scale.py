@@ -200,3 +200,8 @@ class TestScaleExperiment:
 
     def test_tuning_not_worse_than_baseline(self, result):
         assert result.tuned_wips >= result.baseline_wips * 0.95
+
+    def test_des_validation_arm(self, result):
+        assert result.des_population == 2000
+        assert 0.9 <= result.des_over_exact_ratio <= 1.1
+        assert "simulation (DES)" in str(result.agreement_table())
